@@ -1,0 +1,29 @@
+"""Ablation: flexible operand bit-width (Sec. III-A).
+
+Sweeps element precision 2..8 bits over the whole network and records the
+Stripes-style trade-off: MAC time scales ~quadratically with width, but
+total latency barely moves because data movement keeps byte elements.
+"""
+
+from repro.core.precision import precision_sweep
+from repro.nn import build_inception_v3
+
+
+def run_sweep():
+    return precision_sweep(build_inception_v3(), bit_widths=(2, 4, 6, 8))
+
+
+def test_ablation_precision_sweep(benchmark, record):
+    points = benchmark(run_sweep)
+    assert [p.bits for p in points] == [2, 4, 6, 8]
+    latencies = [p.latency_s for p in points]
+    assert latencies == sorted(latencies)
+    p2, p8 = points[0], points[-1]
+    assert p8.mac_time_s / p2.mac_time_s > 4
+    lines = ["Ablation: flexible precision (Sec. III-A)",
+             f"{'bits':>5s} {'latency/ms':>11s} {'MAC/ms':>8s} "
+             f"{'energy/J':>9s}"]
+    for p in points:
+        lines.append(f"{p.bits:5d} {p.latency_s * 1e3:11.3f} "
+                     f"{p.mac_time_s * 1e3:8.3f} {p.energy_j:9.3f}")
+    record("\n".join(lines))

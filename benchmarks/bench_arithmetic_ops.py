@@ -1,0 +1,100 @@
+"""Sec. III: bit-serial arithmetic on the functional SRAM arrays.
+
+Benchmarks the wall-clock speed of the functional simulator's vector ops
+(256 elements per array, all bitlines at once) and checks the cycle
+counts against both cost presets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import arithmetic_latencies
+from repro.sram import BitSerialUnit, CycleCosts, Operand, SRAMArray
+
+RNG = np.random.default_rng(7)
+DERIVED = CycleCosts.derived()
+
+
+def _unit_with_operands(n):
+    unit = BitSerialUnit(SRAMArray(rows=256, cols=256))
+    a, b = Operand(0, n), Operand(n, n)
+    unit.write_values(a, RNG.integers(0, 1 << n, 256))
+    unit.write_values(b, RNG.integers(0, 1 << n, 256))
+    return unit, a, b
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_bitserial_addition(benchmark, n):
+    unit, a, b = _unit_with_operands(n)
+    dst = Operand(2 * n, n + 1)
+
+    def run():
+        before = unit.cycles
+        unit.add(a, b, dst)
+        return unit.cycles - before
+
+    cycles = benchmark(run)
+    assert cycles == DERIVED.add(n)
+
+
+def test_bitserial_multiplication(benchmark):
+    unit, a, b = _unit_with_operands(8)
+    product = Operand(16, 16)
+
+    def run():
+        before = unit.cycles
+        unit.multiply(a, b, product)
+        return unit.cycles - before
+
+    cycles = benchmark(run)
+    assert cycles == DERIVED.multiply(8)
+
+
+def test_bitserial_mac(benchmark):
+    unit, a, b = _unit_with_operands(8)
+    scratch, acc = Operand(16, 16), Operand(32, 24)
+
+    def run():
+        unit.zero(acc)
+        before = unit.cycles
+        unit.mac(a, b, scratch, acc)
+        return unit.cycles - before
+
+    cycles = benchmark(run)
+    assert cycles == DERIVED.mac(8, 24)
+
+
+def test_bitserial_division(benchmark):
+    unit = BitSerialUnit(SRAMArray(rows=256, cols=256))
+    a, b = Operand(0, 8), Operand(8, 8)
+    unit.write_values(a, RNG.integers(0, 256, 256))
+    unit.write_values(b, RNG.integers(1, 256, 256))
+    q, work = Operand(16, 8), Operand(32, 28)
+
+    def run():
+        before = unit.cycles
+        unit.divide(a, b, q, work)
+        return unit.cycles - before
+
+    cycles = benchmark(run)
+    assert cycles == DERIVED.divide(8)
+
+
+def test_bitserial_reduction(benchmark):
+    unit = BitSerialUnit(SRAMArray(rows=256, cols=256))
+    base, segment = Operand(0, 32), Operand(32, 32)
+    unit.write_values(Operand(0, 24), RNG.integers(0, 1 << 24, 256))
+
+    def run():
+        before = unit.cycles
+        unit.reduce_tree(base, segment, 128, 24)
+        return unit.cycles - before
+
+    cycles = benchmark(run)
+    assert cycles == DERIVED.reduction(128, 24)
+
+
+def test_op_latency_table(benchmark, record):
+    result = benchmark(arithmetic_latencies)
+    assert len(result.rows) == 9
+    record(result)

@@ -1,0 +1,29 @@
+"""Figure 13: per-layer inference latency for CPU, GPU and Neural Cache.
+
+Benchmarks the full pipeline: graph construction, mapping all 109 layers
+onto the cache, scheduling every phase, and aggregating per Table-I group;
+plus the two baseline models.
+"""
+
+from repro.analysis import figure13
+from repro.baselines import CpuBaseline, GpuBaseline
+from repro.core.executor import NeuralCacheSimulator
+from repro.nn import build_inception_v3
+
+
+def regenerate_figure13():
+    network = build_inception_v3()
+    nc = NeuralCacheSimulator(network).run().group_latency()
+    cpu = CpuBaseline(network).group_latency()
+    gpu = GpuBaseline(network).group_latency()
+    return nc, cpu, gpu
+
+
+def test_figure13_layer_latency(benchmark, record):
+    nc, cpu, gpu = benchmark(regenerate_figure13)
+    assert len(nc) == len(cpu) == len(gpu) == 20
+    # Neural Cache achieves "significantly better latency than baseline
+    # for all layers" (Sec. VI-A).
+    for group in nc:
+        assert nc[group] < gpu[group] < cpu[group], group
+    record(figure13())

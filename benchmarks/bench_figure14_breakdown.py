@@ -1,0 +1,24 @@
+"""Figure 14: Neural Cache inference-latency breakdown.
+
+Benchmarks a fresh batch-1 simulation and checks the phase shares against
+the published breakdown (filter 46%, input 15%, MAC 20%, reduction 10%,
+quantization 5%, output 4%, pooling 0.04%).
+"""
+
+from repro.analysis import figure14, paper
+from repro.core.executor import NeuralCacheSimulator
+from repro.nn import build_inception_v3
+
+
+def regenerate_breakdown():
+    result = NeuralCacheSimulator(build_inception_v3()).run()
+    return result.breakdown()
+
+
+def test_figure14_breakdown(benchmark, record):
+    breakdown = benchmark(regenerate_breakdown)
+    fractions = breakdown.fractions()
+    for phase, published in paper.BREAKDOWN_FRACTIONS.items():
+        assert abs(fractions[phase] - published) < 0.10, phase
+    assert max(fractions, key=fractions.get) == "filter_load"
+    record(figure14())

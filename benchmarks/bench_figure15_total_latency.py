@@ -1,0 +1,23 @@
+"""Figure 15: total Inception v3 latency and the headline speedups
+(paper: 18.3x over the Xeon E5, 7.7x over the Titan Xp)."""
+
+from repro.analysis import figure15
+from repro.baselines import CpuBaseline, GpuBaseline
+from repro.core.executor import NeuralCacheSimulator
+from repro.nn import build_inception_v3
+
+
+def regenerate_totals():
+    network = build_inception_v3()
+    nc = NeuralCacheSimulator(network).latency()
+    cpu = CpuBaseline(network).latency()
+    gpu = GpuBaseline(network).latency()
+    return nc, cpu, gpu
+
+
+def test_figure15_total_latency(benchmark, record):
+    nc, cpu, gpu = benchmark(regenerate_totals)
+    assert nc < gpu < cpu
+    assert 14 < cpu / nc < 26    # paper 18.3x
+    assert 6 < gpu / nc < 11     # paper 7.7x
+    record(figure15())

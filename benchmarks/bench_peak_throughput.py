@@ -1,0 +1,30 @@
+"""Headline hardware claims: 1,146,880 ALU slots, 28 TOP/s, area budget.
+
+Benchmarks the geometry/area derivations and records the peak-throughput
+and area tables (Sec. VII's BrainWave comparison and Fig. 12).
+"""
+
+from repro.analysis import area_report, peak_throughput
+from repro.cache.geometry import capacity_sweep, xeon_e5_2697_v3
+from repro.config import NeuralCacheConfig
+
+
+def derive_hardware_claims():
+    geometry = xeon_e5_2697_v3()
+    config = NeuralCacheConfig()
+    return {
+        "arrays": geometry.total_arrays,
+        "slots": geometry.alu_slots,
+        "peak_ops": config.peak_ops_per_second(),
+        "sweep_slots": [g.alu_slots for g in capacity_sweep()],
+    }
+
+
+def test_peak_throughput_and_area(benchmark, record):
+    data = benchmark(derive_hardware_claims)
+    assert data["arrays"] == 4480
+    assert data["slots"] == 1_146_880
+    assert abs(data["peak_ops"] - 28e12) / 28e12 < 0.01
+    assert data["sweep_slots"] == sorted(data["sweep_slots"])
+    record(peak_throughput())
+    record(area_report())

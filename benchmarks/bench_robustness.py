@@ -1,0 +1,32 @@
+"""Sec. II-B / V: multi-row activation stability Monte Carlo.
+
+Benchmarks the Monte Carlo disturb analysis at the published operating
+point and asserts the silicon anchors: six-sigma at 0.66 V, clean 64-row
+operation across twenty 8KB test chips, and the ~1.6x compute-delay cost.
+"""
+
+from repro.analysis import robustness_report
+from repro.sram.robustness import (
+    CHOSEN_RWL_VOLTAGE,
+    ReadStabilityModel,
+    choose_rwl_voltage,
+)
+
+
+def run_monte_carlo():
+    model = ReadStabilityModel()
+    flips_published = model.monte_carlo_failures(
+        CHOSEN_RWL_VOLTAGE, cells=500_000, rows_activated=64, seed=3)
+    flips_unsafe = model.monte_carlo_failures(
+        0.9, cells=10_000, rows_activated=2, seed=3)
+    return model, flips_published, flips_unsafe
+
+
+def test_robustness_monte_carlo(benchmark, record):
+    model, flips_published, flips_unsafe = benchmark(run_monte_carlo)
+    assert flips_published == 0          # the 20-test-chip result
+    assert flips_unsafe > 1000           # full-VDD multi-row corrupts
+    assert model.is_industry_robust(CHOSEN_RWL_VOLTAGE)
+    assert abs(choose_rwl_voltage() - CHOSEN_RWL_VOLTAGE) <= 0.01
+    assert abs(model.delay_ratio() - 1.56) < 0.02
+    record(robustness_report())

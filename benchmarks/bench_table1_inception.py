@@ -1,0 +1,28 @@
+"""Table I: regenerate the Inception v3 layer-parameter table.
+
+Benchmarks building the faithful 95-conv graph and computing every group's
+statistics from scratch; asserts the 18 exactly-reproducible rows match
+the published numbers.
+"""
+
+from repro.analysis import paper, table1
+from repro.nn import build_inception_v3
+from repro.nn.inception import table1 as compute_table1
+
+
+def regenerate_table1():
+    network = build_inception_v3()
+    return compute_table1(network)
+
+
+def test_table1_inception_parameters(benchmark, record):
+    rows = benchmark(regenerate_table1)
+    assert len(rows) == 20
+    for stats in rows:
+        if stats.group in paper.TABLE1_KNOWN_DISCREPANCIES:
+            continue
+        published = paper.TABLE1[stats.group]
+        assert stats.convolutions == published[0], stats.group
+        assert abs(stats.filter_mb - published[1]) < 0.0015, stats.group
+        assert abs(stats.input_mb - published[2]) < 0.0015, stats.group
+    record(table1())

@@ -1,0 +1,42 @@
+"""Benchmark harness support.
+
+Benchmarks regenerate the paper's tables and figures; the rendered text is
+queued here and printed in the terminal summary, so
+``pytest benchmarks/ --benchmark-only`` emits the same rows the paper
+reports alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_RENDERED: list[str] = []
+_SEEN: set[str] = set()
+
+
+@pytest.fixture
+def record():
+    """Queue an ExperimentResult (or plain text) for the final report."""
+
+    def _record(result) -> None:
+        text = result if isinstance(result, str) else result.render()
+        key = text.splitlines()[0] if text else ""
+        if key in _SEEN:
+            return
+        _SEEN.add(key)
+        _RENDERED.append(text)
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RENDERED:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("Reproduced tables and figures")
+    terminalreporter.write_line("=" * 70)
+    for text in _RENDERED:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

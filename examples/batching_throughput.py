@@ -1,0 +1,39 @@
+"""Throughput vs batch size: reproduce Figure 16 and explore the knobs.
+
+Sweeps the batch size for Neural Cache and both baselines, then shows the
+two effects the paper discusses: filter-load amortisation (throughput
+rises with batch) and output spills to DRAM once the reserved way
+overflows (Sec. IV-E: "the first five [layers] require dumping").
+
+Run:  python examples/batching_throughput.py
+"""
+
+from repro import NeuralCacheConfig, NeuralCacheSimulator, build_inception_v3
+from repro.analysis import figure16
+
+
+def main() -> None:
+    print(figure16().render())
+
+    net = build_inception_v3()
+    sim = NeuralCacheSimulator(net)
+    print("\nWhere does the batching benefit come from?")
+    for batch in (1, 16, 256):
+        result = sim.run(batch)
+        breakdown = result.breakdown()
+        filter_share = breakdown.filter_load / result.total_time
+        print(f"  batch {batch:3d}: {result.latency_per_image * 1e3:6.2f} "
+              f"ms/image, filter loading {filter_share * 100:5.1f}% of "
+              f"time, spills {result.spill_time * 1e3:6.2f} ms")
+
+    print("\nSpill sensitivity: output-buffer budget in the reserved way")
+    for fraction in (0.25, 0.5, 1.0):
+        config = NeuralCacheConfig(output_buffer_fraction=fraction)
+        result = NeuralCacheSimulator(net, config).run(64)
+        print(f"  {fraction * 100:5.1f}% of way-19 for outputs -> spills "
+              f"{result.spill_time * 1e3:7.2f} ms at batch 64 "
+              f"({64 * config.sockets / result.total_time:.0f} inf/s)")
+
+
+if __name__ == "__main__":
+    main()

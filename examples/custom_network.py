@@ -1,0 +1,83 @@
+"""Map *your own* CNN onto Neural Cache and verify it end to end.
+
+Defines a miniature Inception-style network (branches, packing-friendly
+1x1s, a 5x5 that needs filter splitting, pooling, an FC head), then:
+
+1. shows how every layer maps onto the cache (packing / splitting /
+   parallelism / utilization — the Sec. IV-A machinery);
+2. runs the whole network bit-serially and checks it against the golden
+   quantized executor;
+3. reports the analytic latency/energy of the same network at full scale.
+
+Run:  python examples/custom_network.py
+"""
+
+import numpy as np
+
+from repro import (
+    NeuralCacheConfig,
+    NeuralCacheSimulator,
+    Network,
+    QuantizedTensor,
+    ReferenceExecutor,
+    initialise_weights,
+)
+from repro.core.functional import FunctionalExecutor
+from repro.nn import AvgPool, Concat, Conv2D, FullyConnected, MaxPool
+
+
+def build_network() -> Network:
+    net = Network(name="mini-inception")
+    x = net.add_input("image", (16, 16, 3))
+    x = net.add("stem", Conv2D(16, (3, 3), stride=2, padding="valid"), x)
+    b0 = net.add("mix/1x1", Conv2D(8, (1, 1)), x)
+    b1 = net.add("mix/5x5_reduce", Conv2D(4, (1, 1)), x)
+    b1 = net.add("mix/5x5", Conv2D(8, (5, 5), padding="same"), b1)
+    b2 = net.add("mix/pool", AvgPool((3, 3), stride=1, padding="same"), x)
+    b2 = net.add("mix/pool_proj", Conv2D(8, (1, 1)), b2)
+    x = net.add("mix/concat", Concat(), (b0, b1, b2))
+    x = net.add("maxpool", MaxPool((3, 3), stride=2, padding="valid"), x)
+    x = net.add("gap", AvgPool((3, 3), padding="valid"), x)
+    net.add("classifier", FullyConnected(10), x)
+    return net
+
+
+def main() -> None:
+    net = build_network()
+    config = NeuralCacheConfig()
+    sim = NeuralCacheSimulator(net, config)
+
+    print("Layer mapping on the 35 MB Xeon LLC")
+    print("-" * 76)
+    print(f"{'layer':20s} {'kind':8s} {'pack':>4s} {'split':>5s} "
+          f"{'C pad':>5s} {'parallel':>9s} {'passes':>6s} {'util':>7s}")
+    for mapping in sim.mappings:
+        print(f"{mapping.layer_name:20s} {mapping.kind:8s} "
+              f"{mapping.pack_factor:4d} {mapping.split_factor:5d} "
+              f"{mapping.channels_padded:5d} "
+              f"{mapping.parallel_outputs:9d} {mapping.serial_passes:6d} "
+              f"{mapping.utilization * 100:6.2f}%")
+
+    # -- functional verification -----------------------------------------
+    weights = initialise_weights(net, seed=3)
+    rng = np.random.default_rng(1)
+    image = QuantizedTensor.from_real(rng.uniform(0, 6, (16, 16, 3)),
+                                      weights.input_params)
+    golden = ReferenceExecutor(net, weights).run(image)
+    in_cache = FunctionalExecutor(net, weights).run(image)
+    for node in net.layer_nodes():
+        assert np.array_equal(in_cache[node.name].data,
+                              golden[node.name].data), node.name
+    logits = in_cache["classifier"].data.ravel()
+    print(f"\nbit-exact in-cache execution ✓ "
+          f"(class scores: {logits.tolist()})")
+
+    # -- analytic cost at full scale ----------------------------------------
+    result = sim.run()
+    print(f"\nanalytic model: {result.total_time * 1e6:.1f} us per "
+          f"inference, {result.total_energy * 1e6:.1f} uJ, "
+          f"{1 / result.total_time:.0f} inferences/s/socket")
+
+
+if __name__ == "__main__":
+    main()

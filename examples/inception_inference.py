@@ -1,0 +1,29 @@
+"""Reproduce the paper's headline evaluation on Inception v3.
+
+Runs the analytic Neural Cache simulator and the calibrated CPU/GPU
+baselines over the full Inception v3 graph and prints the per-layer
+latency (Fig. 13), the execution breakdown (Fig. 14), total latency and
+speedups (Fig. 15), energy/power (Table III) and capacity scaling
+(Table IV).
+
+Run:  python examples/inception_inference.py
+"""
+
+from repro.analysis import figure13, figure14, figure15, table3, table4
+
+
+def main() -> None:
+    for experiment in (figure13(), figure14(), figure15(), table3(),
+                       table4()):
+        print(experiment.render())
+        print()
+
+    data = figure15().data
+    print(f"Summary: Neural Cache {data['nc_s'] * 1e3:.2f} ms per "
+          f"inference — {data['cpu_speedup']:.1f}x faster than the Xeon "
+          f"E5 and {data['gpu_speedup']:.1f}x faster than the Titan Xp "
+          f"(paper: 18.3x and 7.7x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; this offline
+environment lacks it, so `python setup.py develop` provides the editable
+install path. Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""Neural Cache (ISCA 2018) reproduction.
+
+A bit-serial in-cache DNN accelerator, reproduced end to end:
+
+* :mod:`repro.sram` — compute-capable SRAM arrays, bit-serial arithmetic,
+  transpose units, cycle/energy/area models;
+* :mod:`repro.cache` — the Xeon-class LLC geometry, interconnect and DRAM;
+* :mod:`repro.nn` — a quantized DNN substrate with a faithful Inception v3;
+* :mod:`repro.core` — the Neural Cache mapping/scheduling/execution model,
+  both analytic (paper-scale) and functional (bit-exact);
+* :mod:`repro.baselines` — calibrated Xeon E5 / Titan Xp roofline models;
+* :mod:`repro.analysis` — regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import NeuralCacheSimulator, build_inception_v3
+    result = NeuralCacheSimulator(build_inception_v3()).run()
+    print(result.total_time)          # ~4 ms, the paper's Fig. 15
+    print(result.breakdown().fractions())   # Fig. 14
+"""
+
+from repro.baselines import CpuBaseline, GpuBaseline
+from repro.cache import (
+    CacheGeometry,
+    DramModel,
+    InterconnectModel,
+    LastLevelCache,
+    xeon_e5_2697_v3,
+)
+from repro.config import NeuralCacheConfig
+from repro.core import (
+    ControlFSM,
+    FunctionalConv,
+    FunctionalExecutor,
+    Instruction,
+    NeuralCacheSimulator,
+    Opcode,
+    map_network,
+    simulate_inference,
+)
+from repro.nn import (
+    Conv2D,
+    Network,
+    QuantizedTensor,
+    ReferenceExecutor,
+    build_inception_v3,
+    initialise_weights,
+)
+from repro.sram import BitSerialUnit, CycleCosts, Operand, SRAMArray
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitSerialUnit",
+    "CacheGeometry",
+    "ControlFSM",
+    "Conv2D",
+    "CpuBaseline",
+    "CycleCosts",
+    "DramModel",
+    "FunctionalConv",
+    "FunctionalExecutor",
+    "GpuBaseline",
+    "Instruction",
+    "InterconnectModel",
+    "LastLevelCache",
+    "Network",
+    "NeuralCacheConfig",
+    "NeuralCacheSimulator",
+    "Opcode",
+    "Operand",
+    "QuantizedTensor",
+    "ReferenceExecutor",
+    "SRAMArray",
+    "build_inception_v3",
+    "initialise_weights",
+    "map_network",
+    "simulate_inference",
+    "xeon_e5_2697_v3",
+]

@@ -1,0 +1,62 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro                 # everything, in paper order
+    python -m repro figure14 table3 # specific experiments
+    python -m repro --list          # available experiment names
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments
+
+#: name -> zero-argument callable returning an ExperimentResult.
+EXPERIMENTS = {
+    "table1": experiments.table1,
+    "table2": experiments.table2,
+    "table3": experiments.table3,
+    "table4": experiments.table4,
+    "figure13": experiments.figure13,
+    "figure14": experiments.figure14,
+    "figure15": experiments.figure15,
+    "figure16": experiments.figure16,
+    "example6a": experiments.section6a_example,
+    "arithmetic": experiments.arithmetic_latencies,
+    "peak": experiments.peak_throughput,
+    "area": experiments.area_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Neural Cache (ISCA 2018) reproduction: regenerate "
+                    "the paper's tables and figures.")
+    parser.add_argument("names", nargs="*", metavar="EXPERIMENT",
+                        help="experiments to run (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment names")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)} "
+                     f"(use --list)")
+    for name in names:
+        print(EXPERIMENTS[name]().render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

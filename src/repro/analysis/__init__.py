@@ -1,0 +1,54 @@
+"""Experiment harness: one entry point per table/figure, plus the
+published reference numbers they compare against."""
+
+from repro.analysis import paper
+from repro.analysis.experiments import (
+    all_experiments,
+    area_report,
+    arithmetic_latencies,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    peak_throughput,
+    robustness_report,
+    section6a_example,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.analysis.export import (
+    export_all,
+    export_figure13,
+    export_figure14,
+    export_figure16,
+    export_table4,
+)
+from repro.analysis.report import ExperimentResult, pct, ratio_cell
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "area_report",
+    "arithmetic_latencies",
+    "export_all",
+    "export_figure13",
+    "export_figure14",
+    "export_figure16",
+    "export_table4",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "paper",
+    "pct",
+    "peak_throughput",
+    "ratio_cell",
+    "robustness_report",
+    "section6a_example",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,77 @@
+"""CSV export of the regenerated figures' data series.
+
+The offline environment has no plotting stack; these writers emit the
+exact series behind Figures 13-16 (and the capacity table) so downstream
+users can plot them with whatever they have. All writers return the path
+they wrote.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis import experiments
+from repro.common.errors import SimulationError
+
+
+def _write(path: Path, header: list[str], rows: list[list]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_figure13(path: str | Path) -> Path:
+    """Per-layer latency series (seconds) for the three devices."""
+    data = experiments.figure13().data
+    groups = list(data["neural_cache"])
+    rows = [[group, data["cpu"][group], data["gpu"][group],
+             data["neural_cache"][group]] for group in groups]
+    return _write(Path(path), ["layer", "cpu_s", "gpu_s", "neural_cache_s"],
+                  rows)
+
+
+def export_figure14(path: str | Path) -> Path:
+    """Breakdown phases: absolute seconds and share of total."""
+    data = experiments.figure14().data
+    breakdown = data["breakdown"]
+    fractions = data["fractions"]
+    rows = [[phase, getattr(breakdown, phase), fractions[phase]]
+            for phase in fractions]
+    return _write(Path(path), ["phase", "seconds", "fraction"], rows)
+
+
+def export_figure16(path: str | Path) -> Path:
+    """Throughput-vs-batch series for the three devices."""
+    data = experiments.figure16().data
+    rows = [[batch, cpu, gpu, nc]
+            for batch, cpu, gpu, nc in zip(data["batch"], data["cpu"],
+                                           data["gpu"],
+                                           data["neural_cache"])]
+    return _write(Path(path),
+                  ["batch", "cpu_inf_s", "gpu_inf_s", "neural_cache_inf_s"],
+                  rows)
+
+
+def export_table4(path: str | Path) -> Path:
+    """Capacity-scaling series (capacity MB -> latency seconds)."""
+    data = experiments.table4().data
+    rows = [[capacity, data[capacity]] for capacity in sorted(data)]
+    return _write(Path(path), ["capacity_mb", "latency_s"], rows)
+
+
+def export_all(directory: str | Path) -> list[Path]:
+    """Write every exportable series under ``directory``."""
+    directory = Path(directory)
+    if directory.exists() and not directory.is_dir():
+        raise SimulationError(f"{directory} exists and is not a directory")
+    return [
+        export_figure13(directory / "figure13_layer_latency.csv"),
+        export_figure14(directory / "figure14_breakdown.csv"),
+        export_figure16(directory / "figure16_throughput.csv"),
+        export_table4(directory / "table4_capacity.csv"),
+    ]

@@ -1,0 +1,102 @@
+"""Published reference numbers from the paper, in one place.
+
+Every benchmark and report compares model output against these constants;
+EXPERIMENTS.md records the paper-vs-measured pairs. Units follow the
+paper (ms, J, W, inferences/second, fractions).
+"""
+
+from __future__ import annotations
+
+# -- Figure 15 / abstract: total latency -------------------------------------
+NC_LATENCY_MS = 4.72          # Table IV at 35 MB, batch 1
+CPU_SPEEDUP = 18.3            # Neural Cache vs Xeon E5 (so CPU ~86.4 ms)
+GPU_SPEEDUP = 7.7             # Neural Cache vs Titan Xp (so GPU ~36.3 ms)
+CPU_LATENCY_MS = NC_LATENCY_MS * CPU_SPEEDUP
+GPU_LATENCY_MS = NC_LATENCY_MS * GPU_SPEEDUP
+
+# -- Figure 14: Neural Cache execution-time breakdown --------------------------
+BREAKDOWN_FRACTIONS = {
+    "filter_load": 0.46,
+    "input_stream": 0.15,
+    "mac": 0.20,
+    "reduction": 0.10,
+    "quantization": 0.05,
+    "pooling": 0.0004,
+    "output_move": 0.04,
+}
+
+# -- Figure 16: throughput ------------------------------------------------------
+NC_MAX_THROUGHPUT = 604.0     # inferences/s, dual socket, best batch
+THROUGHPUT_VS_GPU = 2.2
+THROUGHPUT_VS_CPU = 12.4
+GPU_MAX_THROUGHPUT = NC_MAX_THROUGHPUT / THROUGHPUT_VS_GPU
+CPU_MAX_THROUGHPUT = NC_MAX_THROUGHPUT / THROUGHPUT_VS_CPU
+GPU_PLATEAU_BATCH = 64        # "GPU throughput plateaus after batch 64"
+
+# -- Table III: energy and power -----------------------------------------------
+ENERGY_J = {"cpu": 9.137, "gpu": 4.087, "neural_cache": 0.246}
+POWER_W = {"cpu": 105.56, "gpu": 112.87, "neural_cache": 52.92}
+
+# -- Table IV: cache-capacity scaling -------------------------------------------
+CAPACITY_LATENCY_MS = {35: 4.72, 45: 4.12, 60: 3.79}
+
+# -- Sec. VI-A worked example (Conv2d_2b_3x3) -----------------------------------
+EXAMPLE_PARALLEL_CONVS = 32_000       # "~32 thousand in parallel"
+EXAMPLE_SERIAL_CONVS = 43
+EXAMPLE_UTILIZATION = 0.997
+EXAMPLE_CYCLES_PER_CONV = 2784
+EXAMPLE_CYCLES_PER_MAC = 236
+EXAMPLE_REDUCTION_CYCLES = 660
+EXAMPLE_LAYER_CYCLES = 117_912
+EXAMPLE_CONV_TIME_MS = 0.0479
+
+# -- Sec. III: bit-serial op latencies (cycles, n-bit operands) -------------------
+def addition_cycles(n: int) -> int:
+    return n + 1
+
+
+def multiplication_cycles(n: int) -> int:
+    return n * n + 5 * n - 2
+
+
+def division_cycles(n: int) -> int:
+    return int(1.5 * n * n + 5.5 * n)
+
+
+# -- headline hardware numbers ----------------------------------------------------
+ALU_SLOTS_35MB = 1_146_880
+TOTAL_ARRAYS_35MB = 4480
+PEAK_TOPS = 28e12             # Sec. VII, at 22 nm
+ARRAY_AREA_OVERHEAD = 0.075
+DIE_AREA_OVERHEAD_MAX = 0.02
+FSM_TOTAL_AREA_MM2 = 0.23
+COMPUTE_ENERGY_PJ = 15.4      # 22 nm, per array compute cycle
+ACCESS_ENERGY_PJ = 8.6
+FILTER_LOAD_SHARE = 0.46      # "loading filter weights takes ~46%"
+
+# -- Table I (group, convolutions, filter MB, input MB) ----------------------------
+TABLE1 = {
+    "Conv2d_1a_3x3": (710432, 0.001, 0.256),
+    "Conv2d_2a_3x3": (691488, 0.009, 0.678),
+    "Conv2d_2b_3x3": (1382976, 0.018, 0.659),
+    "MaxPool_3a_3x3": (0, 0.000, 1.319),
+    "Conv2d_3b_1x1": (426320, 0.005, 0.325),
+    "Conv2d_4a_3x3": (967872, 0.132, 0.407),
+    "MaxPool_5a_3x3": (0, 0.000, 0.923),
+    "Mixed_5b": (568400, 0.243, 0.897),
+    "Mixed_5c": (607600, 0.264, 1.196),
+    "Mixed_5d": (607600, 0.271, 1.346),
+    "Mixed_6a": (334720, 0.255, 1.009),
+    "Mixed_6b": (443904, 1.234, 0.847),
+    "Mixed_6c": (499392, 1.609, 0.847),
+    "Mixed_6d": (499392, 1.609, 0.847),
+    "Mixed_6e": (499392, 1.898, 0.847),
+    "Mixed_7a": (254720, 1.617, 0.635),
+    "Mixed_7b": (208896, 4.805, 0.313),
+    "Mixed_7c": (208896, 5.789, 0.500),
+    "AvgPool": (0, 0.000, 0.125),
+    "FullyConnected": (1001, 1.955, 0.002),
+}
+
+#: Rows where the faithful graph intentionally differs (see EXPERIMENTS.md).
+TABLE1_KNOWN_DISCREPANCIES = ("Mixed_6a", "Mixed_6e")

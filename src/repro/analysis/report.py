@@ -1,0 +1,43 @@
+"""Experiment-result containers and rendering helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.tables import format_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    ``rows`` are machine-readable (lists of already-formatted cells plus a
+    parallel ``data`` payload for assertions); ``render()`` produces the
+    text that mirrors the paper's presentation.
+    """
+
+    name: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+    data: dict = field(default_factory=dict)
+    notes: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        text = format_table(self.headers, self.rows, title=self.name)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+
+def ratio_cell(measured: float, reference: float,
+               precision: int = 2) -> str:
+    """'measured (ref reference, x.xx of paper)' cell text."""
+    if reference == 0:
+        return f"{measured:.{precision}f} (ref 0)"
+    return (f"{measured:.{precision}f} "
+            f"({measured / reference:.2f}x of paper {reference:.{precision}f})")
+
+
+def pct(fraction: float) -> str:
+    """A fraction as a percent cell."""
+    return f"{100 * fraction:.2f}%"

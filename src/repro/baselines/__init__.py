@@ -1,0 +1,19 @@
+"""Calibrated CPU/GPU baselines standing in for the paper's measured
+TensorFlow runs (see DESIGN.md for the substitution rationale)."""
+
+from repro.baselines.base import CalibratedBaseline, network_work
+from repro.baselines.cpu import XEON_E5_2697_V3, CpuBaseline
+from repro.baselines.gpu import TITAN_XP, GpuBaseline
+from repro.baselines.roofline import DeviceSpec, LayerWork, roofline_time
+
+__all__ = [
+    "CalibratedBaseline",
+    "CpuBaseline",
+    "DeviceSpec",
+    "GpuBaseline",
+    "LayerWork",
+    "TITAN_XP",
+    "XEON_E5_2697_V3",
+    "network_work",
+    "roofline_time",
+]

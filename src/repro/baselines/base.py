@@ -1,0 +1,123 @@
+"""Calibrated baseline executor shared by the CPU and GPU models.
+
+Timing model::
+
+    latency(batch) = dispatch + batch * steady
+    dispatch       = per_op_overhead * number_of_layers
+    steady         = normalised roofline sum == 2*MACs / (peak * efficiency)
+
+``dispatch`` captures framework/kernel-launch costs that the paper's
+batch-throughput curves amortise; ``steady`` is the asymptotic per-image
+time. Per-layer latencies (Fig. 13) distribute ``dispatch + steady``
+proportionally to each layer's roofline time and op count. Power is the
+paper's measured average (RAPL / nvidia-smi), making energy = power x
+latency — which is exactly how Table III's numbers relate.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.roofline import DeviceSpec, LayerWork, roofline_time
+from repro.common.errors import SimulationError
+from repro.nn.graph import Network
+from repro.nn.layers import AvgPool, MaxPool
+
+
+def network_work(network: Network) -> list[LayerWork]:
+    """FLOPs and memory traffic per mappable layer."""
+    work: list[LayerWork] = []
+    conv_names = {n.name for n in network.conv_nodes()}
+    for node in network.layer_nodes():
+        in_shape = network.input_shape_of(node.name)
+        in_bytes = in_shape[0] * in_shape[1] * in_shape[2] * 4  # fp32
+        out_shape = node.output_shape
+        out_bytes = out_shape[0] * out_shape[1] * out_shape[2] * 4
+        if node.name in conv_names:
+            conv = network.conv_of(node)
+            flops = 2.0 * conv.macs(in_shape)
+            weights = conv.weight_bytes(in_shape) * 4
+            work.append(LayerWork(node.name, node.group, flops,
+                                  in_bytes + out_bytes + weights))
+        elif isinstance(node.layer, (MaxPool, AvgPool)):
+            window = node.layer.window
+            flops = float(window) * out_shape[0] * out_shape[1] * out_shape[2]
+            work.append(LayerWork(node.name, node.group, flops,
+                                  in_bytes + out_bytes))
+    return work
+
+
+class CalibratedBaseline:
+    """A measured-anchor roofline baseline for one device."""
+
+    #: Subclasses set these calibration constants.
+    spec: DeviceSpec
+    compute_efficiency: float
+    memory_efficiency: float
+    per_op_overhead_s: float
+    measured_power_w: float
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.work = network_work(network)
+        if not self.work:
+            raise SimulationError("network has no measurable layers")
+        self._raw_times = [
+            roofline_time(w.flops, w.traffic_bytes, self.spec.peak_flops,
+                          self.compute_efficiency,
+                          self.spec.memory_bandwidth,
+                          self.memory_efficiency)
+            for w in self.work]
+
+    # -- aggregate timing ------------------------------------------------------
+    @property
+    def dispatch_time(self) -> float:
+        """Fixed per-run overhead (framework dispatch, kernel launches)."""
+        return self.per_op_overhead_s * len(self.work)
+
+    @property
+    def steady_time_per_image(self) -> float:
+        """Asymptotic per-image execution time (large-batch limit)."""
+        return sum(self._raw_times)
+
+    def latency(self, batch_size: int = 1) -> float:
+        """Seconds to run one batch."""
+        if batch_size <= 0:
+            raise SimulationError(
+                f"batch size must be positive, got {batch_size}")
+        return self.dispatch_time + batch_size * self.steady_time_per_image
+
+    def throughput(self, batch_size: int = 1) -> float:
+        """Inferences per second at the given batch size."""
+        return batch_size / self.latency(batch_size)
+
+    def max_throughput(self) -> float:
+        """The large-batch plateau (Fig. 16's right edge)."""
+        return 1.0 / self.steady_time_per_image
+
+    # -- per-layer distribution (Fig. 13) ----------------------------------------
+    def group_latency(self, batch_size: int = 1) -> dict[str, float]:
+        """Batch-1 latency per Table-I group.
+
+        The dispatch overhead spreads evenly over ops; the execution time
+        follows each layer's roofline share.
+        """
+        total = self.latency(batch_size)
+        steady_total = self.steady_time_per_image
+        per_op_dispatch = self.dispatch_time / len(self.work)
+        out: dict[str, float] = {}
+        for w, raw in zip(self.work, self._raw_times):
+            execution = (total - self.dispatch_time) * (raw / steady_total)
+            out[w.group] = out.get(w.group, 0.0) + execution + per_op_dispatch
+        return out
+
+    # -- energy / power -----------------------------------------------------------
+    @property
+    def average_power(self) -> float:
+        """The paper's measured average power for this device."""
+        return self.measured_power_w
+
+    def energy(self, batch_size: int = 1) -> float:
+        """Joules for one batch: measured power x latency."""
+        return self.measured_power_w * self.latency(batch_size)
+
+    def energy_per_image(self, batch_size: int = 1) -> float:
+        return self.energy(batch_size) / batch_size

@@ -1,0 +1,51 @@
+"""Xeon E5-2697 v3 baseline (Table II, left column).
+
+Calibration anchors (see DESIGN.md's substitution table):
+
+* batch-1 latency ~86 ms — the paper's measured unquantized TensorFlow
+  Inception v3 time (the quantized build was *slower* on CPU, 540 ms, for
+  lack of optimised integer kernels, so the paper reports the float one);
+* large-batch throughput plateau ~49 inf/s (the 12.4x claim against
+  Neural Cache's 604 inf/s);
+* average power 105.56 W, measured with RAPL (Table III), which with the
+  86 ms latency reproduces the published 9.137 J per inference.
+
+The resulting sustained GEMM efficiency (~48% of AVX2 FMA peak in the
+steady state) and the ~0.6 ms per-op dispatch overhead are both plausible
+for TensorFlow-era CPU inference on a 109-op graph.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import CalibratedBaseline
+from repro.baselines.roofline import DeviceSpec
+
+#: Peak fp32: 14 cores x 2.6 GHz x (2 AVX2 FMA ports x 8 lanes x 2 flops).
+_PEAK_FLOPS = 14 * 2.6e9 * 32
+
+XEON_E5_2697_V3 = DeviceSpec(
+    name="Intel Xeon E5-2697 v3",
+    frequency_ghz=2.6,
+    parallel_units=14,
+    process_nm=22,
+    tdp_watts=145.0,
+    cache_description=("32 kB i-L1 + 32 kB d-L1 per core, 256 kB L2 per "
+                       "core, 35 MB shared L3"),
+    memory_description="64 GB DDR4 DRAM",
+    peak_flops=_PEAK_FLOPS,
+    memory_bandwidth=68e9,
+)
+
+
+class CpuBaseline(CalibratedBaseline):
+    """TensorFlow Inception-class inference on the dual-socket Xeon node."""
+
+    spec = XEON_E5_2697_V3
+    #: Sustained fraction of peak for blocked fp32 GEMM in steady state.
+    compute_efficiency = 0.48
+    #: Sustained fraction of DRAM bandwidth for layer tensors.
+    memory_efficiency = 0.60
+    #: Framework dispatch per layer op (batch-amortised).
+    per_op_overhead_s = 0.605e-3
+    #: RAPL-measured average power (Table III).
+    measured_power_w = 105.56

@@ -1,0 +1,62 @@
+"""Generic roofline machinery shared by the CPU and GPU baselines.
+
+The paper *measures* its baselines (TensorFlow on a Xeon E5-2697 v3 and a
+Titan Xp, profiled per layer). Without that testbed we substitute
+calibrated roofline models (see DESIGN.md): each device has a peak
+compute rate, a memory bandwidth, a sustained efficiency and a per-op
+dispatch overhead. Batch-1 totals anchor to the paper's measurements; the
+per-layer distribution follows each layer's FLOPs and memory footprint
+through the roofline, which preserves the shape of Fig. 13 (the mixed
+modules dominate) and the batch-throughput curves of Fig. 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static device description (the rows of Table II)."""
+
+    name: str
+    frequency_ghz: float
+    parallel_units: int          # cores (CPU) or CUDA cores (GPU)
+    process_nm: int
+    tdp_watts: float
+    cache_description: str
+    memory_description: str
+    peak_flops: float            # fp32, fused multiply-add counted as 2
+    memory_bandwidth: float      # bytes/second
+
+
+def roofline_time(flops: float, traffic_bytes: float, peak_flops: float,
+                  compute_efficiency: float, memory_bandwidth: float,
+                  memory_efficiency: float) -> float:
+    """Seconds for one kernel under the roofline model.
+
+    The kernel takes the longer of its compute time at the sustained
+    fraction of peak and its memory time at the sustained fraction of
+    bandwidth.
+    """
+    if flops < 0 or traffic_bytes < 0:
+        raise SimulationError("work amounts must be non-negative")
+    if peak_flops <= 0 or memory_bandwidth <= 0:
+        raise SimulationError("device rates must be positive")
+    if not 0 < compute_efficiency <= 1 or not 0 < memory_efficiency <= 1:
+        raise SimulationError("efficiencies must be in (0, 1]")
+    compute = flops / (peak_flops * compute_efficiency)
+    memory = traffic_bytes / (memory_bandwidth * memory_efficiency)
+    return max(compute, memory)
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """Work per network layer as the baselines see it."""
+
+    name: str
+    group: str
+    flops: float
+    traffic_bytes: float

@@ -1,0 +1,25 @@
+"""Cache substrate: geometry, interconnect, DRAM and the LLC facade."""
+
+from repro.cache.dram import DramModel
+from repro.cache.geometry import (
+    CacheGeometry,
+    capacity_sweep,
+    xeon_45mb,
+    xeon_60mb,
+    xeon_e5_2697_v3,
+)
+from repro.cache.interconnect import InterconnectModel
+from repro.cache.llc import ArrayCoordinate, LastLevelCache, SetLocation
+
+__all__ = [
+    "ArrayCoordinate",
+    "CacheGeometry",
+    "DramModel",
+    "InterconnectModel",
+    "LastLevelCache",
+    "SetLocation",
+    "capacity_sweep",
+    "xeon_45mb",
+    "xeon_60mb",
+    "xeon_e5_2697_v3",
+]

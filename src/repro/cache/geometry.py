@@ -1,0 +1,184 @@
+"""Cache geometry of the modelled Xeon-class LLC (Sec. II-C, Figure 3).
+
+The hierarchy, top to bottom:
+
+* an LLC is distributed over ``slices`` (14 x 2.5 MB for the Xeon E5-2697
+  v3) connected by a bidirectional ring;
+* a slice has 20 ways; each way spans 4 x 32KB banks (so a slice holds 80
+  banks);
+* a bank contains two 16KB sub-arrays; a sub-array contains two 8KB SRAM
+  arrays, and the two arrays of a sub-array share sense amplifiers (which
+  matters for cross-array reduction);
+* an 8KB array is 256 wordlines x 256 bitlines — the compute unit.
+
+Neural Cache reserves the last way (way 20) for normal CPU traffic and the
+penultimate way (way 19) for layer inputs/outputs; ways 1-18 store filters
+and compute (Sec. IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import GeometryError
+from repro.common.units import KB, MB
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Static description of one LLC configuration."""
+
+    name: str
+    slices: int = 14
+    ways_per_slice: int = 20
+    banks_per_way: int = 4
+    subarrays_per_bank: int = 2
+    arrays_per_subarray: int = 2
+    array_rows: int = 256
+    array_cols: int = 256
+    #: Ways reserved for CPU traffic (way 20) and layer I/O (way 19).
+    reserved_cpu_ways: int = 1
+    reserved_io_ways: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("slices", "ways_per_slice", "banks_per_way",
+                           "subarrays_per_bank", "arrays_per_subarray",
+                           "array_rows", "array_cols"):
+            if getattr(self, field_name) <= 0:
+                raise GeometryError(f"{field_name} must be positive")
+        if self.reserved_cpu_ways < 0 or self.reserved_io_ways < 0:
+            raise GeometryError("reserved way counts must be non-negative")
+        if self.reserved_ways >= self.ways_per_slice:
+            raise GeometryError(
+                f"{self.reserved_ways} reserved ways leave no compute ways "
+                f"out of {self.ways_per_slice}")
+        if self.array_cols % 8:
+            raise GeometryError("array columns must be a multiple of 8 "
+                                "(byte-aligned bitline groups)")
+
+    # -- per-array ----------------------------------------------------------
+    @property
+    def array_bytes(self) -> int:
+        """Capacity of one SRAM array (8 KB in the paper)."""
+        return self.array_rows * self.array_cols // 8
+
+    # -- per-bank / way / slice ----------------------------------------------
+    @property
+    def arrays_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.arrays_per_subarray
+
+    @property
+    def bank_bytes(self) -> int:
+        return self.arrays_per_bank * self.array_bytes
+
+    @property
+    def arrays_per_way(self) -> int:
+        return self.banks_per_way * self.arrays_per_bank
+
+    @property
+    def way_bytes(self) -> int:
+        return self.arrays_per_way * self.array_bytes
+
+    @property
+    def banks_per_slice(self) -> int:
+        return self.ways_per_slice * self.banks_per_way
+
+    @property
+    def arrays_per_slice(self) -> int:
+        return self.ways_per_slice * self.arrays_per_way
+
+    @property
+    def slice_bytes(self) -> int:
+        return self.arrays_per_slice * self.array_bytes
+
+    # -- whole cache ----------------------------------------------------------
+    @property
+    def total_arrays(self) -> int:
+        return self.slices * self.arrays_per_slice
+
+    @property
+    def total_bytes(self) -> int:
+        return self.slices * self.slice_bytes
+
+    @property
+    def alu_slots(self) -> int:
+        """Bit-serial ALU slots if every array computes (1,146,880 for 35MB)."""
+        return self.total_arrays * self.array_cols
+
+    # -- Neural Cache reservations ---------------------------------------------
+    @property
+    def reserved_ways(self) -> int:
+        return self.reserved_cpu_ways + self.reserved_io_ways
+
+    @property
+    def compute_ways(self) -> int:
+        """Ways that hold filters and compute (18 of 20 in the paper)."""
+        return self.ways_per_slice - self.reserved_ways
+
+    @property
+    def compute_arrays_per_slice(self) -> int:
+        return self.compute_ways * self.arrays_per_way
+
+    @property
+    def compute_arrays(self) -> int:
+        return self.slices * self.compute_arrays_per_slice
+
+    @property
+    def compute_slots(self) -> int:
+        """Bit-serial ALU slots available to Neural Cache."""
+        return self.compute_arrays * self.array_cols
+
+    @property
+    def io_way_bytes_per_slice(self) -> int:
+        """Capacity of the reserved input/output way per slice (128 KB)."""
+        return self.reserved_io_ways * self.way_bytes
+
+    def scaled_to_slices(self, slices: int, name: str | None = None) -> "CacheGeometry":
+        """The same slice design replicated ``slices`` times (Table IV)."""
+        return CacheGeometry(
+            name=name or f"{self.name}-{slices}slices",
+            slices=slices,
+            ways_per_slice=self.ways_per_slice,
+            banks_per_way=self.banks_per_way,
+            subarrays_per_bank=self.subarrays_per_bank,
+            arrays_per_subarray=self.arrays_per_subarray,
+            array_rows=self.array_rows,
+            array_cols=self.array_cols,
+            reserved_cpu_ways=self.reserved_cpu_ways,
+            reserved_io_ways=self.reserved_io_ways,
+        )
+
+
+def xeon_e5_2697_v3() -> CacheGeometry:
+    """The paper's primary configuration: 35 MB, 14 slices (Table II)."""
+    return CacheGeometry(name="xeon-e5-2697v3-35mb", slices=14)
+
+
+def xeon_45mb() -> CacheGeometry:
+    """Table IV scaling point: 45 MB (18 slices)."""
+    return xeon_e5_2697_v3().scaled_to_slices(18, name="xeon-45mb")
+
+
+def xeon_60mb() -> CacheGeometry:
+    """Table IV scaling point: 60 MB (24 slices)."""
+    return xeon_e5_2697_v3().scaled_to_slices(24, name="xeon-60mb")
+
+
+def capacity_sweep() -> list[CacheGeometry]:
+    """The three capacities of Table IV, in order."""
+    return [xeon_e5_2697_v3(), xeon_45mb(), xeon_60mb()]
+
+
+def _self_check() -> None:
+    """Internal consistency with the numbers printed in the paper."""
+    geometry = xeon_e5_2697_v3()
+    assert geometry.array_bytes == 8 * KB
+    assert geometry.bank_bytes == 32 * KB
+    assert geometry.slice_bytes == 2.5 * MB
+    assert geometry.arrays_per_slice == 320
+    assert geometry.total_arrays == 4480
+    assert geometry.total_bytes == 35 * MB
+    assert geometry.alu_slots == 1_146_880
+
+
+_self_check()

@@ -1,0 +1,111 @@
+"""On-chip interconnect model: ring + intra-slice buses (Sec. IV-C).
+
+The modelled Xeon E5-2697 v3 LLC has 14 slices on a bidirectional ring.
+Inside a slice, a 256-bit data bus (physically four 64-bit quadrant buses,
+one per group of banks) delivers data to the 20 ways; two 8KB arrays in a
+bank share sense amps and receive 32 bits per bus cycle. Both the ring and
+the intra-slice bus can broadcast, which makes filter replication across
+slices/ways free of extra transfers. A 64-bit latch at each bank halves
+input-streaming time when the same input data is needed by several arrays
+of a bank.
+
+Energy constants are engineering estimates for long on-chip wires (the
+paper does not publish interconnect energy separately; data movement is a
+second-order term next to array compute energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+from repro.common.errors import GeometryError
+from repro.common.units import pj_to_joules
+from repro.sram.energy import COMPUTE_FREQUENCY_HZ
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Transfer-time and energy calculators for the LLC interconnect."""
+
+    geometry: CacheGeometry
+    #: Clock of bus transfers while the cache is in compute mode.
+    frequency_hz: float = COMPUTE_FREQUENCY_HZ
+    #: Ring stop width: 32 bytes/cycle per direction.
+    ring_bytes_per_cycle: int = 32
+    #: Intra-slice data bus: 256 bits = 32 bytes/cycle ...
+    slice_bus_bytes_per_cycle: int = 32
+    #: ... organised as four 64-bit quadrant buses.
+    quadrant_buses: int = 4
+    #: Estimated energy to move one byte over the ring (long global wires).
+    ring_energy_pj_per_byte: float = 50.0
+    #: Estimated energy to move one byte over an intra-slice bus.
+    bus_energy_pj_per_byte: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise GeometryError("interconnect frequency must be positive")
+        if self.ring_bytes_per_cycle <= 0 or self.slice_bus_bytes_per_cycle <= 0:
+            raise GeometryError("bus widths must be positive")
+        if self.slice_bus_bytes_per_cycle % self.quadrant_buses:
+            raise GeometryError(
+                "slice bus width must divide evenly into quadrant buses")
+
+    # -- widths ---------------------------------------------------------------
+    @property
+    def quadrant_bus_bytes_per_cycle(self) -> int:
+        """One 64-bit quadrant bus moves 8 bytes per cycle."""
+        return self.slice_bus_bytes_per_cycle // self.quadrant_buses
+
+    @property
+    def bank_bits_per_cycle(self) -> int:
+        """Two arrays sharing sense amps receive 32 bits every bus cycle."""
+        return self.quadrant_bus_bytes_per_cycle * 8 // 2
+
+    # -- timing ---------------------------------------------------------------
+    def broadcast_time(self, nbytes: float) -> float:
+        """Seconds to broadcast a stream to *all* slices and ways.
+
+        The ring and the intra-slice buses broadcast natively (Sec. IV-C:
+        filter replication), so a single pass of the stream suffices
+        regardless of the replication factor.
+        """
+        self._check_bytes(nbytes)
+        return nbytes / self.ring_bytes_per_cycle / self.frequency_hz
+
+    def intra_slice_time(self, bytes_per_slice: float,
+                         use_bank_latch: bool = False) -> float:
+        """Seconds for every slice to deliver ``bytes_per_slice`` internally.
+
+        Slices stream in parallel, so only the per-slice volume matters.
+        ``use_bank_latch`` halves the time when inputs are duplicated
+        across the arrays of a bank (the 64-bit bank latch of Sec. IV-C).
+        """
+        self._check_bytes(bytes_per_slice)
+        effective = self.slice_bus_bytes_per_cycle * (2 if use_bank_latch else 1)
+        return bytes_per_slice / effective / self.frequency_hz
+
+    def inter_slice_time(self, bytes_per_slice: float) -> float:
+        """Seconds for neighbour exchanges on the ring (output halos).
+
+        Slices exchange with neighbours concurrently; each moves its own
+        ``bytes_per_slice`` through its ring stop.
+        """
+        self._check_bytes(bytes_per_slice)
+        return bytes_per_slice / self.ring_bytes_per_cycle / self.frequency_hz
+
+    # -- energy ---------------------------------------------------------------
+    def ring_energy(self, nbytes: float) -> float:
+        """Joules to move ``nbytes`` across the ring."""
+        self._check_bytes(nbytes)
+        return pj_to_joules(self.ring_energy_pj_per_byte) * nbytes
+
+    def bus_energy(self, nbytes: float) -> float:
+        """Joules to move ``nbytes`` over intra-slice buses."""
+        self._check_bytes(nbytes)
+        return pj_to_joules(self.bus_energy_pj_per_byte) * nbytes
+
+    @staticmethod
+    def _check_bytes(nbytes: float) -> None:
+        if nbytes < 0:
+            raise GeometryError(f"byte count must be non-negative, got {nbytes}")

@@ -1,0 +1,45 @@
+"""Shared utilities: errors, unit conversions, bit helpers, table rendering."""
+
+from repro.common.bits import (
+    bits_to_int,
+    ceil_div,
+    from_twos_complement,
+    int_to_bits,
+    is_power_of_two,
+    next_power_of_two,
+    to_twos_complement,
+)
+from repro.common.errors import (
+    ArrayStateError,
+    GeometryError,
+    IsaError,
+    LayoutError,
+    MappingError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+)
+from repro.common.tables import format_ratio, format_si, format_table
+
+__all__ = [
+    "ArrayStateError",
+    "GeometryError",
+    "IsaError",
+    "LayoutError",
+    "MappingError",
+    "QuantizationError",
+    "ReproError",
+    "ShapeError",
+    "SimulationError",
+    "bits_to_int",
+    "ceil_div",
+    "format_ratio",
+    "format_si",
+    "format_table",
+    "from_twos_complement",
+    "int_to_bits",
+    "is_power_of_two",
+    "next_power_of_two",
+    "to_twos_complement",
+]

@@ -1,0 +1,75 @@
+"""Bit-level helpers shared by the SRAM functional model and tests.
+
+The bit-serial arrays store integers *vertically*: bit ``b`` of element ``i``
+lives at wordline ``base + b`` and bitline ``i``. These helpers convert
+between NumPy integer vectors and LSB-first bit matrices (shape
+``(nbits, nelems)``, dtype uint8, values 0/1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def int_to_bits(values: np.ndarray, nbits: int) -> np.ndarray:
+    """Convert a 1-D vector of non-negative ints to an LSB-first bit matrix.
+
+    Returns an array of shape ``(nbits, len(values))`` where row ``b`` holds
+    bit ``b`` (LSB = row 0) of every element. Values are masked to ``nbits``
+    (the hardware simply ignores bits that do not fit in the allocated rows).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {values.shape}")
+    if nbits <= 0:
+        raise ValueError(f"nbits must be positive, got {nbits}")
+    if np.any(values < 0):
+        raise ValueError("int_to_bits only handles non-negative values; "
+                         "encode signed data in two's complement first")
+    shifts = np.arange(nbits, dtype=np.int64)[:, None]
+    return ((values[None, :] >> shifts) & 1).astype(np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> np.ndarray:
+    """Convert an LSB-first bit matrix back to a vector of ints (int64)."""
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError(f"expected a 2-D bit matrix, got shape {bits.shape}")
+    nbits = bits.shape[0]
+    weights = (np.int64(1) << np.arange(nbits, dtype=np.int64))[:, None]
+    return (bits.astype(np.int64) * weights).sum(axis=0)
+
+
+def to_twos_complement(values: np.ndarray, nbits: int) -> np.ndarray:
+    """Encode (possibly negative) ints into ``nbits``-wide two's complement."""
+    values = np.asarray(values, dtype=np.int64)
+    mask = (np.int64(1) << nbits) - 1
+    return values & mask
+
+
+def from_twos_complement(values: np.ndarray, nbits: int) -> np.ndarray:
+    """Decode ``nbits``-wide two's complement back into signed ints."""
+    values = np.asarray(values, dtype=np.int64)
+    sign_bit = np.int64(1) << (nbits - 1)
+    mask = (np.int64(1) << nbits) - 1
+    values = values & mask
+    return np.where(values & sign_bit, values - (np.int64(1) << nbits), values)
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= ``n`` (``n`` must be positive)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)

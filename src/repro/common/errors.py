@@ -1,0 +1,43 @@
+"""Exception hierarchy for the Neural Cache reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GeometryError(ReproError):
+    """A cache-geometry constraint was violated (e.g. non-divisible sizes)."""
+
+
+class LayoutError(ReproError):
+    """A transposed data-layout request does not fit in the SRAM array."""
+
+
+class ArrayStateError(ReproError):
+    """An SRAM array operation was issued against invalid rows or state."""
+
+
+class MappingError(ReproError):
+    """A DNN layer cannot be mapped onto the cache with the given config."""
+
+
+class ShapeError(ReproError):
+    """Tensor/layer shapes are inconsistent."""
+
+
+class QuantizationError(ReproError):
+    """Invalid quantization parameters (scale <= 0, bad zero point, ...)."""
+
+
+class SimulationError(ReproError):
+    """The analytic or functional simulator reached an inconsistent state."""
+
+
+class IsaError(ReproError):
+    """An in-cache instruction is malformed or cannot be decoded."""

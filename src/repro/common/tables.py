@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment reports.
+
+Every benchmark prints rows that mirror the paper's tables and figures; this
+module keeps the formatting in one place so reports look uniform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Cells are converted with ``str``; floats should be pre-formatted by the
+    caller so each experiment controls its own precision.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(sep)
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_ratio(measured: float, reference: float) -> str:
+    """Format ``measured`` against a paper ``reference`` as 'x.xx (ref y.yy)'."""
+    if reference == 0:
+        return f"{measured:.3g} (ref 0)"
+    return f"{measured:.3g} (ref {reference:.3g}, {measured / reference:.2f}x)"
+
+
+def format_si(value: float, unit: str, precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(4.7e-3, 's')``."""
+    prefixes = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"),
+                (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p")]
+    magnitude = abs(value)
+    if magnitude == 0:
+        return f"0 {unit}"
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{precision}g} {prefix}{unit}"
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{precision}g} {prefix}{unit}"

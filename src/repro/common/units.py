@@ -1,0 +1,77 @@
+"""Unit helpers: bytes, frequencies, times and energies.
+
+The simulator reasons in plain floats (seconds, joules, bytes) but the paper
+and its figures use mixed units (ms, pJ, MB, GHz). These helpers keep
+conversions explicit and consistently named: ``X_to_Y(value)``.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+GHZ = 1e9
+MHZ = 1e6
+
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` into seconds."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert seconds into (fractional) cycles at ``frequency_hz``."""
+    return seconds * frequency_hz
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Seconds to milliseconds."""
+    return seconds / MILLI
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Milliseconds to seconds."""
+    return ms * MILLI
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Seconds to microseconds."""
+    return seconds / MICRO
+
+
+def joules_to_pj(joules: float) -> float:
+    """Joules to picojoules."""
+    return joules / PICO
+
+
+def pj_to_joules(pj: float) -> float:
+    """Picojoules to joules."""
+    return pj * PICO
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Bytes to mebibytes (the paper's 'MB' column uses 2**20)."""
+    return n_bytes / MB
+
+
+def mb_to_bytes(mb: float) -> float:
+    """Mebibytes to bytes."""
+    return mb * MB
+
+
+def bytes_per_second_to_gbps(bps: float) -> float:
+    """Bytes/second to GB/s (2**30-based)."""
+    return bps / GB
+
+
+def gbps_to_bytes_per_second(gbps: float) -> float:
+    """GB/s (2**30-based) to bytes/second."""
+    return gbps * GB

@@ -1,0 +1,62 @@
+"""Neural Cache core: mapping, scheduling, analytic and functional
+execution, and the in-cache ISA."""
+
+from repro.core.executor import (
+    InferenceResult,
+    LayerResult,
+    NeuralCacheSimulator,
+    simulate_inference,
+)
+from repro.core.functional import (
+    CycleReport,
+    FunctionalAdd,
+    FunctionalAvgPool,
+    FunctionalBatchNorm,
+    FunctionalConv,
+    FunctionalExecutor,
+    FunctionalMaxPool,
+)
+from repro.core.precision import config_for_precision, precision_sweep
+from repro.core.isa import ControlFSM, Instruction, Opcode, fsm_total_area_mm2
+from repro.core.mapping import (
+    LayerMapping,
+    map_conv,
+    map_network,
+    map_node,
+    map_pool,
+)
+from repro.core.schedule import (
+    PHASES,
+    LayerSchedule,
+    PhaseBreakdown,
+    schedule_layer,
+)
+
+__all__ = [
+    "ControlFSM",
+    "CycleReport",
+    "FunctionalAdd",
+    "FunctionalAvgPool",
+    "FunctionalBatchNorm",
+    "FunctionalConv",
+    "FunctionalExecutor",
+    "FunctionalMaxPool",
+    "InferenceResult",
+    "Instruction",
+    "LayerMapping",
+    "LayerResult",
+    "LayerSchedule",
+    "NeuralCacheSimulator",
+    "Opcode",
+    "PHASES",
+    "PhaseBreakdown",
+    "config_for_precision",
+    "fsm_total_area_mm2",
+    "precision_sweep",
+    "map_conv",
+    "map_network",
+    "map_node",
+    "map_pool",
+    "schedule_layer",
+    "simulate_inference",
+]

@@ -1,0 +1,185 @@
+"""Neural Cache analytic simulator: whole-model latency, energy, batching.
+
+This is the reproduction of the paper's "cycle-accurate simulator based on
+the deterministic computation model discussed in Section IV": every layer
+is mapped (Sec. IV-A/B), scheduled (Sec. IV-C/D), and the phase times and
+energies aggregate into the quantities the evaluation section reports —
+per-layer latency (Fig. 13), the execution breakdown (Fig. 14), total
+latency (Fig. 15), throughput vs batch size (Fig. 16), energy and power
+(Table III) and cache-capacity scaling (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SimulationError
+from repro.config import NeuralCacheConfig
+from repro.core.mapping import LayerMapping, map_node
+from repro.core.schedule import PHASES, LayerSchedule, PhaseBreakdown, schedule_layer
+from repro.nn.graph import Network
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """One layer's schedule plus its Table-I group for reporting."""
+
+    name: str
+    group: str
+    schedule: LayerSchedule
+
+    @property
+    def latency(self) -> float:
+        return self.schedule.latency
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Aggregate results of simulating one batch."""
+
+    layers: tuple[LayerResult, ...]
+    batch_size: int
+    spill_time: float          # DRAM dumps when batched outputs overflow
+    spill_energy: float
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock seconds for the whole batch on one socket."""
+        return sum(r.latency for r in self.layers) + self.spill_time
+
+    @property
+    def latency_per_image(self) -> float:
+        return self.total_time / self.batch_size
+
+    @property
+    def total_energy(self) -> float:
+        return (sum(r.schedule.total_energy for r in self.layers)
+                + self.spill_energy)
+
+    @property
+    def energy_per_image(self) -> float:
+        return self.total_energy / self.batch_size
+
+    @property
+    def average_power(self) -> float:
+        """Watts while the batch executes."""
+        total = self.total_time
+        if total <= 0:
+            raise SimulationError("cannot compute power for zero time")
+        return self.total_energy / total
+
+    def breakdown(self) -> PhaseBreakdown:
+        """Phase times summed over layers (Figure 14)."""
+        total = PhaseBreakdown()
+        for result in self.layers:
+            total = total + result.schedule.time
+        return total
+
+    def group_latency(self) -> dict[str, float]:
+        """Per-Table-I-group latency in network order (Figure 13)."""
+        out: dict[str, float] = {}
+        for result in self.layers:
+            out[result.group] = out.get(result.group, 0.0) + result.latency
+        return out
+
+    def group_breakdown(self) -> dict[str, PhaseBreakdown]:
+        """Per-group phase breakdowns."""
+        out: dict[str, PhaseBreakdown] = {}
+        for result in self.layers:
+            current = out.get(result.group, PhaseBreakdown())
+            out[result.group] = current + result.schedule.time
+        return out
+
+
+class NeuralCacheSimulator:
+    """Maps and schedules a network on a Neural Cache configuration."""
+
+    def __init__(self, network: Network,
+                 config: NeuralCacheConfig | None = None):
+        self.network = network
+        self.config = config if config is not None else NeuralCacheConfig()
+        self._mappings: list[tuple[str, str, LayerMapping]] = []
+        first = True
+        for node in network.layer_nodes():
+            mapping = map_node(self.config, network, node)
+            if mapping is None:
+                continue
+            self._mappings.append((node.name, node.group, mapping))
+            first = False
+        if not self._mappings:
+            raise SimulationError("network has no mappable layers")
+
+    # ------------------------------------------------------------------
+    @property
+    def mappings(self) -> list[LayerMapping]:
+        return [mapping for _, _, mapping in self._mappings]
+
+    def mapping_for(self, name: str) -> LayerMapping:
+        for node_name, _, mapping in self._mappings:
+            if node_name == name:
+                return mapping
+        raise SimulationError(f"no mapping for layer {name!r}")
+
+    # ------------------------------------------------------------------
+    def run(self, batch_size: int = 1) -> InferenceResult:
+        """Simulate one batch (filters loaded once per layer, Sec. IV-E)."""
+        if batch_size <= 0:
+            raise SimulationError(
+                f"batch size must be positive, got {batch_size}")
+        results = []
+        spill_time = 0.0
+        spill_energy = 0.0
+        first_layer = True
+        for name, group, mapping in self._mappings:
+            schedule = schedule_layer(self.config, mapping,
+                                      input_from_dram=first_layer)
+            first_layer = False
+            if batch_size > 1:
+                # Filters stay resident for the batch; everything else
+                # repeats per image.
+                per_image = PhaseBreakdown(**{
+                    phase: getattr(schedule.time, phase)
+                    for phase in PHASES if phase != "filter_load"})
+                time = per_image.scaled(batch_size) + PhaseBreakdown(
+                    filter_load=schedule.time.filter_load)
+                per_image_e = PhaseBreakdown(**{
+                    phase: getattr(schedule.energy, phase)
+                    for phase in PHASES if phase != "filter_load"})
+                energy = per_image_e.scaled(batch_size) + PhaseBreakdown(
+                    filter_load=schedule.energy.filter_load)
+                schedule = LayerSchedule(
+                    mapping=mapping, time=time, energy=energy,
+                    compute_cycles_per_pass=schedule.compute_cycles_per_pass)
+                # Heavy layers overflow the reserved way and dump to DRAM
+                # (Sec. IV-E: "the first five require dumping").
+                overflow = (batch_size * mapping.output_bytes
+                            - self.config.output_buffer_bytes)
+                if overflow > 0:
+                    spilled = 2.0 * overflow  # dump + reload
+                    spill_time += self.config.dram.transfer_time(spilled)
+                    spill_energy += self.config.dram.transfer_energy(spilled)
+            results.append(LayerResult(name=name, group=group,
+                                       schedule=schedule))
+        return InferenceResult(layers=tuple(results), batch_size=batch_size,
+                               spill_time=spill_time,
+                               spill_energy=spill_energy)
+
+    def throughput(self, batch_size: int = 1) -> float:
+        """Inferences per second for the node (Sec. VI-B).
+
+        Neural Cache scales linearly with host CPUs; a dual-socket node
+        runs two independent caches.
+        """
+        result = self.run(batch_size)
+        return self.config.sockets * batch_size / result.total_time
+
+    def latency(self, batch_size: int = 1) -> float:
+        """Seconds for one batch on one socket."""
+        return self.run(batch_size).total_time
+
+
+def simulate_inference(network: Network,
+                       config: NeuralCacheConfig | None = None,
+                       batch_size: int = 1) -> InferenceResult:
+    """One-call convenience wrapper."""
+    return NeuralCacheSimulator(network, config).run(batch_size)

@@ -1,0 +1,819 @@
+"""Functional in-cache execution: layers actually run on SRAM arrays.
+
+This module is the reproduction's equivalent of the paper's simulator
+verification ("verified by running data traces on it and matching the
+results with traces obtained from instrumenting the TensorFlow model"):
+convolution, pooling and quantization execute *bit by bit* on
+:class:`~repro.sram.bitserial.BitSerialUnit` arrays, using the real data
+layout (packing, splitting, channel padding) from the mapping engine, and
+the results must match the golden NumPy executor exactly.
+
+Execution of a convolution follows the paper's two stages:
+
+1. **Compute stage** (per output batch, Fig. 10a -> 10b): filters sit
+   transposed on the bitlines, the window streams in, one fused MAC per
+   filter tap runs on every bitline at once, an input-sum accumulates
+   alongside (for zero-point corrections), and the channel tree reduction
+   (Fig. 5) collapses each output's lanes onto its head bitline.
+2. **Quantization stage** (per layer, Sec. IV-D): raw sums and input sums
+   are staged one-output-per-bitline; the zero-point corrections, ReLU
+   (MSB-masked zero write) and the CPU's fixed-point requantization
+   scalars are applied in cache in two's complement.
+
+The quantization stage runs in cache for ReLU layers (every Inception v3
+conv). Layers without ReLU (the final FC) can have negative accumulators;
+their requantization happens on the host, as the paper also ships final
+outputs to the CPU.
+
+Scale limits: the compute stage's input-sum must fit 16 bits for the
+in-cache correction multiply, which bounds a layer's reduction size
+(R.S.C) to 257 taps. That comfortably covers verification-scale layers;
+Inception-scale layers are the analytic simulator's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.bits import from_twos_complement
+from repro.common.errors import SimulationError
+from repro.config import NeuralCacheConfig
+from repro.core.mapping import LayerMapping, map_conv, map_pool
+from repro.nn.layers import AvgPool, Conv2D, MaxPool, same_padding_offsets
+from repro.nn.reference import ConvWeights
+from repro.nn.tensor import QuantizedTensor, RequantParams
+from repro.sram.array import SRAMArray
+from repro.sram.bitserial import BitSerialUnit, Operand
+
+#: Two's complement working width for corrections (covers 24-bit sums).
+CORRECTION_BITS = 34
+#: Maximum taps per output so the input-sum fits the 16-bit multiply.
+MAX_FUNCTIONAL_TAPS = 257
+
+
+@dataclass
+class CycleReport:
+    """Compute cycles the functional run spent, by phase."""
+
+    mac: int = 0
+    reduction: int = 0
+    quantization: int = 0
+    pooling: int = 0
+    passes: int = 0
+
+    def merged(self, other: "CycleReport") -> "CycleReport":
+        return CycleReport(
+            mac=self.mac + other.mac,
+            reduction=self.reduction + other.reduction,
+            quantization=self.quantization + other.quantization,
+            pooling=self.pooling + other.pooling,
+            passes=self.passes + other.passes)
+
+
+@dataclass(frozen=True)
+class _LanePlan:
+    """Where each (lane, tap) of a conv group finds its filter byte and
+    input coordinate. ``None`` marks zero padding."""
+
+    taps: int                       # bytes per bitline (R'.S')
+    lanes: int                      # channels_padded (C'')
+    # filter_source[lane][tap] -> (r, s, c) or None
+    filter_source: tuple[tuple[tuple[int, int, int] | None, ...], ...]
+
+
+def _plan_lanes(mapping: LayerMapping, kernel: tuple[int, int],
+                channels: int) -> _LanePlan:
+    """Build the lane/tap layout from the mapping's packing/splitting."""
+    r_k, s_k = kernel
+    taps = mapping.filter_bytes_per_bitline
+    lanes = mapping.channels_padded
+    window = [(r, s) for r in range(r_k) for s in range(s_k)]
+    rows: list[tuple[tuple[int, int, int] | None, ...]] = []
+    for lane in range(lanes):
+        entries: list[tuple[int, int, int] | None] = []
+        if mapping.pack_factor > 1:
+            # Packed 1x1: lane holds pack_factor consecutive channels.
+            base = lane * mapping.pack_factor
+            for t in range(taps):
+                c = base + t
+                entries.append((0, 0, c) if c < channels else None)
+        else:
+            # Split (or plain) filters: lane = (channel, split part).
+            c = lane // mapping.split_factor
+            part = lane % mapping.split_factor
+            for t in range(taps):
+                w_idx = part * taps + t
+                if c < channels and w_idx < len(window):
+                    entries.append((*window[w_idx], c))
+                else:
+                    entries.append(None)
+        rows.append(tuple(entries))
+    return _LanePlan(taps=taps, lanes=lanes, filter_source=tuple(rows))
+
+
+class FunctionalConv:
+    """Executes one quantized convolution on bit-serial arrays."""
+
+    def __init__(self, conv: Conv2D, input_shape: tuple[int, int, int],
+                 weights: ConvWeights,
+                 config: NeuralCacheConfig | None = None,
+                 name: str = "conv",
+                 output_params=None):
+        self.conv = conv
+        self.input_shape = input_shape
+        self.weights = weights
+        self.config = config if config is not None else NeuralCacheConfig()
+        self.name = name
+        self.output_params = output_params
+        self.mapping = map_conv(self.config, name, conv, input_shape)
+        r, s, c, _ = conv.filter_shape(input_shape)
+        if r * s * c > MAX_FUNCTIONAL_TAPS:
+            raise SimulationError(
+                f"layer {name!r} reduces {r * s * c} taps per output; the "
+                f"functional path supports at most {MAX_FUNCTIONAL_TAPS} "
+                f"(use the analytic simulator for full-scale layers)")
+        if self.mapping.arrays_per_conv > 1:
+            raise SimulationError(
+                f"layer {name!r} spans {self.mapping.arrays_per_conv} "
+                f"arrays per output ({self.mapping.channels_padded} lanes); "
+                f"the functional path executes single-array convolutions — "
+                f"cross-array reduction is covered by the analytic model")
+        self.plan = _plan_lanes(self.mapping, conv.kernel, c)
+        self.report = CycleReport()
+
+    # ------------------------------------------------------------------
+    def run(self, x: QuantizedTensor) -> QuantizedTensor:
+        """Execute and return the quantized output tensor."""
+        conv = self.conv
+        if x.shape != self.input_shape:
+            raise SimulationError(
+                f"input shape {x.shape} does not match layer "
+                f"{self.input_shape}")
+        e, f, m = conv.output_shape(self.input_shape)
+        raw, xsum = self._compute_stage(x)
+        out = self._quantize_stage(raw, xsum, x.params.zero_point)
+        params = self.output_params
+        if params is None:
+            params = self._default_output_params()
+        return QuantizedTensor(out.reshape(e, f, m).astype(np.uint8), params)
+
+    def _default_output_params(self):
+        # Standalone use: derive nominal parameters from the requant ratio.
+        # When chaining layers, pass the real activation QuantParams in.
+        from repro.nn.tensor import QuantParams
+        requant = self.weights.requant
+        acc_scale = requant.multiplier / (1 << requant.shift)
+        return QuantParams(scale=max(acc_scale, 1e-12),
+                           zero_point=requant.zero_point)
+
+    # ------------------------------------------------------------------
+    # Stage 1: MACs + reduction
+    # ------------------------------------------------------------------
+    def _compute_stage(self, x: QuantizedTensor) -> tuple[np.ndarray, np.ndarray]:
+        """Run all output batches; returns int64 (raw, xsum) per output."""
+        conv = self.conv
+        mapping = self.mapping
+        e, f, m = conv.output_shape(self.input_shape)
+        outputs = [(i, j, mm) for i in range(e) for j in range(f)
+                   for mm in range(m)]
+        cols = self.config.geometry.array_cols
+        lanes = mapping.channels_padded
+        groups_per_array = max(cols // lanes, 1)
+
+        padded = self._padded_input(x)
+        filters = self.weights.filters.data  # (R, S, C, M)
+
+        raw = np.zeros(len(outputs), dtype=np.int64)
+        xsum = np.zeros(len(outputs), dtype=np.int64)
+        for start in range(0, len(outputs), groups_per_array):
+            batch = outputs[start:start + groups_per_array]
+            r_vals, s_vals = self._run_array_pass(padded, filters, batch,
+                                                  cols, lanes)
+            raw[start:start + len(batch)] = r_vals
+            xsum[start:start + len(batch)] = s_vals
+            self.report.passes += 1
+        return raw, xsum
+
+    def _padded_input(self, x: QuantizedTensor) -> np.ndarray:
+        """'same'-pad with the input zero point (zero contribution)."""
+        data = x.data
+        if self.conv.padding == "same":
+            top, bottom = same_padding_offsets(data.shape[0],
+                                               self.conv.kernel[0],
+                                               self.conv.stride)
+            left, right = same_padding_offsets(data.shape[1],
+                                               self.conv.kernel[1],
+                                               self.conv.stride)
+            data = np.pad(data, ((top, bottom), (left, right), (0, 0)),
+                          constant_values=x.params.zero_point)
+        return data
+
+    def _run_array_pass(self, padded: np.ndarray, filters: np.ndarray,
+                        batch: list[tuple[int, int, int]], cols: int,
+                        lanes: int) -> tuple[np.ndarray, np.ndarray]:
+        """One array, one pass: MACs for every tap, then both reductions."""
+        plan = self.plan
+        taps = plan.taps
+        stride = self.conv.stride
+        packed = self.mapping.pack_factor > 1
+        unit = BitSerialUnit(SRAMArray(rows=256, cols=cols))
+
+        # -- row regions (Fig. 10a, with the input-sum for corrections).
+        # Packed 1x1 filters have no input reuse and stream one input byte
+        # at a time into a single-byte region (Sec. IV-A).
+        filter_rows = Operand(0, taps * 8)
+        input_rows = Operand(filter_rows.end, 8 if packed else taps * 8)
+        scratch = Operand(input_rows.end, 16)
+        partial = Operand(scratch.end, 32)      # 24 live + growth
+        segment = Operand(partial.end, 32)
+        xsum_rows = Operand(segment.end, 32)    # 24 live + growth
+        if xsum_rows.end > 256:
+            raise SimulationError(
+                f"functional layout needs {xsum_rows.end} rows")
+
+        # -- build the filter and input planes column by column --
+        filter_plane = np.zeros((taps, cols), dtype=np.int64)
+        input_plane = np.zeros((taps, cols), dtype=np.int64)
+        for g, (i, j, mm) in enumerate(batch):
+            base_col = g * lanes
+            for lane in range(lanes):
+                col = base_col + lane
+                for t, src in enumerate(plan.filter_source[lane]):
+                    if src is None:
+                        continue
+                    r, s, c = src
+                    filter_plane[t, col] = filters[r, s, c, mm]
+                    input_plane[t, col] = padded[i * stride + r,
+                                                 j * stride + s, c]
+
+        # -- load filters (and, unpacked, the whole window); zero work --
+        for t in range(taps):
+            unit.write_values(Operand(filter_rows.row + 8 * t, 8),
+                              filter_plane[t])
+            if not packed:
+                unit.write_values(Operand(input_rows.row + 8 * t, 8),
+                                  input_plane[t])
+        unit.zero(Operand(partial.row, 24))
+        unit.zero(Operand(xsum_rows.row, 24))
+
+        # -- MACs: one fused multiply-accumulate per tap, all columns --
+        before = unit.cycles
+        for t in range(taps):
+            f_op = Operand(filter_rows.row + 8 * t, 8)
+            if packed:
+                x_op = Operand(input_rows.row, 8)
+                unit.write_values(x_op, input_plane[t])  # streamed byte
+            else:
+                x_op = Operand(input_rows.row + 8 * t, 8)
+            unit.mac(f_op, x_op, Operand(scratch.row, 16),
+                     Operand(partial.row, 24))
+            unit.add_into(x_op, Operand(xsum_rows.row, 24))
+        self.report.mac += unit.cycles - before
+
+        # -- reductions: raw sums, then input sums (Fig. 5 / Fig. 10b) --
+        before = unit.cycles
+        if lanes > 1:
+            unit.reduce_tree(partial, segment, lanes, 24)
+            unit.reduce_tree(xsum_rows, segment, lanes, 24)
+        self.report.reduction += unit.cycles - before
+
+        # -- read back each group's head column (output move path) --
+        raw_bits = unit.read_values(partial)
+        sum_bits = unit.read_values(xsum_rows)
+        head = np.arange(len(batch)) * lanes
+        return raw_bits[head], sum_bits[head]
+
+    # ------------------------------------------------------------------
+    # Stage 2: corrections + ReLU + requantization (Sec. IV-D)
+    # ------------------------------------------------------------------
+    def _quantize_stage(self, raw: np.ndarray, xsum: np.ndarray,
+                        zpx: int) -> np.ndarray:
+        """Apply zero-point corrections, ReLU and requantization in cache.
+
+        The true accumulator is recovered from the unsigned in-cache sums:
+
+            acc = raw - zpw * xsum + (N * zpx * zpw - zpx * sum_w[m])
+
+        where ``raw = sum(x_q * w_q)``, ``xsum = sum(x_q)``, ``N = R.S.C``
+        and ``sum_w[m]`` is filter ``m``'s byte sum — the per-filter
+        constant is preloaded alongside the filters, ``zpw`` arrives as a
+        broadcast scalar, and everything runs in 34-bit two's complement
+        so ReLU's MSB mask works exactly as Sec. IV-D describes.
+        """
+        conv = self.conv
+        weights = self.weights
+        requant = weights.requant
+        zpw = weights.zero_point
+        r, s, c, m = conv.filter_shape(self.input_shape)
+        n_taps = r * s * c
+        if np.any(xsum >= 1 << 16):
+            raise SimulationError(
+                "input sums exceed the 16-bit correction multiply")
+
+        sum_w = weights.filters.data.astype(np.int64).sum(axis=(0, 1, 2))
+        # Net constant per output: N*zpx*zpw - zpx*sum_w[m] (may be < 0).
+        e, f, _ = conv.output_shape(self.input_shape)
+        const = n_taps * zpx * zpw - zpx * sum_w  # per filter m
+        const_per_output = np.tile(const, e * f)  # outputs are (i, j, m)
+
+        in_cache_requant = conv.relu and requant.shift <= 39
+        cols = self.config.geometry.array_cols
+        out = np.zeros(len(raw), dtype=np.int64)
+        for start in range(0, len(raw), cols):
+            end = min(start + cols, len(raw))
+            width = end - start
+            out[start:end] = self._quantize_batch(
+                raw[start:end], xsum[start:end],
+                const_per_output[start:end], zpw, in_cache_requant,
+                cols)[:width]
+        return out
+
+    def _quantize_batch(self, raw: np.ndarray, xsum: np.ndarray,
+                        const: np.ndarray, zpw: int,
+                        in_cache_requant: bool, cols: int) -> np.ndarray:
+        """One quantization pass: up to ``cols`` outputs, one per bitline."""
+        from repro.common.bits import to_twos_complement
+
+        requant = self.weights.requant
+        unit = BitSerialUnit(SRAMArray(rows=256, cols=cols))
+        w = CORRECTION_BITS
+
+        acc = Operand(0, w)          # 0..33
+        xs16 = Operand(w, 16)        # 34..49
+        m16 = Operand(50, 16)
+        prod = Operand(66, w)        # 32-bit product + 2 zero rows
+        kreg = Operand(100, w)
+        scr = Operand(134, w)
+
+        def staged(values: np.ndarray) -> np.ndarray:
+            padded = np.zeros(cols, dtype=np.int64)
+            padded[:len(values)] = values
+            return padded
+
+        # Host staging (the output-move path already paid for this data).
+        unit.write_values(acc, staged(raw))
+        unit.write_values(xs16, staged(xsum))
+        unit.write_values(kreg, staged(to_twos_complement(const, w)))
+
+        before = unit.cycles
+        # acc += (N*zpx*zpw - zpx*sum_w[m]);  acc -= zpw * xsum
+        unit.write_scalar(m16, zpw)
+        unit.multiply(xs16, m16, Operand(prod.row, 32))
+        unit.zero(Operand(prod.row + 32, 2))
+        unit.add_into(kreg, acc)
+        unit.sub_into(acc, prod, scr)
+
+        if not in_cache_requant:
+            # No-ReLU layers (the final FC) requantize on the host, as the
+            # paper ships final outputs to the CPU anyway.
+            self.report.quantization += unit.cycles - before
+            signed = from_twos_complement(unit.read_values(acc), w)
+            if self.conv.relu:
+                signed = np.maximum(signed, 0)
+            return requant.apply(signed).astype(np.int64)
+
+        # ReLU: MSB-enabled zero write (Sec. IV-D).
+        unit.relu(acc, sign_row=acc.bit(w - 1))
+
+        # Requantize: acc * M0 (24x24 multiply), +rounding, shift, +zp.
+        shift = requant.shift
+        m24 = Operand(34, 24)            # xs16/m16 are dead now
+        prod48 = Operand(58, 48)         # prod/kreg head are dead
+        half48 = Operand(106, 48)        # kreg tail/scr head are dead
+        zp9 = Operand(154, 9)
+        out10 = Operand(163, 10)
+        sat8 = Operand(173, 8)
+
+        unit.write_scalar(m24, requant.multiplier)
+        unit.multiply(Operand(acc.row, 24), m24, prod48)
+        if shift > 0:
+            unit.write_scalar(half48, 1 << (shift - 1))
+            unit.add_into(half48, prod48)
+        unit.write_scalar(zp9, requant.zero_point)
+        unit.add(Operand(prod48.row + shift, 9), zp9, out10)
+        # Saturate to 255 when any bit above the result window is set.
+        unit.write_scalar(sat8, 255)
+        for high in range(shift + 9, 48):
+            unit.selective_copy(sat8, Operand(out10.row, 8),
+                                prod48.row + high)
+        for high in (8, 9):
+            unit.selective_copy(sat8, Operand(out10.row, 8), out10.bit(high))
+        self.report.quantization += unit.cycles - before
+        return unit.read_values(Operand(out10.row, 8))
+
+
+class FunctionalMaxPool:
+    """Max pooling on bit-serial arrays (Sec. IV-D)."""
+
+    def __init__(self, pool: MaxPool, input_shape: tuple[int, int, int],
+                 config: NeuralCacheConfig | None = None,
+                 name: str = "maxpool"):
+        self.pool = pool
+        self.input_shape = input_shape
+        self.config = config if config is not None else NeuralCacheConfig()
+        self.mapping = map_pool(self.config, name, pool, input_shape)
+        self.report = CycleReport()
+
+    def run(self, x: QuantizedTensor) -> QuantizedTensor:
+        pool = self.pool
+        e, f, c = pool.output_shape(self.input_shape)
+        padded = _pad_pool_input(x.data, pool, fill=0)
+        outputs = [(i, j, cc) for i in range(e) for j in range(f)
+                   for cc in range(c)]
+        cols = self.config.geometry.array_cols
+        out = np.zeros(len(outputs), dtype=np.int64)
+
+        window = [(r, s) for r in range(pool.kernel[0])
+                  for s in range(pool.kernel[1])]
+        for start in range(0, len(outputs), cols):
+            batch = outputs[start:start + cols]
+            unit = BitSerialUnit(SRAMArray(rows=64, cols=cols))
+            current = Operand(0, 8)
+            candidate = Operand(8, 8)
+            scratch = Operand(16, 17)
+
+            def plane(tap_index: int) -> np.ndarray:
+                r, s = window[tap_index]
+                vals = np.zeros(cols, dtype=np.int64)
+                for k, (i, j, cc) in enumerate(batch):
+                    vals[k] = padded[i * pool.stride + r,
+                                     j * pool.stride + s, cc]
+                return vals
+
+            before = unit.cycles
+            unit.write_values(current, plane(0))
+            for t in range(1, len(window)):
+                unit.write_values(candidate, plane(t))
+                unit.max_update(current, candidate, scratch)
+            self.report.pooling += unit.cycles - before
+            self.report.passes += 1
+            out[start:start + len(batch)] = unit.read_values(current)[:len(batch)]
+        return QuantizedTensor(out.reshape(e, f, c).astype(np.uint8),
+                               x.params)
+
+
+class FunctionalAvgPool:
+    """Average pooling: in-array window sum, then restoring division."""
+
+    def __init__(self, pool: AvgPool, input_shape: tuple[int, int, int],
+                 config: NeuralCacheConfig | None = None,
+                 name: str = "avgpool"):
+        self.pool = pool
+        self.input_shape = input_shape
+        self.config = config if config is not None else NeuralCacheConfig()
+        self.mapping = map_pool(self.config, name, pool, input_shape)
+        self.report = CycleReport()
+
+    def run(self, x: QuantizedTensor) -> QuantizedTensor:
+        pool = self.pool
+        e, f, c = pool.output_shape(self.input_shape)
+        padded = _pad_pool_input(x.data, pool, fill=0)
+        counts = _pool_tap_counts(x.data.shape, pool)
+        outputs = [(i, j, cc) for i in range(e) for j in range(f)
+                   for cc in range(c)]
+        cols = self.config.geometry.array_cols
+        out = np.zeros(len(outputs), dtype=np.int64)
+        window = [(r, s) for r in range(pool.kernel[0])
+                  for s in range(pool.kernel[1])]
+        acc_bits = 16
+
+        for start in range(0, len(outputs), cols):
+            batch = outputs[start:start + cols]
+            unit = BitSerialUnit(SRAMArray(rows=128, cols=cols))
+            element = Operand(0, 8)
+            acc = Operand(8, acc_bits)
+            divisor = Operand(24, acc_bits)
+            quotient = Operand(40, acc_bits)
+            work = Operand(56, 3 * acc_bits + 4)
+
+            before = unit.cycles
+            unit.zero(acc)
+            for r, s in window:
+                vals = np.zeros(cols, dtype=np.int64)
+                for k, (i, j, cc) in enumerate(batch):
+                    vals[k] = padded[i * pool.stride + r,
+                                     j * pool.stride + s, cc]
+                unit.write_values(element, vals)
+                unit.add_into(element, acc)
+            div_vals = np.ones(cols, dtype=np.int64)
+            for k, (i, j, _) in enumerate(batch):
+                div_vals[k] = counts[i, j]
+            unit.write_values(divisor, div_vals)
+            unit.divide(acc, divisor, quotient, work)
+            self.report.pooling += unit.cycles - before
+            self.report.passes += 1
+            out[start:start + len(batch)] = unit.read_values(quotient)[:len(batch)]
+        return QuantizedTensor(out.reshape(e, f, c).astype(np.uint8),
+                               x.params)
+
+
+class FunctionalAdd:
+    """Element-wise quantized addition in cache (residual connections).
+
+    One output per bitline: add the operands (Fig. 4), subtract the
+    shared zero point, clamp below at zero (or at the zero point when a
+    ReLU is fused) and saturate above at 255 — all with the tag-predicated
+    writes of Sec. III.
+    """
+
+    def __init__(self, input_shape: tuple[int, int, int],
+                 config: NeuralCacheConfig | None = None,
+                 relu: bool = False, name: str = "add"):
+        self.input_shape = input_shape
+        self.config = config if config is not None else NeuralCacheConfig()
+        self.relu = relu
+        self.name = name
+        self.report = CycleReport()
+
+    def run(self, a: QuantizedTensor, b: QuantizedTensor) -> QuantizedTensor:
+        if a.shape != self.input_shape or b.shape != self.input_shape:
+            raise SimulationError(
+                f"operand shapes {a.shape}/{b.shape} do not match layer "
+                f"{self.input_shape}")
+        if a.params != b.params:
+            raise SimulationError(
+                "elementwise add requires shared quantization parameters; "
+                "requantize the branches first")
+        zp = a.params.zero_point
+        flat_a = a.data.reshape(-1).astype(np.int64)
+        flat_b = b.data.reshape(-1).astype(np.int64)
+        cols = self.config.geometry.array_cols
+        out = np.zeros(flat_a.size, dtype=np.int64)
+        for start in range(0, flat_a.size, cols):
+            end = min(start + cols, flat_a.size)
+            out[start:end] = self._run_batch(
+                flat_a[start:end], flat_b[start:end], zp, cols)[:end - start]
+        return QuantizedTensor(out.reshape(self.input_shape).astype(np.uint8),
+                               a.params)
+
+    def _run_batch(self, av: np.ndarray, bv: np.ndarray, zp: int,
+                   cols: int) -> np.ndarray:
+        unit = BitSerialUnit(SRAMArray(rows=96, cols=cols))
+        a8, b8 = Operand(0, 8), Operand(8, 8)
+        total9 = Operand(16, 9)
+        zp9 = Operand(25, 9)
+        diff10 = Operand(34, 10)       # 9-bit difference + not-borrow
+        scratch9 = Operand(44, 9)
+        low9 = Operand(53, 9)
+        sat8 = Operand(62, 8)
+        relu_cmp = Operand(70, 10)     # second compare for fused ReLU
+
+        def staged(values: np.ndarray) -> np.ndarray:
+            padded = np.zeros(cols, dtype=np.int64)
+            padded[:len(values)] = values
+            return padded
+
+        unit.write_values(a8, staged(av))
+        unit.write_values(b8, staged(bv))
+
+        before = unit.cycles
+        unit.add(a8, b8, total9)
+        unit.write_scalar(zp9, zp)
+        unit.sub(total9, zp9, diff10, scratch9)
+        # Underflow: total < zp  ->  result clamps to 0.
+        unit.write_scalar(low9, 0)
+        unit.selective_copy(low9, Operand(diff10.row, 9), diff10.bit(9),
+                            invert=True)
+        # Overflow: difference >= 256  ->  saturate to 255.
+        unit.write_scalar(sat8, 255)
+        unit.selective_copy(sat8, Operand(diff10.row, 8), diff10.bit(8))
+        if self.relu:
+            # Fused ReLU clamps below the zero point: out = max(out, zp).
+            unit.sub(Operand(diff10.row, 9), zp9, relu_cmp, scratch9)
+            unit.write_scalar(low9, zp)
+            unit.selective_copy(low9, Operand(diff10.row, 9),
+                                relu_cmp.bit(9), invert=True)
+        self.report.pooling += unit.cycles - before
+        self.report.passes += 1
+        return unit.read_values(Operand(diff10.row, 8))
+
+
+class FunctionalBatchNorm:
+    """Explicit in-cache batch normalisation (Sec. IV-D).
+
+    Per output: a 16-bit multiply by the channel's scalar, a two's
+    complement add of the channel's bias integer, the MSB-masked ReLU,
+    then the rounding shift / zero-point / saturation epilogue — the
+    "multiplications, adds, and shifts to be performed on all the output
+    elements" of the paper. Layers without ReLU read the signed
+    accumulator back and finish on the host (as with the final FC).
+    """
+
+    def __init__(self, input_shape: tuple[int, int, int], bn_weights,
+                 config: NeuralCacheConfig | None = None,
+                 relu: bool = True, zp_out: int = 0, name: str = "bn"):
+        self.input_shape = input_shape
+        self.bn = bn_weights
+        self.config = config if config is not None else NeuralCacheConfig()
+        self.relu = relu
+        self.zp_out = zp_out
+        self.name = name
+        self.report = CycleReport()
+        if input_shape[2] != bn_weights.channels:
+            raise SimulationError(
+                f"BN has {bn_weights.channels} channels, input has "
+                f"{input_shape[2]}")
+        if relu and bn_weights.shift + 9 > 34:
+            raise SimulationError(
+                f"BN shift {bn_weights.shift} too large for the in-cache "
+                f"epilogue window")
+
+    def run(self, x: QuantizedTensor) -> QuantizedTensor:
+        if x.shape != self.input_shape:
+            raise SimulationError(
+                f"input shape {x.shape} does not match layer "
+                f"{self.input_shape}")
+        h, w, c = self.input_shape
+        flat_q = x.data.reshape(-1).astype(np.int64)
+        # Channel index of each flattened output (C varies fastest).
+        channel_of = np.tile(np.arange(c), h * w)
+        cols = self.config.geometry.array_cols
+        out = np.zeros(flat_q.size, dtype=np.int64)
+        for start in range(0, flat_q.size, cols):
+            end = min(start + cols, flat_q.size)
+            out[start:end] = self._run_batch(
+                flat_q[start:end], channel_of[start:end], cols)[:end - start]
+        from repro.nn.tensor import QuantParams
+        params = QuantParams(scale=x.params.scale, zero_point=self.zp_out)
+        return QuantizedTensor(out.reshape(self.input_shape).astype(np.uint8),
+                               params)
+
+    def _run_batch(self, qv: np.ndarray, channels: np.ndarray,
+                   cols: int) -> np.ndarray:
+        from repro.common.bits import to_twos_complement
+        from repro.nn.tensor import round_shift
+
+        unit = BitSerialUnit(SRAMArray(rows=256, cols=cols))
+        w = CORRECTION_BITS
+        q16 = Operand(0, 16)
+        mult16 = Operand(16, 16)
+        acc = Operand(32, w)        # 32-bit product + 2 growth rows
+        bias34 = Operand(66, w)
+        scratch = Operand(100, w)
+        half34 = Operand(134, w)
+        zp9 = Operand(168, 9)
+        out10 = Operand(177, 10)
+        sat8 = Operand(187, 8)
+
+        def staged(values: np.ndarray) -> np.ndarray:
+            padded = np.zeros(cols, dtype=np.int64)
+            padded[:len(values)] = values
+            return padded
+
+        mult_col = self.bn.multiplier[channels]
+        bias_col = self.bn.bias[channels]
+        unit.write_values(q16, staged(qv))
+        unit.write_values(mult16, staged(mult_col))
+        unit.write_values(bias34, staged(to_twos_complement(bias_col, w)))
+
+        before = unit.cycles
+        unit.multiply(q16, mult16, Operand(acc.row, 32))
+        unit.zero(Operand(acc.row + 32, 2))
+        unit.add_into(bias34, acc)
+
+        if not self.relu:
+            self.report.quantization += unit.cycles - before
+            self.report.passes += 1
+            signed = from_twos_complement(unit.read_values(acc), w)
+            out = round_shift(signed, self.bn.shift) + self.zp_out
+            return np.clip(out, 0, 255)
+
+        unit.relu(acc, sign_row=acc.bit(w - 1))
+        shift = self.bn.shift
+        if shift > 0:
+            unit.write_scalar(half34, 1 << (shift - 1))
+            unit.add_into(half34, acc)
+        unit.write_scalar(zp9, self.zp_out)
+        unit.add(Operand(acc.row + shift, 9), zp9, out10)
+        unit.write_scalar(sat8, 255)
+        for high in range(shift + 9, w):
+            unit.selective_copy(sat8, Operand(out10.row, 8),
+                                acc.row + high)
+        for high in (8, 9):
+            unit.selective_copy(sat8, Operand(out10.row, 8), out10.bit(high))
+        self.report.quantization += unit.cycles - before
+        self.report.passes += 1
+        return unit.read_values(Operand(out10.row, 8))
+
+
+class FunctionalExecutor:
+    """Runs a whole quantized network on bit-serial arrays.
+
+    Convolutions (including FC-as-conv) and pooling execute in-cache;
+    concatenation is pure data movement (the outputs of branches land in
+    adjacent regions of the reserved way) and happens on the host, exactly
+    as the architecture leaves it to the output-management machinery.
+    """
+
+    def __init__(self, network, weights,
+                 config: NeuralCacheConfig | None = None):
+        from repro.nn.layers import (
+            Add,
+            BatchNorm,
+            Concat,
+            FullyConnected,
+            QuantizedBatchNorm,
+        )
+        self.network = network
+        self.weights = weights
+        self.config = config if config is not None else NeuralCacheConfig()
+        self.reports: dict[str, CycleReport] = {}
+        self._concat_type = Concat
+        self._bn_type = BatchNorm
+        self._fc_type = FullyConnected
+        self._add_type = Add
+        self._qbn_type = QuantizedBatchNorm
+
+    def run(self, image: QuantizedTensor) -> dict[str, QuantizedTensor]:
+        """Execute every layer; returns all node outputs by name."""
+        if image.shape != self.network.input_shape:
+            raise SimulationError(
+                f"input shape {image.shape} does not match network "
+                f"{self.network.input_shape}")
+        results = {self.network.input_name: image}
+        for node in self.network.layer_nodes():
+            inputs = [results[name] for name in node.inputs]
+            results[node.name] = self._run_node(node, inputs)
+        return results
+
+    def run_output(self, image: QuantizedTensor) -> QuantizedTensor:
+        return self.run(image)[self.network.output_name]
+
+    def _run_node(self, node, inputs):
+        layer = node.layer
+        activation = self.weights.activation_params
+        if isinstance(layer, self._concat_type):
+            data = np.concatenate([t.data for t in inputs], axis=2)
+            return QuantizedTensor(data, inputs[0].params)
+        if isinstance(layer, self._bn_type):
+            return inputs[0]
+        if isinstance(layer, self._add_type):
+            engine = FunctionalAdd(inputs[0].shape, self.config,
+                                   relu=layer.relu, name=node.name)
+            out = engine.run(inputs[0], inputs[1])
+            self.reports[node.name] = engine.report
+            return out
+        if isinstance(layer, self._qbn_type):
+            engine = FunctionalBatchNorm(
+                inputs[0].shape, self.weights.bn_for_node(node.name),
+                self.config, relu=layer.relu,
+                zp_out=activation.zero_point, name=node.name)
+            out = engine.run(inputs[0])
+            self.reports[node.name] = engine.report
+            return out
+        x = inputs[0]
+        if isinstance(layer, MaxPool):
+            engine = FunctionalMaxPool(layer, x.shape, self.config,
+                                       name=node.name)
+            out = engine.run(x)
+        elif isinstance(layer, AvgPool):
+            engine = FunctionalAvgPool(layer, x.shape, self.config,
+                                       name=node.name)
+            out = engine.run(x)
+        else:
+            conv = self.network.conv_of(node)
+            data = x
+            if isinstance(layer, self._fc_type):
+                data = QuantizedTensor(x.data.reshape(1, 1, -1), x.params)
+            engine = FunctionalConv(conv, data.shape,
+                                    self.weights.for_node(node.name),
+                                    self.config, name=node.name,
+                                    output_params=activation)
+            out = engine.run(data)
+        self.reports[node.name] = engine.report
+        return out
+
+    def total_report(self) -> CycleReport:
+        """Cycle totals across all executed layers."""
+        total = CycleReport()
+        for report in self.reports.values():
+            total = total.merged(report)
+        return total
+
+
+def _pad_pool_input(data: np.ndarray, pool, fill: int) -> np.ndarray:
+    if pool.padding == "valid":
+        return data
+    top, bottom = same_padding_offsets(data.shape[0], pool.kernel[0],
+                                       pool.stride)
+    left, right = same_padding_offsets(data.shape[1], pool.kernel[1],
+                                       pool.stride)
+    return np.pad(data, ((top, bottom), (left, right), (0, 0)),
+                  constant_values=fill)
+
+
+def _pool_tap_counts(shape: tuple[int, ...], pool) -> np.ndarray:
+    """In-bounds tap counts per output position ('same' average pools)."""
+    ones = np.ones((shape[0], shape[1], 1), dtype=np.int64)
+    padded = _pad_pool_input(ones, pool, fill=0)
+    r, s = pool.kernel
+    e = (padded.shape[0] - r) // pool.stride + 1
+    f = (padded.shape[1] - s) // pool.stride + 1
+    counts = np.zeros((e, f), dtype=np.int64)
+    for i in range(r):
+        for j in range(s):
+            counts += padded[i:i + e * pool.stride:pool.stride,
+                             j:j + f * pool.stride:pool.stride, 0]
+    return counts

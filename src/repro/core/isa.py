@@ -1,0 +1,223 @@
+"""Neural Cache ISA and bank control FSM (Sec. IV-F).
+
+The paper adds a handful of instructions — in-cache addition,
+multiplication, reduction and moves — that the host broadcasts over the
+intra-slice address bus. Every bank has a small control FSM (~204 um^2;
+0.23 mm^2 across 14 slices) that sequences the word-line/sense-amp signals
+for each instruction. Because one layer executes at a time, *all* compute
+arrays run the same instruction in lockstep: the cache behaves as a very
+wide SIMD machine.
+
+:class:`ControlFSM` models exactly that: it validates a program once and
+applies every instruction to all attached arrays, mirroring the broadcast
+execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import IsaError
+from repro.sram.bitserial import BitSerialUnit, Operand
+
+#: Area of one bank control FSM (Sec. IV-F).
+FSM_AREA_UM2 = 204.0
+
+
+class Opcode(Enum):
+    """The in-cache compute and move instructions."""
+
+    CZERO = "czero"          # zero a region
+    CIMM = "cimm"            # broadcast an immediate
+    CCOPY = "ccopy"          # region copy
+    CMOVE = "cmove"          # copy with a cross-bitline shift
+    CADD = "cadd"            # vector addition
+    CSUB = "csub"            # vector subtraction (difference + not-borrow)
+    CMULT = "cmult"          # vector multiplication
+    CDIV = "cdiv"            # vector division
+    CMAC = "cmac"            # fused multiply-accumulate
+    CREDUCE = "creduce"      # intra-array tree reduction
+    CMAX = "cmax"            # running-max fold
+    CMIN = "cmin"            # running-min fold
+    CRELU = "crelu"          # MSB-masked zero write
+    CSELCOPY = "cselcopy"    # tag-predicated copy
+
+
+#: operand-count and immediate expectations per opcode.
+_SIGNATURES: dict[Opcode, tuple[int, bool]] = {
+    Opcode.CZERO: (1, False),
+    Opcode.CIMM: (1, True),
+    Opcode.CCOPY: (2, False),
+    Opcode.CMOVE: (2, True),
+    Opcode.CADD: (3, False),
+    Opcode.CSUB: (4, False),
+    Opcode.CMULT: (3, False),
+    Opcode.CDIV: (4, False),
+    Opcode.CMAC: (4, False),
+    Opcode.CREDUCE: (2, True),
+    Opcode.CMAX: (3, False),
+    Opcode.CMIN: (3, False),
+    Opcode.CRELU: (1, True),
+    Opcode.CSELCOPY: (2, True),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One broadcast in-cache instruction."""
+
+    opcode: Opcode
+    operands: tuple[Operand, ...]
+    immediate: int | None = None
+
+    def __post_init__(self) -> None:
+        try:
+            n_operands, takes_imm = _SIGNATURES[self.opcode]
+        except KeyError:
+            raise IsaError(f"unknown opcode {self.opcode!r}") from None
+        if len(self.operands) != n_operands:
+            raise IsaError(
+                f"{self.opcode.value} takes {n_operands} operands, got "
+                f"{len(self.operands)}")
+        if takes_imm and self.immediate is None:
+            raise IsaError(f"{self.opcode.value} requires an immediate")
+        if not takes_imm and self.immediate is not None:
+            raise IsaError(f"{self.opcode.value} takes no immediate")
+
+    def __str__(self) -> str:
+        ops = ", ".join(f"r{op.row}:{op.nbits}" for op in self.operands)
+        imm = f", #{self.immediate}" if self.immediate is not None else ""
+        return f"{self.opcode.value} {ops}{imm}"
+
+
+@dataclass
+class ControlFSM:
+    """Broadcasts instruction streams to a set of compute arrays.
+
+    All arrays execute each instruction simultaneously (the paper's SIMD
+    execution model); the FSM tracks instruction count and the per-array
+    cycle cost of the program (identical across arrays by construction).
+    """
+
+    units: list[BitSerialUnit] = field(default_factory=list)
+    instructions_executed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            self.units = [BitSerialUnit()]
+
+    @property
+    def cycles(self) -> int:
+        """Per-array cycle count (all arrays run in lockstep)."""
+        return self.units[0].cycles
+
+    def execute(self, program: list[Instruction]) -> int:
+        """Run a program on every array; returns cycles consumed."""
+        start = self.cycles
+        for instruction in program:
+            self._dispatch(instruction)
+            self.instructions_executed += 1
+        cycles = self.cycles - start
+        self._check_lockstep()
+        return cycles
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, instr: Instruction) -> None:
+        op = instr.opcode
+        args = instr.operands
+        for unit in self.units:
+            if op is Opcode.CZERO:
+                unit.zero(args[0])
+            elif op is Opcode.CIMM:
+                unit.write_scalar(args[0], instr.immediate)
+            elif op is Opcode.CCOPY:
+                unit.copy(args[0], args[1])
+            elif op is Opcode.CMOVE:
+                unit.shift_copy(args[0], args[1], instr.immediate)
+            elif op is Opcode.CADD:
+                unit.add(args[0], args[1], args[2])
+            elif op is Opcode.CSUB:
+                unit.sub(args[0], args[1], args[2], args[3])
+            elif op is Opcode.CMULT:
+                unit.multiply(args[0], args[1], args[2])
+            elif op is Opcode.CDIV:
+                unit.divide(args[0], args[1], args[2], args[3])
+            elif op is Opcode.CMAC:
+                unit.mac(args[0], args[1], args[2], args[3])
+            elif op is Opcode.CREDUCE:
+                unit.reduce_tree(args[0], args[1], instr.immediate,
+                                 args[0].nbits - (instr.immediate
+                                                  .bit_length() - 1))
+            elif op is Opcode.CMAX:
+                unit.max_update(args[0], args[1], args[2])
+            elif op is Opcode.CMIN:
+                unit.min_update(args[0], args[1], args[2])
+            elif op is Opcode.CRELU:
+                unit.relu(args[0], instr.immediate)
+            elif op is Opcode.CSELCOPY:
+                unit.selective_copy(args[0], args[1], instr.immediate)
+            else:  # pragma: no cover - enum is exhaustive
+                raise IsaError(f"unhandled opcode {op!r}")
+
+    def _check_lockstep(self) -> None:
+        cycles = {unit.cycles for unit in self.units}
+        if len(cycles) != 1:
+            raise IsaError(
+                f"arrays fell out of lockstep: cycle counts {sorted(cycles)}")
+
+
+def parse_instruction(text: str) -> Instruction:
+    """Parse the textual form produced by ``str(Instruction)``.
+
+    Grammar: ``opcode rROW:BITS[, rROW:BITS ...][, #IMM]`` — e.g.
+    ``cmult r0:8, r8:8, r16:16`` or ``cimm r4:8, #42``.
+    """
+    text = text.strip()
+    if not text:
+        raise IsaError("empty instruction")
+    head, _, rest = text.partition(" ")
+    try:
+        opcode = Opcode(head.lower())
+    except ValueError:
+        raise IsaError(f"unknown opcode {head!r}") from None
+    operands: list[Operand] = []
+    immediate: int | None = None
+    for token in filter(None, (t.strip() for t in rest.split(","))):
+        if token.startswith("#"):
+            if immediate is not None:
+                raise IsaError(f"duplicate immediate in {text!r}")
+            try:
+                immediate = int(token[1:], 0)
+            except ValueError:
+                raise IsaError(f"bad immediate {token!r}") from None
+        elif token.startswith("r") and ":" in token:
+            row_text, _, bits_text = token[1:].partition(":")
+            try:
+                operands.append(Operand(int(row_text), int(bits_text)))
+            except ValueError:
+                raise IsaError(f"bad operand {token!r}") from None
+        else:
+            raise IsaError(f"unrecognised token {token!r} in {text!r}")
+    return Instruction(opcode=opcode, operands=tuple(operands),
+                       immediate=immediate)
+
+
+def parse_program(text: str) -> list[Instruction]:
+    """Parse a newline-separated program; '#'-prefixed lines and blank
+    lines are comments (but '#' inside a line is an immediate)."""
+    program = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        program.append(parse_instruction(stripped))
+    return program
+
+
+def fsm_total_area_mm2(banks: int) -> float:
+    """Total FSM area for ``banks`` bank controllers (0.23 mm^2 for the
+    14-slice Xeon: 14 x 80 banks x 204 um^2)."""
+    if banks < 0:
+        raise IsaError(f"bank count must be non-negative, got {banks}")
+    return banks * FSM_AREA_UM2 * 1e-6

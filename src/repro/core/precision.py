@@ -1,0 +1,95 @@
+"""Flexible operand bit-width (Sec. III-A's bit-serial advantage).
+
+"Bit-serial operation allows for flexible operand bit-width, which can be
+advantageous in DNNs where the required bit width can vary from layer to
+layer." This module makes that concrete: sweep the element precision and
+watch MAC/quantization time scale, Stripes-style, while the data layout
+stays byte-aligned (the paper stores every element as a multiple of a
+byte "for simplicity, software programmability, and easier data
+movement" — so below 8 bits only *compute* gets cheaper, not storage or
+movement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SimulationError
+from repro.config import NeuralCacheConfig
+from repro.core.executor import NeuralCacheSimulator
+from repro.nn.graph import Network
+
+#: The byte-aligned layout caps flexible precision at 8 bits.
+MAX_PRECISION_BITS = 8
+
+
+def config_for_precision(bits: int,
+                         base: NeuralCacheConfig | None = None
+                         ) -> NeuralCacheConfig:
+    """A configuration computing on ``bits``-wide elements.
+
+    Storage regions (Fig. 10) keep their byte-aligned sizes; only the
+    bit-serial op widths shrink, exactly as the paper's layout rules
+    imply.
+    """
+    if not 1 <= bits <= MAX_PRECISION_BITS:
+        raise SimulationError(
+            f"flexible precision supports 1..{MAX_PRECISION_BITS} bits "
+            f"(byte-aligned storage), got {bits}")
+    if base is None:
+        base = NeuralCacheConfig()
+    return NeuralCacheConfig(
+        geometry=base.geometry, costs=base.costs, dram=base.dram,
+        energy=base.energy, frequency_hz=base.frequency_hz,
+        sockets=base.sockets,
+        output_buffer_fraction=base.output_buffer_fraction,
+        split_threshold_bytes=base.split_threshold_bytes,
+        pack_limit=base.pack_limit,
+        element_bits=bits,
+        input_gather_calibration=base.input_gather_calibration,
+        output_gather_calibration=base.output_gather_calibration,
+        input_reuse_floor=base.input_reuse_floor,
+        partial_sum_bits=base.partial_sum_bits,
+        reduction_bits=base.reduction_bits)
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """One precision setting's costs on a network."""
+
+    bits: int
+    latency_s: float
+    mac_time_s: float
+    compute_time_s: float       # mac + reduction + quantization + pooling
+    energy_j: float
+
+    def speedup_over(self, other: "PrecisionPoint") -> float:
+        """Latency ratio other/self (>1 means this point is faster)."""
+        return other.latency_s / self.latency_s
+
+
+def precision_sweep(network: Network,
+                    bit_widths: tuple[int, ...] = (2, 4, 6, 8),
+                    base: NeuralCacheConfig | None = None
+                    ) -> list[PrecisionPoint]:
+    """Latency/energy at each precision (Fig. 16-style series).
+
+    Data movement (filter loading, input streaming, output transfer) is
+    unchanged — elements stay bytes — so the returns diminish as movement
+    dominates, which is the honest version of the bit-precision trade-off
+    on this architecture.
+    """
+    if not bit_widths:
+        raise SimulationError("precision sweep needs at least one width")
+    points = []
+    for bits in bit_widths:
+        config = config_for_precision(bits, base)
+        result = NeuralCacheSimulator(network, config).run()
+        breakdown = result.breakdown()
+        compute = (breakdown.mac + breakdown.reduction
+                   + breakdown.quantization + breakdown.pooling)
+        points.append(PrecisionPoint(
+            bits=bits, latency_s=result.total_time,
+            mac_time_s=breakdown.mac, compute_time_s=compute,
+            energy_j=result.total_energy))
+    return points

@@ -1,0 +1,81 @@
+"""DNN substrate: quantized tensors, layers, graphs, golden executor,
+and the Inception v3 benchmark model."""
+
+from repro.nn.graph import Network, Node
+from repro.nn.inception import (
+    INPUT_SHAPE,
+    LayerGroupStats,
+    build_inception_v3,
+    group_stats,
+    table1,
+)
+from repro.nn.layers import (
+    Add,
+    AvgPool,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    MaxPool,
+    QuantizedBatchNorm,
+    conv_output_size,
+)
+from repro.nn.models import (
+    build_lenet5,
+    build_mlp,
+    build_resnet_tiny,
+    build_vgg_tiny,
+    model_zoo,
+)
+from repro.nn.reference import (
+    BnWeights,
+    ConvWeights,
+    NetworkWeights,
+    ReferenceExecutor,
+    bn_apply,
+    conv_accumulate,
+    finalize_conv,
+    initialise_weights,
+)
+from repro.nn.tensor import (
+    QuantParams,
+    QuantizedTensor,
+    RequantParams,
+    round_shift,
+)
+
+__all__ = [
+    "Add",
+    "AvgPool",
+    "BatchNorm",
+    "BnWeights",
+    "Concat",
+    "Conv2D",
+    "ConvWeights",
+    "FullyConnected",
+    "INPUT_SHAPE",
+    "LayerGroupStats",
+    "MaxPool",
+    "Network",
+    "NetworkWeights",
+    "Node",
+    "QuantParams",
+    "QuantizedBatchNorm",
+    "QuantizedTensor",
+    "ReferenceExecutor",
+    "bn_apply",
+    "RequantParams",
+    "build_inception_v3",
+    "build_lenet5",
+    "build_mlp",
+    "build_resnet_tiny",
+    "build_vgg_tiny",
+    "conv_accumulate",
+    "model_zoo",
+    "conv_output_size",
+    "finalize_conv",
+    "group_stats",
+    "initialise_weights",
+    "round_shift",
+    "table1",
+]

@@ -1,0 +1,174 @@
+"""Network DAG: named layers, shape inference, counting (Table I inputs).
+
+A :class:`Network` is built layer by layer; every node's output shape is
+inferred on insertion, so a malformed graph fails fast. Nodes carry a
+``group`` label used to aggregate the 95 Inception v3 sub-layers into the
+20 rows of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ShapeError
+from repro.nn.layers import (
+    Add,
+    AvgPool,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    MaxPool,
+    Shape,
+)
+
+Layer = (Conv2D | MaxPool | AvgPool | FullyConnected | Concat | BatchNorm
+         | Add)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One placed layer: its inputs (by name) and inferred output shape."""
+
+    name: str
+    layer: Layer | None  # None marks the network input
+    inputs: tuple[str, ...]
+    output_shape: Shape
+    group: str
+
+
+@dataclass
+class Network:
+    """An inference graph in insertion (topological) order."""
+
+    name: str
+    _nodes: dict[str, Node] = field(default_factory=dict)
+    _input_name: str | None = None
+
+    # -- construction -----------------------------------------------------------
+    def add_input(self, name: str, shape: Shape) -> str:
+        """Declare the network input tensor."""
+        if self._input_name is not None:
+            raise ShapeError("network already has an input")
+        if len(shape) != 3 or any(d <= 0 for d in shape):
+            raise ShapeError(f"input shape must be positive (H, W, C), got "
+                             f"{shape}")
+        self._nodes[name] = Node(name=name, layer=None, inputs=(),
+                                 output_shape=shape, group=name)
+        self._input_name = name
+        return name
+
+    def add(self, name: str, layer: Layer, inputs: str | tuple[str, ...],
+            group: str | None = None) -> str:
+        """Place a layer; returns its name for chaining."""
+        if name in self._nodes:
+            raise ShapeError(f"duplicate node name {name!r}")
+        input_names = (inputs,) if isinstance(inputs, str) else tuple(inputs)
+        if not input_names:
+            raise ShapeError(f"node {name!r} needs at least one input")
+        shapes = []
+        for input_name in input_names:
+            if input_name not in self._nodes:
+                raise ShapeError(
+                    f"node {name!r} references unknown input {input_name!r}")
+            shapes.append(self._nodes[input_name].output_shape)
+        if isinstance(layer, (Concat, Add)):
+            out_shape = layer.output_shape(*shapes)
+        else:
+            if len(shapes) != 1:
+                raise ShapeError(
+                    f"{type(layer).__name__} takes one input, got "
+                    f"{len(shapes)}")
+            out_shape = layer.output_shape(shapes[0])
+        self._nodes[name] = Node(name=name, layer=layer, inputs=input_names,
+                                 output_shape=out_shape,
+                                 group=group or name)
+        return name
+
+    # -- structure queries -------------------------------------------------------
+    @property
+    def input_name(self) -> str:
+        if self._input_name is None:
+            raise ShapeError("network has no input")
+        return self._input_name
+
+    @property
+    def input_shape(self) -> Shape:
+        return self._nodes[self.input_name].output_shape
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ShapeError(f"no node named {name!r}") from None
+
+    def nodes(self) -> list[Node]:
+        """All nodes in topological (insertion) order."""
+        return list(self._nodes.values())
+
+    def layer_nodes(self) -> list[Node]:
+        """Nodes with layers (everything but the input)."""
+        return [n for n in self._nodes.values() if n.layer is not None]
+
+    @property
+    def output_name(self) -> str:
+        """The last placed node (the network output)."""
+        names = list(self._nodes)
+        if len(names) < 2:
+            raise ShapeError("network has no layers")
+        return names[-1]
+
+    def input_shape_of(self, name: str) -> Shape:
+        """Shape of a node's (first) input tensor."""
+        node = self.node(name)
+        if not node.inputs:
+            raise ShapeError(f"node {name!r} is the network input")
+        return self._nodes[node.inputs[0]].output_shape
+
+    def groups(self) -> list[str]:
+        """Distinct group labels of layer nodes, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for node in self.layer_nodes():
+            seen.setdefault(node.group, None)
+        return list(seen)
+
+    def group_nodes(self, group: str) -> list[Node]:
+        """Layer nodes belonging to one group."""
+        nodes = [n for n in self.layer_nodes() if n.group == group]
+        if not nodes:
+            raise ShapeError(f"no nodes in group {group!r}")
+        return nodes
+
+    def consumers(self, name: str) -> list[Node]:
+        """Nodes that read ``name``'s output."""
+        self.node(name)
+        return [n for n in self._nodes.values() if name in n.inputs]
+
+    # -- aggregate statistics ------------------------------------------------------
+    def conv_nodes(self) -> list[Node]:
+        """All convolution nodes, with FC layers in their conv form."""
+        return [n for n in self.layer_nodes()
+                if isinstance(n.layer, (Conv2D, FullyConnected))]
+
+    def conv_of(self, node: Node) -> Conv2D:
+        """The Conv2D description of a conv/FC node."""
+        if isinstance(node.layer, Conv2D):
+            return node.layer
+        if isinstance(node.layer, FullyConnected):
+            return node.layer.as_conv()
+        raise ShapeError(f"node {node.name!r} is not a convolution")
+
+    def total_weight_bytes(self) -> int:
+        """All filter weights at one byte each."""
+        return sum(self.conv_of(n).weight_bytes(self.input_shape_of(n.name))
+                   for n in self.conv_nodes())
+
+    def total_macs(self) -> int:
+        """All 8-bit MACs for one inference."""
+        return sum(self.conv_of(n).macs(self.input_shape_of(n.name))
+                   for n in self.conv_nodes())
+
+    def total_convolutions(self) -> int:
+        """All single convolutions (output elements of conv layers)."""
+        return sum(self.conv_of(n).convolutions(self.input_shape_of(n.name))
+                   for n in self.conv_nodes())

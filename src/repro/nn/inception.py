@@ -1,0 +1,286 @@
+"""Inception v3 (Szegedy et al., the paper's benchmark model).
+
+Builds the full inference graph — 95 convolution sub-layers across 20
+top-level groups — with the exact channel counts of the TF-slim reference
+implementation the paper profiled. The per-group statistics reproduce
+Table I:
+
+* ``Conv``  = sum of output elements of the group's convolutions;
+* ``Filter Size`` = filter bytes (8-bit weights);
+* ``Input Size`` = the group's external input volume times the number of
+  branches that read it (the convention that matches every published row).
+
+Known discrepancies with the published table (see EXPERIMENTS.md):
+
+* the paper's Mixed_6e row repeats Mixed_6c/6d's counts although its own
+  C-range column (192-768) implies the standard 192-channel Mixed_6e built
+  here (554,880 convolutions, 2.04 MB of filters);
+* the paper's Mixed_6a filter size (0.255 MB) corresponds to reading the
+  TF-slim scope name ``Branch_0/Conv2d_1a_1x1`` as a true 1x1 filter; the
+  actual op in that scope is a 3x3 stride-2 convolution (a 1x1 stride-2
+  conv would discard three quarters of its input), giving 1.10 MB;
+* the paper counts "94 convolutional sub-layers" where the faithful graph
+  has 95 (the FC-as-conv layer accounts for the difference).
+
+All remaining 18 rows' Conv / Filter Size / Input Size columns match the
+published table exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import bytes_to_mb
+from repro.nn.graph import Network, Node
+from repro.nn.layers import AvgPool, Concat, Conv2D, FullyConnected, MaxPool
+
+INPUT_SHAPE = (299, 299, 3)
+NUM_CLASSES = 1001
+
+
+def _conv(net: Network, name: str, src: str, channels: int,
+          kernel: tuple[int, int], stride: int = 1, padding: str = "same",
+          group: str | None = None) -> str:
+    return net.add(name, Conv2D(out_channels=channels, kernel=kernel,
+                                stride=stride, padding=padding),
+                   src, group=group)
+
+
+def _inception_a(net: Network, name: str, src: str, pool_channels: int) -> str:
+    """35x35 module (Mixed_5b/5c/5d): 1x1 / 5x5 / double-3x3 / pool-proj."""
+    b0 = _conv(net, f"{name}/Branch_0/Conv2d_0a_1x1", src, 64, (1, 1),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0a_1x1", src, 48, (1, 1),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0b_5x5", b1, 64, (5, 5),
+               group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0a_1x1", src, 64, (1, 1),
+               group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0b_3x3", b2, 96, (3, 3),
+               group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0c_3x3", b2, 96, (3, 3),
+               group=name)
+    b3 = net.add(f"{name}/Branch_3/AvgPool_0a_3x3",
+                 AvgPool(kernel=(3, 3), stride=1, padding="same"), src,
+                 group=name)
+    b3 = _conv(net, f"{name}/Branch_3/Conv2d_0b_1x1", b3, pool_channels,
+               (1, 1), group=name)
+    return net.add(f"{name}/concat", Concat(), (b0, b1, b2, b3), group=name)
+
+
+def _reduction_a(net: Network, name: str, src: str) -> str:
+    """35->17 reduction (Mixed_6a): strided 3x3 / double-3x3 / maxpool."""
+    b0 = _conv(net, f"{name}/Branch_0/Conv2d_1a_1x1", src, 384, (3, 3),
+               stride=2, padding="valid", group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0a_1x1", src, 64, (1, 1),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0b_3x3", b1, 96, (3, 3),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_1a_1x1", b1, 96, (3, 3),
+               stride=2, padding="valid", group=name)
+    b2 = net.add(f"{name}/Branch_2/MaxPool_1a_3x3",
+                 MaxPool(kernel=(3, 3), stride=2, padding="valid"), src,
+                 group=name)
+    return net.add(f"{name}/concat", Concat(), (b0, b1, b2), group=name)
+
+
+def _inception_b(net: Network, name: str, src: str, mid_channels: int) -> str:
+    """17x17 module (Mixed_6b..6e): factorised 7x7 convolutions."""
+    k = mid_channels
+    b0 = _conv(net, f"{name}/Branch_0/Conv2d_0a_1x1", src, 192, (1, 1),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0a_1x1", src, k, (1, 1),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0b_1x7", b1, k, (1, 7),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0c_7x1", b1, 192, (7, 1),
+               group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0a_1x1", src, k, (1, 1),
+               group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0b_7x1", b2, k, (7, 1),
+               group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0c_1x7", b2, k, (1, 7),
+               group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0d_7x1", b2, k, (7, 1),
+               group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0e_1x7", b2, 192, (1, 7),
+               group=name)
+    b3 = net.add(f"{name}/Branch_3/AvgPool_0a_3x3",
+                 AvgPool(kernel=(3, 3), stride=1, padding="same"), src,
+                 group=name)
+    b3 = _conv(net, f"{name}/Branch_3/Conv2d_0b_1x1", b3, 192, (1, 1),
+               group=name)
+    return net.add(f"{name}/concat", Concat(), (b0, b1, b2, b3), group=name)
+
+
+def _reduction_b(net: Network, name: str, src: str) -> str:
+    """17->8 reduction (Mixed_7a)."""
+    b0 = _conv(net, f"{name}/Branch_0/Conv2d_0a_1x1", src, 192, (1, 1),
+               group=name)
+    b0 = _conv(net, f"{name}/Branch_0/Conv2d_1a_3x3", b0, 320, (3, 3),
+               stride=2, padding="valid", group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0a_1x1", src, 192, (1, 1),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0b_1x7", b1, 192, (1, 7),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0c_7x1", b1, 192, (7, 1),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_1a_3x3", b1, 192, (3, 3),
+               stride=2, padding="valid", group=name)
+    b2 = net.add(f"{name}/Branch_2/MaxPool_1a_3x3",
+                 MaxPool(kernel=(3, 3), stride=2, padding="valid"), src,
+                 group=name)
+    return net.add(f"{name}/concat", Concat(), (b0, b1, b2), group=name)
+
+
+def _inception_c(net: Network, name: str, src: str) -> str:
+    """8x8 module (Mixed_7b/7c): split 3x3 into parallel 1x3 and 3x1."""
+    b0 = _conv(net, f"{name}/Branch_0/Conv2d_0a_1x1", src, 320, (1, 1),
+               group=name)
+    b1 = _conv(net, f"{name}/Branch_1/Conv2d_0a_1x1", src, 384, (1, 1),
+               group=name)
+    b1a = _conv(net, f"{name}/Branch_1/Conv2d_0b_1x3", b1, 384, (1, 3),
+                group=name)
+    b1b = _conv(net, f"{name}/Branch_1/Conv2d_0b_3x1", b1, 384, (3, 1),
+                group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0a_1x1", src, 448, (1, 1),
+               group=name)
+    b2 = _conv(net, f"{name}/Branch_2/Conv2d_0b_3x3", b2, 384, (3, 3),
+               group=name)
+    b2a = _conv(net, f"{name}/Branch_2/Conv2d_0c_1x3", b2, 384, (1, 3),
+                group=name)
+    b2b = _conv(net, f"{name}/Branch_2/Conv2d_0d_3x1", b2, 384, (3, 1),
+                group=name)
+    b3 = net.add(f"{name}/Branch_3/AvgPool_0a_3x3",
+                 AvgPool(kernel=(3, 3), stride=1, padding="same"), src,
+                 group=name)
+    b3 = _conv(net, f"{name}/Branch_3/Conv2d_0b_1x1", b3, 192, (1, 1),
+               group=name)
+    return net.add(f"{name}/concat", Concat(),
+                   (b0, b1a, b1b, b2a, b2b, b3), group=name)
+
+
+def build_inception_v3() -> Network:
+    """The full Inception v3 inference graph (Table I's 20 groups)."""
+    net = Network(name="inception_v3")
+    x = net.add_input("input", INPUT_SHAPE)
+    x = _conv(net, "Conv2d_1a_3x3", x, 32, (3, 3), stride=2, padding="valid")
+    x = _conv(net, "Conv2d_2a_3x3", x, 32, (3, 3), padding="valid")
+    x = _conv(net, "Conv2d_2b_3x3", x, 64, (3, 3), padding="same")
+    x = net.add("MaxPool_3a_3x3", MaxPool(kernel=(3, 3), stride=2,
+                                          padding="valid"), x)
+    x = _conv(net, "Conv2d_3b_1x1", x, 80, (1, 1), padding="valid")
+    x = _conv(net, "Conv2d_4a_3x3", x, 192, (3, 3), padding="valid")
+    x = net.add("MaxPool_5a_3x3", MaxPool(kernel=(3, 3), stride=2,
+                                          padding="valid"), x)
+    x = _inception_a(net, "Mixed_5b", x, pool_channels=32)
+    x = _inception_a(net, "Mixed_5c", x, pool_channels=64)
+    x = _inception_a(net, "Mixed_5d", x, pool_channels=64)
+    x = _reduction_a(net, "Mixed_6a", x)
+    x = _inception_b(net, "Mixed_6b", x, mid_channels=128)
+    x = _inception_b(net, "Mixed_6c", x, mid_channels=160)
+    x = _inception_b(net, "Mixed_6d", x, mid_channels=160)
+    x = _inception_b(net, "Mixed_6e", x, mid_channels=192)
+    x = _reduction_b(net, "Mixed_7a", x)
+    x = _inception_c(net, "Mixed_7b", x)
+    x = _inception_c(net, "Mixed_7c", x)
+    x = net.add("AvgPool", AvgPool(kernel=(8, 8), stride=1,
+                                   padding="valid"), x)
+    net.add("FullyConnected", FullyConnected(out_features=NUM_CLASSES), x)
+    return net
+
+
+# ---------------------------------------------------------------------------
+# Table I regeneration
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LayerGroupStats:
+    """One row of Table I."""
+
+    group: str
+    input_height: int
+    kernel_sizes: tuple[int, int]      # (min, max) of R*S over convs
+    output_height: int
+    channels: tuple[int, int]          # (min, max) conv input channels
+    out_channels: tuple[int, int]      # (min, max) conv output channels
+    convolutions: int
+    filter_bytes: int
+    input_bytes: int
+
+    @property
+    def filter_mb(self) -> float:
+        return bytes_to_mb(self.filter_bytes)
+
+    @property
+    def input_mb(self) -> float:
+        return bytes_to_mb(self.input_bytes)
+
+    def kernel_label(self) -> str:
+        lo, hi = self.kernel_sizes
+        return str(lo) if lo == hi else f"{lo}-{hi}"
+
+    def channel_label(self) -> str:
+        lo, hi = self.channels
+        return str(lo) if lo == hi else f"{lo}-{hi}"
+
+
+def _external_inputs(net: Network, group: str) -> list[Node]:
+    """Group nodes whose (first) input comes from outside the group —
+    the 'branches' of Table I's input-size convention."""
+    members = {n.name for n in net.group_nodes(group)}
+    heads = []
+    for node in net.group_nodes(group):
+        if any(name not in members for name in node.inputs):
+            heads.append(node)
+    return heads
+
+
+def group_stats(net: Network, group: str) -> LayerGroupStats:
+    """Compute one Table I row from the graph."""
+    nodes = net.group_nodes(group)
+    heads = _external_inputs(net, group)
+    external_name = next(name for name in heads[0].inputs
+                         if name not in {n.name for n in nodes})
+    external_shape = net.node(external_name).output_shape
+    input_volume = external_shape[0] * external_shape[1] * external_shape[2]
+
+    convs = [n for n in nodes
+             if n.name in {c.name for c in net.conv_nodes()}]
+    kernel_sizes = []
+    in_channels = []
+    out_channels = []
+    convolutions = 0
+    filter_bytes = 0
+    for node in convs:
+        conv = net.conv_of(node)
+        in_shape = net.input_shape_of(node.name)
+        kernel_sizes.append(conv.kernel[0] * conv.kernel[1])
+        in_channels.append(in_shape[2])
+        out_channels.append(conv.out_channels)
+        convolutions += conv.convolutions(in_shape)
+        filter_bytes += conv.weight_bytes(in_shape)
+
+    last = nodes[-1]
+    if not convs:
+        # Pool-only groups: the paper reports C = 0 and M = pool channels.
+        in_channels = [0]
+        out_channels = [last.output_shape[2]]
+        kernel_sizes = [nodes[0].layer.window]  # type: ignore[union-attr]
+    return LayerGroupStats(
+        group=group,
+        input_height=external_shape[0],
+        kernel_sizes=(min(kernel_sizes), max(kernel_sizes)),
+        output_height=last.output_shape[0],
+        channels=(min(in_channels), max(in_channels)),
+        out_channels=(min(out_channels), max(out_channels)),
+        convolutions=convolutions,
+        filter_bytes=filter_bytes,
+        input_bytes=input_volume * len(heads),
+    )
+
+
+def table1(net: Network | None = None) -> list[LayerGroupStats]:
+    """All Table I rows, in network order."""
+    if net is None:
+        net = build_inception_v3()
+    return [group_stats(net, group) for group in net.groups()]

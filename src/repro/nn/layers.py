@@ -1,0 +1,248 @@
+"""DNN layer definitions with shape inference (Sec. II-A nomenclature).
+
+Dimensions follow the paper: inputs are ``H x W x C`` (height, width,
+channels); conv filters are ``R x S x C x M`` (height, width, channels,
+output batches); outputs are ``E x F x M``; the stride is ``U``.
+
+Layers are immutable descriptions — execution lives in
+:mod:`repro.nn.reference` (golden NumPy) and :mod:`repro.core.functional`
+(bit-serial in-cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ShapeError
+
+Shape = tuple[int, int, int]  # (H, W, C)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: str) -> int:
+    """Spatial output size of a conv/pool window sweep."""
+    if size <= 0 or kernel <= 0 or stride <= 0:
+        raise ShapeError(
+            f"sizes must be positive: size={size}, kernel={kernel}, "
+            f"stride={stride}")
+    if padding == "valid":
+        if kernel > size:
+            raise ShapeError(f"kernel {kernel} larger than input {size}")
+        return (size - kernel) // stride + 1
+    if padding == "same":
+        return -(-size // stride)
+    raise ShapeError(f"padding must be 'same' or 'valid', got {padding!r}")
+
+
+def same_padding_offsets(size: int, kernel: int, stride: int) -> tuple[int, int]:
+    """(pad_before, pad_after) for TF 'same' padding along one axis."""
+    out = -(-size // stride)
+    total = max((out - 1) * stride + kernel - size, 0)
+    before = total // 2
+    return before, total - before
+
+
+def _check_shape(shape: Shape) -> None:
+    if len(shape) != 3 or any(d <= 0 for d in shape):
+        raise ShapeError(f"expected a positive (H, W, C) shape, got {shape}")
+
+
+@dataclass(frozen=True)
+class Conv2D:
+    """Convolution layer; ReLU is folded in (as in quantized Inception v3)."""
+
+    out_channels: int
+    kernel: tuple[int, int]
+    stride: int = 1
+    padding: str = "same"
+    relu: bool = True
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0:
+            raise ShapeError(f"out_channels must be positive, got "
+                             f"{self.out_channels}")
+        if len(self.kernel) != 2 or any(k <= 0 for k in self.kernel):
+            raise ShapeError(f"kernel must be positive (R, S), got "
+                             f"{self.kernel}")
+        if self.stride <= 0:
+            raise ShapeError(f"stride must be positive, got {self.stride}")
+        if self.padding not in ("same", "valid"):
+            raise ShapeError(f"bad padding {self.padding!r}")
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        _check_shape(input_shape)
+        h, w, _ = input_shape
+        r, s = self.kernel
+        return (conv_output_size(h, r, self.stride, self.padding),
+                conv_output_size(w, s, self.stride, self.padding),
+                self.out_channels)
+
+    def filter_shape(self, input_shape: Shape) -> tuple[int, int, int, int]:
+        """(R, S, C, M) of the weight tensor."""
+        _check_shape(input_shape)
+        r, s = self.kernel
+        return (r, s, input_shape[2], self.out_channels)
+
+    def weight_bytes(self, input_shape: Shape) -> int:
+        """Filter footprint at one byte per weight (8-bit quantized)."""
+        r, s, c, m = self.filter_shape(input_shape)
+        return r * s * c * m
+
+    def convolutions(self, input_shape: Shape) -> int:
+        """Output elements = single convolutions (Table I 'Conv' column)."""
+        e, f, m = self.output_shape(input_shape)
+        return e * f * m
+
+    def macs(self, input_shape: Shape) -> int:
+        """8-bit multiply-accumulates for the whole layer."""
+        r, s, c, _ = self.filter_shape(input_shape)
+        return self.convolutions(input_shape) * r * s * c
+
+
+@dataclass(frozen=True)
+class Pool2D:
+    """Shared shape logic for max/average pooling."""
+
+    kernel: tuple[int, int]
+    stride: int = 1
+    padding: str = "valid"
+
+    def __post_init__(self) -> None:
+        if len(self.kernel) != 2 or any(k <= 0 for k in self.kernel):
+            raise ShapeError(f"kernel must be positive (R, S), got "
+                             f"{self.kernel}")
+        if self.stride <= 0:
+            raise ShapeError(f"stride must be positive, got {self.stride}")
+        if self.padding not in ("same", "valid"):
+            raise ShapeError(f"bad padding {self.padding!r}")
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        _check_shape(input_shape)
+        h, w, c = input_shape
+        r, s = self.kernel
+        return (conv_output_size(h, r, self.stride, self.padding),
+                conv_output_size(w, s, self.stride, self.padding),
+                c)
+
+    @property
+    def window(self) -> int:
+        return self.kernel[0] * self.kernel[1]
+
+
+@dataclass(frozen=True)
+class MaxPool(Pool2D):
+    """Max pooling (Sec. IV-D: repeated compare + selective copy)."""
+
+
+@dataclass(frozen=True)
+class AvgPool(Pool2D):
+    """Average pooling (Sec. IV-D: window sum, then in-cache division)."""
+
+
+@dataclass(frozen=True)
+class FullyConnected:
+    """Fully connected layer, executed as a 1x1 convolution (Sec. IV-D)."""
+
+    out_features: int
+    relu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ShapeError(f"out_features must be positive, got "
+                             f"{self.out_features}")
+
+    def as_conv(self) -> Conv2D:
+        """The equivalent convolution (TensorFlow does this conversion)."""
+        return Conv2D(out_channels=self.out_features, kernel=(1, 1),
+                      stride=1, padding="valid", relu=self.relu)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        _check_shape(input_shape)
+        if input_shape[0] != 1 or input_shape[1] != 1:
+            raise ShapeError(
+                f"fully connected layers expect 1x1 spatial input, got "
+                f"{input_shape}; add pooling first")
+        return (1, 1, self.out_features)
+
+    def weight_bytes(self, input_shape: Shape) -> int:
+        return input_shape[2] * self.out_features
+
+
+@dataclass(frozen=True)
+class Add:
+    """Element-wise addition (residual connections).
+
+    Both inputs must share quantization parameters; the integer form is
+    then exact: ``q_out = clamp(q_a + q_b - zero_point)``. In cache this
+    is one bit-serial addition plus a zero-point correction and a
+    saturating write — the cheapest layer the architecture runs.
+    """
+
+    relu: bool = False
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        if len(input_shapes) != 2:
+            raise ShapeError(
+                f"elementwise add takes two inputs, got {len(input_shapes)}")
+        for shape in input_shapes:
+            _check_shape(shape)
+        if input_shapes[0] != input_shapes[1]:
+            raise ShapeError(
+                f"elementwise add needs matching shapes: "
+                f"{input_shapes[0]} vs {input_shapes[1]}")
+        return input_shapes[0]
+
+
+@dataclass(frozen=True)
+class Concat:
+    """Channel-wise concatenation of the mixed-module branches."""
+
+    def output_shape(self, *input_shapes: Shape) -> Shape:
+        if not input_shapes:
+            raise ShapeError("concat needs at least one input")
+        for shape in input_shapes:
+            _check_shape(shape)
+        h, w, _ = input_shapes[0]
+        for shape in input_shapes[1:]:
+            if shape[:2] != (h, w):
+                raise ShapeError(
+                    f"concat inputs must share spatial dims: "
+                    f"{input_shapes[0]} vs {shape}")
+        return (h, w, sum(shape[2] for shape in input_shapes))
+
+
+@dataclass(frozen=True)
+class BatchNorm:
+    """Folded batch normalisation (a no-op placeholder).
+
+    At inference BN usually folds into the preceding conv's weights,
+    which is how the Inception v3 graph is built here. For the paper's
+    explicit in-cache BN flow use :class:`QuantizedBatchNorm`.
+    """
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        _check_shape(input_shape)
+        return input_shape
+
+
+@dataclass(frozen=True)
+class QuantizedBatchNorm:
+    """Explicit in-cache batch normalisation (Sec. IV-D).
+
+    The paper's flow: multiply every value by a CPU-provided scalar and
+    shift (quantizing to 32-bit), add per-output-channel scalar integers,
+    then requantize. The integer semantics both executors share:
+
+        acc   = q * mult[c] + bias[c]          (32-bit)
+        acc   = max(acc, 0)                     (when relu)
+        q_out = clamp(zp_out + round_shift(acc, shift))
+
+    where ``mult``/``bias``/``shift`` come from
+    :class:`repro.nn.reference.BnWeights` (the "scalar integers...
+    calculated in the CPU").
+    """
+
+    relu: bool = True
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        _check_shape(input_shape)
+        return input_shape

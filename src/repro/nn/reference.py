@@ -1,0 +1,339 @@
+"""Golden quantized executor: the NumPy reference both paths must match.
+
+This plays the role TensorFlow's instrumented traces played for the paper's
+simulator (Sec. V: "The simulator is verified by running data traces on it
+and matching the results with traces obtained from instrumenting the
+TensorFlow model"). Every integer step — zero-point handling, padding,
+accumulation, ReLU, fixed-point requantization — is defined here, and the
+bit-serial functional executor must reproduce it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import QuantizationError, ShapeError
+from repro.nn.graph import Network, Node
+from repro.nn.layers import (
+    Add,
+    AvgPool,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    MaxPool,
+    QuantizedBatchNorm,
+    same_padding_offsets,
+)
+from repro.nn.tensor import (
+    QuantParams,
+    QuantizedTensor,
+    RequantParams,
+    round_shift,
+)
+
+
+@dataclass(frozen=True)
+class ConvWeights:
+    """Quantized filters and requantization parameters for one conv node."""
+
+    filters: QuantizedTensor      # (R, S, C, M) uint8
+    requant: RequantParams
+
+    @property
+    def zero_point(self) -> int:
+        return self.filters.params.zero_point
+
+
+@dataclass(frozen=True)
+class BnWeights:
+    """Integer batch-norm parameters (Sec. IV-D's CPU-computed scalars).
+
+    ``multiplier`` is a per-channel uint16 scale, ``bias`` a per-channel
+    signed integer (with the input zero point already folded in), and
+    ``shift`` the common fixed-point exponent.
+    """
+
+    multiplier: np.ndarray   # (C,) uint16 range
+    bias: np.ndarray         # (C,) int64
+    shift: int
+
+    def __post_init__(self) -> None:
+        if self.multiplier.ndim != 1 or self.bias.shape != self.multiplier.shape:
+            raise QuantizationError(
+                "BN multiplier/bias must be matching per-channel vectors")
+        if np.any(self.multiplier < 1) or np.any(self.multiplier >= 1 << 16):
+            raise QuantizationError("BN multipliers must fit uint16 and be "
+                                    "positive")
+        if self.shift < 0:
+            raise QuantizationError("BN shift must be non-negative")
+
+    @property
+    def channels(self) -> int:
+        return self.multiplier.shape[0]
+
+
+def bn_apply(q: np.ndarray, weights: BnWeights, zp_out: int,
+             relu: bool) -> np.ndarray:
+    """The shared integer BN pipeline on an (H, W, C) uint8 tensor."""
+    if q.shape[-1] != weights.channels:
+        raise QuantizationError(
+            f"BN expects {weights.channels} channels, got {q.shape[-1]}")
+    acc = (q.astype(np.int64) * weights.multiplier.astype(np.int64)
+           + weights.bias.astype(np.int64))
+    if relu:
+        acc = np.maximum(acc, 0)
+    out = round_shift(acc, weights.shift) + zp_out
+    return np.clip(out, 0, 255).astype(np.uint8)
+
+
+@dataclass
+class NetworkWeights:
+    """All learned state of a quantized network."""
+
+    input_params: QuantParams
+    activation_params: QuantParams
+    conv_weights: dict[str, ConvWeights] = field(default_factory=dict)
+    bn_weights: dict[str, BnWeights] = field(default_factory=dict)
+
+    def for_node(self, name: str) -> ConvWeights:
+        try:
+            return self.conv_weights[name]
+        except KeyError:
+            raise QuantizationError(f"no weights for node {name!r}") from None
+
+    def bn_for_node(self, name: str) -> BnWeights:
+        try:
+            return self.bn_weights[name]
+        except KeyError:
+            raise QuantizationError(
+                f"no batch-norm parameters for node {name!r}") from None
+
+
+def initialise_weights(network: Network, seed: int = 0,
+                       weight_sigma: float = 0.1,
+                       activation_range: tuple[float, float] = (0.0, 6.0),
+                       ) -> NetworkWeights:
+    """Random-but-realistic quantized weights for every conv node.
+
+    All activations share one set of quantization parameters (a uniform
+    post-ReLU range), which keeps channel concatenation exact — real
+    quantized Inception deployments requantize branches to a common scale
+    before concat for the same reason.
+    """
+    rng = np.random.default_rng(seed)
+    activation = QuantParams.from_range(*activation_range)
+    weights = NetworkWeights(input_params=activation,
+                             activation_params=activation)
+    for node in network.conv_nodes():
+        conv = network.conv_of(node)
+        in_shape = network.input_shape_of(node.name)
+        r, s, c, m = conv.filter_shape(in_shape)
+        real = rng.normal(0.0, weight_sigma, size=(r, s, c, m))
+        filters = QuantizedTensor.from_real(real)
+        acc_scale = activation.scale * filters.params.scale
+        requant = RequantParams.from_scales(acc_scale, activation)
+        weights.conv_weights[node.name] = ConvWeights(filters=filters,
+                                                      requant=requant)
+    for node in network.layer_nodes():
+        if not isinstance(node.layer, QuantizedBatchNorm):
+            continue
+        channels = node.output_shape[2]
+        shift = 12
+        # Per-channel gamma/beta around identity; fold the input zero
+        # point into the bias, as the CPU-side computation would.
+        gamma = rng.lognormal(mean=0.0, sigma=0.15, size=channels)
+        beta = rng.normal(0.0, 0.4, size=channels)
+        multiplier = np.clip(np.round(gamma * (1 << shift)), 1,
+                             (1 << 16) - 1).astype(np.int64)
+        bias_real = np.round(beta / activation.scale * (1 << shift))
+        bias = (bias_real
+                - activation.zero_point * multiplier).astype(np.int64)
+        weights.bn_weights[node.name] = BnWeights(
+            multiplier=multiplier, bias=bias, shift=shift)
+    return weights
+
+
+# ---------------------------------------------------------------------------
+# Integer building blocks (shared semantics for both execution paths)
+# ---------------------------------------------------------------------------
+def pad_input(data: np.ndarray, kernel: tuple[int, int], stride: int,
+              padding: str, fill: int) -> np.ndarray:
+    """Apply TF 'same' padding with ``fill`` (the input zero point, so
+    padded taps contribute exactly zero to the true accumulation)."""
+    if padding == "valid":
+        return data
+    h, w = data.shape[:2]
+    top, bottom = same_padding_offsets(h, kernel[0], stride)
+    left, right = same_padding_offsets(w, kernel[1], stride)
+    return np.pad(data, ((top, bottom), (left, right), (0, 0)),
+                  constant_values=fill)
+
+
+def conv_accumulate(x_q: np.ndarray, x_zp: int, w_q: np.ndarray, w_zp: int,
+                    stride: int, padding: str) -> np.ndarray:
+    """The int32 conv accumulator: ``sum((x - x_zp) * (w - w_zp))``.
+
+    ``x_q`` is (H, W, C) uint8; ``w_q`` is (R, S, C, M) uint8. Returns an
+    (E, F, M) int64 array. Padded positions hold ``x_zp`` and therefore
+    contribute zero.
+    """
+    if x_q.ndim != 3 or w_q.ndim != 4:
+        raise ShapeError(
+            f"expected (H,W,C) input and (R,S,C,M) filters, got "
+            f"{x_q.shape} and {w_q.shape}")
+    if x_q.shape[2] != w_q.shape[2]:
+        raise ShapeError(
+            f"channel mismatch: input C={x_q.shape[2]}, filter C="
+            f"{w_q.shape[2]}")
+    r, s, c, m = w_q.shape
+    padded = pad_input(x_q, (r, s), stride, padding, fill=x_zp)
+    e = (padded.shape[0] - r) // stride + 1
+    f = (padded.shape[1] - s) // stride + 1
+    x = padded.astype(np.int64) - x_zp
+    w = w_q.astype(np.int64).reshape(r * s * c, m) - w_zp
+    # im2col: gather every window into rows of (e*f, r*s*c).
+    windows = np.empty((e, f, r * s * c), dtype=np.int64)
+    for i in range(r):
+        for j in range(s):
+            patch = x[i:i + e * stride:stride, j:j + f * stride:stride, :]
+            windows[:, :, (i * s + j) * c:(i * s + j + 1) * c] = patch
+    acc = windows.reshape(e * f, r * s * c) @ w
+    return acc.reshape(e, f, m)
+
+
+def maxpool_quantized(x_q: np.ndarray, kernel: tuple[int, int], stride: int,
+                      padding: str) -> np.ndarray:
+    """Max pooling on uint8 codes (monotone, so codes compare directly)."""
+    padded = pad_input(x_q, kernel, stride, padding, fill=0)
+    r, s = kernel
+    e = (padded.shape[0] - r) // stride + 1
+    f = (padded.shape[1] - s) // stride + 1
+    out = np.zeros((e, f, x_q.shape[2]), dtype=np.uint8)
+    for i in range(r):
+        for j in range(s):
+            patch = padded[i:i + e * stride:stride, j:j + f * stride:stride, :]
+            np.maximum(out, patch, out=out)
+    return out
+
+
+def avgpool_quantized(x_q: np.ndarray, kernel: tuple[int, int], stride: int,
+                      padding: str) -> np.ndarray:
+    """Average pooling: window sum then integer (floor) division.
+
+    The divisor counts only in-bounds taps under 'same' padding. Floor
+    division matches the in-cache restoring divider exactly.
+    """
+    r, s = kernel
+    padded = pad_input(x_q, kernel, stride, padding, fill=0).astype(np.int64)
+    ones = np.ones_like(x_q[:, :, :1], dtype=np.int64)
+    counts = pad_input(ones, kernel, stride, padding, fill=0)
+    e = (padded.shape[0] - r) // stride + 1
+    f = (padded.shape[1] - s) // stride + 1
+    total = np.zeros((e, f, x_q.shape[2]), dtype=np.int64)
+    count = np.zeros((e, f, 1), dtype=np.int64)
+    for i in range(r):
+        for j in range(s):
+            total += padded[i:i + e * stride:stride,
+                            j:j + f * stride:stride, :]
+            count += counts[i:i + e * stride:stride,
+                            j:j + f * stride:stride, :]
+    return (total // count).astype(np.uint8)
+
+
+def add_quantized(a_q: np.ndarray, b_q: np.ndarray, zero_point: int,
+                  relu: bool = False) -> np.ndarray:
+    """Element-wise quantized addition with shared parameters.
+
+    Exact when both operands share scale/zero-point:
+    ``q_out = clamp(q_a + q_b - zp)``; ReLU then clamps below the zero
+    point.
+    """
+    if a_q.shape != b_q.shape:
+        raise ShapeError(
+            f"elementwise add needs matching shapes: {a_q.shape} vs "
+            f"{b_q.shape}")
+    total = a_q.astype(np.int64) + b_q.astype(np.int64) - zero_point
+    if relu:
+        total = np.maximum(total, zero_point)
+    return np.clip(total, 0, 255).astype(np.uint8)
+
+
+def finalize_conv(acc: np.ndarray, relu: bool,
+                  requant: RequantParams) -> np.ndarray:
+    """ReLU (optional) then requantize — shared by both executors."""
+    acc = np.asarray(acc, dtype=np.int64)
+    if relu:
+        acc = np.maximum(acc, 0)
+    return requant.apply(acc)
+
+
+# ---------------------------------------------------------------------------
+# Whole-network execution
+# ---------------------------------------------------------------------------
+class ReferenceExecutor:
+    """Runs a quantized network with NumPy integer arithmetic."""
+
+    def __init__(self, network: Network, weights: NetworkWeights):
+        self.network = network
+        self.weights = weights
+
+    def run(self, image: QuantizedTensor) -> dict[str, QuantizedTensor]:
+        """Execute all layers; returns every node's output by name."""
+        if image.shape != self.network.input_shape:
+            raise ShapeError(
+                f"input shape {image.shape} does not match network "
+                f"{self.network.input_shape}")
+        results: dict[str, QuantizedTensor] = {
+            self.network.input_name: image}
+        for node in self.network.layer_nodes():
+            inputs = [results[name] for name in node.inputs]
+            results[node.name] = self._run_node(node, inputs)
+        return results
+
+    def run_output(self, image: QuantizedTensor) -> QuantizedTensor:
+        """Execute and return only the final node's output."""
+        return self.run(image)[self.network.output_name]
+
+    # ------------------------------------------------------------------
+    def _run_node(self, node: Node,
+                  inputs: list[QuantizedTensor]) -> QuantizedTensor:
+        layer = node.layer
+        activation = self.weights.activation_params
+        if isinstance(layer, (Conv2D, FullyConnected)):
+            conv = self.network.conv_of(node)
+            x = inputs[0]
+            data = x.data
+            if isinstance(layer, FullyConnected):
+                data = data.reshape(1, 1, -1)
+            w = self.weights.for_node(node.name)
+            acc = conv_accumulate(data, x.params.zero_point,
+                                  w.filters.data, w.zero_point,
+                                  conv.stride, conv.padding)
+            out = finalize_conv(acc, conv.relu, w.requant)
+            return QuantizedTensor(out, activation)
+        if isinstance(layer, MaxPool):
+            out = maxpool_quantized(inputs[0].data, layer.kernel,
+                                    layer.stride, layer.padding)
+            return QuantizedTensor(out, inputs[0].params)
+        if isinstance(layer, AvgPool):
+            out = avgpool_quantized(inputs[0].data, layer.kernel,
+                                    layer.stride, layer.padding)
+            return QuantizedTensor(out, inputs[0].params)
+        if isinstance(layer, Concat):
+            data = np.concatenate([t.data for t in inputs], axis=2)
+            return QuantizedTensor(data, inputs[0].params)
+        if isinstance(layer, Add):
+            out = add_quantized(inputs[0].data, inputs[1].data,
+                                inputs[0].params.zero_point, layer.relu)
+            return QuantizedTensor(out, inputs[0].params)
+        if isinstance(layer, QuantizedBatchNorm):
+            bn = self.weights.bn_for_node(node.name)
+            out = bn_apply(inputs[0].data, bn, activation.zero_point,
+                           layer.relu)
+            return QuantizedTensor(out, activation)
+        if isinstance(layer, BatchNorm):
+            return inputs[0]
+        raise ShapeError(f"unsupported layer type {type(layer).__name__}")

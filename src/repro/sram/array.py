@@ -1,0 +1,186 @@
+"""Functional model of an 8KB compute-capable SRAM array.
+
+The paper's arrays (Figure 3d) have 256 wordlines by 256 bitlines. Activating
+two wordlines simultaneously performs a wired operation on every bitline in
+the analog domain (Figure 2b):
+
+* sensing the bit-line (``BL``) yields ``A AND B``;
+* sensing the bit-line complement (``BLB``) yields ``(NOT A) AND (NOT B)``,
+  i.e. ``A NOR B``.
+
+This module models that behaviour digitally and bit-exactly. Word-line
+under-drive (the 0.66 V read voltage that protects cells during multi-row
+activation) only affects delay and energy, which are captured by
+:mod:`repro.sram.energy`; functionally reads are non-destructive.
+
+The array also counts how many *access* cycles (plain reads/writes) and
+*compute* cycles (two-row activations) it performed, so the energy model can
+charge 8.6 pJ / 15.4 pJ per 256-bitline cycle (22 nm numbers from Sec. V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ArrayStateError
+
+#: Geometry of the 8KB array used throughout the paper.
+DEFAULT_ROWS = 256
+DEFAULT_COLS = 256
+
+
+class SRAMArray:
+    """A single compute-capable SRAM array.
+
+    Parameters
+    ----------
+    rows:
+        Number of wordlines (default 256).
+    cols:
+        Number of bitlines (default 256). Each bitline is one bit-serial
+        ALU slot.
+    """
+
+    def __init__(self, rows: int = DEFAULT_ROWS, cols: int = DEFAULT_COLS):
+        if rows <= 0 or cols <= 0:
+            raise ArrayStateError(f"array must be non-empty, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._bits = np.zeros((rows, cols), dtype=np.uint8)
+        self.access_cycles = 0
+        self.compute_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Plain SRAM behaviour (single wordline)
+    # ------------------------------------------------------------------
+    def read_row(self, row: int) -> np.ndarray:
+        """Read one wordline; returns a copy of its 0/1 bit vector."""
+        self._check_row(row)
+        self.access_cycles += 1
+        return self._bits[row].copy()
+
+    def write_row(self, row: int, bits: np.ndarray,
+                  mask: np.ndarray | None = None) -> None:
+        """Write one wordline.
+
+        ``mask`` models the per-column bit-line drivers gated by the tag
+        latch (Figure 7): columns where ``mask == 0`` keep their old value.
+        """
+        self._check_row(row)
+        bits = self._coerce_bits(bits)
+        self.access_cycles += 1
+        if mask is None:
+            self._bits[row] = bits
+        else:
+            mask = self._coerce_bits(mask)
+            self._bits[row] = np.where(mask, bits, self._bits[row])
+
+    # ------------------------------------------------------------------
+    # Compute behaviour (two simultaneous wordlines)
+    # ------------------------------------------------------------------
+    def sense(self, row_a: int, row_b: int) -> tuple[np.ndarray, np.ndarray]:
+        """Activate two wordlines and sense both bit-line rails.
+
+        Returns ``(bl, blb)`` where ``bl[i] = A[i] AND B[i]`` and
+        ``blb[i] = A[i] NOR B[i]`` for every bitline ``i``, exactly as in
+        Figure 2b. Reads are non-destructive (the silicon guarantees this
+        via word-line under-drive; 20 fabricated test chips tolerate 64
+        simultaneous rows, the architecture only ever uses two).
+        """
+        self._check_row(row_a)
+        self._check_row(row_b)
+        if row_a == row_b:
+            raise ArrayStateError(
+                f"compute sensing requires two distinct wordlines, got {row_a}")
+        self.compute_cycles += 1
+        a = self._bits[row_a]
+        b = self._bits[row_b]
+        bl = a & b
+        blb = (1 - a) & (1 - b)
+        return bl.copy(), blb.copy()
+
+    def sense_single(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """Activate one wordline in compute mode (the other operand reads
+        as all-ones on BL sensing, i.e. ``bl = A`` and ``blb = NOT A``).
+
+        Used for moves and tag loads, which only need one operand row.
+        """
+        self._check_row(row)
+        self.compute_cycles += 1
+        a = self._bits[row]
+        return a.copy(), (1 - a).copy()
+
+    def write_back(self, row: int, bits: np.ndarray,
+                   mask: np.ndarray | None = None) -> None:
+        """Phase-2 write of a compute cycle (WWL activation).
+
+        Does *not* count an extra cycle: the paper's compute cycle has a
+        sensing phase and a write-back phase inside one clock.
+        """
+        self._check_row(row)
+        bits = self._coerce_bits(bits)
+        if mask is None:
+            self._bits[row] = bits
+        else:
+            mask = self._coerce_bits(mask)
+            self._bits[row] = np.where(mask, bits, self._bits[row])
+
+    # ------------------------------------------------------------------
+    # Test/host-side helpers (no cycle accounting; data arrives via TMU)
+    # ------------------------------------------------------------------
+    def load_bits(self, top_row: int, bits: np.ndarray,
+                  col_offset: int = 0) -> None:
+        """Bulk-store a bit matrix with its row 0 at ``top_row``.
+
+        This is the host/TMU path used to initialise array contents; cycle
+        costs for getting data into the array are charged by the transfer
+        models, not here.
+        """
+        bits = np.atleast_2d(np.asarray(bits, dtype=np.uint8))
+        n_rows, n_cols = bits.shape
+        if top_row < 0 or top_row + n_rows > self.rows:
+            raise ArrayStateError(
+                f"rows [{top_row}, {top_row + n_rows}) outside array of "
+                f"{self.rows} rows")
+        if col_offset < 0 or col_offset + n_cols > self.cols:
+            raise ArrayStateError(
+                f"columns [{col_offset}, {col_offset + n_cols}) outside array "
+                f"of {self.cols} columns")
+        self._bits[top_row:top_row + n_rows,
+                   col_offset:col_offset + n_cols] = bits
+
+    def dump_bits(self, top_row: int, n_rows: int,
+                  col_offset: int = 0, n_cols: int | None = None) -> np.ndarray:
+        """Bulk-read a bit matrix (host/TMU path, no cycle accounting)."""
+        if n_cols is None:
+            n_cols = self.cols - col_offset
+        if top_row < 0 or top_row + n_rows > self.rows:
+            raise ArrayStateError(
+                f"rows [{top_row}, {top_row + n_rows}) outside array of "
+                f"{self.rows} rows")
+        return self._bits[top_row:top_row + n_rows,
+                          col_offset:col_offset + n_cols].copy()
+
+    def reset_counters(self) -> None:
+        """Zero the access/compute cycle counters."""
+        self.access_cycles = 0
+        self.compute_cycles = 0
+
+    # ------------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ArrayStateError(
+                f"row {row} outside array of {self.rows} rows")
+
+    def _coerce_bits(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.cols,):
+            raise ArrayStateError(
+                f"expected a row of {self.cols} bits, got shape {bits.shape}")
+        if np.any(bits > 1):
+            raise ArrayStateError("bit values must be 0 or 1")
+        return bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SRAMArray(rows={self.rows}, cols={self.cols}, "
+                f"access={self.access_cycles}, compute={self.compute_cycles})")

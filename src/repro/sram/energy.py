@@ -1,0 +1,107 @@
+"""Energy, delay and area model of the compute SRAM array (Sec. V, Fig. 12).
+
+All constants come from the paper's SPICE characterisation of an 8KB
+computational SRAM at 28 nm, scaled to the 22 nm node of the modelled Xeon
+E5-2697 v3:
+
+* compute cycle (two-row activation + write-back over 256 bitlines):
+  25.7 pJ at 28 nm -> 15.4 pJ at 22 nm, delay 1022 ps;
+* normal SRAM access cycle: 13.9 pJ -> 8.6 pJ, delay 654 ps;
+* compute frequency is conservatively set to 2.5 GHz (vs 4 GHz for plain
+  accesses);
+* the extra bit-line peripherals and decoder cost 7.5% area per array,
+  which is under 2% of the processor die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import pj_to_joules
+
+# -- published constants (Sec. V) -------------------------------------------
+COMPUTE_ENERGY_PJ_28NM = 25.7
+ACCESS_ENERGY_PJ_28NM = 13.9
+COMPUTE_ENERGY_PJ_22NM = 15.4
+ACCESS_ENERGY_PJ_22NM = 8.6
+
+COMPUTE_DELAY_PS = 1022.0
+ACCESS_DELAY_PS = 654.0
+
+COMPUTE_FREQUENCY_HZ = 2.5e9
+ACCESS_FREQUENCY_HZ = 4.0e9
+
+#: Fraction of array area added by compute peripherals (Fig. 12).
+ARRAY_AREA_OVERHEAD = 0.075
+
+#: Figure 12 layout dimensions (um): the base array with wordline drivers
+#: and the extra height added by the computation logic.
+ARRAY_WIDTH_UM = 263.0
+ARRAY_HEIGHT_UM = 120.0
+COMPUTE_LOGIC_EXTRA_UM = 7.0
+
+
+@dataclass(frozen=True)
+class ArrayEnergyModel:
+    """Per-cycle energy of one 8KB array (whole 256-bitline row per cycle)."""
+
+    compute_pj: float = COMPUTE_ENERGY_PJ_22NM
+    access_pj: float = ACCESS_ENERGY_PJ_22NM
+
+    @classmethod
+    def at_28nm(cls) -> "ArrayEnergyModel":
+        """The as-fabricated 28 nm test-chip numbers."""
+        return cls(compute_pj=COMPUTE_ENERGY_PJ_28NM,
+                   access_pj=ACCESS_ENERGY_PJ_28NM)
+
+    def compute_energy(self, cycles: float, arrays: float = 1.0) -> float:
+        """Joules spent by ``arrays`` arrays doing ``cycles`` compute cycles."""
+        self._check(cycles, arrays)
+        return pj_to_joules(self.compute_pj) * cycles * arrays
+
+    def access_energy(self, cycles: float, arrays: float = 1.0) -> float:
+        """Joules spent by ``arrays`` arrays doing ``cycles`` access cycles."""
+        self._check(cycles, arrays)
+        return pj_to_joules(self.access_pj) * cycles * arrays
+
+    @staticmethod
+    def _check(cycles: float, arrays: float) -> None:
+        if cycles < 0 or arrays < 0:
+            raise ValueError("cycle and array counts must be non-negative")
+
+
+@dataclass(frozen=True)
+class ArrayAreaModel:
+    """Area accounting for the compute-enabled array (Fig. 12)."""
+
+    width_um: float = ARRAY_WIDTH_UM
+    height_um: float = ARRAY_HEIGHT_UM
+    compute_extra_um: float = COMPUTE_LOGIC_EXTRA_UM
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total area of one compute-enabled array in mm^2."""
+        return self.width_um * self.height_um * 1e-6
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Area overhead of compute support relative to the plain array.
+
+        The published figure is 7.5% (extra peripherals plus an extra
+        decoder); the pure-height contribution of the peripheral logic is
+        ``compute_extra_um / (height - compute_extra_um)``.
+        """
+        return ARRAY_AREA_OVERHEAD
+
+    def die_overhead_fraction(self, cache_die_fraction: float = 0.25) -> float:
+        """Overhead relative to the whole processor die.
+
+        ``cache_die_fraction`` is the share of die area occupied by the
+        re-purposed SRAM data arrays; with the paper's default this lands
+        below 2%.
+        """
+        if not 0 < cache_die_fraction <= 1:
+            raise ValueError(
+                f"cache_die_fraction must be in (0, 1], got "
+                f"{cache_die_fraction}")
+        return self.overhead_fraction * cache_die_fraction

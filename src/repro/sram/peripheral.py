@@ -1,0 +1,123 @@
+"""Column peripherals of a compute SRAM array (Figure 7).
+
+Each bitline has, below the column mux:
+
+* two single-ended sense amplifiers producing ``A AND B`` (from BL) and
+  ``A NOR B`` (from BLB);
+* a NOR gate combining them into ``A XOR B``;
+* sum / carry logic: ``sum = A ^ B ^ Cin`` and
+  ``Cout = (A & B) | ((A ^ B) & Cin)``;
+* a carry latch ``C`` and a tag latch ``T``;
+* a 4:1 write-back mux selecting among ``{sum, carry, data-in, tag}``; the
+  tag bit gates the bit-line write driver (predication).
+
+This module implements that combinational logic and latch state for all 256
+columns at once as NumPy vectors. It is deliberately dumb: sequencing and
+cycle accounting live in :class:`repro.sram.bitserial.BitSerialUnit`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.common.errors import ArrayStateError
+
+
+class WritebackSelect(Enum):
+    """The 4:1 write-back mux inputs of Figure 7."""
+
+    SUM = "sum"
+    CARRY = "carry"
+    DATA_IN = "data_in"
+    TAG = "tag"
+
+
+class ColumnPeriphery:
+    """Latches and combinational logic shared by every column of one array."""
+
+    def __init__(self, cols: int):
+        if cols <= 0:
+            raise ArrayStateError(f"cols must be positive, got {cols}")
+        self.cols = cols
+        self.carry = np.zeros(cols, dtype=np.uint8)
+        self.tag = np.ones(cols, dtype=np.uint8)
+
+    # -- latch management (latch resets happen during instruction issue and
+    # -- cost no array cycles; see DESIGN.md section 5)
+    def clear_carry(self) -> None:
+        """Reset every carry latch to 0."""
+        self.carry[:] = 0
+
+    def set_carry(self) -> None:
+        """Set every carry latch to 1 (used as borrow-in for subtraction)."""
+        self.carry[:] = 1
+
+    def set_tag_all(self) -> None:
+        """Enable the write drivers on every column (unpredicated mode)."""
+        self.tag[:] = 1
+
+    def load_tag(self, bits: np.ndarray, invert: bool = False) -> None:
+        """Latch a sensed row into the tag latches (optionally complemented).
+
+        The complement comes for free from the BLB sense amp.
+        """
+        bits = self._coerce(bits)
+        self.tag[:] = (1 - bits) if invert else bits
+
+    def load_carry(self, bits: np.ndarray) -> None:
+        """Latch an explicit value into the carry latches."""
+        self.carry[:] = self._coerce(bits)
+
+    # -- combinational logic -------------------------------------------------
+    @staticmethod
+    def xor_from_rails(bl_and: np.ndarray, blb_nor: np.ndarray) -> np.ndarray:
+        """``A XOR B`` from the two sensed rails: ``NOR(A&B, A NOR B)``."""
+        return ((1 - bl_and) & (1 - blb_nor)).astype(np.uint8)
+
+    def full_add(self, bl_and: np.ndarray,
+                 blb_nor: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One full-adder evaluation for every column.
+
+        Takes the two sensed rails for operand rows ``A`` and ``B``, uses the
+        carry latch as carry-in, and returns ``(sum, carry_out)``. The carry
+        latch is updated to ``carry_out`` (it overwrites at the end of the
+        cycle, becoming the next cycle's carry-in).
+        """
+        a_and_b = self._coerce(bl_and)
+        a_xor_b = self.xor_from_rails(a_and_b, self._coerce(blb_nor))
+        total = a_xor_b ^ self.carry
+        carry_out = (a_and_b | (a_xor_b & self.carry)).astype(np.uint8)
+        self.carry[:] = carry_out
+        return total, carry_out
+
+    def select(self, wb: WritebackSelect,
+               total: np.ndarray | None = None,
+               data_in: np.ndarray | None = None) -> np.ndarray:
+        """Drive the 4:1 write-back mux and return the bits to write."""
+        if wb is WritebackSelect.SUM:
+            if total is None:
+                raise ArrayStateError("SUM write-back requires a sum vector")
+            return total
+        if wb is WritebackSelect.CARRY:
+            return self.carry.copy()
+        if wb is WritebackSelect.TAG:
+            return self.tag.copy()
+        if wb is WritebackSelect.DATA_IN:
+            if data_in is None:
+                raise ArrayStateError("DATA_IN write-back requires data bits")
+            return self._coerce(data_in)
+        raise ArrayStateError(f"unknown write-back select {wb!r}")
+
+    def write_mask(self, predicated: bool) -> np.ndarray | None:
+        """The per-column write-driver enable: tag when predicated, else all."""
+        return self.tag.copy() if predicated else None
+
+    # ------------------------------------------------------------------
+    def _coerce(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.cols,):
+            raise ArrayStateError(
+                f"expected {self.cols} column bits, got shape {bits.shape}")
+        return bits

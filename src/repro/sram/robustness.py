@@ -1,0 +1,145 @@
+"""Multi-row activation read stability (Sec. II-B and Sec. V).
+
+Activating two (or more) wordlines simultaneously risks disturbing the
+stored bits: the cell with the weaker pull can be overwritten through the
+shared bitline. The silicon prevents this by *under-driving* the read
+wordlines (0.66 V instead of the nominal 0.9 V at 28 nm), trading read
+delay for stability. The paper reports:
+
+* Monte Carlo stability of **more than six sigma** at the chosen RWL
+  voltage (the industry standard for process-variation robustness);
+* no data corruption across 20 fabricated test chips even with **64**
+  simultaneously activated wordlines (Neural Cache only ever needs two);
+* compute delay 1022 ps vs a 654 ps normal read — about 1.6x slower.
+
+This module provides a phenomenological model calibrated to exactly those
+published anchors: a disturb margin (in sigmas of threshold-voltage
+variation) that grows as the RWL voltage drops and degrades gently with
+the number of activated rows, the corresponding Gaussian failure
+probability, a Monte Carlo sampler, and the delay/voltage trade-off.
+It is a behavioural stand-in for the authors' SPICE + silicon data, not a
+circuit simulation; DESIGN.md records the substitution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+
+#: Published anchors (28 nm).
+NOMINAL_VDD = 0.9
+CHOSEN_RWL_VOLTAGE = 0.66
+TARGET_SIGMA = 6.0
+MAX_DEMONSTRATED_ROWS = 64
+COMPUTE_DELAY_PS = 1022.0
+READ_DELAY_PS = 654.0
+
+
+@dataclass(frozen=True)
+class ReadStabilityModel:
+    """Disturb margin and delay vs RWL voltage and activated-row count."""
+
+    nominal_vdd: float = NOMINAL_VDD
+    #: Margin gained per volt of word-line under-drive, in sigmas.
+    #: Calibrated so 0.66 V yields the published six-sigma margin.
+    sigma_per_volt: float = TARGET_SIGMA / (NOMINAL_VDD - CHOSEN_RWL_VOLTAGE)
+    #: Mild margin degradation per doubling of activated rows, tuned so
+    #: 64 rows at 0.66 V still shows no corruption across 20 test chips.
+    row_degradation: float = 0.02
+
+    def margin_sigma(self, rwl_voltage: float, rows_activated: int = 2) -> float:
+        """Disturb margin in sigmas of process variation.
+
+        Zero (or negative) margin means the mean cell is at the disturb
+        point — full-VDD multi-row activation corrupts data, which is why
+        plain caches never do it.
+        """
+        self._check(rwl_voltage, rows_activated)
+        underdrive = self.nominal_vdd - rwl_voltage
+        base = self.sigma_per_volt * underdrive
+        # Degradation is relative to the two-row compute baseline.
+        penalty = 1.0 + self.row_degradation * math.log2(rows_activated / 2)
+        return base / penalty
+
+    def failure_probability(self, rwl_voltage: float,
+                            rows_activated: int = 2) -> float:
+        """Per-cell disturb probability (Gaussian tail of the margin)."""
+        sigma = self.margin_sigma(rwl_voltage, rows_activated)
+        return 0.5 * math.erfc(sigma / math.sqrt(2.0))
+
+    def expected_failures(self, rwl_voltage: float, cells: int,
+                          rows_activated: int = 2) -> float:
+        """Expected disturbed cells among ``cells`` per activation."""
+        if cells < 0:
+            raise SimulationError(f"cell count must be >= 0, got {cells}")
+        return cells * self.failure_probability(rwl_voltage, rows_activated)
+
+    def monte_carlo_failures(self, rwl_voltage: float, cells: int,
+                             rows_activated: int = 2,
+                             seed: int = 0) -> int:
+        """Sample per-cell margins and count disturbs (the paper's
+        Monte Carlo, behaviourally)."""
+        if cells <= 0:
+            raise SimulationError(f"cell count must be positive, got {cells}")
+        sigma = self.margin_sigma(rwl_voltage, rows_activated)
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(loc=sigma, scale=1.0, size=cells)
+        return int(np.count_nonzero(samples < 0.0))
+
+    def is_industry_robust(self, rwl_voltage: float,
+                           rows_activated: int = 2) -> bool:
+        """True when the margin meets the six-sigma industry standard."""
+        return self.margin_sigma(rwl_voltage, rows_activated) >= TARGET_SIGMA
+
+    # -- delay trade-off -------------------------------------------------------
+    def compute_delay_ps(self, rwl_voltage: float) -> float:
+        """Compute-op delay at a given RWL voltage.
+
+        Linear interpolation between the published (0.9 V, 654 ps) read
+        and (0.66 V, 1022 ps) compute anchors: under-driving slows the
+        sensing phase.
+        """
+        self._check(rwl_voltage, 2)
+        slope = ((COMPUTE_DELAY_PS - READ_DELAY_PS)
+                 / (self.nominal_vdd - CHOSEN_RWL_VOLTAGE))
+        return READ_DELAY_PS + slope * (self.nominal_vdd - rwl_voltage)
+
+    def delay_ratio(self, rwl_voltage: float = CHOSEN_RWL_VOLTAGE) -> float:
+        """Compute delay relative to a normal read (paper: ~1.6x)."""
+        return self.compute_delay_ps(rwl_voltage) / READ_DELAY_PS
+
+    # ------------------------------------------------------------------
+    def _check(self, rwl_voltage: float, rows_activated: int) -> None:
+        if not 0.0 < rwl_voltage <= self.nominal_vdd:
+            raise SimulationError(
+                f"RWL voltage must be in (0, {self.nominal_vdd}] V, got "
+                f"{rwl_voltage}")
+        if rows_activated < 2:
+            raise SimulationError(
+                f"compute activation needs >= 2 rows, got {rows_activated}")
+
+
+def choose_rwl_voltage(model: ReadStabilityModel | None = None,
+                       rows_activated: int = 2,
+                       step: float = 0.01) -> float:
+    """The highest (fastest) RWL voltage meeting six-sigma robustness.
+
+    The paper's methodology in miniature: sweep the under-drive and pick
+    the least aggressive setting that still meets the margin target.
+    """
+    if model is None:
+        model = ReadStabilityModel()
+    steps = int(model.nominal_vdd / step)
+    for k in range(steps):
+        voltage = round(model.nominal_vdd - k * step, 10)
+        if voltage <= 0:
+            break
+        if model.margin_sigma(voltage, rows_activated) >= TARGET_SIGMA - 1e-9:
+            return voltage
+    raise SimulationError(
+        "no RWL voltage meets the robustness target; the model is "
+        "miscalibrated")

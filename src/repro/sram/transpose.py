@@ -1,0 +1,109 @@
+"""Transpose Memory Unit (TMU) — Figure 8.
+
+The TMU sits in the cache control box (C-BOX) and converts between the
+regular (one element per row, bits along the wordline) and transposed
+(one element per bitline, bits along the bitline) layouts. It is built from
+an 8T SRAM array with sense amplifiers and drivers in both directions, so a
+block of data can be written row-wise and read column-wise (or vice versa).
+
+Functionally the conversion is an exact bit transpose; the cost model
+charges one cycle per wordline written plus one per bitline read, which is
+what a dual-direction array does. A TMU tile is small (the paper reports
+0.019 mm^2 for an 8T transpose bit-cell array); only a few are needed to
+saturate the interconnect, so the architecture model treats TMU throughput
+as matched to the bus and never the bottleneck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bits import bits_to_int, int_to_bits
+from repro.common.errors import ArrayStateError
+
+#: Area of one TMU tile from Figure 8, in mm^2.
+TMU_TILE_AREA_MM2 = 0.019
+
+
+class TransposeMemoryUnit:
+    """Functional + cycle model of one TMU tile.
+
+    Parameters
+    ----------
+    word_bits:
+        Width of one element in bits (8 for Neural Cache's byte elements).
+    capacity_words:
+        How many elements one tile can hold per conversion batch (bounded
+        by the tile's bitline count; 64 matches the 64-bit quadrant buses).
+    """
+
+    def __init__(self, word_bits: int = 8, capacity_words: int = 64):
+        if word_bits <= 0 or capacity_words <= 0:
+            raise ArrayStateError("TMU dimensions must be positive")
+        self.word_bits = word_bits
+        self.capacity_words = capacity_words
+        self.cycles = 0
+
+    def transpose(self, values: np.ndarray) -> np.ndarray:
+        """Regular -> transposed: integers to an LSB-first bit matrix.
+
+        Returns shape ``(word_bits, len(values))``. Costs one cycle per
+        word written plus one per bit-row read, per batch of
+        ``capacity_words``.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ArrayStateError(
+                f"TMU transposes vectors, got shape {values.shape}")
+        self.cycles += self._batch_cycles(len(values))
+        return int_to_bits(values, self.word_bits)
+
+    def untranspose(self, bits: np.ndarray) -> np.ndarray:
+        """Transposed -> regular: an LSB-first bit matrix back to integers."""
+        bits = np.asarray(bits)
+        if bits.ndim != 2 or bits.shape[0] != self.word_bits:
+            raise ArrayStateError(
+                f"expected a ({self.word_bits}, n) bit matrix, got shape "
+                f"{bits.shape}")
+        self.cycles += self._batch_cycles(bits.shape[1])
+        return bits_to_int(bits)
+
+    def _batch_cycles(self, n_words: int) -> int:
+        cycles = 0
+        remaining = n_words
+        while remaining > 0:
+            batch = min(remaining, self.capacity_words)
+            cycles += batch + self.word_bits
+            remaining -= batch
+        return cycles
+
+
+def software_transpose_ops(n_elements: int, word_bits: int = 8,
+                           simd_width_bits: int = 256) -> int:
+    """x86 SIMD instruction count for a Parabix-style software transpose.
+
+    Sec. IV-C: "Software transposing of weights is a one time cost and can
+    be done cheaply using x86 SIMD shuffle and pack instructions". The
+    Parabix bit-matrix transpose runs ``log2(word_bits)`` pack/shuffle
+    stages over the data; each stage touches every byte once, so the
+    instruction count is about
+
+        ceil(bytes / simd_bytes) * log2(word_bits) * 2
+
+    (one shuffle plus one pack/merge per stage). This estimates the
+    one-time host cost of pre-transposing filter images for DRAM.
+    """
+    if n_elements < 0:
+        raise ArrayStateError(f"element count must be >= 0, got {n_elements}")
+    if word_bits <= 0 or word_bits & (word_bits - 1):
+        raise ArrayStateError(
+            f"word width must be a positive power of two, got {word_bits}")
+    if simd_width_bits <= 0 or simd_width_bits % 8:
+        raise ArrayStateError(
+            f"SIMD width must be a positive multiple of 8, got "
+            f"{simd_width_bits}")
+    total_bytes = n_elements * (word_bits // 8 or 1)
+    simd_bytes = simd_width_bits // 8
+    vectors = -(-total_bytes // simd_bytes)
+    stages = word_bits.bit_length() - 1
+    return vectors * stages * 2

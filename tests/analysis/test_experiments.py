@@ -1,0 +1,201 @@
+"""Tests for the experiment harness: every table/figure regenerates and
+carries paper-shaped data."""
+
+import pytest
+
+from repro.analysis import (
+    all_experiments,
+    area_report,
+    arithmetic_latencies,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    paper,
+    peak_throughput,
+    section6a_example,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.analysis.report import ExperimentResult, pct, ratio_cell
+
+
+class TestReportHelpers:
+    def test_ratio_cell(self):
+        assert "2.00x of paper" in ratio_cell(2.0, 1.0)
+        assert "(ref 0)" in ratio_cell(1.0, 0.0)
+
+    def test_pct(self):
+        assert pct(0.4664) == "46.64%"
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult(name="X", headers=("a",),
+                                  rows=(("1",),), notes=("hello",))
+        assert "note: hello" in result.render()
+
+
+class TestTable1:
+    def test_rows_for_all_20_groups(self):
+        result = table1()
+        assert len(result.rows) == 20
+
+    def test_exact_rows_match_paper(self):
+        result = table1()
+        for group, stats in result.data.items():
+            if group in paper.TABLE1_KNOWN_DISCREPANCIES:
+                continue
+            assert stats.convolutions == paper.TABLE1[group][0], group
+
+    def test_discrepancy_rows_flagged(self):
+        result = table1()
+        flagged = {row[0] for row in result.rows if row[0].endswith("*")}
+        assert flagged == {"Mixed_6a*", "Mixed_6e*"}
+        assert len(result.notes) == 2
+
+
+class TestTable2:
+    def test_both_devices(self):
+        result = table2()
+        assert len(result.rows) == 2
+        assert "Xeon" in result.rows[0][0]
+        assert "Titan" in result.rows[1][0]
+
+
+class TestFigure13:
+    def test_all_groups_and_ordering(self):
+        result = figure13()
+        assert len(result.rows) == 20
+        nc = result.data["neural_cache"]
+        cpu = result.data["cpu"]
+        gpu = result.data["gpu"]
+        for group in nc:
+            assert nc[group] < gpu[group] < cpu[group], group
+
+    def test_mixed_layers_dominate_all_devices(self):
+        result = figure13()
+        for device in ("cpu", "gpu", "neural_cache"):
+            groups = result.data[device]
+            mixed = sum(v for k, v in groups.items() if k.startswith("Mixed"))
+            assert mixed > 0.5 * sum(groups.values())
+
+
+class TestFigure14:
+    def test_shares_near_paper(self):
+        fractions = figure14().data["fractions"]
+        for phase, published in paper.BREAKDOWN_FRACTIONS.items():
+            assert fractions[phase] == pytest.approx(published, abs=0.10), phase
+
+    def test_filter_load_is_the_largest_share(self):
+        fractions = figure14().data["fractions"]
+        assert max(fractions, key=fractions.get) == "filter_load"
+
+
+class TestFigure15:
+    def test_speedups_in_band(self):
+        data = figure15().data
+        assert 14 < data["cpu_speedup"] < 26   # paper 18.3x
+        assert 6 < data["gpu_speedup"] < 11    # paper 7.7x
+
+    def test_latency_ordering(self):
+        data = figure15().data
+        assert data["nc_s"] < data["gpu_s"] < data["cpu_s"]
+
+
+class TestFigure16:
+    def test_series_lengths(self):
+        result = figure16()
+        n = len(result.data["batch"])
+        assert len(result.data["neural_cache"]) == n
+        assert len(result.rows) == n
+
+    def test_peak_ratios_near_paper(self):
+        data = figure16().data
+        assert data["nc_peak"] == pytest.approx(paper.NC_MAX_THROUGHPUT,
+                                                rel=0.20)
+        assert data["vs_gpu"] == pytest.approx(paper.THROUGHPUT_VS_GPU,
+                                               rel=0.35)
+        assert data["vs_cpu"] == pytest.approx(paper.THROUGHPUT_VS_CPU,
+                                               rel=0.35)
+
+    def test_nc_beats_gpu_even_unbatched(self):
+        # Sec. VI-B: "Neural Cache outperforms the maximum throughput of
+        # baseline CPU and GPU even without batching."
+        data = figure16().data
+        assert data["neural_cache"][0] > max(data["gpu"])
+        assert data["neural_cache"][0] > max(data["cpu"])
+
+
+class TestTable3:
+    def test_energy_ordering(self):
+        data = table3().data
+        assert (data["neural_cache"]["energy_j"]
+                < data["gpu"]["energy_j"] < data["cpu"]["energy_j"])
+
+    def test_efficiency_bands(self):
+        data = table3().data
+        assert 25 < data["efficiency_vs_cpu"] < 60   # paper 37.1x
+        assert 12 < data["efficiency_vs_gpu"] < 30   # paper 16.6x
+
+    def test_nc_power_lowest(self):
+        data = table3().data
+        assert (data["neural_cache"]["power_w"]
+                < data["cpu"]["power_w"])
+        assert (data["neural_cache"]["power_w"]
+                < data["gpu"]["power_w"])
+
+
+class TestTable4:
+    def test_three_capacities_decreasing(self):
+        data = table4().data
+        assert set(data) == {35, 45, 60}
+        assert data[35] > data[45] > data[60]
+
+    def test_each_latency_near_paper(self):
+        data = table4().data
+        for capacity, latency in data.items():
+            published = paper.CAPACITY_LATENCY_MS[capacity] * 1e-3
+            assert latency == pytest.approx(published, rel=0.2)
+
+
+class TestWorkedExample:
+    def test_key_rows(self):
+        data = section6a_example().data
+        assert data["mapping"].serial_passes == 43
+        assert data["per_conv"] == pytest.approx(
+            paper.EXAMPLE_CYCLES_PER_CONV, rel=0.01)
+        assert data["conv_ms"] == pytest.approx(
+            paper.EXAMPLE_CONV_TIME_MS, rel=0.02)
+
+
+class TestArithmeticAndHardware:
+    def test_functional_matches_derived(self):
+        result = arithmetic_latencies()
+        for row in result.rows:
+            if row[1] != "-":
+                assert row[1] == row[2], row  # functional == derived
+
+    def test_peak_tops(self):
+        data = peak_throughput().data
+        assert data["peak_ops"] == pytest.approx(paper.PEAK_TOPS, rel=0.01)
+
+    def test_area_rows(self):
+        result = area_report()
+        assert result.data["banks"] == 14 * 80
+
+
+class TestAllExperiments:
+    def test_everything_renders(self):
+        results = all_experiments()
+        assert len(results) == 13
+        for result in results:
+            text = result.render()
+            assert result.name in text
+            assert len(text.splitlines()) >= 3
+
+    def test_robustness_report_rows(self):
+        from repro.analysis import robustness_report
+        result = robustness_report()
+        assert result.data["voltage"] == pytest.approx(0.66, abs=0.01)
+        assert len(result.rows) == 6

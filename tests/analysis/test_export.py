@@ -1,0 +1,60 @@
+"""Tests for the CSV figure exports."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_all,
+    export_figure13,
+    export_figure14,
+    export_figure16,
+    export_table4,
+)
+from repro.common.errors import SimulationError
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExports:
+    def test_figure13(self, tmp_path):
+        path = export_figure13(tmp_path / "f13.csv")
+        rows = read_csv(path)
+        assert rows[0] == ["layer", "cpu_s", "gpu_s", "neural_cache_s"]
+        assert len(rows) == 21  # header + 20 groups
+        for row in rows[1:]:
+            assert float(row[3]) < float(row[2]) < float(row[1])
+
+    def test_figure14(self, tmp_path):
+        path = export_figure14(tmp_path / "f14.csv")
+        rows = read_csv(path)
+        assert rows[0] == ["phase", "seconds", "fraction"]
+        fractions = [float(row[2]) for row in rows[1:]]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_figure16(self, tmp_path):
+        path = export_figure16(tmp_path / "f16.csv")
+        rows = read_csv(path)
+        assert rows[1][0] == "1"
+        assert len(rows) == 10  # header + 9 batch sizes
+
+    def test_table4(self, tmp_path):
+        path = export_table4(tmp_path / "t4.csv")
+        rows = read_csv(path)
+        capacities = [int(row[0]) for row in rows[1:]]
+        assert capacities == [35, 45, 60]
+
+    def test_export_all_creates_directory(self, tmp_path):
+        target = tmp_path / "series" / "nested"
+        paths = export_all(target)
+        assert len(paths) == 4
+        assert all(p.exists() for p in paths)
+
+    def test_export_all_rejects_file_target(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("x")
+        with pytest.raises(SimulationError):
+            export_all(blocker)

@@ -1,0 +1,159 @@
+"""Tests for the calibrated CPU/GPU baselines."""
+
+import pytest
+
+from repro.baselines import (
+    CpuBaseline,
+    GpuBaseline,
+    TITAN_XP,
+    XEON_E5_2697_V3,
+    network_work,
+    roofline_time,
+)
+from repro.common.errors import SimulationError
+from repro.nn import build_inception_v3
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_inception_v3()
+
+
+@pytest.fixture(scope="module")
+def cpu(net):
+    return CpuBaseline(net)
+
+
+@pytest.fixture(scope="module")
+def gpu(net):
+    return GpuBaseline(net)
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        t = roofline_time(flops=1e9, traffic_bytes=1, peak_flops=1e12,
+                          compute_efficiency=0.5, memory_bandwidth=1e11,
+                          memory_efficiency=1.0)
+        assert t == pytest.approx(1e9 / 0.5e12)
+
+    def test_memory_bound(self):
+        t = roofline_time(flops=1, traffic_bytes=1e9, peak_flops=1e12,
+                          compute_efficiency=1.0, memory_bandwidth=1e10,
+                          memory_efficiency=0.5)
+        assert t == pytest.approx(1e9 / 0.5e10)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            roofline_time(-1, 0, 1e12, 0.5, 1e10, 0.5)
+        with pytest.raises(SimulationError):
+            roofline_time(1, 1, 0, 0.5, 1e10, 0.5)
+        with pytest.raises(SimulationError):
+            roofline_time(1, 1, 1e12, 1.5, 1e10, 0.5)
+
+
+class TestNetworkWork:
+    def test_counts_all_mappable_layers(self, net):
+        work = network_work(net)
+        assert len(work) == 109  # 95 convs + 14 pools
+
+    def test_flops_match_graph_macs(self, net):
+        conv_flops = sum(w.flops for w in network_work(net)
+                         if w.name in {n.name for n in net.conv_nodes()})
+        assert conv_flops == pytest.approx(2.0 * net.total_macs())
+
+
+class TestCpuCalibration:
+    """Anchors from the paper: 86 ms, ~48.7 inf/s plateau, 105.56 W,
+    9.137 J."""
+
+    def test_batch1_latency(self, cpu):
+        assert cpu.latency() == pytest.approx(86e-3, rel=0.05)
+
+    def test_max_throughput(self, cpu):
+        assert cpu.max_throughput() == pytest.approx(48.7, rel=0.08)
+
+    def test_energy_matches_table3(self, cpu):
+        assert cpu.energy() == pytest.approx(9.137, rel=0.05)
+
+    def test_power_is_measured_value(self, cpu):
+        assert cpu.average_power == 105.56
+
+    def test_spec_matches_table2(self):
+        assert XEON_E5_2697_V3.frequency_ghz == 2.6
+        assert XEON_E5_2697_V3.parallel_units == 14
+        assert XEON_E5_2697_V3.process_nm == 22
+        assert XEON_E5_2697_V3.tdp_watts == 145.0
+
+
+class TestGpuCalibration:
+    """Anchors from the paper: ~36 ms, ~275 inf/s plateau, 112.87 W,
+    4.087 J."""
+
+    def test_batch1_latency(self, gpu):
+        assert gpu.latency() == pytest.approx(36.3e-3, rel=0.05)
+
+    def test_max_throughput(self, gpu):
+        assert gpu.max_throughput() == pytest.approx(275, rel=0.08)
+
+    def test_energy_matches_table3(self, gpu):
+        assert gpu.energy() == pytest.approx(4.087, rel=0.05)
+
+    def test_power_is_measured_value(self, gpu):
+        assert gpu.average_power == 112.87
+
+    def test_spec_matches_table2(self):
+        assert TITAN_XP.parallel_units == 3840
+        assert TITAN_XP.process_nm == 16
+        assert TITAN_XP.tdp_watts == 250.0
+
+
+class TestShapes:
+    def test_gpu_faster_than_cpu_everywhere(self, cpu, gpu):
+        for batch in (1, 4, 64):
+            assert gpu.latency(batch) < cpu.latency(batch)
+
+    def test_throughput_rises_with_batch(self, cpu, gpu):
+        for device in (cpu, gpu):
+            t1 = device.throughput(1)
+            t16 = device.throughput(16)
+            t256 = device.throughput(256)
+            assert t1 < t16 <= t256 < device.max_throughput() * 1.001
+
+    def test_gpu_plateaus_after_batch_64(self, gpu):
+        # Fig. 16: "GPU throughput plateaus after batch size exceeds 64".
+        assert gpu.throughput(64) > 0.85 * gpu.max_throughput()
+
+    def test_mixed_groups_dominate_layer_latency(self, cpu, gpu):
+        # Fig. 13: "A majority of time is spent on the mixed layers for
+        # both CPU and GPU".
+        for device in (cpu, gpu):
+            groups = device.group_latency()
+            mixed = sum(v for k, v in groups.items()
+                        if k.startswith("Mixed"))
+            assert mixed > 0.5 * sum(groups.values())
+
+    def test_group_latency_sums_to_total(self, cpu):
+        assert sum(cpu.group_latency().values()) == pytest.approx(
+            cpu.latency())
+
+    def test_energy_per_image_improves_with_batch(self, cpu):
+        assert cpu.energy_per_image(64) < cpu.energy_per_image(1)
+
+    def test_bad_batch_rejected(self, cpu):
+        with pytest.raises(SimulationError):
+            cpu.latency(0)
+
+
+class TestPaperHeadlines:
+    """The headline speedups of the abstract, with our simulated NC."""
+
+    def test_relative_latency_ordering(self, cpu, gpu):
+        from repro.core.executor import NeuralCacheSimulator
+        from repro.nn import build_inception_v3
+        nc = NeuralCacheSimulator(build_inception_v3()).latency()
+        cpu_speedup = cpu.latency() / nc
+        gpu_speedup = gpu.latency() / nc
+        # Paper: 18.3x over CPU, 7.7x over GPU. Allow the model's band.
+        assert 14 < cpu_speedup < 26
+        assert 6 < gpu_speedup < 11
+        assert cpu_speedup > gpu_speedup

@@ -1,0 +1,98 @@
+"""Tests anchoring the cache geometry to the paper's published counts."""
+
+import pytest
+
+from repro.cache import (
+    CacheGeometry,
+    capacity_sweep,
+    xeon_45mb,
+    xeon_60mb,
+    xeon_e5_2697_v3,
+)
+from repro.common.errors import GeometryError
+from repro.common.units import KB, MB
+
+
+class TestXeonPreset:
+    def setup_method(self):
+        self.geometry = xeon_e5_2697_v3()
+
+    def test_array_is_8kb_256x256(self):
+        assert self.geometry.array_bytes == 8 * KB
+        assert self.geometry.array_rows == 256
+        assert self.geometry.array_cols == 256
+
+    def test_bank_is_32kb_of_four_arrays(self):
+        assert self.geometry.bank_bytes == 32 * KB
+        assert self.geometry.arrays_per_bank == 4
+
+    def test_slice_is_80_banks_20_ways_2_5mb(self):
+        assert self.geometry.banks_per_slice == 80
+        assert self.geometry.ways_per_slice == 20
+        assert self.geometry.slice_bytes == 2.5 * MB
+        assert self.geometry.arrays_per_slice == 320
+
+    def test_cache_is_35mb_4480_arrays(self):
+        assert self.geometry.slices == 14
+        assert self.geometry.total_bytes == 35 * MB
+        assert self.geometry.total_arrays == 4480
+
+    def test_paper_headline_alu_slots(self):
+        # Abstract / Sec. I: "up to 1,146,880 bit-serial ALU slots".
+        assert self.geometry.alu_slots == 1_146_880
+
+    def test_reserved_ways(self):
+        # Way 20 for the CPU, way 19 for inputs/outputs (Sec. IV).
+        assert self.geometry.reserved_ways == 2
+        assert self.geometry.compute_ways == 18
+
+    def test_compute_resources(self):
+        assert self.geometry.compute_arrays_per_slice == 18 * 16
+        assert self.geometry.compute_arrays == 4032
+        assert self.geometry.compute_slots == 4032 * 256
+
+    def test_io_way_capacity(self):
+        # One reserved way per slice = 128 KB of I/O buffering (Sec. IV-C).
+        assert self.geometry.io_way_bytes_per_slice == 128 * KB
+
+
+class TestCapacityScaling:
+    def test_table4_capacities(self):
+        assert xeon_e5_2697_v3().total_bytes == 35 * MB
+        assert xeon_45mb().total_bytes == 45 * MB
+        assert xeon_60mb().total_bytes == 60 * MB
+
+    def test_scaling_only_adds_slices(self):
+        base, big = xeon_e5_2697_v3(), xeon_60mb()
+        assert big.slices == 24
+        assert big.slice_bytes == base.slice_bytes
+        assert big.arrays_per_slice == base.arrays_per_slice
+
+    def test_capacity_sweep_order(self):
+        sweep = capacity_sweep()
+        assert [g.slices for g in sweep] == [14, 18, 24]
+
+    def test_compute_slots_scale_linearly(self):
+        base, big = xeon_e5_2697_v3(), xeon_45mb()
+        assert big.compute_slots * 14 == base.compute_slots * 18
+
+
+class TestValidation:
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(name="bad", slices=0)
+        with pytest.raises(GeometryError):
+            CacheGeometry(name="bad", array_rows=-1)
+
+    def test_rejects_all_ways_reserved(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(name="bad", ways_per_slice=2,
+                          reserved_cpu_ways=1, reserved_io_ways=1)
+
+    def test_rejects_unaligned_columns(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(name="bad", array_cols=255)
+
+    def test_rejects_negative_reservations(self):
+        with pytest.raises(GeometryError):
+            CacheGeometry(name="bad", reserved_cpu_ways=-1)

@@ -1,0 +1,75 @@
+"""Tests for the ring/bus interconnect model."""
+
+import pytest
+
+from repro.cache import InterconnectModel, xeon_e5_2697_v3
+from repro.common.errors import GeometryError
+
+
+@pytest.fixture
+def model():
+    return InterconnectModel(geometry=xeon_e5_2697_v3())
+
+
+class TestWidths:
+    def test_quadrant_buses(self, model):
+        # 256-bit slice bus = four 64-bit quadrant buses (Sec. IV-C).
+        assert model.slice_bus_bytes_per_cycle == 32
+        assert model.quadrant_bus_bytes_per_cycle == 8
+
+    def test_bank_receives_32_bits_per_cycle(self, model):
+        # "Two 8 KB arrays within a bank share sense-amps and receive
+        # 32 bits every bus cycle."
+        assert model.bank_bits_per_cycle == 32
+
+
+class TestTiming:
+    def test_broadcast_time_is_single_stream(self, model):
+        # Broadcasting is replication-free: time depends only on volume.
+        t = model.broadcast_time(32 * 2.5e9)  # 32 bytes/cycle for 1 second
+        assert t == pytest.approx(1.0)
+
+    def test_intra_slice_parallel_across_slices(self, model):
+        # Only per-slice bytes matter; both calls see the same volume/slice.
+        assert (model.intra_slice_time(1000)
+                == model.intra_slice_time(1000))
+        assert model.intra_slice_time(3200) == pytest.approx(
+            3200 / 32 / 2.5e9)
+
+    def test_bank_latch_halves_input_time(self, model):
+        base = model.intra_slice_time(4096)
+        latched = model.intra_slice_time(4096, use_bank_latch=True)
+        assert latched == pytest.approx(base / 2)
+
+    def test_inter_slice_neighbour_exchange(self, model):
+        assert model.inter_slice_time(64) == pytest.approx(64 / 32 / 2.5e9)
+
+    def test_zero_bytes_is_free(self, model):
+        assert model.broadcast_time(0) == 0
+        assert model.intra_slice_time(0) == 0
+
+
+class TestEnergy:
+    def test_ring_energy_scales(self, model):
+        assert model.ring_energy(2) == pytest.approx(2 * 50e-12)
+
+    def test_bus_energy_scales(self, model):
+        assert model.bus_energy(10) == pytest.approx(10 * 10e-12)
+
+    def test_ring_costs_more_than_bus(self, model):
+        assert model.ring_energy(1) > model.bus_energy(1)
+
+
+class TestValidation:
+    def test_negative_bytes_rejected(self, model):
+        with pytest.raises(GeometryError):
+            model.broadcast_time(-1)
+        with pytest.raises(GeometryError):
+            model.ring_energy(-1)
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(GeometryError):
+            InterconnectModel(geometry=xeon_e5_2697_v3(), frequency_hz=0)
+        with pytest.raises(GeometryError):
+            InterconnectModel(geometry=xeon_e5_2697_v3(),
+                              slice_bus_bytes_per_cycle=30, quadrant_buses=4)

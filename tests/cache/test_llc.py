@@ -1,0 +1,111 @@
+"""Tests for the LLC facade: coordinates, lazy arrays and set decoding."""
+
+import pytest
+
+from repro.cache import ArrayCoordinate, LastLevelCache, xeon_e5_2697_v3
+from repro.cache.llc import LINE_BYTES
+from repro.common.errors import GeometryError
+
+
+@pytest.fixture
+def llc():
+    return LastLevelCache(xeon_e5_2697_v3())
+
+
+class TestLazyUnits:
+    def test_units_created_on_demand(self, llc):
+        assert llc.live_units == 0
+        unit = llc.unit_at(ArrayCoordinate(0, 0, 0, 0))
+        assert llc.live_units == 1
+        assert unit.rows == 256
+        assert unit.cols == 256
+
+    def test_same_coordinate_same_unit(self, llc):
+        coord = ArrayCoordinate(1, 2, 3, 0)
+        assert llc.unit_at(coord) is llc.unit_at(coord)
+
+    def test_distinct_coordinates_distinct_units(self, llc):
+        a = llc.unit_at(ArrayCoordinate(0, 0, 0, 0))
+        b = llc.unit_at(ArrayCoordinate(0, 0, 0, 1))
+        assert a is not b
+
+    def test_coordinate_bounds_checked(self, llc):
+        with pytest.raises(GeometryError):
+            llc.unit_at(ArrayCoordinate(14, 0, 0, 0))
+        with pytest.raises(GeometryError):
+            llc.unit_at(ArrayCoordinate(0, 20, 0, 0))
+        with pytest.raises(GeometryError):
+            llc.unit_at(ArrayCoordinate(0, 0, 4, 0))
+        with pytest.raises(GeometryError):
+            llc.unit_at(ArrayCoordinate(0, 0, 0, 4))
+
+
+class TestComputeCoordinates:
+    def test_count_matches_geometry(self, llc):
+        coords = llc.compute_coordinates()
+        assert len(coords) == llc.geometry.compute_arrays == 4032
+
+    def test_reserved_ways_excluded(self, llc):
+        ways = {c.way for c in llc.compute_coordinates()}
+        assert max(ways) == llc.geometry.compute_ways - 1 == 17
+
+    def test_limit(self, llc):
+        assert len(llc.compute_coordinates(limit=5)) == 5
+
+    def test_sense_amp_pairing(self):
+        a = ArrayCoordinate(0, 0, 0, 0)
+        assert a.shares_sense_amps_with(ArrayCoordinate(0, 0, 0, 1))
+        assert not a.shares_sense_amps_with(ArrayCoordinate(0, 0, 0, 2))
+        assert not a.shares_sense_amps_with(a)
+        assert not a.shares_sense_amps_with(ArrayCoordinate(0, 0, 1, 1))
+
+
+class TestSetDecoding:
+    def test_sets_per_slice(self, llc):
+        # 128 KB per way / 64-byte lines = 2048 sets.
+        assert llc.sets_per_slice == 2048
+
+    def test_lines_per_array(self, llc):
+        assert llc.lines_per_array == 128
+
+    def test_consecutive_lines_interleave_across_slices(self, llc):
+        first = llc.decode(0, way=0)
+        second = llc.decode(LINE_BYTES, way=0)
+        assert first.coordinate.slice_id == 0
+        assert second.coordinate.slice_id == 1
+
+    def test_sets_interleave_across_arrays_of_a_way(self, llc):
+        slices = llc.geometry.slices
+        locations = [llc.decode(i * LINE_BYTES * slices, way=0)
+                     for i in range(llc.geometry.arrays_per_way)]
+        arrays = {(loc.coordinate.bank, loc.coordinate.array)
+                  for loc in locations}
+        assert len(arrays) == llc.geometry.arrays_per_way
+
+    def test_line_occupies_two_wordlines(self, llc):
+        slices = llc.geometry.slices
+        arrays_per_way = llc.geometry.arrays_per_way
+        # Two sets that land on the same array, one stripe apart.
+        a = llc.decode(0, way=0)
+        b = llc.decode(LINE_BYTES * slices * arrays_per_way, way=0)
+        assert a.coordinate == b.coordinate
+        assert b.row - a.row == 2  # 64B = 512 bits = 2 x 256-bit rows
+
+    def test_decode_validation(self, llc):
+        with pytest.raises(GeometryError):
+            llc.decode(-1, way=0)
+        with pytest.raises(GeometryError):
+            llc.decode(0, way=20)
+
+
+class TestFootprintWalk:
+    def test_small_footprint_touches_few_arrays(self, llc):
+        assert llc.arrays_touched_by_footprint(LINE_BYTES) == 1
+
+    def test_large_footprint_walks_every_array(self, llc):
+        assert (llc.arrays_touched_by_footprint(llc.geometry.way_bytes)
+                == llc.geometry.arrays_per_way)
+
+    def test_footprint_validation(self, llc):
+        with pytest.raises(GeometryError):
+            llc.arrays_touched_by_footprint(-1)

@@ -1,0 +1,104 @@
+"""Tests for bit-manipulation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    bits_to_int,
+    ceil_div,
+    from_twos_complement,
+    int_to_bits,
+    is_power_of_two,
+    next_power_of_two,
+    to_twos_complement,
+)
+
+
+class TestIntBitsConversion:
+    def test_int_to_bits_lsb_first(self):
+        bits = int_to_bits(np.array([6]), 4)
+        assert list(bits[:, 0]) == [0, 1, 1, 0]
+
+    def test_round_trip(self):
+        values = np.array([0, 1, 255, 1000, 65535])
+        assert np.array_equal(bits_to_int(int_to_bits(values, 16)), values)
+
+    def test_masking_to_width(self):
+        bits = int_to_bits(np.array([0x1FF]), 8)
+        assert bits_to_int(bits)[0] == 0xFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(np.array([-1]), 8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            int_to_bits(np.zeros((2, 2)), 8)
+        with pytest.raises(ValueError):
+            bits_to_int(np.zeros(4))
+        with pytest.raises(ValueError):
+            int_to_bits(np.array([1]), 0)
+
+
+class TestTwosComplement:
+    def test_encode_negative(self):
+        assert to_twos_complement(np.array([-1]), 8)[0] == 255
+        assert to_twos_complement(np.array([-128]), 8)[0] == 128
+
+    def test_round_trip(self):
+        values = np.array([-128, -1, 0, 1, 127])
+        encoded = to_twos_complement(values, 8)
+        assert np.array_equal(from_twos_complement(encoded, 8), values)
+
+    def test_positive_unchanged(self):
+        assert to_twos_complement(np.array([100]), 8)[0] == 100
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("n,expected", [
+        (1, 1), (2, 2), (3, 4), (5, 8), (128, 128), (129, 256), (1000, 1024),
+    ])
+    def test_next_power_of_two(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_next_power_of_two_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 5, 0), (1, 5, 1), (5, 5, 1), (6, 5, 2), (25, 9, 3),
+    ])
+    def test_ceil_div(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**20 - 1), min_size=1,
+                max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_bits_round_trip_property(values):
+    array = np.array(values, dtype=np.int64)
+    assert np.array_equal(bits_to_int(int_to_bits(array, 20)), array)
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+@settings(max_examples=100, deadline=None)
+def test_next_power_of_two_properties(n):
+    p = next_power_of_two(n)
+    assert is_power_of_two(p)
+    assert p >= n
+    assert p < 2 * n or n == 1

@@ -1,0 +1,81 @@
+"""Tests for unit conversions and report-table formatting."""
+
+import pytest
+
+from repro.common import format_ratio, format_si, format_table
+from repro.common.units import (
+    GB,
+    MB,
+    bytes_per_second_to_gbps,
+    bytes_to_mb,
+    cycles_to_seconds,
+    gbps_to_bytes_per_second,
+    joules_to_pj,
+    mb_to_bytes,
+    ms_to_seconds,
+    pj_to_joules,
+    seconds_to_cycles,
+    seconds_to_ms,
+    seconds_to_us,
+)
+
+
+class TestUnits:
+    def test_cycles_seconds_round_trip(self):
+        seconds = cycles_to_seconds(2.5e9, 2.5e9)
+        assert seconds == pytest.approx(1.0)
+        assert seconds_to_cycles(seconds, 2.5e9) == pytest.approx(2.5e9)
+
+    def test_cycles_to_seconds_validates_frequency(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(100, 0)
+
+    def test_time_conversions(self):
+        assert seconds_to_ms(0.00472) == pytest.approx(4.72)
+        assert ms_to_seconds(4.72) == pytest.approx(0.00472)
+        assert seconds_to_us(1e-6) == pytest.approx(1.0)
+
+    def test_energy_conversions(self):
+        assert joules_to_pj(15.4e-12) == pytest.approx(15.4)
+        assert pj_to_joules(15.4) == pytest.approx(15.4e-12)
+
+    def test_byte_conversions(self):
+        assert bytes_to_mb(35 * MB) == pytest.approx(35.0)
+        assert mb_to_bytes(2.5) == pytest.approx(2.5 * MB)
+        assert bytes_per_second_to_gbps(2 * GB) == pytest.approx(2.0)
+        assert gbps_to_bytes_per_second(11.0) == pytest.approx(11.0 * GB)
+
+
+class TestTables:
+    def test_basic_table(self):
+        text = format_table(["layer", "ms"], [["conv1", "1.5"], ["fc", "0.1"]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["layer", "ms"]
+        assert "conv1" in lines[2]
+
+    def test_title(self):
+        text = format_table(["a"], [["1"]], title="Table I")
+        assert text.startswith("Table I\n=======")
+
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["x", "1"], ["longer", "2"]])
+        lines = text.splitlines()
+        # Both value columns start at the same offset.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_ratio(self):
+        out = format_ratio(9.0, 3.0)
+        assert "3.00x" in out
+
+    def test_format_ratio_zero_reference(self):
+        assert "(ref 0)" in format_ratio(1.0, 0.0)
+
+    def test_format_si(self):
+        assert format_si(4.72e-3, "s") == "4.72 ms"
+        assert format_si(28e12, "OP/s") == "28 TOP/s"
+        assert format_si(0, "s") == "0 s"
+        assert format_si(15.4e-12, "J") == "15.4 pJ"

@@ -1,0 +1,111 @@
+"""Bit-exact tests for the in-cache element-wise Add (residual path)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.core.functional import FunctionalAdd, FunctionalExecutor
+from repro.nn import (
+    QuantParams,
+    QuantizedTensor,
+    ReferenceExecutor,
+    build_resnet_tiny,
+    initialise_weights,
+)
+from repro.nn.reference import add_quantized
+
+RNG = np.random.default_rng(77)
+
+
+def tensors(shape, zp):
+    params = QuantParams(scale=0.05, zero_point=zp)
+    a = QuantizedTensor(RNG.integers(0, 256, shape).astype(np.uint8), params)
+    b = QuantizedTensor(RNG.integers(0, 256, shape).astype(np.uint8), params)
+    return a, b
+
+
+class TestFunctionalAdd:
+    @pytest.mark.parametrize("zp", [0, 30, 128, 255])
+    def test_matches_reference(self, zp):
+        shape = (5, 5, 4)
+        a, b = tensors(shape, zp)
+        engine = FunctionalAdd(shape)
+        got = engine.run(a, b)
+        expected = add_quantized(a.data, b.data, zp)
+        assert np.array_equal(got.data, expected)
+
+    @pytest.mark.parametrize("zp", [0, 64, 200])
+    def test_fused_relu(self, zp):
+        shape = (4, 4, 3)
+        a, b = tensors(shape, zp)
+        engine = FunctionalAdd(shape, relu=True)
+        got = engine.run(a, b)
+        expected = add_quantized(a.data, b.data, zp, relu=True)
+        assert np.array_equal(got.data, expected)
+
+    def test_saturation_edges(self):
+        shape = (1, 1, 4)
+        params = QuantParams(scale=1.0, zero_point=10)
+        a = QuantizedTensor(np.array([255, 255, 0, 5],
+                                     dtype=np.uint8).reshape(shape), params)
+        b = QuantizedTensor(np.array([255, 10, 0, 4],
+                                     dtype=np.uint8).reshape(shape), params)
+        got = FunctionalAdd(shape).run(a, b)
+        # 255+255-10 -> 255 (saturate); 255+10-10 -> 255; 0+0-10 -> 0
+        # (underflow); 5+4-10 -> 0 (underflow).
+        assert got.data.ravel().tolist() == [255, 255, 0, 0]
+
+    def test_multi_batch(self):
+        # More elements than one array's 256 bitlines.
+        shape = (10, 10, 7)
+        a, b = tensors(shape, 40)
+        engine = FunctionalAdd(shape)
+        got = engine.run(a, b)
+        assert np.array_equal(got.data, add_quantized(a.data, b.data, 40))
+        assert engine.report.passes == 3   # 700 outputs / 256 per pass
+
+    def test_mismatched_params_rejected(self):
+        shape = (2, 2, 2)
+        a, _ = tensors(shape, 10)
+        b = QuantizedTensor(a.data.copy(), QuantParams(0.05, 11))
+        with pytest.raises(SimulationError):
+            FunctionalAdd(shape).run(a, b)
+
+    def test_shape_checked(self):
+        a, b = tensors((2, 2, 2), 0)
+        with pytest.raises(SimulationError):
+            FunctionalAdd((3, 3, 2)).run(a, b)
+
+
+class TestResNetEndToEnd:
+    def test_resnet_tiny_bit_exact(self):
+        """The full residual network — including four in-cache Adds with
+        fused ReLU — matches the golden executor node for node."""
+        net = build_resnet_tiny(input_size=8, base_channels=4)
+        weights = initialise_weights(net, seed=13)
+        image = QuantizedTensor.from_real(
+            RNG.uniform(0, 6, net.input_shape), weights.input_params)
+        golden = ReferenceExecutor(net, weights).run(image)
+        in_cache = FunctionalExecutor(net, weights).run(image)
+        for node in net.layer_nodes():
+            assert np.array_equal(in_cache[node.name].data,
+                                  golden[node.name].data), node.name
+
+
+@given(st.integers(min_value=0, max_value=255), st.booleans(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_functional_add_property(zp, relu, data):
+    cols = 16
+    shape = (1, 1, cols)
+    params = QuantParams(scale=0.1, zero_point=zp)
+    av = np.array(data.draw(st.lists(st.integers(0, 255), min_size=cols,
+                                     max_size=cols)), dtype=np.uint8)
+    bv = np.array(data.draw(st.lists(st.integers(0, 255), min_size=cols,
+                                     max_size=cols)), dtype=np.uint8)
+    a = QuantizedTensor(av.reshape(shape), params)
+    b = QuantizedTensor(bv.reshape(shape), params)
+    got = FunctionalAdd(shape, relu=relu).run(a, b)
+    expected = add_quantized(a.data, b.data, zp, relu=relu)
+    assert np.array_equal(got.data, expected)

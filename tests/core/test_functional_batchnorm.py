@@ -1,0 +1,154 @@
+"""Bit-exact tests for explicit in-cache batch normalisation (Sec. IV-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QuantizationError, SimulationError
+from repro.core.functional import FunctionalBatchNorm, FunctionalExecutor
+from repro.nn import (
+    Conv2D,
+    Network,
+    QuantizedTensor,
+    ReferenceExecutor,
+    initialise_weights,
+)
+from repro.nn.layers import QuantizedBatchNorm
+from repro.nn.reference import BnWeights, bn_apply
+from repro.nn.tensor import QuantParams
+
+RNG = np.random.default_rng(404)
+
+
+def random_bn(channels, shift=12, seed=0):
+    rng = np.random.default_rng(seed)
+    multiplier = rng.integers(1 << 10, 1 << 14, channels, dtype=np.int64)
+    bias = rng.integers(-(1 << 20), 1 << 20, channels, dtype=np.int64)
+    return BnWeights(multiplier=multiplier, bias=bias, shift=shift)
+
+
+class TestBnWeights:
+    def test_validation(self):
+        with pytest.raises(QuantizationError):
+            BnWeights(multiplier=np.array([0]), bias=np.array([0]), shift=2)
+        with pytest.raises(QuantizationError):
+            BnWeights(multiplier=np.array([1 << 16]), bias=np.array([0]),
+                      shift=2)
+        with pytest.raises(QuantizationError):
+            BnWeights(multiplier=np.array([5]), bias=np.array([0]), shift=-1)
+        with pytest.raises(QuantizationError):
+            BnWeights(multiplier=np.array([5, 6]), bias=np.array([0]),
+                      shift=1)
+
+    def test_bn_apply_channel_count_checked(self):
+        bn = random_bn(4)
+        with pytest.raises(QuantizationError):
+            bn_apply(np.zeros((2, 2, 3), dtype=np.uint8), bn, 0, True)
+
+
+class TestFunctionalBatchNorm:
+    @pytest.mark.parametrize("relu", [True, False])
+    @pytest.mark.parametrize("zp_out", [0, 30, 128])
+    def test_matches_reference(self, relu, zp_out):
+        shape = (5, 5, 6)
+        bn = random_bn(6, seed=3)
+        q = RNG.integers(0, 256, shape).astype(np.uint8)
+        x = QuantizedTensor(q, QuantParams(0.02, 10))
+        engine = FunctionalBatchNorm(shape, bn, relu=relu, zp_out=zp_out)
+        got = engine.run(x)
+        expected = bn_apply(q, bn, zp_out, relu)
+        assert np.array_equal(got.data, expected)
+
+    def test_saturation(self):
+        shape = (1, 1, 2)
+        bn = BnWeights(multiplier=np.array([1 << 15, 1 << 15]),
+                       bias=np.array([0, -(1 << 24)]), shift=2)
+        q = np.array([255, 1], dtype=np.uint8).reshape(shape)
+        x = QuantizedTensor(q, QuantParams(0.02, 0))
+        got = FunctionalBatchNorm(shape, bn, relu=True).run(x)
+        expected = bn_apply(q, bn, 0, True)
+        assert np.array_equal(got.data, expected)
+        assert got.data.ravel().tolist() == [255, 0]
+
+    def test_multi_batch(self):
+        shape = (12, 12, 4)   # 576 outputs -> 3 passes of 256
+        bn = random_bn(4, seed=5)
+        q = RNG.integers(0, 256, shape).astype(np.uint8)
+        x = QuantizedTensor(q, QuantParams(0.02, 7))
+        engine = FunctionalBatchNorm(shape, bn, relu=True, zp_out=5)
+        got = engine.run(x)
+        assert np.array_equal(got.data, bn_apply(q, bn, 5, True))
+        assert engine.report.passes == 3
+        assert engine.report.quantization > 0
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            FunctionalBatchNorm((4, 4, 3), random_bn(5))
+
+    def test_oversized_shift_rejected(self):
+        bn = BnWeights(multiplier=np.array([5]), bias=np.array([0]),
+                       shift=30)
+        with pytest.raises(SimulationError):
+            FunctionalBatchNorm((2, 2, 1), bn, relu=True)
+
+    def test_input_shape_checked(self):
+        engine = FunctionalBatchNorm((4, 4, 2), random_bn(2))
+        bad = QuantizedTensor(np.zeros((2, 2, 2), dtype=np.uint8),
+                              QuantParams(1.0, 0))
+        with pytest.raises(SimulationError):
+            engine.run(bad)
+
+
+class TestEndToEndWithBn:
+    def build_net(self):
+        net = Network(name="bn-net")
+        x = net.add_input("in", (6, 6, 3))
+        x = net.add("conv", Conv2D(4, (3, 3), relu=False), x)
+        x = net.add("bn", QuantizedBatchNorm(relu=True), x)
+        net.add("conv2", Conv2D(2, (1, 1)), x)
+        return net
+
+    def test_bn_network_bit_exact(self):
+        net = self.build_net()
+        weights = initialise_weights(net, seed=21)
+        assert "bn" in weights.bn_weights
+        image = QuantizedTensor.from_real(
+            RNG.uniform(0, 6, (6, 6, 3)), weights.input_params)
+        golden = ReferenceExecutor(net, weights).run(image)
+        in_cache = FunctionalExecutor(net, weights).run(image)
+        for node in net.layer_nodes():
+            assert np.array_equal(in_cache[node.name].data,
+                                  golden[node.name].data), node.name
+
+    def test_bn_maps_and_schedules(self):
+        from repro.core.executor import NeuralCacheSimulator
+        net = self.build_net()
+        sim = NeuralCacheSimulator(net)
+        mapping = sim.mapping_for("bn")
+        assert mapping.kind == "batchnorm"
+        assert mapping.filter_load_bytes == 4 * 6   # 2B mult + 4B bias
+        result = sim.run()
+        assert result.total_time > 0
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=4, max_value=20), st.data())
+@settings(max_examples=25, deadline=None)
+def test_bn_property(zp_out, shift, data):
+    channels = 4
+    cols = channels * 2
+    shape = (1, 2, channels)
+    multiplier = np.array(data.draw(
+        st.lists(st.integers(1, (1 << 16) - 1), min_size=channels,
+                 max_size=channels)), dtype=np.int64)
+    bias = np.array(data.draw(
+        st.lists(st.integers(-(1 << 24), 1 << 24), min_size=channels,
+                 max_size=channels)), dtype=np.int64)
+    bn = BnWeights(multiplier=multiplier, bias=bias, shift=shift)
+    q = np.array(data.draw(st.lists(st.integers(0, 255), min_size=cols,
+                                    max_size=cols)),
+                 dtype=np.uint8).reshape(shape)
+    x = QuantizedTensor(q, QuantParams(0.02, 3))
+    got = FunctionalBatchNorm(shape, bn, relu=True, zp_out=zp_out).run(x)
+    assert np.array_equal(got.data, bn_apply(q, bn, zp_out, True))

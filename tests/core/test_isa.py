@@ -1,0 +1,137 @@
+"""Tests for the in-cache ISA and bank control FSM (Sec. IV-F)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import IsaError
+from repro.core.isa import (
+    FSM_AREA_UM2,
+    ControlFSM,
+    Instruction,
+    Opcode,
+    fsm_total_area_mm2,
+)
+from repro.sram import BitSerialUnit, Operand, SRAMArray
+
+
+def unit(cols=32):
+    return BitSerialUnit(SRAMArray(rows=128, cols=cols))
+
+
+class TestInstructionValidation:
+    def test_operand_count_enforced(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.CADD, (Operand(0, 8),))
+        with pytest.raises(IsaError):
+            Instruction(Opcode.CZERO, (Operand(0, 8), Operand(8, 8)))
+
+    def test_immediate_required(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.CIMM, (Operand(0, 8),))
+
+    def test_immediate_forbidden(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.CADD,
+                        (Operand(0, 8), Operand(8, 8), Operand(16, 9)),
+                        immediate=3)
+
+    def test_str_rendering(self):
+        instr = Instruction(Opcode.CIMM, (Operand(4, 8),), immediate=42)
+        assert str(instr) == "cimm r4:8, #42"
+
+
+class TestExecution:
+    def test_program_matches_direct_calls(self):
+        a, b, dst = Operand(0, 8), Operand(8, 8), Operand(16, 9)
+        vals_a = np.arange(32, dtype=np.int64)
+        vals_b = np.arange(32, dtype=np.int64)[::-1].copy()
+
+        direct = unit()
+        direct.write_values(a, vals_a)
+        direct.write_values(b, vals_b)
+        direct.add(a, b, dst)
+
+        fsm = ControlFSM(units=[unit()])
+        fsm.units[0].write_values(a, vals_a)
+        fsm.units[0].write_values(b, vals_b)
+        cycles = fsm.execute([Instruction(Opcode.CADD, (a, b, dst))])
+        assert cycles == direct.cycles
+        assert np.array_equal(fsm.units[0].read_values(dst),
+                              direct.read_values(dst))
+
+    def test_simd_broadcast_across_arrays(self):
+        """One instruction stream drives many arrays in lockstep —
+        the paper's execution model."""
+        a, b, dst = Operand(0, 8), Operand(8, 8), Operand(16, 9)
+        arrays = [unit(), unit(), unit()]
+        for i, u in enumerate(arrays):
+            u.write_values(a, np.full(32, i + 1, dtype=np.int64))
+            u.write_values(b, np.full(32, 10, dtype=np.int64))
+        fsm = ControlFSM(units=arrays)
+        fsm.execute([Instruction(Opcode.CADD, (a, b, dst))])
+        for i, u in enumerate(arrays):
+            assert np.all(u.read_values(dst) == i + 11)
+
+    def test_multi_instruction_program(self):
+        """A MAC program composed from ISA instructions."""
+        a, b = Operand(0, 8), Operand(8, 8)
+        scratch, acc = Operand(16, 16), Operand(32, 24)
+        fsm = ControlFSM(units=[unit()])
+        fsm.units[0].write_values(a, np.full(32, 7, dtype=np.int64))
+        fsm.units[0].write_values(b, np.full(32, 6, dtype=np.int64))
+        program = [
+            Instruction(Opcode.CZERO, (acc,)),
+            Instruction(Opcode.CMAC, (a, b, scratch, acc)),
+            Instruction(Opcode.CMAC, (a, b, scratch, acc)),
+        ]
+        fsm.execute(program)
+        assert np.all(fsm.units[0].read_values(acc) == 84)
+        assert fsm.instructions_executed == 3
+
+    def test_immediate_instructions(self):
+        dst = Operand(0, 16)
+        fsm = ControlFSM(units=[unit()])
+        fsm.execute([Instruction(Opcode.CIMM, (dst,), immediate=1234)])
+        assert np.all(fsm.units[0].read_values(dst) == 1234)
+
+    def test_reduce_instruction(self):
+        base, seg = Operand(0, 32), Operand(32, 32)
+        fsm = ControlFSM(units=[unit()])
+        vals = np.arange(32, dtype=np.int64)
+        fsm.units[0].write_values(Operand(0, 29), vals)
+        fsm.execute([Instruction(Opcode.CREDUCE, (base, seg), immediate=8)])
+        got = fsm.units[0].read_values(base)
+        assert got[0] == vals[:8].sum()
+
+    def test_relu_and_selective_copy(self):
+        op = Operand(0, 8)
+        flag = Operand(8, 1)
+        src = Operand(16, 8)
+        fsm = ControlFSM(units=[unit()])
+        u = fsm.units[0]
+        vals = np.concatenate([np.full(16, 200), np.full(16, 5)])
+        u.write_values(op, vals)
+        fsm.execute([Instruction(Opcode.CRELU, (op,), immediate=7)])
+        assert np.all(u.read_values(op) == np.where(vals >= 128, 0, vals))
+        u.write_values(src, np.full(32, 9, dtype=np.int64))
+        u.write_values(flag, np.ones(32, dtype=np.int64))
+        fsm.execute([Instruction(Opcode.CSELCOPY, (src, op), immediate=8)])
+        assert np.all(u.read_values(op) == 9)
+
+    def test_default_fsm_gets_one_unit(self):
+        fsm = ControlFSM()
+        assert len(fsm.units) == 1
+
+
+class TestArea:
+    def test_per_fsm_area(self):
+        assert FSM_AREA_UM2 == 204.0
+
+    def test_total_area_matches_paper(self):
+        # Sec. IV-F: "across 14 slices which sums to 0.23 mm^2".
+        banks = 14 * 80
+        assert fsm_total_area_mm2(banks) == pytest.approx(0.23, abs=0.002)
+
+    def test_negative_banks_rejected(self):
+        with pytest.raises(IsaError):
+            fsm_total_area_mm2(-1)

@@ -1,0 +1,98 @@
+"""Tests for the ISA text parser and CLI entry point."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import IsaError
+from repro.core.isa import (
+    ControlFSM,
+    Instruction,
+    Opcode,
+    parse_instruction,
+    parse_program,
+)
+from repro.sram import BitSerialUnit, Operand, SRAMArray
+
+
+class TestParseInstruction:
+    def test_simple(self):
+        instr = parse_instruction("cadd r0:8, r8:8, r16:9")
+        assert instr.opcode is Opcode.CADD
+        assert instr.operands == (Operand(0, 8), Operand(8, 8),
+                                  Operand(16, 9))
+        assert instr.immediate is None
+
+    def test_immediate(self):
+        instr = parse_instruction("cimm r4:16, #1234")
+        assert instr.immediate == 1234
+
+    def test_hex_immediate(self):
+        assert parse_instruction("cimm r0:16, #0xff").immediate == 255
+
+    def test_round_trip_via_str(self):
+        original = Instruction(Opcode.CMULT,
+                               (Operand(0, 8), Operand(8, 8),
+                                Operand(16, 16)))
+        assert parse_instruction(str(original)) == original
+
+    def test_round_trip_with_immediate(self):
+        original = Instruction(Opcode.CRELU, (Operand(0, 32),), immediate=31)
+        assert parse_instruction(str(original)) == original
+
+    def test_case_insensitive_opcode(self):
+        assert parse_instruction("CZERO r0:8").opcode is Opcode.CZERO
+
+    @pytest.mark.parametrize("bad", [
+        "", "bogus r0:8", "cadd r0:8", "cadd r0:8, r8:8, r16:9, #3",
+        "cimm r0:8", "cadd r0:x, r8:8, r16:9", "cimm r0:8, #zz",
+        "cadd banana", "cimm r0:8, #1, #2",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(IsaError):
+            parse_instruction(bad)
+
+
+class TestParseProgram:
+    def test_program_with_comments(self):
+        program = parse_program("""
+            # zero the accumulator
+            czero r32:24
+            cmac r0:8, r8:8, r16:16, r32:24
+        """)
+        assert [i.opcode for i in program] == [Opcode.CZERO, Opcode.CMAC]
+
+    def test_parsed_program_executes(self):
+        fsm = ControlFSM(units=[BitSerialUnit(SRAMArray(rows=64, cols=16))])
+        unit = fsm.units[0]
+        unit.write_values(Operand(0, 8), np.full(16, 6, dtype=np.int64))
+        unit.write_values(Operand(8, 8), np.full(16, 7, dtype=np.int64))
+        program = parse_program("""
+            czero r32:24
+            cmac r0:8, r8:8, r16:16, r32:24
+        """)
+        fsm.execute(program)
+        assert np.all(unit.read_values(Operand(32, 24)) == 42)
+
+    def test_empty_program(self):
+        assert parse_program("\n# nothing\n") == []
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure14" in out
+        assert "table1" in out
+
+    def test_single_experiment(self, capsys):
+        from repro.__main__ import main
+        assert main(["figure14"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+        assert "filter_load" in out
+
+    def test_unknown_experiment_errors(self):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,81 @@
+"""Tests for the flexible bit-width extension (Sec. III-A)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.config import NeuralCacheConfig
+from repro.core.precision import (
+    MAX_PRECISION_BITS,
+    config_for_precision,
+    precision_sweep,
+)
+from repro.nn import build_inception_v3
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_inception_v3()
+
+
+@pytest.fixture(scope="module")
+def sweep(net):
+    return precision_sweep(net, bit_widths=(2, 4, 8))
+
+
+class TestConfigForPrecision:
+    def test_element_bits_set(self):
+        config = config_for_precision(4)
+        assert config.element_bits == 4
+
+    def test_storage_regions_stay_byte_aligned(self):
+        config = config_for_precision(4)
+        base = NeuralCacheConfig()
+        assert config.partial_sum_bits == base.partial_sum_bits
+        assert config.reduction_bits == base.reduction_bits
+
+    def test_base_fields_preserved(self):
+        base = NeuralCacheConfig(sockets=4)
+        config = config_for_precision(6, base)
+        assert config.sockets == 4
+
+    def test_bounds(self):
+        with pytest.raises(SimulationError):
+            config_for_precision(0)
+        with pytest.raises(SimulationError):
+            config_for_precision(MAX_PRECISION_BITS + 1)
+
+
+class TestSweep:
+    def test_mac_time_shrinks_with_precision(self, sweep):
+        mac_times = [p.mac_time_s for p in sweep]
+        assert mac_times == sorted(mac_times)  # 2-bit fastest
+
+    def test_latency_monotone_in_bits(self, sweep):
+        latencies = [p.latency_s for p in sweep]
+        assert latencies == sorted(latencies)
+
+    def test_diminishing_returns_from_data_movement(self, sweep):
+        """Quartering precision gives a ~quadratic MAC win but far less
+        total win: movement is unchanged (elements stay bytes) and the
+        byte-aligned reduction/quantization widths are fixed."""
+        p2, _, p8 = sweep
+        mac_speedup = p8.mac_time_s / p2.mac_time_s
+        total_speedup = p2.speedup_over(p8)
+        assert mac_speedup > 4          # MAC cycles scale ~quadratically
+        assert total_speedup < 2        # movement dominates
+        assert total_speedup > 1.05
+
+    def test_energy_tracks_compute(self, sweep):
+        p2, _, p8 = sweep
+        assert p2.energy_j < p8.energy_j
+
+    def test_mac_cycles_scale_quadratically(self):
+        """The per-MAC cost follows the multiply formula in the element
+        width (derived preset, where no 8-bit override applies)."""
+        from repro.sram.cost import CycleCosts
+        costs = CycleCosts.derived()
+        assert costs.mac(4, 24) < costs.mac(8, 24) / 2
+
+    def test_empty_sweep_rejected(self, net):
+        with pytest.raises(SimulationError):
+            precision_sweep(net, bit_widths=())

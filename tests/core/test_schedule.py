@@ -1,0 +1,154 @@
+"""Tests for the per-layer schedule (phase times and energies)."""
+
+import pytest
+
+from repro.config import NeuralCacheConfig
+from repro.core.mapping import map_conv, map_pool
+from repro.core.schedule import (
+    PHASES,
+    PhaseBreakdown,
+    mac_cycles_per_pass,
+    pooling_cycles_per_pass,
+    quantization_cycles,
+    reduction_cycles_per_pass,
+    schedule_layer,
+)
+from repro.nn import AvgPool, Conv2D, MaxPool, build_inception_v3
+
+CFG = NeuralCacheConfig()  # paper cost preset
+
+
+@pytest.fixture(scope="module")
+def conv2b_mapping():
+    net = build_inception_v3()
+    node = net.node("Conv2d_2b_3x3")
+    return map_conv(CFG, node.name, net.conv_of(node),
+                    net.input_shape_of(node.name))
+
+
+class TestPhaseBreakdown:
+    def test_total_and_fractions(self):
+        bd = PhaseBreakdown(filter_load=3.0, mac=1.0)
+        assert bd.total == 4.0
+        fr = bd.fractions()
+        assert fr["filter_load"] == pytest.approx(0.75)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_zero_total_fractions(self):
+        assert all(v == 0 for v in PhaseBreakdown().fractions().values())
+
+    def test_addition_and_scaling(self):
+        a = PhaseBreakdown(mac=1.0, reduction=2.0)
+        b = PhaseBreakdown(mac=0.5)
+        assert (a + b).mac == 1.5
+        assert a.scaled(3).reduction == 6.0
+
+    def test_as_dict_covers_all_phases(self):
+        assert set(PhaseBreakdown().as_dict()) == set(PHASES)
+
+
+class TestWorkedExampleCycles:
+    """Sec. VI-A: 2784 cycles per convolution for Conv2d_2b_3x3."""
+
+    def test_mac_cycles(self, conv2b_mapping):
+        # 236 cycles/MAC x 9 taps = 2124.
+        assert mac_cycles_per_pass(CFG, conv2b_mapping) == 2124
+
+    def test_reduction_cycles(self, conv2b_mapping):
+        # Full-array tree, ~660 in the paper; 668 with the stated
+        # move/add costs.
+        cycles = reduction_cycles_per_pass(CFG, conv2b_mapping)
+        assert cycles == pytest.approx(660, abs=10)
+
+    def test_per_convolution_total_near_2784(self, conv2b_mapping):
+        total = (mac_cycles_per_pass(CFG, conv2b_mapping)
+                 + reduction_cycles_per_pass(CFG, conv2b_mapping))
+        assert total == pytest.approx(2784, abs=10)
+
+    def test_layer_convolution_time_near_paper(self, conv2b_mapping):
+        # 43 serial passes at 2.5 GHz -> 0.0479 ms in the paper.
+        total = (mac_cycles_per_pass(CFG, conv2b_mapping)
+                 + reduction_cycles_per_pass(CFG, conv2b_mapping))
+        seconds = conv2b_mapping.serial_passes * total / CFG.frequency_hz
+        assert seconds == pytest.approx(47.9e-6, rel=0.02)
+
+
+class TestCycleHelpers:
+    def test_pool_layers_have_no_mac_or_reduction(self):
+        pool = MaxPool(kernel=(3, 3), stride=2, padding="valid")
+        mapping = map_pool(CFG, "p", pool, (147, 147, 64))
+        assert mac_cycles_per_pass(CFG, mapping) == 0
+        assert reduction_cycles_per_pass(CFG, mapping) == 0
+        assert quantization_cycles(CFG, mapping) == 0
+        assert pooling_cycles_per_pass(CFG, mapping) > 0
+
+    def test_avgpool_costs_more_than_maxpool(self):
+        # Division is slower than comparison (Sec. IV-D).
+        shape = (35, 35, 192)
+        max_m = map_pool(CFG, "m", MaxPool(kernel=(3, 3), padding="same"),
+                         shape)
+        avg_m = map_pool(CFG, "a", AvgPool(kernel=(3, 3), padding="same"),
+                         shape)
+        assert (pooling_cycles_per_pass(CFG, avg_m)
+                > pooling_cycles_per_pass(CFG, max_m))
+
+    def test_cross_array_reduction_costs_extra(self):
+        small = map_conv(CFG, "s", Conv2D(8, (3, 3)), (16, 16, 256))
+        large = map_conv(CFG, "l", Conv2D(8, (3, 3)), (16, 16, 448))
+        assert large.arrays_per_conv == 2
+        assert (reduction_cycles_per_pass(CFG, large)
+                > reduction_cycles_per_pass(CFG, small))
+
+    def test_quantization_grows_with_outputs(self):
+        small = map_conv(CFG, "s", Conv2D(8, (3, 3)), (16, 16, 32))
+        large = map_conv(CFG, "l", Conv2D(64, (3, 3)), (149, 149, 32))
+        assert (quantization_cycles(CFG, large)
+                > quantization_cycles(CFG, small))
+
+
+class TestScheduleLayer:
+    def test_all_phases_nonnegative(self, conv2b_mapping):
+        schedule = schedule_layer(CFG, conv2b_mapping)
+        for phase in PHASES:
+            assert getattr(schedule.time, phase) >= 0
+            assert getattr(schedule.energy, phase) >= 0
+
+    def test_filter_load_matches_dram_model(self, conv2b_mapping):
+        schedule = schedule_layer(CFG, conv2b_mapping)
+        expected = CFG.dram.transfer_time(conv2b_mapping.filter_load_bytes)
+        assert schedule.time.filter_load == pytest.approx(expected)
+
+    def test_first_layer_input_from_dram_is_slower(self):
+        net = build_inception_v3()
+        node = net.node("Conv2d_1a_3x3")
+        mapping = map_conv(CFG, node.name, net.conv_of(node),
+                           net.input_shape_of(node.name))
+        cached = schedule_layer(CFG, mapping, input_from_dram=False)
+        dram = schedule_layer(CFG, mapping, input_from_dram=True)
+        assert dram.time.input_stream >= cached.time.input_stream
+
+    def test_pool_layer_has_no_filter_load(self):
+        pool = MaxPool(kernel=(3, 3), stride=2, padding="valid")
+        mapping = map_pool(CFG, "p", pool, (147, 147, 64))
+        schedule = schedule_layer(CFG, mapping)
+        assert schedule.time.filter_load == 0
+        assert schedule.time.pooling > 0
+        assert schedule.time.mac == 0
+
+    def test_energy_positive_for_compute_phases(self, conv2b_mapping):
+        schedule = schedule_layer(CFG, conv2b_mapping)
+        assert schedule.energy.mac > 0
+        assert schedule.energy.reduction > 0
+        assert schedule.energy.filter_load > 0
+
+    def test_input_reuse_reduces_streaming(self):
+        # Stride-1 3x3 windows reuse bytes between passes; a hypothetical
+        # no-reuse config must stream more.
+        net = build_inception_v3()
+        node = net.node("Conv2d_2b_3x3")
+        mapping = map_conv(CFG, node.name, net.conv_of(node),
+                           net.input_shape_of(node.name))
+        no_reuse = NeuralCacheConfig(input_reuse_floor=1.0)
+        with_reuse = schedule_layer(CFG, mapping)
+        without = schedule_layer(no_reuse, mapping)
+        assert without.time.input_stream > with_reuse.time.input_stream

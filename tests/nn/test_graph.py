@@ -1,0 +1,118 @@
+"""Tests for the network DAG."""
+
+import pytest
+
+from repro.common.errors import ShapeError
+from repro.nn import AvgPool, Concat, Conv2D, FullyConnected, MaxPool, Network
+
+
+def small_net():
+    net = Network(name="small")
+    x = net.add_input("in", (8, 8, 3))
+    x = net.add("c1", Conv2D(8, (3, 3)), x, group="stem")
+    a = net.add("b0", Conv2D(4, (1, 1)), x, group="mix")
+    b = net.add("b1", Conv2D(4, (3, 3)), x, group="mix")
+    x = net.add("cat", Concat(), (a, b), group="mix")
+    x = net.add("pool", AvgPool((8, 8), padding="valid"), x, group="head")
+    net.add("fc", FullyConnected(5), x, group="head")
+    return net
+
+
+class TestConstruction:
+    def test_shapes_inferred_on_insertion(self):
+        net = small_net()
+        assert net.node("c1").output_shape == (8, 8, 8)
+        assert net.node("cat").output_shape == (8, 8, 8)
+        assert net.node("fc").output_shape == (1, 1, 5)
+
+    def test_input_properties(self):
+        net = small_net()
+        assert net.input_name == "in"
+        assert net.input_shape == (8, 8, 3)
+
+    def test_output_is_last_node(self):
+        assert small_net().output_name == "fc"
+
+    def test_duplicate_name_rejected(self):
+        net = small_net()
+        with pytest.raises(ShapeError):
+            net.add("c1", Conv2D(8, (3, 3)), "in")
+
+    def test_unknown_input_rejected(self):
+        net = small_net()
+        with pytest.raises(ShapeError):
+            net.add("bad", Conv2D(8, (3, 3)), "nope")
+
+    def test_second_input_rejected(self):
+        net = small_net()
+        with pytest.raises(ShapeError):
+            net.add_input("in2", (4, 4, 1))
+
+    def test_multi_input_only_for_concat(self):
+        net = small_net()
+        with pytest.raises(ShapeError):
+            net.add("bad", Conv2D(8, (3, 3)), ("c1", "cat"))
+
+    def test_missing_node_lookup(self):
+        with pytest.raises(ShapeError):
+            small_net().node("ghost")
+
+
+class TestQueries:
+    def test_topological_order(self):
+        names = [n.name for n in small_net().nodes()]
+        assert names.index("c1") < names.index("b0") < names.index("cat")
+
+    def test_layer_nodes_excludes_input(self):
+        assert all(n.layer is not None for n in small_net().layer_nodes())
+
+    def test_groups_in_order(self):
+        assert small_net().groups() == ["stem", "mix", "head"]
+
+    def test_group_nodes(self):
+        nodes = small_net().group_nodes("mix")
+        assert {n.name for n in nodes} == {"b0", "b1", "cat"}
+        with pytest.raises(ShapeError):
+            small_net().group_nodes("ghost")
+
+    def test_consumers(self):
+        net = small_net()
+        assert {n.name for n in net.consumers("c1")} == {"b0", "b1"}
+        assert {n.name for n in net.consumers("fc")} == set()
+
+    def test_input_shape_of(self):
+        net = small_net()
+        assert net.input_shape_of("b0") == (8, 8, 8)
+        with pytest.raises(ShapeError):
+            net.input_shape_of("in")
+
+
+class TestCounting:
+    def test_conv_nodes_include_fc(self):
+        names = {n.name for n in small_net().conv_nodes()}
+        assert names == {"c1", "b0", "b1", "fc"}
+
+    def test_conv_of_fc(self):
+        net = small_net()
+        conv = net.conv_of(net.node("fc"))
+        assert conv.kernel == (1, 1)
+        assert conv.out_channels == 5
+
+    def test_conv_of_non_conv_rejected(self):
+        net = small_net()
+        with pytest.raises(ShapeError):
+            net.conv_of(net.node("cat"))
+
+    def test_total_weight_bytes(self):
+        net = small_net()
+        expected = (9 * 3 * 8) + (1 * 8 * 4) + (9 * 8 * 4) + (8 * 5)
+        assert net.total_weight_bytes() == expected
+
+    def test_total_convolutions(self):
+        net = small_net()
+        expected = 8 * 8 * 8 + 8 * 8 * 4 + 8 * 8 * 4 + 5
+        assert net.total_convolutions() == expected
+
+    def test_total_macs_positive_and_consistent(self):
+        net = small_net()
+        assert net.total_macs() > net.total_convolutions()

@@ -1,0 +1,138 @@
+"""Tests for layer shape inference and counting."""
+
+import pytest
+
+from repro.common.errors import ShapeError
+from repro.nn import AvgPool, BatchNorm, Concat, Conv2D, FullyConnected, MaxPool
+from repro.nn.layers import conv_output_size, same_padding_offsets
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize("size,k,stride,padding,expected", [
+        (299, 3, 2, "valid", 149),   # Conv2d_1a
+        (149, 3, 1, "valid", 147),   # Conv2d_2a
+        (147, 3, 1, "same", 147),    # Conv2d_2b
+        (147, 3, 2, "valid", 73),    # MaxPool_3a
+        (73, 3, 1, "valid", 71),     # Conv2d_4a
+        (71, 3, 2, "valid", 35),     # MaxPool_5a
+        (35, 3, 2, "valid", 17),     # Mixed_6a reduction
+        (17, 3, 2, "valid", 8),      # Mixed_7a reduction
+    ])
+    def test_inception_spatial_chain(self, size, k, stride, padding, expected):
+        assert conv_output_size(size, k, stride, padding) == expected
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(0, 3, 1, "same")
+        with pytest.raises(ShapeError):
+            conv_output_size(2, 3, 1, "valid")
+        with pytest.raises(ShapeError):
+            conv_output_size(8, 3, 1, "reflect")
+
+    def test_same_padding_offsets(self):
+        before, after = same_padding_offsets(5, 3, 1)
+        assert (before, after) == (1, 1)
+        # For size 5, kernel 3, stride 2: out = 3, total = (3-1)*2+3-5 = 2.
+        before, after = same_padding_offsets(5, 3, 2)
+        assert (before, after) == (1, 1)
+
+
+class TestConv2D:
+    def test_output_shape_same(self):
+        conv = Conv2D(out_channels=64, kernel=(3, 3), padding="same")
+        assert conv.output_shape((35, 35, 192)) == (35, 35, 64)
+
+    def test_output_shape_strided_valid(self):
+        conv = Conv2D(out_channels=32, kernel=(3, 3), stride=2,
+                      padding="valid")
+        assert conv.output_shape((299, 299, 3)) == (149, 149, 32)
+
+    def test_asymmetric_kernels(self):
+        conv = Conv2D(out_channels=192, kernel=(1, 7))
+        assert conv.output_shape((17, 17, 128)) == (17, 17, 192)
+        assert conv.filter_shape((17, 17, 128)) == (1, 7, 128, 192)
+
+    def test_weight_bytes(self):
+        conv = Conv2D(out_channels=64, kernel=(3, 3))
+        assert conv.weight_bytes((10, 10, 32)) == 9 * 32 * 64
+
+    def test_convolutions_counts_output_elements(self):
+        conv = Conv2D(out_channels=32, kernel=(3, 3), stride=2,
+                      padding="valid")
+        assert conv.convolutions((299, 299, 3)) == 149 * 149 * 32 == 710432
+
+    def test_macs(self):
+        conv = Conv2D(out_channels=4, kernel=(3, 3), padding="same")
+        assert conv.macs((8, 8, 2)) == 8 * 8 * 4 * 9 * 2
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            Conv2D(out_channels=0, kernel=(3, 3))
+        with pytest.raises(ShapeError):
+            Conv2D(out_channels=1, kernel=(0, 3))
+        with pytest.raises(ShapeError):
+            Conv2D(out_channels=1, kernel=(3, 3), stride=0)
+        with pytest.raises(ShapeError):
+            Conv2D(out_channels=1, kernel=(3, 3), padding="full")
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        pool = MaxPool(kernel=(3, 3), stride=2, padding="valid")
+        assert pool.output_shape((147, 147, 64)) == (73, 73, 64)
+
+    def test_avgpool_shape_same(self):
+        pool = AvgPool(kernel=(3, 3), stride=1, padding="same")
+        assert pool.output_shape((35, 35, 192)) == (35, 35, 192)
+
+    def test_window(self):
+        assert MaxPool(kernel=(3, 3)).window == 9
+        assert AvgPool(kernel=(8, 8)).window == 64
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            MaxPool(kernel=(0, 3))
+        with pytest.raises(ShapeError):
+            AvgPool(kernel=(3, 3), stride=-1)
+
+
+class TestFullyConnected:
+    def test_as_conv(self):
+        fc = FullyConnected(out_features=1001)
+        conv = fc.as_conv()
+        assert conv.out_channels == 1001
+        assert conv.kernel == (1, 1)
+        assert conv.relu is False
+
+    def test_output_shape(self):
+        fc = FullyConnected(out_features=10)
+        assert fc.output_shape((1, 1, 2048)) == (1, 1, 10)
+
+    def test_requires_pooled_input(self):
+        with pytest.raises(ShapeError):
+            FullyConnected(out_features=10).output_shape((8, 8, 2048))
+
+    def test_weight_bytes(self):
+        assert FullyConnected(1001).weight_bytes((1, 1, 2048)) == 2048 * 1001
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            FullyConnected(out_features=0)
+
+
+class TestConcatAndBatchNorm:
+    def test_concat_channels(self):
+        concat = Concat()
+        assert concat.output_shape((35, 35, 64), (35, 35, 96),
+                                   (35, 35, 96)) == (35, 35, 256)
+
+    def test_concat_spatial_mismatch(self):
+        with pytest.raises(ShapeError):
+            Concat().output_shape((35, 35, 64), (17, 17, 96))
+
+    def test_concat_needs_inputs(self):
+        with pytest.raises(ShapeError):
+            Concat().output_shape()
+
+    def test_batchnorm_preserves_shape(self):
+        assert BatchNorm().output_shape((8, 8, 32)) == (8, 8, 32)

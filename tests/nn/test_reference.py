@@ -1,0 +1,196 @@
+"""Tests for the golden quantized executor.
+
+The quantized conv accumulator is cross-validated against an independent
+dense float convolution (scipy-free direct loop on dequantized values),
+so the "golden" path is itself anchored to textbook convolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QuantizationError, ShapeError
+from repro.nn import (
+    AvgPool,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    MaxPool,
+    Network,
+    QuantizedTensor,
+    ReferenceExecutor,
+    conv_accumulate,
+    initialise_weights,
+)
+from repro.nn.reference import avgpool_quantized, maxpool_quantized, pad_input
+
+RNG = np.random.default_rng(99)
+
+
+def float_conv(x, w, stride, padding):
+    """Naive direct convolution on real arrays (independent oracle)."""
+    r, s, c, m = w.shape
+    if padding == "same":
+        from repro.nn.layers import same_padding_offsets
+        top, bottom = same_padding_offsets(x.shape[0], r, stride)
+        left, right = same_padding_offsets(x.shape[1], s, stride)
+        x = np.pad(x, ((top, bottom), (left, right), (0, 0)))
+    e = (x.shape[0] - r) // stride + 1
+    f = (x.shape[1] - s) // stride + 1
+    out = np.zeros((e, f, m))
+    for i in range(e):
+        for j in range(f):
+            window = x[i * stride:i * stride + r, j * stride:j * stride + s, :]
+            out[i, j, :] = np.tensordot(window, w, axes=([0, 1, 2], [0, 1, 2]))
+    return out
+
+
+class TestConvAccumulate:
+    @pytest.mark.parametrize("stride,padding", [
+        (1, "valid"), (1, "same"), (2, "valid"), (2, "same"),
+    ])
+    def test_matches_float_convolution(self, stride, padding):
+        x_real = RNG.uniform(0, 6, (9, 9, 4))
+        w_real = RNG.normal(0, 0.2, (3, 3, 4, 5))
+        x = QuantizedTensor.from_real(x_real)
+        w = QuantizedTensor.from_real(w_real)
+        acc = conv_accumulate(x.data, x.params.zero_point, w.data,
+                              w.params.zero_point, stride, padding)
+        real_acc = acc * (x.params.scale * w.params.scale)
+        oracle = float_conv(x.dequantize(), w.dequantize(), stride, padding)
+        assert real_acc.shape == oracle.shape
+        assert np.allclose(real_acc, oracle, atol=1e-9)
+
+    def test_asymmetric_kernel(self):
+        x = QuantizedTensor.from_real(RNG.uniform(0, 6, (7, 7, 3)))
+        w = QuantizedTensor.from_real(RNG.normal(0, 0.2, (1, 7, 3, 2)))
+        acc = conv_accumulate(x.data, x.params.zero_point, w.data,
+                              w.params.zero_point, 1, "same")
+        assert acc.shape == (7, 7, 2)
+
+    def test_padding_contributes_zero(self):
+        """A window fully in padding must accumulate exactly zero."""
+        x = np.full((1, 1, 1), 77, dtype=np.uint8)  # zero point == 77
+        w = np.full((3, 3, 1, 1), 5, dtype=np.uint8)
+        acc = conv_accumulate(x, 77, w, 3, 1, "same")
+        # The (x - zp) term is zero everywhere, so all accs are zero.
+        assert np.all(acc == 0)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            conv_accumulate(np.zeros((4, 4, 3), dtype=np.uint8), 0,
+                            np.zeros((3, 3, 2, 1), dtype=np.uint8), 0,
+                            1, "valid")
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ShapeError):
+            conv_accumulate(np.zeros((4, 4), dtype=np.uint8), 0,
+                            np.zeros((3, 3, 1, 1), dtype=np.uint8), 0,
+                            1, "valid")
+
+
+class TestPooling:
+    def test_maxpool_matches_numpy(self):
+        x = RNG.integers(0, 256, (8, 8, 3)).astype(np.uint8)
+        out = maxpool_quantized(x, (2, 2), 2, "valid")
+        expected = x.reshape(4, 2, 4, 2, 3).max(axis=(1, 3))
+        assert np.array_equal(out, expected)
+
+    def test_avgpool_floor_division(self):
+        x = np.array([[[1], [2]], [[3], [5]]], dtype=np.uint8)
+        out = avgpool_quantized(x, (2, 2), 1, "valid")
+        assert out[0, 0, 0] == (1 + 2 + 3 + 5) // 4
+
+    def test_avgpool_same_counts_valid_taps_only(self):
+        x = np.full((3, 3, 1), 100, dtype=np.uint8)
+        out = avgpool_quantized(x, (3, 3), 1, "same")
+        # Every window averages only in-bounds 100s -> exactly 100.
+        assert np.all(out == 100)
+
+    def test_pad_input_valid_is_noop(self):
+        x = RNG.integers(0, 256, (5, 5, 2)).astype(np.uint8)
+        assert pad_input(x, (3, 3), 1, "valid", fill=0) is x
+
+
+class TestNetworkExecution:
+    def make_net(self):
+        net = Network(name="t")
+        x = net.add_input("in", (10, 10, 3))
+        x = net.add("c1", Conv2D(8, (3, 3), padding="same"), x)
+        a = net.add("b0", Conv2D(4, (1, 1)), x)
+        b = net.add("b1", Conv2D(4, (3, 3)), x)
+        x = net.add("cat", Concat(), (a, b))
+        x = net.add("mp", MaxPool((2, 2), stride=2), x)
+        x = net.add("ap", AvgPool((5, 5), padding="valid"), x)
+        net.add("fc", FullyConnected(7), x)
+        return net
+
+    def test_runs_and_shapes(self):
+        net = self.make_net()
+        weights = initialise_weights(net, seed=1)
+        image = QuantizedTensor.from_real(RNG.uniform(0, 6, (10, 10, 3)),
+                                          weights.input_params)
+        results = ReferenceExecutor(net, weights).run(image)
+        assert results["cat"].shape == (10, 10, 8)
+        assert results["fc"].shape == (1, 1, 7)
+
+    def test_deterministic(self):
+        net = self.make_net()
+        weights = initialise_weights(net, seed=1)
+        image = QuantizedTensor.from_real(RNG.uniform(0, 6, (10, 10, 3)),
+                                          weights.input_params)
+        a = ReferenceExecutor(net, weights).run_output(image)
+        b = ReferenceExecutor(net, weights).run_output(image)
+        assert np.array_equal(a.data, b.data)
+
+    def test_relu_makes_outputs_at_least_zero_point(self):
+        net = Network(name="r")
+        x = net.add_input("in", (6, 6, 2))
+        net.add("c", Conv2D(3, (3, 3), relu=True), x)
+        weights = initialise_weights(net, seed=3)
+        image = QuantizedTensor.from_real(RNG.uniform(0, 6, (6, 6, 2)),
+                                          weights.input_params)
+        out = ReferenceExecutor(net, weights).run_output(image)
+        assert out.data.min() >= weights.activation_params.zero_point
+
+    def test_input_shape_checked(self):
+        net = self.make_net()
+        weights = initialise_weights(net)
+        bad = QuantizedTensor.from_real(RNG.uniform(0, 6, (4, 4, 3)),
+                                        weights.input_params)
+        with pytest.raises(ShapeError):
+            ReferenceExecutor(net, weights).run(bad)
+
+    def test_missing_weights_rejected(self):
+        net = self.make_net()
+        weights = initialise_weights(net)
+        del weights.conv_weights["fc"]
+        image = QuantizedTensor.from_real(RNG.uniform(0, 6, (10, 10, 3)),
+                                          weights.input_params)
+        with pytest.raises(QuantizationError):
+            ReferenceExecutor(net, weights).run(image)
+
+
+class TestInitialiseWeights:
+    def test_covers_every_conv(self):
+        net = self.tiny()
+        weights = initialise_weights(net)
+        assert set(weights.conv_weights) == {"c", "fc"}
+
+    def test_seed_reproducibility(self):
+        net = self.tiny()
+        a = initialise_weights(net, seed=5)
+        b = initialise_weights(net, seed=5)
+        c = initialise_weights(net, seed=6)
+        assert np.array_equal(a.conv_weights["c"].filters.data,
+                              b.conv_weights["c"].filters.data)
+        assert not np.array_equal(a.conv_weights["c"].filters.data,
+                                  c.conv_weights["c"].filters.data)
+
+    @staticmethod
+    def tiny():
+        net = Network(name="tiny")
+        x = net.add_input("in", (4, 4, 2))
+        x = net.add("c", Conv2D(2, (3, 3)), x)
+        x = net.add("ap", AvgPool((4, 4), padding="valid"), x)
+        net.add("fc", FullyConnected(3), x)
+        return net

@@ -1,0 +1,143 @@
+"""Unit tests for the compute SRAM array model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ArrayStateError
+from repro.sram import SRAMArray
+
+
+def row(bits, cols=256):
+    out = np.zeros(cols, dtype=np.uint8)
+    out[:len(bits)] = bits
+    return out
+
+
+class TestPlainAccess:
+    def test_starts_zeroed(self):
+        array = SRAMArray()
+        assert np.all(array.dump_bits(0, array.rows) == 0)
+
+    def test_write_then_read_row(self):
+        array = SRAMArray()
+        data = row([1, 0, 1, 1])
+        array.write_row(3, data)
+        assert np.array_equal(array.read_row(3), data)
+
+    def test_read_returns_copy(self):
+        array = SRAMArray()
+        got = array.read_row(0)
+        got[0] = 1
+        assert array.read_row(0)[0] == 0
+
+    def test_masked_write_preserves_unselected_columns(self):
+        array = SRAMArray()
+        array.write_row(0, row([1, 1, 1, 1]))
+        mask = row([1, 0, 1, 0])
+        array.write_row(0, row([0, 0, 0, 0]), mask=mask)
+        assert np.array_equal(array.read_row(0)[:4], [0, 1, 0, 1])
+
+    def test_access_cycles_counted(self):
+        array = SRAMArray()
+        array.write_row(0, row([1]))
+        array.read_row(0)
+        assert array.access_cycles == 2
+        assert array.compute_cycles == 0
+
+    def test_row_bounds_checked(self):
+        array = SRAMArray(rows=8, cols=8)
+        with pytest.raises(ArrayStateError):
+            array.read_row(8)
+        with pytest.raises(ArrayStateError):
+            array.write_row(-1, np.zeros(8, dtype=np.uint8))
+
+    def test_bad_bit_width_rejected(self):
+        array = SRAMArray(rows=8, cols=8)
+        with pytest.raises(ArrayStateError):
+            array.write_row(0, np.zeros(7, dtype=np.uint8))
+
+    def test_non_binary_values_rejected(self):
+        array = SRAMArray(rows=8, cols=8)
+        with pytest.raises(ArrayStateError):
+            array.write_row(0, np.full(8, 2, dtype=np.uint8))
+
+
+class TestComputeSensing:
+    def test_sense_produces_and_and_nor(self):
+        array = SRAMArray()
+        array.write_row(0, row([0, 0, 1, 1]))
+        array.write_row(1, row([0, 1, 0, 1]))
+        bl, blb = array.sense(0, 1)
+        assert np.array_equal(bl[:4], [0, 0, 0, 1])      # A AND B
+        assert np.array_equal(blb[:4], [1, 0, 0, 0])     # A NOR B
+
+    def test_sense_is_nondestructive(self):
+        array = SRAMArray()
+        a = row([1, 0, 1])
+        b = row([0, 1, 1])
+        array.write_row(0, a)
+        array.write_row(1, b)
+        array.sense(0, 1)
+        assert np.array_equal(array.read_row(0), a)
+        assert np.array_equal(array.read_row(1), b)
+
+    def test_sense_same_row_rejected(self):
+        array = SRAMArray()
+        with pytest.raises(ArrayStateError):
+            array.sense(5, 5)
+
+    def test_sense_single_gives_value_and_complement(self):
+        array = SRAMArray()
+        array.write_row(0, row([1, 0, 1]))
+        bl, blb = array.sense_single(0)
+        assert np.array_equal(bl[:3], [1, 0, 1])
+        assert np.array_equal(blb[:3], [0, 1, 0])
+
+    def test_compute_cycles_counted(self):
+        array = SRAMArray()
+        array.sense(0, 1)
+        array.sense_single(2)
+        assert array.compute_cycles == 2
+        assert array.access_cycles == 0
+
+    def test_write_back_costs_no_extra_cycle(self):
+        array = SRAMArray()
+        before = array.compute_cycles
+        array.write_back(0, row([1]))
+        assert array.compute_cycles == before
+
+    def test_reset_counters(self):
+        array = SRAMArray()
+        array.sense(0, 1)
+        array.read_row(0)
+        array.reset_counters()
+        assert array.access_cycles == 0
+        assert array.compute_cycles == 0
+
+
+class TestBulkHelpers:
+    def test_load_dump_round_trip(self):
+        array = SRAMArray(rows=16, cols=8)
+        bits = np.eye(4, 8, dtype=np.uint8)
+        array.load_bits(4, bits)
+        assert np.array_equal(array.dump_bits(4, 4), bits)
+
+    def test_load_with_column_offset(self):
+        array = SRAMArray(rows=8, cols=8)
+        array.load_bits(0, np.ones((2, 3), dtype=np.uint8), col_offset=5)
+        assert np.array_equal(array.dump_bits(0, 2, col_offset=5, n_cols=3),
+                              np.ones((2, 3), dtype=np.uint8))
+        assert np.all(array.dump_bits(0, 2, col_offset=0, n_cols=5) == 0)
+
+    def test_load_out_of_bounds_rejected(self):
+        array = SRAMArray(rows=8, cols=8)
+        with pytest.raises(ArrayStateError):
+            array.load_bits(7, np.ones((2, 8), dtype=np.uint8))
+        with pytest.raises(ArrayStateError):
+            array.load_bits(0, np.ones((2, 4), dtype=np.uint8), col_offset=6)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ArrayStateError):
+            SRAMArray(rows=0)
+        with pytest.raises(ArrayStateError):
+            SRAMArray(cols=-1)

@@ -1,0 +1,409 @@
+"""Unit tests for every bit-serial operation: functional result vs NumPy and
+cycle count vs the derived cost model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import LayoutError
+from repro.sram import BitSerialUnit, CycleCosts, Operand, SRAMArray
+
+COSTS = CycleCosts.derived()
+RNG = np.random.default_rng(1234)
+
+
+def fresh_unit(rows=256, cols=64):
+    return BitSerialUnit(SRAMArray(rows=rows, cols=cols))
+
+
+def rand(unit, hi):
+    return RNG.integers(0, hi, unit.cols, dtype=np.int64)
+
+
+class TestOperand:
+    def test_bit_rows(self):
+        op = Operand(10, 4)
+        assert [op.bit(b) for b in range(4)] == [10, 11, 12, 13]
+        assert op.end == 14
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(LayoutError):
+            Operand(0, 4).bit(4)
+
+    def test_invalid_operands(self):
+        with pytest.raises(LayoutError):
+            Operand(-1, 4)
+        with pytest.raises(LayoutError):
+            Operand(0, 0)
+
+    def test_overlaps(self):
+        assert Operand(0, 8).overlaps(Operand(7, 2))
+        assert not Operand(0, 8).overlaps(Operand(8, 2))
+
+
+class TestWriteRead:
+    def test_round_trip(self):
+        u = fresh_unit()
+        op = Operand(5, 12)
+        vals = rand(u, 1 << 12)
+        u.write_values(op, vals)
+        assert np.array_equal(u.read_values(op), vals)
+
+    def test_scalar_broadcast(self):
+        u = fresh_unit()
+        op = Operand(0, 8)
+        u.write_values(op, 42)
+        assert np.all(u.read_values(op) == 42)
+
+    def test_host_path_costs_no_compute_cycles(self):
+        u = fresh_unit()
+        u.write_values(Operand(0, 8), 1)
+        assert u.cycles == 0
+
+
+class TestCopyFamily:
+    def test_copy(self):
+        u = fresh_unit()
+        src, dst = Operand(0, 8), Operand(8, 8)
+        vals = rand(u, 256)
+        u.write_values(src, vals)
+        u.copy(src, dst)
+        assert np.array_equal(u.read_values(dst), vals)
+        assert u.cycles == COSTS.copy(8)
+
+    def test_complement_copy(self):
+        u = fresh_unit()
+        src, dst = Operand(0, 8), Operand(8, 8)
+        vals = rand(u, 256)
+        u.write_values(src, vals)
+        u.complement_copy(src, dst)
+        assert np.array_equal(u.read_values(dst), 255 - vals)
+        assert u.cycles == COSTS.complement_copy(8)
+
+    def test_copy_width_mismatch(self):
+        u = fresh_unit()
+        with pytest.raises(LayoutError):
+            u.copy(Operand(0, 8), Operand(8, 4))
+
+    def test_zero(self):
+        u = fresh_unit()
+        op = Operand(0, 16)
+        u.write_values(op, rand(u, 1 << 16))
+        u.zero(op)
+        assert np.all(u.read_values(op) == 0)
+        assert u.cycles == COSTS.const_write(16)
+
+    def test_write_scalar(self):
+        u = fresh_unit()
+        op = Operand(0, 16)
+        u.write_scalar(op, 0xBEEF)
+        assert np.all(u.read_values(op) == 0xBEEF)
+        assert u.cycles == COSTS.const_write(16)
+
+    def test_write_scalar_rejects_negative(self):
+        u = fresh_unit()
+        with pytest.raises(Exception):
+            u.write_scalar(Operand(0, 8), -1)
+
+    def test_shift_copy_moves_columns_left(self):
+        u = fresh_unit()
+        src, dst = Operand(0, 8), Operand(8, 8)
+        vals = np.arange(u.cols, dtype=np.int64)
+        u.write_values(src, vals)
+        u.shift_copy(src, dst, column_shift=4)
+        got = u.read_values(dst)
+        assert np.array_equal(got[:-4], vals[4:])
+        assert np.all(got[-4:] == 0)
+
+
+class TestAdd:
+    def test_add_basic(self):
+        u = fresh_unit()
+        a, b, d = Operand(0, 8), Operand(8, 8), Operand(16, 9)
+        av, bv = rand(u, 256), rand(u, 256)
+        u.write_values(a, av)
+        u.write_values(b, bv)
+        u.add(a, b, d)
+        assert np.array_equal(u.read_values(d), av + bv)
+        assert u.cycles == COSTS.add(8)
+
+    def test_add_carry_chain_all_ones(self):
+        u = fresh_unit()
+        a, b, d = Operand(0, 8), Operand(8, 8), Operand(16, 9)
+        u.write_values(a, 255)
+        u.write_values(b, 1)
+        u.add(a, b, d)
+        assert np.all(u.read_values(d) == 256)
+
+    def test_add_width_and_dst_validation(self):
+        u = fresh_unit()
+        with pytest.raises(LayoutError):
+            u.add(Operand(0, 8), Operand(8, 4), Operand(16, 9))
+        with pytest.raises(LayoutError):
+            u.add(Operand(0, 8), Operand(8, 8), Operand(16, 8))
+
+    def test_add_into_accumulator(self):
+        u = fresh_unit()
+        src, acc = Operand(0, 16), Operand(16, 24)
+        sv = rand(u, 1 << 16)
+        accv = rand(u, 1 << 22)
+        u.write_values(src, sv)
+        u.write_values(acc, accv)
+        u.add_into(src, acc)
+        assert np.array_equal(u.read_values(acc), sv + accv)
+        assert u.cycles == COSTS.add_into(24)
+
+    def test_add_into_rejects_narrow_accumulator(self):
+        u = fresh_unit()
+        with pytest.raises(LayoutError):
+            u.add_into(Operand(0, 16), Operand(16, 8))
+
+
+class TestSub:
+    def test_sub_values_and_not_borrow(self):
+        u = fresh_unit()
+        a, b = Operand(0, 8), Operand(8, 8)
+        d, s = Operand(16, 9), Operand(32, 8)
+        av, bv = rand(u, 256), rand(u, 256)
+        u.write_values(a, av)
+        u.write_values(b, bv)
+        u.sub(a, b, d, s)
+        got = u.read_values(d)
+        assert np.array_equal(got & 0xFF, (av - bv) & 0xFF)
+        assert np.array_equal(got >> 8, (av >= bv).astype(np.int64))
+        assert u.cycles == COSTS.sub(8)
+
+    def test_sub_scratch_too_small(self):
+        u = fresh_unit()
+        with pytest.raises(LayoutError):
+            u.sub(Operand(0, 8), Operand(8, 8), Operand(16, 9), Operand(32, 4))
+
+    def test_sub_into_two_complement(self):
+        u = fresh_unit()
+        acc, b = Operand(0, 12), Operand(16, 12)
+        scratch = Operand(32, 12)
+        av = rand(u, 1 << 12)
+        bv = rand(u, 1 << 12)
+        u.write_values(acc, av)
+        u.write_values(b, bv)
+        u.sub_into(acc, b, scratch)
+        assert np.array_equal(u.read_values(acc), (av - bv) & 0xFFF)
+        assert u.cycles == COSTS.sub_into(12)
+
+    def test_sub_into_width_validation(self):
+        u = fresh_unit()
+        with pytest.raises(LayoutError):
+            u.sub_into(Operand(0, 12), Operand(16, 8), Operand(32, 12))
+        with pytest.raises(LayoutError):
+            u.sub_into(Operand(0, 8), Operand(16, 8), Operand(32, 4))
+
+    def test_compare_ge(self):
+        u = fresh_unit()
+        a, b = Operand(0, 8), Operand(8, 8)
+        dst, scratch = Operand(16, 1), Operand(24, 20)
+        av, bv = rand(u, 256), rand(u, 256)
+        u.write_values(a, av)
+        u.write_values(b, bv)
+        u.compare_ge(a, b, dst, scratch)
+        assert np.array_equal(u.read_values(dst), (av >= bv).astype(np.int64))
+
+
+class TestMultiply:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_multiply(self, n):
+        u = fresh_unit()
+        a, b, p = Operand(0, n), Operand(n, n), Operand(2 * n, 2 * n)
+        av, bv = rand(u, 1 << n), rand(u, 1 << n)
+        u.write_values(a, av)
+        u.write_values(b, bv)
+        u.multiply(a, b, p)
+        assert np.array_equal(u.read_values(p), av * bv)
+        assert u.cycles == COSTS.multiply(n)
+
+    def test_multiply_figure6_example(self):
+        # Fig. 6 multiplies 2-bit vectors; spot-check all 16 combinations.
+        u = fresh_unit(cols=16)
+        av = np.repeat(np.arange(4), 4)
+        bv = np.tile(np.arange(4), 4)
+        a, b, p = Operand(0, 2), Operand(2, 2), Operand(4, 4)
+        u.write_values(a, av)
+        u.write_values(b, bv)
+        u.multiply(a, b, p)
+        assert np.array_equal(u.read_values(p), av * bv)
+
+    def test_multiply_overlap_rejected(self):
+        u = fresh_unit()
+        with pytest.raises(LayoutError):
+            u.multiply(Operand(0, 8), Operand(8, 8), Operand(12, 16))
+
+    def test_multiply_leaves_tag_enabled(self):
+        u = fresh_unit()
+        a, b, p = Operand(0, 4), Operand(4, 4), Operand(8, 8)
+        u.write_values(a, rand(u, 16))
+        u.write_values(b, rand(u, 16))
+        u.multiply(a, b, p)
+        assert np.all(u.periphery.tag == 1)
+
+
+class TestMac:
+    def test_mac_accumulates(self):
+        u = fresh_unit()
+        a, b = Operand(0, 8), Operand(8, 8)
+        scratch, acc = Operand(16, 16), Operand(32, 24)
+        av, bv = rand(u, 256), rand(u, 256)
+        accv = rand(u, 1 << 20)
+        u.write_values(a, av)
+        u.write_values(b, bv)
+        u.write_values(acc, accv)
+        u.mac(a, b, scratch, acc)
+        assert np.array_equal(u.read_values(acc), accv + av * bv)
+        assert u.cycles == COSTS.mac(8, 24)
+
+    def test_repeated_mac_models_convolution_window(self):
+        # Nine 8-bit MACs into a 3-byte partial sum: the paper's R.S = 3x3.
+        u = fresh_unit()
+        a, b = Operand(0, 8), Operand(8, 8)
+        scratch, acc = Operand(16, 16), Operand(32, 24)
+        u.zero(acc)
+        expected = np.zeros(u.cols, dtype=np.int64)
+        for _ in range(9):
+            av, bv = rand(u, 256), rand(u, 256)
+            u.write_values(a, av)
+            u.write_values(b, bv)
+            u.mac(a, b, scratch, acc)
+            expected += av * bv
+        assert np.array_equal(u.read_values(acc), expected)
+
+
+class TestDivide:
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_divide(self, n):
+        u = fresh_unit()
+        a, b = Operand(0, n), Operand(n, n)
+        q, w = Operand(2 * n, n), Operand(4 * n, 3 * n + 4)
+        av = rand(u, 1 << n)
+        bv = RNG.integers(1, 1 << n, u.cols, dtype=np.int64)
+        u.write_values(a, av)
+        u.write_values(b, bv)
+        u.divide(a, b, q, w)
+        assert np.array_equal(u.read_values(q), av // bv)
+        remainder = u.read_values(Operand(4 * n, n + 1))
+        assert np.array_equal(remainder, av % bv)
+        assert u.cycles == COSTS.divide(n)
+
+    def test_divide_by_window_size_models_avgpool(self):
+        # AvgPool in Inception v3 divides by small window sizes (<= 4 bits).
+        u = fresh_unit()
+        n = 8
+        a, b = Operand(0, n), Operand(n, n)
+        q, w = Operand(2 * n, n), Operand(4 * n, 3 * n + 4)
+        av = rand(u, 256)
+        u.write_values(a, av)
+        u.write_values(b, 9)
+        u.divide(a, b, q, w)
+        assert np.array_equal(u.read_values(q), av // 9)
+
+    def test_divide_scratch_validation(self):
+        u = fresh_unit()
+        with pytest.raises(LayoutError):
+            u.divide(Operand(0, 8), Operand(8, 8), Operand(16, 8),
+                     Operand(32, 10))
+
+
+class TestMaxMinRelu:
+    def test_max_update(self):
+        u = fresh_unit()
+        cur, cand = Operand(0, 8), Operand(8, 8)
+        scratch = Operand(16, 17)
+        cv, xv = rand(u, 256), rand(u, 256)
+        u.write_values(cur, cv)
+        u.write_values(cand, xv)
+        u.max_update(cur, cand, scratch)
+        assert np.array_equal(u.read_values(cur), np.maximum(cv, xv))
+        assert u.cycles == COSTS.max_update(8)
+
+    def test_min_update(self):
+        u = fresh_unit()
+        cur, cand = Operand(0, 8), Operand(8, 8)
+        scratch = Operand(16, 17)
+        cv, xv = rand(u, 256), rand(u, 256)
+        u.write_values(cur, cv)
+        u.write_values(cand, xv)
+        u.min_update(cur, cand, scratch)
+        assert np.array_equal(u.read_values(cur), np.minimum(cv, xv))
+        assert u.cycles == COSTS.min_update(8)
+
+    def test_max_pooling_window(self):
+        # Sliding a 9-element window: fold eight candidates into the first.
+        u = fresh_unit()
+        cur, cand = Operand(0, 8), Operand(8, 8)
+        scratch = Operand(16, 17)
+        first = rand(u, 256)
+        u.write_values(cur, first)
+        expected = first.copy()
+        for _ in range(8):
+            xv = rand(u, 256)
+            u.write_values(cand, xv)
+            u.max_update(cur, cand, scratch)
+            expected = np.maximum(expected, xv)
+        assert np.array_equal(u.read_values(cur), expected)
+
+    def test_relu_zeroes_negative_elements(self):
+        u = fresh_unit()
+        op = Operand(0, 8)
+        vals = rand(u, 256)
+        u.write_values(op, vals)
+        u.relu(op, sign_row=op.bit(7))
+        assert np.array_equal(u.read_values(op),
+                              np.where(vals >= 128, 0, vals))
+        assert u.cycles == COSTS.relu(8)
+
+    def test_selective_copy(self):
+        u = fresh_unit()
+        src, dst, flag = Operand(0, 8), Operand(8, 8), Operand(16, 1)
+        sv = rand(u, 256)
+        mask = RNG.integers(0, 2, u.cols, dtype=np.int64)
+        u.write_values(src, sv)
+        u.write_values(dst, 7)
+        u.write_values(flag, mask)
+        u.selective_copy(src, dst, flag.bit(0))
+        assert np.array_equal(u.read_values(dst), np.where(mask, sv, 7))
+        assert u.cycles == COSTS.selective_copy(8)
+
+
+class TestReduceTree:
+    @pytest.mark.parametrize("elements", [2, 4, 8, 16])
+    def test_reduction_groups(self, elements):
+        u = fresh_unit()
+        width = 16
+        base, segment = Operand(0, 32), Operand(32, 32)
+        vals = RNG.integers(0, 1 << width, u.cols, dtype=np.int64)
+        u.write_values(Operand(0, width), vals)
+        u.reduce_tree(base, segment, elements, width)
+        got = u.read_values(base)
+        for g in range(u.cols // elements):
+            expected = vals[g * elements:(g + 1) * elements].sum()
+            assert got[g * elements] == expected
+        assert u.cycles == COSTS.reduction(elements, width)
+
+    def test_reduction_matches_channel_reduce_shape(self):
+        # C = 8 channels of 24-bit partial sums into a 4-byte result
+        # (Fig. 10b geometry: two 4-byte segments).
+        u = fresh_unit(cols=64)
+        base, segment = Operand(0, 32), Operand(32, 32)
+        vals = RNG.integers(0, 1 << 24, u.cols, dtype=np.int64)
+        u.write_values(Operand(0, 24), vals)
+        u.array.load_bits(24, np.zeros((8, u.cols), dtype=np.uint8))
+        u.reduce_tree(base, segment, 8, 24)
+        got = u.read_values(base)
+        for g in range(u.cols // 8):
+            assert got[g * 8] == vals[g * 8:(g + 1) * 8].sum()
+
+    def test_non_power_of_two_rejected(self):
+        u = fresh_unit()
+        with pytest.raises(LayoutError):
+            u.reduce_tree(Operand(0, 32), Operand(32, 32), 6, 16)
+
+    def test_region_too_small_rejected(self):
+        u = fresh_unit()
+        with pytest.raises(LayoutError):
+            u.reduce_tree(Operand(0, 17), Operand(32, 32), 4, 16)

@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for the bit-serial arithmetic core.
+
+These are the library's strongest correctness evidence: for arbitrary bit
+widths and operand values, every bit-serial algorithm must agree with NumPy
+integer arithmetic on all bitlines simultaneously, and its cycle count must
+equal the derived cost model exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sram import BitSerialUnit, CycleCosts, Operand, SRAMArray
+
+COSTS = CycleCosts.derived()
+COLS = 32
+
+
+def make_unit():
+    return BitSerialUnit(SRAMArray(rows=256, cols=COLS))
+
+
+def vectors(draw, nbits, count=2, min_value=0):
+    hi = (1 << nbits) - 1
+    strategy = st.lists(st.integers(min_value=min_value, max_value=hi),
+                        min_size=COLS, max_size=COLS)
+    return [np.array(draw(strategy), dtype=np.int64) for _ in range(count)]
+
+
+@st.composite
+def width_and_operands(draw, max_bits=12, count=2, min_value=0):
+    nbits = draw(st.integers(min_value=1, max_value=max_bits))
+    return nbits, vectors(draw, nbits, count, min_value)
+
+
+@given(width_and_operands())
+@settings(max_examples=60, deadline=None)
+def test_add_matches_integer_addition(case):
+    nbits, (av, bv) = case
+    u = make_unit()
+    a, b = Operand(0, nbits), Operand(nbits, nbits)
+    dst = Operand(2 * nbits, nbits + 1)
+    u.write_values(a, av)
+    u.write_values(b, bv)
+    u.add(a, b, dst)
+    assert np.array_equal(u.read_values(dst), av + bv)
+    assert u.cycles == COSTS.add(nbits)
+
+
+@given(width_and_operands(max_bits=10))
+@settings(max_examples=60, deadline=None)
+def test_sub_matches_integer_subtraction(case):
+    nbits, (av, bv) = case
+    u = make_unit()
+    a, b = Operand(0, nbits), Operand(nbits, nbits)
+    dst = Operand(2 * nbits, nbits + 1)
+    scratch = Operand(4 * nbits, nbits)
+    u.write_values(a, av)
+    u.write_values(b, bv)
+    u.sub(a, b, dst, scratch)
+    got = u.read_values(dst)
+    mask = (1 << nbits) - 1
+    assert np.array_equal(got & mask, (av - bv) & mask)
+    assert np.array_equal(got >> nbits, (av >= bv).astype(np.int64))
+    assert u.cycles == COSTS.sub(nbits)
+
+
+@given(width_and_operands(max_bits=8))
+@settings(max_examples=40, deadline=None)
+def test_multiply_matches_integer_product(case):
+    nbits, (av, bv) = case
+    u = make_unit()
+    a, b = Operand(0, nbits), Operand(nbits, nbits)
+    product = Operand(2 * nbits, 2 * nbits)
+    u.write_values(a, av)
+    u.write_values(b, bv)
+    u.multiply(a, b, product)
+    assert np.array_equal(u.read_values(product), av * bv)
+    assert u.cycles == COSTS.multiply(nbits)
+
+
+@given(width_and_operands(max_bits=7))
+@settings(max_examples=30, deadline=None)
+def test_divide_matches_integer_division(case):
+    nbits, (av, bv) = case
+    bv = np.maximum(bv, 1)  # the mapper never divides by zero
+    u = make_unit()
+    a, b = Operand(0, nbits), Operand(nbits, nbits)
+    q = Operand(2 * nbits, nbits)
+    work = Operand(3 * nbits, 3 * nbits + 4)
+    u.write_values(a, av)
+    u.write_values(b, bv)
+    u.divide(a, b, q, work)
+    assert np.array_equal(u.read_values(q), av // bv)
+    assert np.array_equal(u.read_values(Operand(3 * nbits, nbits + 1)),
+                          av % bv)
+    assert u.cycles == COSTS.divide(nbits)
+
+
+@given(width_and_operands(max_bits=10))
+@settings(max_examples=40, deadline=None)
+def test_max_and_min_update(case):
+    nbits, (cv, xv) = case
+    u = make_unit()
+    cur, cand = Operand(0, nbits), Operand(nbits, nbits)
+    scratch = Operand(2 * nbits, 2 * nbits + 1)
+    u.write_values(cur, cv)
+    u.write_values(cand, xv)
+    u.max_update(cur, cand, scratch)
+    assert np.array_equal(u.read_values(cur), np.maximum(cv, xv))
+
+    u2 = make_unit()
+    u2.write_values(cur, cv)
+    u2.write_values(cand, xv)
+    u2.min_update(cur, cand, scratch)
+    assert np.array_equal(u2.read_values(cur), np.minimum(cv, xv))
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_mac_matches_multiply_accumulate(data):
+    nbits = data.draw(st.integers(min_value=2, max_value=8))
+    acc_bits = data.draw(st.integers(min_value=2 * nbits + 4, max_value=28))
+    hi = (1 << nbits) - 1
+    av = np.array(data.draw(st.lists(st.integers(0, hi), min_size=COLS,
+                                     max_size=COLS)), dtype=np.int64)
+    bv = np.array(data.draw(st.lists(st.integers(0, hi), min_size=COLS,
+                                     max_size=COLS)), dtype=np.int64)
+    acc_hi = (1 << (acc_bits - 1)) - hi * hi - 1
+    accv = np.array(data.draw(st.lists(st.integers(0, max(acc_hi, 0)),
+                                       min_size=COLS, max_size=COLS)),
+                    dtype=np.int64)
+    u = make_unit()
+    a, b = Operand(0, nbits), Operand(nbits, nbits)
+    scratch = Operand(2 * nbits, 2 * nbits)
+    acc = Operand(6 * nbits, acc_bits)
+    u.write_values(a, av)
+    u.write_values(b, bv)
+    u.write_values(acc, accv)
+    u.mac(a, b, scratch, acc)
+    assert np.array_equal(u.read_values(acc), accv + av * bv)
+    assert u.cycles == COSTS.mac(nbits, acc_bits)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_reduce_tree_sums_groups(data):
+    elements = data.draw(st.sampled_from([2, 4, 8, 16, 32]))
+    width = data.draw(st.integers(min_value=4, max_value=24))
+    hi = (1 << width) - 1
+    vals = np.array(data.draw(st.lists(st.integers(0, hi), min_size=COLS,
+                                       max_size=COLS)), dtype=np.int64)
+    u = make_unit()
+    final = width + int(np.log2(elements))
+    base = Operand(0, final)
+    segment = Operand(64, final)
+    u.write_values(Operand(0, width), vals)
+    u.reduce_tree(base, segment, elements, width)
+    got = u.read_values(base)
+    for g in range(COLS // elements):
+        assert got[g * elements] == vals[g * elements:(g + 1) * elements].sum()
+    assert u.cycles == COSTS.reduction(elements, width)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_predicated_copy_respects_mask(data):
+    nbits = data.draw(st.integers(min_value=1, max_value=12))
+    hi = (1 << nbits) - 1
+    sv = np.array(data.draw(st.lists(st.integers(0, hi), min_size=COLS,
+                                     max_size=COLS)), dtype=np.int64)
+    dv = np.array(data.draw(st.lists(st.integers(0, hi), min_size=COLS,
+                                     max_size=COLS)), dtype=np.int64)
+    mask = np.array(data.draw(st.lists(st.integers(0, 1), min_size=COLS,
+                                       max_size=COLS)), dtype=np.int64)
+    u = make_unit()
+    src, dst = Operand(0, nbits), Operand(nbits, nbits)
+    flag = Operand(2 * nbits, 1)
+    u.write_values(src, sv)
+    u.write_values(dst, dv)
+    u.write_values(flag, mask)
+    u.selective_copy(src, dst, flag.bit(0))
+    assert np.array_equal(u.read_values(dst), np.where(mask, sv, dv))
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_add_then_sub_round_trips(data):
+    """Metamorphic check: (a + b) - b == a, exercising carry interplay."""
+    nbits = data.draw(st.integers(min_value=1, max_value=10))
+    hi = (1 << nbits) - 1
+    av = np.array(data.draw(st.lists(st.integers(0, hi), min_size=COLS,
+                                     max_size=COLS)), dtype=np.int64)
+    bv = np.array(data.draw(st.lists(st.integers(0, hi), min_size=COLS,
+                                     max_size=COLS)), dtype=np.int64)
+    u = make_unit()
+    a, b = Operand(0, nbits), Operand(nbits, nbits)
+    total = Operand(2 * nbits, nbits + 1)
+    diff = Operand(4 * nbits, nbits + 2)
+    scratch = Operand(8 * nbits, nbits + 1)
+    b_ext = Operand(6 * nbits, nbits + 1)
+    u.write_values(a, av)
+    u.write_values(b, bv)
+    u.add(a, b, total)
+    u.write_values(b_ext, bv)
+    u.sub(total, b_ext, diff, scratch)
+    got = u.read_values(diff)
+    assert np.array_equal(got & ((1 << (nbits + 1)) - 1), av)

@@ -1,0 +1,159 @@
+"""Tests for the Compute Cache heritage operations (Sec. II-B).
+
+Neural Cache builds on Compute Cache's bit-parallel logicals, equality
+comparison and search; these run directly off the sensed AND/NOR rails
+with no bit-line interaction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ArrayStateError
+from repro.sram import BitSerialUnit, CycleCosts, Operand, SRAMArray
+
+COSTS = CycleCosts.derived()
+RNG = np.random.default_rng(55)
+
+
+def fresh_unit(cols=64):
+    return BitSerialUnit(SRAMArray(rows=64, cols=cols))
+
+
+def loaded(n=8):
+    unit = fresh_unit()
+    a, b = Operand(0, n), Operand(n, n)
+    av = RNG.integers(0, 1 << n, unit.cols, dtype=np.int64)
+    bv = RNG.integers(0, 1 << n, unit.cols, dtype=np.int64)
+    unit.write_values(a, av)
+    unit.write_values(b, bv)
+    return unit, a, b, av, bv
+
+
+class TestLogicals:
+    def test_and(self):
+        unit, a, b, av, bv = loaded()
+        dst = Operand(16, 8)
+        unit.logical_and(a, b, dst)
+        assert np.array_equal(unit.read_values(dst), av & bv)
+        assert unit.cycles == COSTS.logical(8)
+
+    def test_nor(self):
+        unit, a, b, av, bv = loaded()
+        dst = Operand(16, 8)
+        unit.logical_nor(a, b, dst)
+        assert np.array_equal(unit.read_values(dst), ~(av | bv) & 0xFF)
+        assert unit.cycles == COSTS.logical(8)
+
+    def test_or(self):
+        unit, a, b, av, bv = loaded()
+        dst = Operand(16, 8)
+        unit.logical_or(a, b, dst)
+        assert np.array_equal(unit.read_values(dst), av | bv)
+        assert unit.cycles == COSTS.logical_or(8)
+
+    def test_xor(self):
+        unit, a, b, av, bv = loaded()
+        dst = Operand(16, 8)
+        unit.logical_xor(a, b, dst)
+        assert np.array_equal(unit.read_values(dst), av ^ bv)
+        assert unit.cycles == COSTS.logical(8)
+
+    def test_width_mismatch_rejected(self):
+        unit = fresh_unit()
+        with pytest.raises(Exception):
+            unit.logical_and(Operand(0, 8), Operand(8, 4), Operand(16, 8))
+
+    def test_in_place_xor_is_safe(self):
+        # dst may alias a: each bit is written after it is sensed.
+        unit, a, b, av, bv = loaded()
+        unit.logical_xor(a, b, a)
+        assert np.array_equal(unit.read_values(a), av ^ bv)
+
+
+class TestEqualityCompare:
+    def test_flags_equal_columns(self):
+        unit = fresh_unit()
+        a, b = Operand(0, 8), Operand(8, 8)
+        av = RNG.integers(0, 256, unit.cols, dtype=np.int64)
+        bv = av.copy()
+        differ = RNG.choice(unit.cols, size=unit.cols // 2, replace=False)
+        bv[differ] = (bv[differ] + 1) % 256
+        unit.write_values(a, av)
+        unit.write_values(b, bv)
+        unit.equality_compare(a, b, dst_row=20)
+        flags = unit.array.read_row(20)
+        assert np.array_equal(flags.astype(np.int64),
+                              (av == bv).astype(np.int64))
+        assert unit.cycles == COSTS.equality_compare(8)
+
+    def test_all_equal(self):
+        unit = fresh_unit()
+        a, b = Operand(0, 4), Operand(4, 4)
+        unit.write_values(a, 9)
+        unit.write_values(b, 9)
+        unit.equality_compare(a, b, dst_row=10)
+        assert np.all(unit.array.read_row(10) == 1)
+
+
+class TestSearch:
+    def test_finds_matching_columns(self):
+        unit = fresh_unit()
+        hay = Operand(0, 8)
+        values = RNG.integers(0, 16, unit.cols, dtype=np.int64)
+        unit.write_values(hay, values)
+        unit.search(hay, key=7, dst_row=20)
+        flags = unit.array.read_row(20)
+        assert np.array_equal(flags.astype(np.int64),
+                              (values == 7).astype(np.int64))
+        assert unit.cycles == COSTS.search(8)
+
+    def test_no_match(self):
+        unit = fresh_unit()
+        hay = Operand(0, 4)
+        unit.write_values(hay, 3)
+        unit.search(hay, key=5, dst_row=10)
+        assert np.all(unit.array.read_row(10) == 0)
+
+    def test_key_must_fit(self):
+        unit = fresh_unit()
+        with pytest.raises(ArrayStateError):
+            unit.search(Operand(0, 4), key=16, dst_row=10)
+        with pytest.raises(ArrayStateError):
+            unit.search(Operand(0, 4), key=-1, dst_row=10)
+
+    def test_search_then_selective_copy(self):
+        """The Compute Cache pattern: search, then act on the matches."""
+        unit = fresh_unit()
+        hay = Operand(0, 8)
+        repl = Operand(8, 8)
+        values = RNG.integers(0, 4, unit.cols, dtype=np.int64)
+        unit.write_values(hay, values)
+        unit.write_values(repl, 99)
+        unit.search(hay, key=2, dst_row=20)
+        unit.selective_copy(repl, hay, tag_row=20)
+        expected = np.where(values == 2, 99, values)
+        assert np.array_equal(unit.read_values(hay), expected)
+
+
+@given(st.integers(min_value=1, max_value=12), st.data())
+@settings(max_examples=40, deadline=None)
+def test_logicals_property(nbits, data):
+    hi = (1 << nbits) - 1
+    cols = 32
+    unit = BitSerialUnit(SRAMArray(rows=64, cols=cols))
+    av = np.array(data.draw(st.lists(st.integers(0, hi), min_size=cols,
+                                     max_size=cols)), dtype=np.int64)
+    bv = np.array(data.draw(st.lists(st.integers(0, hi), min_size=cols,
+                                     max_size=cols)), dtype=np.int64)
+    a, b = Operand(0, nbits), Operand(nbits, nbits)
+    dst = Operand(2 * nbits, nbits)
+    unit.write_values(a, av)
+    unit.write_values(b, bv)
+    unit.logical_xor(a, b, dst)
+    assert np.array_equal(unit.read_values(dst), av ^ bv)
+    unit.logical_and(a, b, dst)
+    assert np.array_equal(unit.read_values(dst), av & bv)
+    unit.logical_or(a, b, dst)
+    assert np.array_equal(unit.read_values(dst), av | bv)

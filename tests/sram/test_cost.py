@@ -1,0 +1,137 @@
+"""Tests for the analytic cycle-cost model and its two presets."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sram import CycleCosts
+
+
+class TestDerivedPreset:
+    def setup_method(self):
+        self.costs = CycleCosts.derived()
+
+    def test_mode_label(self):
+        assert self.costs.mode == "derived"
+
+    def test_add_is_n_plus_one(self):
+        assert self.costs.add(8) == 9
+        assert self.costs.add(32) == 33
+
+    def test_copy_is_n(self):
+        assert self.costs.copy(8) == 8
+
+    def test_multiply_derived_formula(self):
+        # n^2 + 4n - 1
+        assert self.costs.multiply(2) == 11
+        assert self.costs.multiply(8) == 95
+
+    def test_divide_derived_formula(self):
+        # 3n^2 + 8n + 1
+        assert self.costs.divide(8) == 3 * 64 + 64 + 1
+
+    def test_sub_needs_complement_copy(self):
+        assert self.costs.sub(8) == 17
+
+    def test_sub_into_in_place(self):
+        assert self.costs.sub_into(8) == 16
+        assert CycleCosts.paper().sub_into(8) == 8
+
+    def test_compute_cache_op_costs(self):
+        assert self.costs.logical(8) == 8
+        assert self.costs.logical_or(8) == 16
+        assert self.costs.equality_compare(8) == 9
+        assert self.costs.search(8) == 9
+
+    def test_mac_is_multiply_plus_accumulate(self):
+        assert self.costs.mac(8, 24) == self.costs.multiply(8) + 24
+
+    def test_reduction_grows_with_width_per_step(self):
+        # 2 elements: one step of move(w) + add(w).
+        w = 24
+        assert self.costs.reduction(2, w) == w + (w + 1)
+        # 4 elements adds a second, wider step.
+        assert self.costs.reduction(4, w) == (w + w + 1) + (w + 1 + w + 2)
+
+    def test_max_update_composition(self):
+        assert self.costs.max_update(8) == self.costs.sub(8) + 1 + 8
+        assert self.costs.min_update(8) == self.costs.max_update(8)
+
+    def test_relu_and_selective_copy(self):
+        assert self.costs.relu(8) == 9
+        assert self.costs.selective_copy(8) == 9
+
+
+class TestPaperPreset:
+    def setup_method(self):
+        self.costs = CycleCosts.paper()
+
+    def test_mode_label(self):
+        assert self.costs.mode == "paper"
+
+    def test_published_op_formulas(self):
+        # Sec. III: add n+1, multiply n^2+5n-2, divide 1.5n^2+5.5n.
+        assert self.costs.add(8) == 9
+        assert self.costs.multiply(8) == 102
+        assert self.costs.multiply(2) == 12
+        assert self.costs.divide(8) == 140
+        assert self.costs.divide(4) == 46
+
+    def test_divide_formula_is_always_integral(self):
+        for n in range(1, 33):
+            value = 1.5 * n * n + 5.5 * n
+            assert value == int(value)
+            assert self.costs.divide(n) == int(value)
+
+    def test_worked_example_mac_override(self):
+        # Sec. VI-A: 236 cycles per 8-bit MAC.
+        assert self.costs.mac(8, 24) == 236
+
+    def test_worked_example_reduction_override(self):
+        # Sec. VI-A: 660 cycles to reduce 128 channels of 3-byte sums.
+        assert self.costs.reduction(128, 24) == 660
+
+    def test_non_overridden_widths_fall_back_to_formulas(self):
+        assert self.costs.mac(4, 16) == self.costs.multiply(4) + 16
+
+    def test_paper_sub_assumes_inverted_sensing(self):
+        assert self.costs.sub(8) == 9
+
+    def test_moves_cost_two_cycles_per_bit(self):
+        assert self.costs.move(10) == 20
+
+
+class TestValidation:
+    @pytest.mark.parametrize("method", ["add", "copy", "sub", "multiply",
+                                        "divide", "relu", "const_write",
+                                        "add_into", "complement_copy"])
+    def test_nonpositive_width_rejected(self, method):
+        costs = CycleCosts.derived()
+        with pytest.raises(SimulationError):
+            getattr(costs, method)(0)
+
+    def test_reduction_requires_power_of_two(self):
+        costs = CycleCosts.derived()
+        with pytest.raises(SimulationError):
+            costs.reduction(3, 8)
+
+    def test_reduction_requires_positive_elements(self):
+        costs = CycleCosts.derived()
+        with pytest.raises(SimulationError):
+            costs.reduction(0, 8)
+
+    def test_reduction_of_one_element_is_free(self):
+        assert CycleCosts.derived().reduction(1, 8) == 0
+
+
+class TestConventions:
+    def test_latch_ops(self):
+        costs = CycleCosts.derived()
+        assert costs.tag_load() == 1
+        assert costs.carry_store() == 1
+
+    def test_derived_vs_paper_multiply_gap_is_linear(self):
+        """The presets differ by exactly n - 1 cycles on multiplication,
+        i.e. a bounded bookkeeping difference, not an algorithmic one."""
+        derived, paper = CycleCosts.derived(), CycleCosts.paper()
+        for n in range(2, 17):
+            assert paper.multiply(n) - derived.multiply(n) == n - 1

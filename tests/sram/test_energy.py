@@ -1,0 +1,73 @@
+"""Tests for the array energy/delay/area model (Sec. V, Figure 12)."""
+
+import pytest
+
+from repro.sram import ArrayAreaModel, ArrayEnergyModel
+from repro.sram.energy import (
+    ACCESS_DELAY_PS,
+    ACCESS_ENERGY_PJ_22NM,
+    COMPUTE_DELAY_PS,
+    COMPUTE_ENERGY_PJ_22NM,
+    COMPUTE_FREQUENCY_HZ,
+)
+
+
+class TestEnergyModel:
+    def test_default_is_22nm(self):
+        model = ArrayEnergyModel()
+        assert model.compute_pj == COMPUTE_ENERGY_PJ_22NM == 15.4
+        assert model.access_pj == ACCESS_ENERGY_PJ_22NM == 8.6
+
+    def test_28nm_preset(self):
+        model = ArrayEnergyModel.at_28nm()
+        assert model.compute_pj == 25.7
+        assert model.access_pj == 13.9
+
+    def test_compute_energy_scaling(self):
+        model = ArrayEnergyModel()
+        one = model.compute_energy(cycles=1)
+        assert one == pytest.approx(15.4e-12)
+        assert model.compute_energy(cycles=10, arrays=4480) == pytest.approx(
+            one * 10 * 4480)
+
+    def test_access_energy_scaling(self):
+        model = ArrayEnergyModel()
+        assert model.access_energy(cycles=2) == pytest.approx(2 * 8.6e-12)
+
+    def test_negative_inputs_rejected(self):
+        model = ArrayEnergyModel()
+        with pytest.raises(ValueError):
+            model.compute_energy(-1)
+        with pytest.raises(ValueError):
+            model.access_energy(1, arrays=-2)
+
+    def test_compute_slower_than_access(self):
+        # The 1022 ps compute cycle is ~1.6x a 654 ps read (Sec. V).
+        assert COMPUTE_DELAY_PS / ACCESS_DELAY_PS == pytest.approx(1.56, abs=0.01)
+
+    def test_compute_frequency_conservative(self):
+        assert COMPUTE_FREQUENCY_HZ == 2.5e9
+
+
+class TestAreaModel:
+    def test_overhead_is_published_7_5_percent(self):
+        assert ArrayAreaModel().overhead_fraction == 0.075
+
+    def test_die_overhead_below_two_percent(self):
+        model = ArrayAreaModel()
+        assert model.die_overhead_fraction() < 0.02
+
+    def test_die_overhead_scales_with_cache_fraction(self):
+        model = ArrayAreaModel()
+        assert (model.die_overhead_fraction(0.5)
+                == pytest.approx(2 * model.die_overhead_fraction(0.25)))
+
+    def test_die_fraction_validated(self):
+        model = ArrayAreaModel()
+        with pytest.raises(ValueError):
+            model.die_overhead_fraction(0.0)
+        with pytest.raises(ValueError):
+            model.die_overhead_fraction(1.5)
+
+    def test_total_area_positive(self):
+        assert ArrayAreaModel().total_area_mm2 > 0

@@ -1,0 +1,112 @@
+"""Tests for the per-array word-line layout allocator (Figure 10)."""
+
+import pytest
+
+from repro.common.errors import LayoutError
+from repro.sram import ArrayLayout, conv_layout, max_conv_filter_bytes, reduction_layout
+from repro.sram.layout import (
+    OUTPUT_BITS,
+    PARTIAL_SUM_BITS,
+    REDUCTION_SEGMENT_BITS,
+    SCRATCHPAD_BITS,
+)
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        layout = ArrayLayout(rows=64)
+        a = layout.allocate("a", 16)
+        b = layout.allocate("b", 8)
+        assert (a.row, a.nbits) == (0, 16)
+        assert (b.row, b.nbits) == (16, 8)
+        assert layout.used_rows == 24
+        assert layout.free_rows == 40
+
+    def test_lookup_by_name(self):
+        layout = ArrayLayout(rows=64)
+        layout.allocate("x", 8)
+        assert layout.region("x").nbits == 8
+        with pytest.raises(LayoutError):
+            layout.region("missing")
+
+    def test_duplicate_name_rejected(self):
+        layout = ArrayLayout(rows=64)
+        layout.allocate("x", 8)
+        with pytest.raises(LayoutError):
+            layout.allocate("x", 8)
+
+    def test_overflow_rejected(self):
+        layout = ArrayLayout(rows=16)
+        layout.allocate("a", 10)
+        with pytest.raises(LayoutError):
+            layout.allocate("b", 7)
+
+    def test_zero_size_rejected(self):
+        layout = ArrayLayout(rows=16)
+        with pytest.raises(LayoutError):
+            layout.allocate("a", 0)
+
+    def test_names_in_order(self):
+        layout = ArrayLayout(rows=64)
+        layout.allocate("first", 8)
+        layout.allocate("second", 8)
+        assert layout.names() == ["first", "second"]
+
+
+class TestConvLayout:
+    def test_figure10a_regions_for_3x3(self):
+        layout = conv_layout(filter_bytes=9)
+        assert layout.region("filter").nbits == 72       # R.S x 8
+        assert layout.region("input").nbits == 72
+        assert layout.region("scratchpad").nbits == SCRATCHPAD_BITS
+        assert layout.region("partial_sum").nbits == PARTIAL_SUM_BITS
+        assert layout.region("output").nbits == OUTPUT_BITS
+
+    def test_3x3_fits_a_256_row_array(self):
+        layout = conv_layout(filter_bytes=9)
+        assert layout.used_rows <= 256
+
+    def test_extra_input_rows_for_reuse(self):
+        layout = conv_layout(filter_bytes=3, extra_input_bytes=4)
+        assert layout.region("input").nbits == (3 + 4) * 8
+
+    def test_multiple_serial_outputs(self):
+        layout = conv_layout(filter_bytes=3, outputs=3)
+        assert layout.region("output").nbits == 3 * OUTPUT_BITS
+
+    def test_oversized_filter_rejected(self):
+        with pytest.raises(LayoutError):
+            conv_layout(filter_bytes=16)
+
+    def test_nonpositive_filter_rejected(self):
+        with pytest.raises(LayoutError):
+            conv_layout(filter_bytes=0)
+
+
+class TestReductionLayout:
+    def test_figure10b_regions(self):
+        layout = reduction_layout()
+        assert layout.region("reduce_a").nbits == REDUCTION_SEGMENT_BITS
+        assert layout.region("reduce_b").nbits == REDUCTION_SEGMENT_BITS
+        assert layout.region("output").nbits == OUTPUT_BITS
+
+    def test_reduction_after_conv_keeps_filters_and_inputs(self):
+        layout = reduction_layout(filter_bytes=9)
+        # Filters and inputs survive; scratch + partial sums are overwritten
+        # by the two reduction segments (Sec. IV-A).
+        assert layout.region("filter").nbits == 72
+        assert layout.region("input").nbits == 72
+        assert layout.used_rows <= 256
+
+
+class TestFilterCeiling:
+    def test_max_filter_bytes_is_eleven(self):
+        """With 256 rows, filters + inputs + fixed regions cap R'.S' at 11
+        bytes — which is why the paper splits filters above 9 bytes."""
+        assert max_conv_filter_bytes(256) == 11
+
+    def test_paper_split_threshold_fits(self):
+        assert 9 <= max_conv_filter_bytes(256)
+
+    def test_smaller_arrays_have_smaller_ceilings(self):
+        assert max_conv_filter_bytes(128) < max_conv_filter_bytes(256)

@@ -1,0 +1,109 @@
+"""Tests for the multi-row activation stability model (Sec. II-B / V)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sram.robustness import (
+    CHOSEN_RWL_VOLTAGE,
+    MAX_DEMONSTRATED_ROWS,
+    ReadStabilityModel,
+    choose_rwl_voltage,
+)
+
+
+@pytest.fixture
+def model():
+    return ReadStabilityModel()
+
+
+class TestMarginAnchors:
+    def test_published_voltage_gives_six_sigma(self, model):
+        # "to achieve industry standard 6 sigma margin, we choose 0.66V".
+        margin = model.margin_sigma(CHOSEN_RWL_VOLTAGE, rows_activated=2)
+        assert margin == pytest.approx(6.0, abs=0.1)
+        assert model.is_industry_robust(CHOSEN_RWL_VOLTAGE)
+
+    def test_full_vdd_multirow_is_unsafe(self, model):
+        # Without under-drive the margin collapses — the reason normal
+        # caches never activate two rows.
+        assert model.margin_sigma(0.9, rows_activated=2) == pytest.approx(0.0)
+        assert model.failure_probability(0.9) == pytest.approx(0.5)
+
+    def test_margin_grows_with_underdrive(self, model):
+        margins = [model.margin_sigma(v) for v in (0.85, 0.75, 0.66, 0.6)]
+        assert margins == sorted(margins)
+
+    def test_margin_degrades_gently_with_rows(self, model):
+        two = model.margin_sigma(CHOSEN_RWL_VOLTAGE, 2)
+        sixty_four = model.margin_sigma(CHOSEN_RWL_VOLTAGE,
+                                        MAX_DEMONSTRATED_ROWS)
+        assert sixty_four < two
+        assert sixty_four > 0.8 * two  # mild, per the 64-row silicon result
+
+
+class TestFailureRates:
+    def test_twenty_test_chips_show_no_corruption(self, model):
+        """Sec. II-B: across 20 x 8KB chips with 64 simultaneous rows,
+        'data corruption does not occur'."""
+        cells = 20 * 8 * 1024 * 8
+        expected = model.expected_failures(CHOSEN_RWL_VOLTAGE, cells,
+                                           MAX_DEMONSTRATED_ROWS)
+        assert expected < 0.05
+
+    def test_monte_carlo_clean_at_published_point(self, model):
+        flips = model.monte_carlo_failures(CHOSEN_RWL_VOLTAGE,
+                                           cells=1_000_000,
+                                           rows_activated=2, seed=1)
+        assert flips == 0
+
+    def test_monte_carlo_fails_at_full_vdd(self, model):
+        flips = model.monte_carlo_failures(0.9, cells=10_000,
+                                           rows_activated=2, seed=1)
+        assert flips > 4000  # ~half the cells sit past the disturb point
+
+    def test_expected_failures_scale_with_cells(self, model):
+        one = model.expected_failures(0.8, 1_000)
+        two = model.expected_failures(0.8, 2_000)
+        assert two == pytest.approx(2 * one)
+
+
+class TestDelayTradeoff:
+    def test_published_delay_anchors(self, model):
+        assert model.compute_delay_ps(0.9) == pytest.approx(654.0)
+        assert model.compute_delay_ps(0.66) == pytest.approx(1022.0)
+
+    def test_delay_ratio_about_1_6(self, model):
+        # "the computation SRAM delay is about 1.6x larger than normal".
+        assert model.delay_ratio() == pytest.approx(1.56, abs=0.01)
+
+    def test_more_underdrive_costs_more_delay(self, model):
+        assert model.compute_delay_ps(0.6) > model.compute_delay_ps(0.7)
+
+
+class TestVoltageSelection:
+    def test_chooser_lands_near_published_voltage(self):
+        voltage = choose_rwl_voltage()
+        assert voltage == pytest.approx(CHOSEN_RWL_VOLTAGE, abs=0.01)
+
+    def test_more_rows_need_more_underdrive(self):
+        v2 = choose_rwl_voltage(rows_activated=2)
+        v64 = choose_rwl_voltage(rows_activated=64)
+        assert v64 < v2
+
+
+class TestValidation:
+    def test_voltage_bounds(self, model):
+        with pytest.raises(SimulationError):
+            model.margin_sigma(0.0)
+        with pytest.raises(SimulationError):
+            model.margin_sigma(1.2)
+
+    def test_row_bounds(self, model):
+        with pytest.raises(SimulationError):
+            model.margin_sigma(0.66, rows_activated=1)
+
+    def test_cell_bounds(self, model):
+        with pytest.raises(SimulationError):
+            model.expected_failures(0.66, -1)
+        with pytest.raises(SimulationError):
+            model.monte_carlo_failures(0.66, 0)

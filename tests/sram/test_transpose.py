@@ -1,0 +1,71 @@
+"""Tests for the Transpose Memory Unit (Figure 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ArrayStateError
+from repro.sram import TransposeMemoryUnit
+
+
+class TestFunctional:
+    def test_transpose_shape(self):
+        tmu = TransposeMemoryUnit(word_bits=8)
+        bits = tmu.transpose(np.arange(16))
+        assert bits.shape == (8, 16)
+
+    def test_transpose_bit_placement(self):
+        tmu = TransposeMemoryUnit(word_bits=4)
+        bits = tmu.transpose(np.array([0b1010]))
+        # LSB-first rows: bit 0 at row 0.
+        assert list(bits[:, 0]) == [0, 1, 0, 1]
+
+    def test_round_trip(self):
+        tmu = TransposeMemoryUnit(word_bits=8)
+        values = np.array([0, 1, 127, 128, 255, 42])
+        assert np.array_equal(tmu.untranspose(tmu.transpose(values)), values)
+
+    def test_untranspose_validates_shape(self):
+        tmu = TransposeMemoryUnit(word_bits=8)
+        with pytest.raises(ArrayStateError):
+            tmu.untranspose(np.zeros((4, 8), dtype=np.uint8))
+
+    def test_vector_only(self):
+        tmu = TransposeMemoryUnit()
+        with pytest.raises(ArrayStateError):
+            tmu.transpose(np.zeros((2, 2)))
+
+
+class TestCycleModel:
+    def test_single_batch_cost(self):
+        tmu = TransposeMemoryUnit(word_bits=8, capacity_words=64)
+        tmu.transpose(np.zeros(64, dtype=np.int64))
+        # 64 word writes + 8 bit-row reads.
+        assert tmu.cycles == 64 + 8
+
+    def test_multi_batch_cost(self):
+        tmu = TransposeMemoryUnit(word_bits=8, capacity_words=64)
+        tmu.transpose(np.zeros(100, dtype=np.int64))
+        assert tmu.cycles == (64 + 8) + (36 + 8)
+
+    def test_untranspose_costs_the_same(self):
+        tmu_a = TransposeMemoryUnit()
+        tmu_b = TransposeMemoryUnit()
+        values = np.arange(50)
+        bits = tmu_a.transpose(values)
+        tmu_b.untranspose(bits)
+        assert tmu_a.cycles == tmu_b.cycles
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ArrayStateError):
+            TransposeMemoryUnit(word_bits=0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_round_trip_property(values):
+    tmu = TransposeMemoryUnit(word_bits=8)
+    array = np.array(values, dtype=np.int64)
+    assert np.array_equal(tmu.untranspose(tmu.transpose(array)), array)
