@@ -8,6 +8,8 @@ A bit-serial in-cache DNN accelerator, reproduced end to end:
 * :mod:`repro.nn` — a quantized DNN substrate with a faithful Inception v3;
 * :mod:`repro.core` — the Neural Cache mapping/scheduling/execution model,
   both analytic (paper-scale) and functional (bit-exact);
+* :mod:`repro.engine` — the vectorized array-fleet engine (all SRAM arrays
+  execute each bit-serial cycle at once) and the unified Backend API;
 * :mod:`repro.baselines` — calibrated Xeon E5 / Titan Xp roofline models;
 * :mod:`repro.analysis` — regenerates every table and figure of the paper.
 
@@ -38,6 +40,14 @@ from repro.core import (
     map_network,
     simulate_inference,
 )
+from repro.engine import ArrayFleet, FleetBitSerialUnit
+from repro.engine.backend import (
+    AnalyticBackend,
+    Backend,
+    BackendResult,
+    FleetExecutor,
+    get_backend,
+)
 from repro.nn import (
     Conv2D,
     Network,
@@ -51,7 +61,13 @@ from repro.sram import BitSerialUnit, CycleCosts, Operand, SRAMArray
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalyticBackend",
+    "ArrayFleet",
+    "Backend",
+    "BackendResult",
     "BitSerialUnit",
+    "FleetBitSerialUnit",
+    "FleetExecutor",
     "CacheGeometry",
     "ControlFSM",
     "Conv2D",
@@ -73,6 +89,7 @@ __all__ = [
     "ReferenceExecutor",
     "SRAMArray",
     "build_inception_v3",
+    "get_backend",
     "initialise_weights",
     "map_network",
     "simulate_inference",

@@ -5,6 +5,13 @@ Usage::
     python -m repro                 # everything, in paper order
     python -m repro figure14 table3 # specific experiments
     python -m repro --list          # available experiment names
+    python -m repro --backend fleet # one inference via the Backend API
+    python -m repro --backend analytic --batch 16
+
+The ``--backend`` mode drives an execution engine through the unified
+:class:`~repro.engine.backend.Backend` protocol — ``analytic`` runs the
+paper's deterministic model on Inception v3, ``fleet`` runs bit-exact
+functional verification on the vectorized array fleet.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import argparse
 import sys
 
 from repro.analysis import experiments
+from repro.engine.backend import available_backends, get_backend
 
 #: name -> zero-argument callable returning an ExperimentResult.
 EXPERIMENTS = {
@@ -28,6 +36,7 @@ EXPERIMENTS = {
     "arithmetic": experiments.arithmetic_latencies,
     "peak": experiments.peak_throughput,
     "area": experiments.area_report,
+    "fleet": experiments.fleet_verification,
 }
 
 
@@ -40,6 +49,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiments to run (default: all)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiment names")
+    parser.add_argument("--backend", choices=available_backends(),
+                        help="run one batch through the unified Backend "
+                             "API and print its summary instead of "
+                             "regenerating experiments")
+    parser.add_argument("--batch", type=int, default=1, metavar="N",
+                        help="batch size for --backend runs (default 1)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -47,6 +62,29 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.backend:
+        from repro.common.errors import SimulationError
+
+        if args.names:
+            parser.error(
+                "--backend runs one inference and takes no experiment "
+                f"names (got: {', '.join(args.names)})")
+        if args.batch <= 0:
+            parser.error(f"--batch must be positive, got {args.batch}")
+        backend = get_backend(args.backend)
+        network = backend.default_network()
+        try:
+            print(backend.run(network, args.batch).summary())
+        except SimulationError as exc:
+            # A runtime engine failure (e.g. a bit-exactness divergence),
+            # not a usage mistake: report it plainly, without usage text.
+            print(f"python -m repro: backend {args.backend!r} failed: "
+                  f"{exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.batch != 1:
+        parser.error("--batch only applies to --backend runs")
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

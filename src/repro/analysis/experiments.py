@@ -18,8 +18,8 @@ from repro.analysis.report import ExperimentResult, pct, ratio_cell
 from repro.baselines import CpuBaseline, GpuBaseline, TITAN_XP, XEON_E5_2697_V3
 from repro.cache.geometry import capacity_sweep
 from repro.config import NeuralCacheConfig
-from repro.core.executor import NeuralCacheSimulator
 from repro.core.schedule import mac_cycles_per_pass, reduction_cycles_per_pass
+from repro.engine.backend import AnalyticBackend, Backend, get_backend
 from repro.nn import build_inception_v3, table1 as build_table1
 from repro.sram.cost import CycleCosts
 
@@ -32,8 +32,14 @@ def _network():
 
 
 @lru_cache(maxsize=1)
-def _simulator() -> NeuralCacheSimulator:
-    return NeuralCacheSimulator(_network())
+def _backend() -> Backend:
+    """The analytic engine, held behind the unified Backend protocol."""
+    return get_backend("analytic")
+
+
+def _simulator():
+    """Engine-specific surface (layer mappings) of the analytic backend."""
+    return _backend().simulator(_network())
 
 
 @lru_cache(maxsize=1)
@@ -48,7 +54,7 @@ def _gpu() -> GpuBaseline:
 
 @lru_cache(maxsize=4)
 def _result(batch_size: int = 1):
-    return _simulator().run(batch_size)
+    return _backend().run(_network(), batch_size).inference
 
 
 # ---------------------------------------------------------------------------
@@ -180,13 +186,13 @@ def figure15() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 def figure16(batches: tuple[int, ...] = DEFAULT_BATCHES) -> ExperimentResult:
     """Throughput (inferences/s) as the batch size sweeps."""
-    sim = _simulator()
+    backend = _backend()
     rows = []
     series = {"batch": [], "cpu": [], "gpu": [], "neural_cache": []}
     for batch in batches:
         cpu_t = _cpu().throughput(batch)
         gpu_t = _gpu().throughput(batch)
-        nc_t = sim.throughput(batch)
+        nc_t = backend.throughput(_network(), batch)
         series["batch"].append(batch)
         series["cpu"].append(cpu_t)
         series["gpu"].append(gpu_t)
@@ -252,7 +258,7 @@ def table4() -> ExperimentResult:
     for geometry in capacity_sweep():
         capacity_mb = geometry.total_bytes // (1024 * 1024)
         config = NeuralCacheConfig().with_geometry(geometry)
-        latency = NeuralCacheSimulator(_network(), config).latency()
+        latency = AnalyticBackend(config).run(_network()).latency_s
         published = paper.CAPACITY_LATENCY_MS[capacity_mb]
         rows.append((f"{capacity_mb} MB ({geometry.slices} slices)",
                      ratio_cell(latency * 1e3, published)))
@@ -426,9 +432,44 @@ def robustness_report() -> ExperimentResult:
         data={"voltage": choose_rwl_voltage()})
 
 
+def fleet_verification(batch_size: int = 2) -> ExperimentResult:
+    """Bit-exact functional execution through the fleet Backend.
+
+    Exercises the same :class:`~repro.engine.backend.Backend` protocol the
+    analytic experiments use, but with the vectorized functional engine:
+    every layer runs as one lockstep bit-serial sequence across an
+    :class:`~repro.engine.fleet.ArrayFleet` and the outputs are checked
+    bit-for-bit against the golden NumPy executor.
+    """
+    from repro.engine.backend import tiny_verification_network
+
+    backend = get_backend("fleet")
+    net = tiny_verification_network()
+    res = backend.run(net, batch_size=batch_size)
+    r = res.report
+    rows = (
+        ("network", net.name),
+        ("images verified bit-exact", f"{res.verified_images}/{batch_size}"),
+        ("array passes", str(r.passes)),
+        ("MAC cycles", str(r.mac)),
+        ("reduction cycles", str(r.reduction)),
+        ("quantization cycles", str(r.quantization)),
+        ("pooling cycles", str(r.pooling)),
+        ("total compute cycles", str(r.total)),
+    )
+    return ExperimentResult(
+        name="Fleet backend: bit-exact functional verification",
+        headers=("Quantity", "Measured"),
+        rows=rows,
+        data={"result": res},
+        notes=("Every layer executes as one lockstep bit-serial sequence "
+               "across the array fleet; outputs match the golden NumPy "
+               "executor exactly.",))
+
+
 def all_experiments() -> list[ExperimentResult]:
     """Every regenerated table/figure, in paper order."""
     return [table1(), table2(), figure13(), figure14(), figure15(),
             figure16(), table3(), table4(), section6a_example(),
             arithmetic_latencies(), peak_throughput(), area_report(),
-            robustness_report()]
+            robustness_report(), fleet_verification()]

@@ -40,6 +40,35 @@ def bits_to_int(bits: np.ndarray) -> np.ndarray:
     return (bits.astype(np.int64) * weights).sum(axis=0)
 
 
+def int_to_bitplanes(values: np.ndarray, nbits: int) -> np.ndarray:
+    """Convert an ``(n, cols)`` matrix of non-negative ints to bit planes.
+
+    Returns ``(n, nbits, cols)`` uint8 where ``[:, b, :]`` holds bit ``b``
+    (LSB = plane 0) of every element — the fleet-wide analogue of
+    :func:`int_to_bits`. Values are masked to ``nbits``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {values.shape}")
+    if nbits <= 0:
+        raise ValueError(f"nbits must be positive, got {nbits}")
+    if np.any(values < 0):
+        raise ValueError("int_to_bitplanes only handles non-negative values; "
+                         "encode signed data in two's complement first")
+    shifts = np.arange(nbits, dtype=np.int64)[None, :, None]
+    return ((values[:, None, :] >> shifts) & 1).astype(np.uint8)
+
+
+def bitplanes_to_int(bits: np.ndarray) -> np.ndarray:
+    """Convert ``(n, nbits, cols)`` LSB-first bit planes back to ints."""
+    bits = np.asarray(bits)
+    if bits.ndim != 3:
+        raise ValueError(f"expected a 3-D bit tensor, got shape {bits.shape}")
+    nbits = bits.shape[1]
+    weights = (np.int64(1) << np.arange(nbits, dtype=np.int64))[None, :, None]
+    return (bits.astype(np.int64) * weights).sum(axis=1)
+
+
 def to_twos_complement(values: np.ndarray, nbits: int) -> np.ndarray:
     """Encode (possibly negative) ints into ``nbits``-wide two's complement."""
     values = np.asarray(values, dtype=np.int64)

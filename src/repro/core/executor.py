@@ -99,13 +99,11 @@ class NeuralCacheSimulator:
         self.network = network
         self.config = config if config is not None else NeuralCacheConfig()
         self._mappings: list[tuple[str, str, LayerMapping]] = []
-        first = True
         for node in network.layer_nodes():
             mapping = map_node(self.config, network, node)
             if mapping is None:
                 continue
             self._mappings.append((node.name, node.group, mapping))
-            first = False
         if not self._mappings:
             raise SimulationError("network has no mappable layers")
 

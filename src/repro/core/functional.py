@@ -25,6 +25,16 @@ conv). Layers without ReLU (the final FC) can have negative accumulators;
 their requantization happens on the host, as the paper also ships final
 outputs to the CPU.
 
+Since the array-fleet refactor, execution is *vectorized*: every serial
+pass of a layer maps to one member of an
+:class:`~repro.engine.fleet.ArrayFleet`, and the whole layer executes as
+one lockstep bit-serial sequence across all arrays — the paper's
+"thousands of arrays operating in lockstep" (Sec. III), and the reason
+functional verification is now an order of magnitude faster. The legacy
+per-array path is kept behind ``vectorized=False`` on
+:class:`FunctionalConv` for regression benchmarks; cycle reports
+aggregate per-array cycles, so both paths account identically.
+
 Scale limits: the compute stage's input-sum must fit 16 bits for the
 in-cache correction multiply, which bounds a layer's reduction size
 (R.S.C) to 257 taps. That comfortably covers verification-scale layers;
@@ -41,6 +51,8 @@ from repro.common.bits import from_twos_complement
 from repro.common.errors import SimulationError
 from repro.config import NeuralCacheConfig
 from repro.core.mapping import LayerMapping, map_conv, map_pool
+from repro.engine.bitserial import FleetBitSerialUnit
+from repro.engine.fleet import ArrayFleet
 from repro.nn.layers import AvgPool, Conv2D, MaxPool, same_padding_offsets
 from repro.nn.reference import ConvWeights
 from repro.nn.tensor import QuantizedTensor, RequantParams
@@ -51,6 +63,14 @@ from repro.sram.bitserial import BitSerialUnit, Operand
 CORRECTION_BITS = 34
 #: Maximum taps per output so the input-sum fits the 16-bit multiply.
 MAX_FUNCTIONAL_TAPS = 257
+#: Arrays per lockstep chunk of a vectorized stage: bounds the fleet bit
+#: tensor at ~16 MB per chunk. The conv compute stage additionally bounds
+#: its int64 gather temporaries (whose size scales with taps * lanes) via
+#: ``GATHER_BUDGET_ELEMENTS``; verification-scale layers still run in a
+#: single all-arrays pass.
+MAX_FLEET_ARRAYS = 256
+#: Elements per int64 gather temporary in a conv chunk (~16 MB each).
+GATHER_BUDGET_ELEMENTS = 1 << 21
 
 
 @dataclass
@@ -62,6 +82,11 @@ class CycleReport:
     quantization: int = 0
     pooling: int = 0
     passes: int = 0
+
+    @property
+    def total(self) -> int:
+        """All compute cycles across phases (excludes the pass count)."""
+        return self.mac + self.reduction + self.quantization + self.pooling
 
     def merged(self, other: "CycleReport") -> "CycleReport":
         return CycleReport(
@@ -120,13 +145,18 @@ class FunctionalConv:
                  weights: ConvWeights,
                  config: NeuralCacheConfig | None = None,
                  name: str = "conv",
-                 output_params=None):
+                 output_params=None,
+                 vectorized: bool = True):
         self.conv = conv
         self.input_shape = input_shape
         self.weights = weights
         self.config = config if config is not None else NeuralCacheConfig()
         self.name = name
         self.output_params = output_params
+        #: Execute all serial passes at once on an ArrayFleet (default).
+        #: ``False`` selects the legacy one-array-at-a-time path, kept for
+        #: the fleet-vs-legacy regression benchmark.
+        self.vectorized = vectorized
         self.mapping = map_conv(self.config, name, conv, input_shape)
         r, s, c, _ = conv.filter_shape(input_shape)
         if r * s * c > MAX_FUNCTIONAL_TAPS:
@@ -173,6 +203,13 @@ class FunctionalConv:
     # ------------------------------------------------------------------
     def _compute_stage(self, x: QuantizedTensor) -> tuple[np.ndarray, np.ndarray]:
         """Run all output batches; returns int64 (raw, xsum) per output."""
+        if self.vectorized:
+            return self._compute_stage_fleet(x)
+        return self._compute_stage_legacy(x)
+
+    def _compute_stage_legacy(self, x: QuantizedTensor
+                              ) -> tuple[np.ndarray, np.ndarray]:
+        """Pre-fleet path: a Python loop over one array pass at a time."""
         conv = self.conv
         mapping = self.mapping
         e, f, m = conv.output_shape(self.input_shape)
@@ -194,6 +231,154 @@ class FunctionalConv:
             raw[start:start + len(batch)] = r_vals
             xsum[start:start + len(batch)] = s_vals
             self.report.passes += 1
+        return raw, xsum
+
+    def _compute_stage_fleet(self, x: QuantizedTensor
+                             ) -> tuple[np.ndarray, np.ndarray]:
+        """All output batches at once: one array-fleet member per pass.
+
+        The filter and input bit-planes for every pass are gathered with
+        vectorized indexing, then a *single* lockstep MAC/reduction
+        sequence executes on the whole fleet — no Python loop over arrays.
+        Cycle reports charge ``sequence_cycles * n_arrays`` so the totals
+        match the legacy serial path exactly. Fleets larger than
+        ``MAX_FLEET_ARRAYS`` execute in bounded chunks so the gather
+        tensors never outgrow memory on output-heavy layers.
+        """
+        conv = self.conv
+        e, f, m = conv.output_shape(self.input_shape)
+        n_out = e * f * m
+        cols = self.config.geometry.array_cols
+        lanes = self.mapping.channels_padded
+        groups = max(cols // lanes, 1)
+
+        padded = self._padded_input(x)
+        filters = self.weights.filters.data  # (R, S, C, M)
+
+        # -- vectorized (lane, tap) -> (r, s, c) gather tables --
+        plan = self.plan
+        taps = plan.taps
+        valid = np.zeros((lanes, taps), dtype=bool)
+        rr = np.zeros((lanes, taps), dtype=np.int64)
+        ss = np.zeros((lanes, taps), dtype=np.int64)
+        cc = np.zeros((lanes, taps), dtype=np.int64)
+        for lane in range(lanes):
+            for t, entry in enumerate(plan.filter_source[lane]):
+                if entry is None:
+                    continue
+                valid[lane, t] = True
+                rr[lane, t], ss[lane, t], cc[lane, t] = entry
+        # Chunk-invariant filter gather, hoisted out of the chunk loop.
+        fgather = filters[rr, ss, cc]        # (lanes, taps, M)
+        tables = (valid, rr, ss, cc, fgather)
+
+        raw = np.zeros(n_out, dtype=np.int64)
+        xsum = np.zeros(n_out, dtype=np.int64)
+        # Chunks stay aligned to whole arrays (multiples of ``groups``) and
+        # respect both the array cap and the gather-temporary budget.
+        arrays_by_gather = max(
+            GATHER_BUDGET_ELEMENTS // (groups * lanes * taps), 1)
+        per_chunk = min(MAX_FLEET_ARRAYS, arrays_by_gather) * groups
+        for start in range(0, n_out, per_chunk):
+            end = min(start + per_chunk, n_out)
+            r_vals, s_vals = self._run_fleet_chunk(
+                padded, tables, start, end, cols, lanes, groups)
+            raw[start:end] = r_vals
+            xsum[start:end] = s_vals
+        return raw, xsum
+
+    def _run_fleet_chunk(self, padded: np.ndarray, tables, start: int,
+                         end: int, cols: int, lanes: int, groups: int
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """One bounded fleet: outputs ``[start, end)``, one array/pass."""
+        conv = self.conv
+        mapping = self.mapping
+        e, f, m = conv.output_shape(self.input_shape)
+        valid, rr, ss, cc, fgather = tables
+        taps = self.plan.taps
+        stride = conv.stride
+        packed = mapping.pack_factor > 1
+        n_out = end - start
+        n_arrays = -(-n_out // groups)
+
+        out_idx = np.arange(start, end)
+        out_i = out_idx // (f * m)
+        out_j = (out_idx // m) % f
+        out_m = out_idx % m
+
+        # Filter bytes and window bytes per (output, lane, tap).
+        fvals = fgather[:, :, out_m].astype(np.int64)
+        fvals = np.where(valid[:, :, None], fvals, 0).transpose(2, 0, 1)
+        row_idx = out_i[:, None, None] * stride + rr[None, :, :]
+        col_idx = out_j[:, None, None] * stride + ss[None, :, :]
+        ivals = padded[row_idx, col_idx, cc[None, :, :]].astype(np.int64)
+        ivals = np.where(valid[None, :, :], ivals, 0)
+
+        def planes(vals: np.ndarray) -> np.ndarray:
+            """(n_out, lanes, taps) -> (n_arrays, taps, cols) fleet planes."""
+            full = np.zeros((n_arrays * groups, lanes, taps), dtype=np.int64)
+            full[:n_out] = vals
+            full = full.reshape(n_arrays, groups, lanes, taps)
+            full = full.transpose(0, 3, 1, 2).reshape(n_arrays, taps,
+                                                      groups * lanes)
+            if groups * lanes < cols:
+                widened = np.zeros((n_arrays, taps, cols), dtype=np.int64)
+                widened[:, :, :groups * lanes] = full
+                full = widened
+            return full
+
+        filter_plane = planes(fvals)
+        input_plane = planes(ivals)
+
+        # -- row regions (Fig. 10a), identical to the legacy layout --
+        filter_rows = Operand(0, taps * 8)
+        input_rows = Operand(filter_rows.end, 8 if packed else taps * 8)
+        scratch = Operand(input_rows.end, 16)
+        partial = Operand(scratch.end, 32)      # 24 live + growth
+        segment = Operand(partial.end, 32)
+        xsum_rows = Operand(segment.end, 32)    # 24 live + growth
+        if xsum_rows.end > 256:
+            raise SimulationError(
+                f"functional layout needs {xsum_rows.end} rows")
+
+        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=256, cols=cols))
+        for t in range(taps):
+            unit.write_values(Operand(filter_rows.row + 8 * t, 8),
+                              filter_plane[:, t])
+            if not packed:
+                unit.write_values(Operand(input_rows.row + 8 * t, 8),
+                                  input_plane[:, t])
+        unit.zero(Operand(partial.row, 24))
+        unit.zero(Operand(xsum_rows.row, 24))
+
+        # -- MACs: one fused multiply-accumulate per tap, whole fleet --
+        before = unit.cycles
+        for t in range(taps):
+            f_op = Operand(filter_rows.row + 8 * t, 8)
+            if packed:
+                x_op = Operand(input_rows.row, 8)
+                unit.write_values(x_op, input_plane[:, t])  # streamed byte
+            else:
+                x_op = Operand(input_rows.row + 8 * t, 8)
+            unit.mac(f_op, x_op, Operand(scratch.row, 16),
+                     Operand(partial.row, 24))
+            unit.add_into(x_op, Operand(xsum_rows.row, 24))
+        self.report.mac += (unit.cycles - before) * n_arrays
+
+        # -- reductions: raw sums, then input sums (Fig. 5 / Fig. 10b) --
+        before = unit.cycles
+        if lanes > 1:
+            unit.reduce_tree(partial, segment, lanes, 24)
+            unit.reduce_tree(xsum_rows, segment, lanes, 24)
+        self.report.reduction += (unit.cycles - before) * n_arrays
+        self.report.passes += n_arrays
+
+        # -- read back each group's head column (output move path) --
+        raw_bits = unit.read_values(partial)
+        sum_bits = unit.read_values(xsum_rows)
+        head = np.arange(groups) * lanes
+        raw = raw_bits[:, head].reshape(-1)[:n_out]
+        xsum = sum_bits[:, head].reshape(-1)[:n_out]
         return raw, xsum
 
     def _padded_input(self, x: QuantizedTensor) -> np.ndarray:
@@ -320,6 +505,9 @@ class FunctionalConv:
 
         in_cache_requant = conv.relu and requant.shift <= 39
         cols = self.config.geometry.array_cols
+        if self.vectorized:
+            return self._quantize_fleet(raw, xsum, const_per_output, zpw,
+                                        in_cache_requant, cols)
         out = np.zeros(len(raw), dtype=np.int64)
         for start in range(0, len(raw), cols):
             end = min(start + cols, len(raw))
@@ -329,6 +517,91 @@ class FunctionalConv:
                 const_per_output[start:end], zpw, in_cache_requant,
                 cols)[:width]
         return out
+
+    def _quantize_fleet(self, raw: np.ndarray, xsum: np.ndarray,
+                        const: np.ndarray, zpw: int,
+                        in_cache_requant: bool, cols: int) -> np.ndarray:
+        """All quantization passes at once: one fleet member per pass of
+        up-to-``cols`` outputs, same sequence as :meth:`_quantize_batch`.
+        Chunked at ``MAX_FLEET_ARRAYS`` arrays to bound memory."""
+        out = np.zeros(len(raw), dtype=np.int64)
+        for start, end in _fleet_chunks(len(raw), cols):
+            out[start:end] = self._quantize_fleet_chunk(
+                raw[start:end], xsum[start:end], const[start:end], zpw,
+                in_cache_requant, cols)
+        return out
+
+    def _quantize_fleet_chunk(self, raw: np.ndarray, xsum: np.ndarray,
+                              const: np.ndarray, zpw: int,
+                              in_cache_requant: bool,
+                              cols: int) -> np.ndarray:
+        from repro.common.bits import to_twos_complement
+
+        requant = self.weights.requant
+        n_out = len(raw)
+        n_arrays = -(-n_out // cols)
+        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=256, cols=cols))
+        w = CORRECTION_BITS
+
+        acc = Operand(0, w)          # 0..33
+        xs16 = Operand(w, 16)        # 34..49
+        m16 = Operand(50, 16)
+        prod = Operand(66, w)        # 32-bit product + 2 zero rows
+        kreg = Operand(100, w)
+        scr = Operand(134, w)
+
+        # Host staging (the output-move path already paid for this data).
+        unit.write_values(acc, _stage_fleet(raw, n_arrays, cols))
+        unit.write_values(xs16, _stage_fleet(xsum, n_arrays, cols))
+        unit.write_values(kreg, _stage_fleet(
+            to_twos_complement(const, w), n_arrays, cols))
+
+        before = unit.cycles
+        # acc += (N*zpx*zpw - zpx*sum_w[m]);  acc -= zpw * xsum
+        unit.write_scalar(m16, zpw)
+        unit.multiply(xs16, m16, Operand(prod.row, 32))
+        unit.zero(Operand(prod.row + 32, 2))
+        unit.add_into(kreg, acc)
+        unit.sub_into(acc, prod, scr)
+
+        if not in_cache_requant:
+            # No-ReLU layers (the final FC) requantize on the host, as the
+            # paper ships final outputs to the CPU anyway.
+            self.report.quantization += (unit.cycles - before) * n_arrays
+            signed = from_twos_complement(
+                unit.read_values(acc).reshape(-1)[:n_out], w)
+            if self.conv.relu:
+                signed = np.maximum(signed, 0)
+            return requant.apply(signed).astype(np.int64)
+
+        # ReLU: MSB-enabled zero write (Sec. IV-D).
+        unit.relu(acc, sign_row=acc.bit(w - 1))
+
+        # Requantize: acc * M0 (24x24 multiply), +rounding, shift, +zp.
+        shift = requant.shift
+        m24 = Operand(34, 24)            # xs16/m16 are dead now
+        prod48 = Operand(58, 48)         # prod/kreg head are dead
+        half48 = Operand(106, 48)        # kreg tail/scr head are dead
+        zp9 = Operand(154, 9)
+        out10 = Operand(163, 10)
+        sat8 = Operand(173, 8)
+
+        unit.write_scalar(m24, requant.multiplier)
+        unit.multiply(Operand(acc.row, 24), m24, prod48)
+        if shift > 0:
+            unit.write_scalar(half48, 1 << (shift - 1))
+            unit.add_into(half48, prod48)
+        unit.write_scalar(zp9, requant.zero_point)
+        unit.add(Operand(prod48.row + shift, 9), zp9, out10)
+        # Saturate to 255 when any bit above the result window is set.
+        unit.write_scalar(sat8, 255)
+        for high in range(shift + 9, 48):
+            unit.selective_copy(sat8, Operand(out10.row, 8),
+                                prod48.row + high)
+        for high in (8, 9):
+            unit.selective_copy(sat8, Operand(out10.row, 8), out10.bit(high))
+        self.report.quantization += (unit.cycles - before) * n_arrays
+        return unit.read_values(Operand(out10.row, 8)).reshape(-1)[:n_out]
 
     def _quantize_batch(self, raw: np.ndarray, xsum: np.ndarray,
                         const: np.ndarray, zpw: int,
@@ -420,38 +693,45 @@ class FunctionalMaxPool:
         pool = self.pool
         e, f, c = pool.output_shape(self.input_shape)
         padded = _pad_pool_input(x.data, pool, fill=0)
-        outputs = [(i, j, cc) for i in range(e) for j in range(f)
-                   for cc in range(c)]
+        n_out = e * f * c
         cols = self.config.geometry.array_cols
-        out = np.zeros(len(outputs), dtype=np.int64)
-
-        window = [(r, s) for r in range(pool.kernel[0])
-                  for s in range(pool.kernel[1])]
-        for start in range(0, len(outputs), cols):
-            batch = outputs[start:start + cols]
-            unit = BitSerialUnit(SRAMArray(rows=64, cols=cols))
-            current = Operand(0, 8)
-            candidate = Operand(8, 8)
-            scratch = Operand(16, 17)
-
-            def plane(tap_index: int) -> np.ndarray:
-                r, s = window[tap_index]
-                vals = np.zeros(cols, dtype=np.int64)
-                for k, (i, j, cc) in enumerate(batch):
-                    vals[k] = padded[i * pool.stride + r,
-                                     j * pool.stride + s, cc]
-                return vals
-
-            before = unit.cycles
-            unit.write_values(current, plane(0))
-            for t in range(1, len(window)):
-                unit.write_values(candidate, plane(t))
-                unit.max_update(current, candidate, scratch)
-            self.report.pooling += unit.cycles - before
-            self.report.passes += 1
-            out[start:start + len(batch)] = unit.read_values(current)[:len(batch)]
+        out_i, out_j, out_c = _pool_output_coords(n_out, f, c)
+        out = np.zeros(n_out, dtype=np.int64)
+        for start, end in _fleet_chunks(n_out, cols):
+            out[start:end] = self._run_fleet(
+                padded, out_i[start:end], out_j[start:end],
+                out_c[start:end], cols)
         return QuantizedTensor(out.reshape(e, f, c).astype(np.uint8),
                                x.params)
+
+    def _run_fleet(self, padded: np.ndarray, out_i: np.ndarray,
+                   out_j: np.ndarray, out_c: np.ndarray,
+                   cols: int) -> np.ndarray:
+        pool = self.pool
+        n_out = out_i.size
+        n_arrays = -(-n_out // cols)
+        window = [(r, s) for r in range(pool.kernel[0])
+                  for s in range(pool.kernel[1])]
+
+        def plane(tap_index: int) -> np.ndarray:
+            r, s = window[tap_index]
+            vals = padded[out_i * pool.stride + r,
+                          out_j * pool.stride + s, out_c].astype(np.int64)
+            return _stage_fleet(vals, n_arrays, cols)
+
+        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=64, cols=cols))
+        current = Operand(0, 8)
+        candidate = Operand(8, 8)
+        scratch = Operand(16, 17)
+
+        before = unit.cycles
+        unit.write_values(current, plane(0))
+        for t in range(1, len(window)):
+            unit.write_values(candidate, plane(t))
+            unit.max_update(current, candidate, scratch)
+        self.report.pooling += (unit.cycles - before) * n_arrays
+        self.report.passes += n_arrays
+        return unit.read_values(current).reshape(-1)[:n_out]
 
 
 class FunctionalAvgPool:
@@ -471,42 +751,48 @@ class FunctionalAvgPool:
         e, f, c = pool.output_shape(self.input_shape)
         padded = _pad_pool_input(x.data, pool, fill=0)
         counts = _pool_tap_counts(x.data.shape, pool)
-        outputs = [(i, j, cc) for i in range(e) for j in range(f)
-                   for cc in range(c)]
+        n_out = e * f * c
         cols = self.config.geometry.array_cols
-        out = np.zeros(len(outputs), dtype=np.int64)
+        out_i, out_j, out_c = _pool_output_coords(n_out, f, c)
+        out = np.zeros(n_out, dtype=np.int64)
+        for start, end in _fleet_chunks(n_out, cols):
+            out[start:end] = self._run_fleet(
+                padded, counts, out_i[start:end], out_j[start:end],
+                out_c[start:end], cols)
+        return QuantizedTensor(out.reshape(e, f, c).astype(np.uint8),
+                               x.params)
+
+    def _run_fleet(self, padded: np.ndarray, counts: np.ndarray,
+                   out_i: np.ndarray, out_j: np.ndarray,
+                   out_c: np.ndarray, cols: int) -> np.ndarray:
+        pool = self.pool
+        n_out = out_i.size
+        n_arrays = -(-n_out // cols)
         window = [(r, s) for r in range(pool.kernel[0])
                   for s in range(pool.kernel[1])]
         acc_bits = 16
 
-        for start in range(0, len(outputs), cols):
-            batch = outputs[start:start + cols]
-            unit = BitSerialUnit(SRAMArray(rows=128, cols=cols))
-            element = Operand(0, 8)
-            acc = Operand(8, acc_bits)
-            divisor = Operand(24, acc_bits)
-            quotient = Operand(40, acc_bits)
-            work = Operand(56, 3 * acc_bits + 4)
+        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=128, cols=cols))
+        element = Operand(0, 8)
+        acc = Operand(8, acc_bits)
+        divisor = Operand(24, acc_bits)
+        quotient = Operand(40, acc_bits)
+        work = Operand(56, 3 * acc_bits + 4)
 
-            before = unit.cycles
-            unit.zero(acc)
-            for r, s in window:
-                vals = np.zeros(cols, dtype=np.int64)
-                for k, (i, j, cc) in enumerate(batch):
-                    vals[k] = padded[i * pool.stride + r,
-                                     j * pool.stride + s, cc]
-                unit.write_values(element, vals)
-                unit.add_into(element, acc)
-            div_vals = np.ones(cols, dtype=np.int64)
-            for k, (i, j, _) in enumerate(batch):
-                div_vals[k] = counts[i, j]
-            unit.write_values(divisor, div_vals)
-            unit.divide(acc, divisor, quotient, work)
-            self.report.pooling += unit.cycles - before
-            self.report.passes += 1
-            out[start:start + len(batch)] = unit.read_values(quotient)[:len(batch)]
-        return QuantizedTensor(out.reshape(e, f, c).astype(np.uint8),
-                               x.params)
+        before = unit.cycles
+        unit.zero(acc)
+        for r, s in window:
+            vals = padded[out_i * pool.stride + r,
+                          out_j * pool.stride + s, out_c].astype(np.int64)
+            unit.write_values(element, _stage_fleet(vals, n_arrays, cols))
+            unit.add_into(element, acc)
+        # Dead columns divide by 1 so divide() never sees a zero divisor.
+        div_vals = _stage_fleet(counts[out_i, out_j], n_arrays, cols, fill=1)
+        unit.write_values(divisor, div_vals)
+        unit.divide(acc, divisor, quotient, work)
+        self.report.pooling += (unit.cycles - before) * n_arrays
+        self.report.passes += n_arrays
+        return unit.read_values(quotient).reshape(-1)[:n_out]
 
 
 class FunctionalAdd:
@@ -541,16 +827,17 @@ class FunctionalAdd:
         flat_b = b.data.reshape(-1).astype(np.int64)
         cols = self.config.geometry.array_cols
         out = np.zeros(flat_a.size, dtype=np.int64)
-        for start in range(0, flat_a.size, cols):
-            end = min(start + cols, flat_a.size)
-            out[start:end] = self._run_batch(
-                flat_a[start:end], flat_b[start:end], zp, cols)[:end - start]
+        for start, end in _fleet_chunks(flat_a.size, cols):
+            out[start:end] = self._run_fleet(flat_a[start:end],
+                                             flat_b[start:end], zp, cols)
         return QuantizedTensor(out.reshape(self.input_shape).astype(np.uint8),
                                a.params)
 
-    def _run_batch(self, av: np.ndarray, bv: np.ndarray, zp: int,
+    def _run_fleet(self, av: np.ndarray, bv: np.ndarray, zp: int,
                    cols: int) -> np.ndarray:
-        unit = BitSerialUnit(SRAMArray(rows=96, cols=cols))
+        n_out = av.size
+        n_arrays = -(-n_out // cols)
+        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=96, cols=cols))
         a8, b8 = Operand(0, 8), Operand(8, 8)
         total9 = Operand(16, 9)
         zp9 = Operand(25, 9)
@@ -560,13 +847,8 @@ class FunctionalAdd:
         sat8 = Operand(62, 8)
         relu_cmp = Operand(70, 10)     # second compare for fused ReLU
 
-        def staged(values: np.ndarray) -> np.ndarray:
-            padded = np.zeros(cols, dtype=np.int64)
-            padded[:len(values)] = values
-            return padded
-
-        unit.write_values(a8, staged(av))
-        unit.write_values(b8, staged(bv))
+        unit.write_values(a8, _stage_fleet(av, n_arrays, cols))
+        unit.write_values(b8, _stage_fleet(bv, n_arrays, cols))
 
         before = unit.cycles
         unit.add(a8, b8, total9)
@@ -585,9 +867,9 @@ class FunctionalAdd:
             unit.write_scalar(low9, zp)
             unit.selective_copy(low9, Operand(diff10.row, 9),
                                 relu_cmp.bit(9), invert=True)
-        self.report.pooling += unit.cycles - before
-        self.report.passes += 1
-        return unit.read_values(Operand(diff10.row, 8))
+        self.report.pooling += (unit.cycles - before) * n_arrays
+        self.report.passes += n_arrays
+        return unit.read_values(Operand(diff10.row, 8)).reshape(-1)[:n_out]
 
 
 class FunctionalBatchNorm:
@@ -631,21 +913,22 @@ class FunctionalBatchNorm:
         channel_of = np.tile(np.arange(c), h * w)
         cols = self.config.geometry.array_cols
         out = np.zeros(flat_q.size, dtype=np.int64)
-        for start in range(0, flat_q.size, cols):
-            end = min(start + cols, flat_q.size)
-            out[start:end] = self._run_batch(
-                flat_q[start:end], channel_of[start:end], cols)[:end - start]
+        for start, end in _fleet_chunks(flat_q.size, cols):
+            out[start:end] = self._run_fleet(flat_q[start:end],
+                                             channel_of[start:end], cols)
         from repro.nn.tensor import QuantParams
         params = QuantParams(scale=x.params.scale, zero_point=self.zp_out)
         return QuantizedTensor(out.reshape(self.input_shape).astype(np.uint8),
                                params)
 
-    def _run_batch(self, qv: np.ndarray, channels: np.ndarray,
+    def _run_fleet(self, qv: np.ndarray, channels: np.ndarray,
                    cols: int) -> np.ndarray:
         from repro.common.bits import to_twos_complement
         from repro.nn.tensor import round_shift
 
-        unit = BitSerialUnit(SRAMArray(rows=256, cols=cols))
+        n_out = qv.size
+        n_arrays = -(-n_out // cols)
+        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=256, cols=cols))
         w = CORRECTION_BITS
         q16 = Operand(0, 16)
         mult16 = Operand(16, 16)
@@ -657,16 +940,12 @@ class FunctionalBatchNorm:
         out10 = Operand(177, 10)
         sat8 = Operand(187, 8)
 
-        def staged(values: np.ndarray) -> np.ndarray:
-            padded = np.zeros(cols, dtype=np.int64)
-            padded[:len(values)] = values
-            return padded
-
         mult_col = self.bn.multiplier[channels]
         bias_col = self.bn.bias[channels]
-        unit.write_values(q16, staged(qv))
-        unit.write_values(mult16, staged(mult_col))
-        unit.write_values(bias34, staged(to_twos_complement(bias_col, w)))
+        unit.write_values(q16, _stage_fleet(qv, n_arrays, cols))
+        unit.write_values(mult16, _stage_fleet(mult_col, n_arrays, cols))
+        unit.write_values(bias34, _stage_fleet(
+            to_twos_complement(bias_col, w), n_arrays, cols))
 
         before = unit.cycles
         unit.multiply(q16, mult16, Operand(acc.row, 32))
@@ -674,9 +953,10 @@ class FunctionalBatchNorm:
         unit.add_into(bias34, acc)
 
         if not self.relu:
-            self.report.quantization += unit.cycles - before
-            self.report.passes += 1
-            signed = from_twos_complement(unit.read_values(acc), w)
+            self.report.quantization += (unit.cycles - before) * n_arrays
+            self.report.passes += n_arrays
+            signed = from_twos_complement(
+                unit.read_values(acc).reshape(-1)[:n_out], w)
             out = round_shift(signed, self.bn.shift) + self.zp_out
             return np.clip(out, 0, 255)
 
@@ -693,9 +973,9 @@ class FunctionalBatchNorm:
                                 acc.row + high)
         for high in (8, 9):
             unit.selective_copy(sat8, Operand(out10.row, 8), out10.bit(high))
-        self.report.quantization += unit.cycles - before
-        self.report.passes += 1
-        return unit.read_values(Operand(out10.row, 8))
+        self.report.quantization += (unit.cycles - before) * n_arrays
+        self.report.passes += n_arrays
+        return unit.read_values(Operand(out10.row, 8)).reshape(-1)[:n_out]
 
 
 class FunctionalExecutor:
@@ -791,6 +1071,33 @@ class FunctionalExecutor:
         for report in self.reports.values():
             total = total.merged(report)
         return total
+
+
+def _fleet_chunks(n_out: int, cols: int) -> list[tuple[int, int]]:
+    """Output slices sized to at most ``MAX_FLEET_ARRAYS`` arrays each,
+    bounding fleet memory on activation-heavy layers."""
+    per_chunk = MAX_FLEET_ARRAYS * cols
+    return [(start, min(start + per_chunk, n_out))
+            for start in range(0, n_out, per_chunk)]
+
+
+def _stage_fleet(values: np.ndarray, n_arrays: int, cols: int,
+                 fill: int = 0) -> np.ndarray:
+    """Stage a flat value vector as ``(n_arrays, cols)`` fleet planes.
+
+    Array ``p`` receives elements ``[p * cols, (p + 1) * cols)``; the tail
+    columns of the last array are padded with ``fill`` (dead lanes).
+    """
+    staged = np.full(n_arrays * cols, fill, dtype=np.int64)
+    staged[:len(values)] = values
+    return staged.reshape(n_arrays, cols)
+
+
+def _pool_output_coords(n_out: int, f: int, c: int
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened output index -> (i, j, channel), C varying fastest."""
+    out_idx = np.arange(n_out)
+    return out_idx // (f * c), (out_idx // c) % f, out_idx % c
 
 
 def _pad_pool_input(data: np.ndarray, pool, fill: int) -> np.ndarray:

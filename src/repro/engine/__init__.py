@@ -1,0 +1,45 @@
+"""Vectorized array-fleet execution engine and the unified Backend API.
+
+This package is the "scale + speed" layer of the reproduction:
+
+* :class:`~repro.engine.fleet.ArrayFleet` — N compute arrays as one
+  ``(n_arrays, rows, cols)`` bit tensor, primitives lockstep across all
+  arrays per call;
+* :class:`~repro.engine.bitserial.FleetBitSerialUnit` — the fleet-wide
+  port of the bit-serial operation sequences (bit-exact and cycle-exact
+  with the single-array :class:`~repro.sram.bitserial.BitSerialUnit`);
+* :mod:`repro.engine.backend` — the :class:`~repro.engine.backend.Backend`
+  protocol unifying the analytic simulator and the functional fleet
+  executor behind one ``run(network, batch_size)`` interface.
+
+The backend module is imported lazily (PEP 562): it depends on
+:mod:`repro.core`, which depends on :mod:`repro.sram`, which depends on
+the fleet — eager import here would close that cycle.
+"""
+
+from repro.engine.bitserial import FleetBitSerialUnit, Operand
+from repro.engine.fleet import ArrayFleet, FleetPeriphery
+
+_BACKEND_NAMES = (
+    "AnalyticBackend",
+    "Backend",
+    "BackendResult",
+    "FleetExecutor",
+    "available_backends",
+    "get_backend",
+)
+
+__all__ = [
+    "ArrayFleet",
+    "FleetBitSerialUnit",
+    "FleetPeriphery",
+    "Operand",
+    *_BACKEND_NAMES,
+]
+
+
+def __getattr__(name: str):
+    if name in _BACKEND_NAMES:
+        from repro.engine import backend
+        return getattr(backend, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

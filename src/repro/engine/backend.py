@@ -1,0 +1,243 @@
+"""The unified Backend API: one ``run(network, batch_size)`` for every
+execution engine.
+
+The reproduction has two ways to execute a network:
+
+* the **analytic** simulator (:class:`repro.core.executor.NeuralCacheSimulator`)
+  — the paper's deterministic latency/energy model, which handles
+  Inception-scale networks;
+* the **functional** fleet executor
+  (:class:`repro.core.functional.FunctionalExecutor` on top of
+  :class:`~repro.engine.fleet.ArrayFleet`) — bit-exact in-cache execution
+  for verification-scale networks.
+
+Callers (the CLI, the experiment harness, benchmarks, future sharded or
+serving backends) should not care which engine they hold: the
+:class:`Backend` protocol pins the shared surface to
+``run(network, batch_size) -> BackendResult``, and :func:`get_backend`
+resolves engines by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.config import NeuralCacheConfig
+from repro.core.executor import InferenceResult, NeuralCacheSimulator
+from repro.core.functional import CycleReport, FunctionalExecutor
+from repro.nn.graph import Network
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """What any backend returns for one batch.
+
+    The analytic engine fills the wall-clock/energy fields; the functional
+    engine fills the cycle report and per-node outputs. Both always fill
+    the identification fields, so callers can render a result without
+    knowing which engine produced it.
+    """
+
+    backend: str
+    network: str
+    batch_size: int
+    #: Wall-clock seconds for the batch on one socket (analytic only).
+    latency_s: float | None = None
+    #: Joules for the batch (analytic only).
+    energy_j: float | None = None
+    #: Full analytic schedule detail (analytic only).
+    inference: InferenceResult | None = None
+    #: Aggregate functional compute-cycle report (functional only).
+    report: CycleReport | None = None
+    #: Node name -> QuantizedTensor for the last image (functional only).
+    outputs: dict | None = None
+    #: Images verified bit-exact against the golden executor (functional).
+    verified_images: int = 0
+
+    def summary(self) -> str:
+        """A short human-readable account of the run."""
+        lines = [f"backend={self.backend} network={self.network} "
+                 f"batch={self.batch_size}"]
+        if self.latency_s is not None:
+            lines.append(f"  latency: {self.latency_s * 1e3:.3f} ms "
+                         f"({self.latency_s / self.batch_size * 1e3:.3f} "
+                         f"ms/image)")
+        if self.energy_j is not None:
+            lines.append(f"  energy: {self.energy_j:.3f} J")
+        if self.report is not None:
+            r = self.report
+            lines.append(f"  compute cycles: {r.total} (mac {r.mac}, "
+                         f"reduce {r.reduction}, quant {r.quantization}, "
+                         f"pool {r.pooling}) over {r.passes} array passes")
+        if self.verified_images:
+            lines.append(f"  verified bit-exact vs golden executor on "
+                         f"{self.verified_images} image(s)")
+        return "\n".join(lines)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can execute a network for a batch.
+
+    Structural: a backend needs a ``name`` and ``run``. Engines are free
+    to expose richer engine-specific surfaces (the analytic backend has
+    ``throughput`` and ``simulator``), but shared callers stick to this.
+    """
+
+    name: str
+
+    def run(self, network: Network, batch_size: int = 1) -> BackendResult:
+        """Execute ``batch_size`` inferences and aggregate the results."""
+        ...  # pragma: no cover - protocol signature
+
+
+class AnalyticBackend:
+    """The paper's deterministic model behind the Backend protocol.
+
+    Simulators are cached per network object (bounded, LRU), so repeated
+    ``run`` calls (latency sweeps, batching sweeps) pay the mapping cost
+    once — the behaviour the experiment harness previously got from
+    caching a concrete :class:`NeuralCacheSimulator` — without pinning
+    every network a long-lived backend ever served.
+    """
+
+    name = "analytic"
+    #: Most-recently-used simulators kept alive per backend.
+    CACHE_SIZE = 4
+
+    def __init__(self, config: NeuralCacheConfig | None = None):
+        self.config = config if config is not None else NeuralCacheConfig()
+        self._simulators: dict[int, tuple[Network, NeuralCacheSimulator]] = {}
+
+    def simulator(self, network: Network) -> NeuralCacheSimulator:
+        """The cached simulator for ``network`` (engine-specific surface)."""
+        key = id(network)
+        entry = self._simulators.pop(key, None)
+        if entry is None or entry[0] is not network:
+            entry = (network, NeuralCacheSimulator(network, self.config))
+        self._simulators[key] = entry       # re-insert = most recent
+        while len(self._simulators) > self.CACHE_SIZE:
+            self._simulators.pop(next(iter(self._simulators)))
+        return entry[1]
+
+    def run(self, network: Network, batch_size: int = 1) -> BackendResult:
+        result = self.simulator(network).run(batch_size)
+        return BackendResult(
+            backend=self.name, network=network.name, batch_size=batch_size,
+            latency_s=result.total_time, energy_j=result.total_energy,
+            inference=result)
+
+    def throughput(self, network: Network, batch_size: int = 1) -> float:
+        """Inferences/s for the node (socket-scaled, Sec. VI-B)."""
+        return self.simulator(network).throughput(batch_size)
+
+    def default_network(self) -> Network:
+        """The paper's workload: Inception v3."""
+        from repro.nn import build_inception_v3
+        return build_inception_v3()
+
+
+class FleetExecutor:
+    """Bit-exact functional execution on the array fleet, as a Backend.
+
+    Every image of the batch runs through
+    :class:`~repro.core.functional.FunctionalExecutor` (whose layers
+    execute as single lockstep sequences across an
+    :class:`~repro.engine.fleet.ArrayFleet`) and, when ``verify`` is on,
+    is checked bit-for-bit against the golden NumPy executor — the
+    reproduction's analogue of the paper's trace-matching verification.
+
+    Weights default to :func:`repro.nn.reference.initialise_weights` with
+    a fixed seed; inputs are deterministic pseudo-random activations, so
+    two runs of the same backend agree exactly.
+    """
+
+    name = "fleet"
+
+    def __init__(self, config: NeuralCacheConfig | None = None,
+                 weights=None, seed: int = 0, verify: bool = True):
+        self.config = config if config is not None else NeuralCacheConfig()
+        self.weights = weights
+        self.seed = seed
+        self.verify = verify
+
+    def run(self, network: Network, batch_size: int = 1) -> BackendResult:
+        from repro.nn import QuantizedTensor, ReferenceExecutor
+        from repro.nn.reference import initialise_weights
+
+        if batch_size <= 0:
+            raise SimulationError(
+                f"batch size must be positive, got {batch_size}")
+        weights = self.weights
+        if weights is None:
+            weights = initialise_weights(network, seed=self.seed)
+        rng = np.random.default_rng(self.seed)
+        golden = ReferenceExecutor(network, weights) if self.verify else None
+
+        total = CycleReport()
+        outputs = None
+        verified = 0
+        for _ in range(batch_size):
+            image = QuantizedTensor.from_real(
+                rng.uniform(0, 6, network.input_shape),
+                weights.input_params)
+            executor = FunctionalExecutor(network, weights, self.config)
+            outputs = executor.run(image)
+            if golden is not None:
+                expected = golden.run_output(image)
+                got = outputs[network.output_name]
+                if not np.array_equal(got.data, expected.data):
+                    raise SimulationError(
+                        f"functional output of {network.name!r} diverged "
+                        f"from the golden executor")
+                verified += 1
+            total = total.merged(executor.total_report())
+        return BackendResult(
+            backend=self.name, network=network.name, batch_size=batch_size,
+            report=total, outputs=outputs, verified_images=verified)
+
+    def default_network(self) -> Network:
+        """A verification-scale conv+pool network (the functional path is
+        bounded to layers whose reduction fits one array, Sec. IV-A)."""
+        return tiny_verification_network()
+
+
+def tiny_verification_network(size: int = 8, channels: int = 8,
+                              filters: int = 8) -> Network:
+    """A small conv -> maxpool graph for functional verification demos."""
+    from repro.nn import Conv2D, MaxPool
+
+    net = Network(name="fleet-verify")
+    x = net.add_input("in", (size, size, channels))
+    net.add("conv", Conv2D(filters, (3, 3), padding="same"), x)
+    net.add("pool", MaxPool(kernel=(2, 2), stride=2, padding="valid"),
+            "conv")
+    return net
+
+
+#: Registered engines, by CLI/experiment name.
+BACKENDS: dict[str, type] = {
+    AnalyticBackend.name: AnalyticBackend,
+    FleetExecutor.name: FleetExecutor,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend` (and the CLI's --backend)."""
+    return tuple(BACKENDS)
+
+
+def get_backend(name: str,
+                config: NeuralCacheConfig | None = None) -> Backend:
+    """Resolve a backend by name; raises on unknown names."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available_backends())}") from None
+    return factory(config)

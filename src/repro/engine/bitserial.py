@@ -1,141 +1,223 @@
-"""Bit-serial arithmetic on a compute SRAM array (Sec. III of the paper).
+"""Fleet-wide bit-serial arithmetic: one instruction, every array at once.
 
-:class:`BitSerialUnit` sequences the single-cycle primitives of
-:class:`~repro.sram.array.SRAMArray` and
-:class:`~repro.sram.peripheral.ColumnPeriphery` into the operations the
-paper describes: copy, addition (Fig. 4), predicated multiplication
-(Fig. 6), restoring division, subtraction/compare, max/min folding, ReLU,
-selective copies and in-array tree reduction (Fig. 5).
+:class:`FleetBitSerialUnit` is the vectorized port of
+:class:`repro.sram.bitserial.BitSerialUnit`: the same operation sequences
+(copy, addition per Fig. 4, predicated multiplication per Fig. 6,
+restoring division, subtraction/compare, max/min folding, ReLU, selective
+copies, in-array tree reduction per Fig. 5) driven over an
+:class:`~repro.engine.fleet.ArrayFleet`, so every cycle executes on *all*
+``n_arrays * cols`` bitlines simultaneously — the data parallelism the
+paper's compute-cache slices actually have.
 
-Operands live in *transposed* layout: an :class:`Operand` names the
-wordline of its least-significant bit and its width; element ``i`` of the
-vector occupies bitline ``i``. Every operation processes **all bitlines of
-the array simultaneously** — that is the source of the architecture's
-parallelism — and advances ``self.cycles`` by exactly the amount
-:class:`repro.sram.cost.CycleCosts.derived` predicts (tests enforce this).
+Cycle accounting is lockstep and bit-exact with the single-array unit:
+``self.cycles`` after any operation equals the single-array value, because
+the hardware broadcasts each instruction to the whole fleet. Property
+tests compare the two implementations on random operands and assert both
+results and cycle counts agree with :class:`repro.sram.cost.CycleCosts`
+in its ``derived`` preset.
+
+Operands use the same transposed layout as the single-array unit: an
+:class:`Operand` names the wordline of its least-significant bit and its
+width; element ``(array, column)`` of the fleet occupies bitline ``column``
+of that array. :class:`Operand` is *defined* here and re-exported by
+:mod:`repro.sram.bitserial` for backwards compatibility.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.common.bits import bits_to_int, int_to_bits
+from repro.common.bits import bitplanes_to_int, int_to_bitplanes
 from repro.common.errors import ArrayStateError, LayoutError
-from repro.engine.bitserial import Operand
-from repro.sram.array import SRAMArray
-from repro.sram.peripheral import ColumnPeriphery
-
-__all__ = ["BitSerialUnit", "Operand"]
+from repro.engine.fleet import ArrayFleet, FleetPeriphery
 
 
-class BitSerialUnit:
-    """Drives one SRAM array through bit-serial compute sequences."""
+@dataclass(frozen=True)
+class Operand:
+    """A vertical (transposed) operand: LSB at wordline ``row``, ``nbits`` tall."""
 
-    def __init__(self, array: SRAMArray | None = None):
-        self.array = array if array is not None else SRAMArray()
-        self.periphery = ColumnPeriphery(self.array.cols)
+    row: int
+    nbits: int
+
+    def __post_init__(self) -> None:
+        if self.row < 0:
+            raise LayoutError(f"operand row must be >= 0, got {self.row}")
+        if self.nbits <= 0:
+            raise LayoutError(f"operand width must be positive, got {self.nbits}")
+
+    def bit(self, b: int) -> int:
+        """Wordline index of bit ``b`` (LSB-first)."""
+        if not 0 <= b < self.nbits:
+            raise LayoutError(f"bit {b} outside operand of {self.nbits} bits")
+        return self.row + b
+
+    @property
+    def end(self) -> int:
+        """One past the last wordline used by this operand."""
+        return self.row + self.nbits
+
+    def overlaps(self, other: "Operand") -> bool:
+        """True when the two operands share any wordline."""
+        return self.row < other.end and other.row < self.end
+
+
+class FleetBitSerialUnit:
+    """Drives a whole fleet of SRAM arrays through bit-serial sequences."""
+
+    def __init__(self, fleet: ArrayFleet | None = None):
+        self.fleet = fleet if fleet is not None else ArrayFleet()
+        self.periphery = FleetPeriphery(self.fleet.n_arrays, self.fleet.cols)
         self.cycles = 0
 
     @property
+    def n_arrays(self) -> int:
+        """Arrays executing in lockstep."""
+        return self.fleet.n_arrays
+
+    @property
     def cols(self) -> int:
-        """Number of bitlines (parallel element slots)."""
-        return self.array.cols
+        """Bitlines per array (parallel element slots per array)."""
+        return self.fleet.cols
 
     @property
     def rows(self) -> int:
-        """Number of wordlines."""
-        return self.array.rows
+        """Wordlines per array."""
+        return self.fleet.rows
 
     # ==================================================================
     # Host-side data movement (no compute cycles; data enters via the
     # TMU / bus models, which charge their own time)
     # ==================================================================
     def write_values(self, op: Operand, values: np.ndarray | int) -> None:
-        """Store one integer per bitline into ``op`` (host/TMU path)."""
+        """Store one integer per (array, bitline) into ``op``.
+
+        ``values`` is ``(n_arrays, cols)``; a scalar or a ``(cols,)``
+        vector broadcasts to every array (host/TMU path).
+        """
         if np.isscalar(values):
-            values = np.full(self.cols, int(values), dtype=np.int64)
+            values = np.full((self.n_arrays, self.cols), int(values),
+                             dtype=np.int64)
         values = np.asarray(values, dtype=np.int64)
-        if values.shape != (self.cols,):
+        if values.shape == (self.cols,):
+            values = np.broadcast_to(values, (self.n_arrays, self.cols))
+        if values.shape != (self.n_arrays, self.cols):
             raise ArrayStateError(
-                f"expected {self.cols} values (one per bitline), got shape "
+                f"expected ({self.n_arrays}, {self.cols}) values, got shape "
                 f"{values.shape}")
-        self.array.load_bits(op.row, int_to_bits(values, op.nbits))
+        self.fleet.load_bits(op.row, int_to_bitplanes(values, op.nbits))
 
     def read_values(self, op: Operand) -> np.ndarray:
-        """Read back one integer per bitline from ``op`` (host/TMU path)."""
-        return bits_to_int(self.array.dump_bits(op.row, op.nbits))
+        """Read back ``(n_arrays, cols)`` integers from ``op``."""
+        return bitplanes_to_int(self.fleet.dump_bits(op.row, op.nbits))
 
     # ==================================================================
     # Single-cycle primitives
+    #
+    # These are the hot inner loop of the whole reproduction: every
+    # bit-serial op expands to thousands of calls. They therefore operate
+    # on the fleet's bit tensor directly (the operands are internally
+    # generated 0/1 planes, so the public API's per-call value validation
+    # would only re-check what the sequencer already guarantees), while
+    # still advancing the fleet's lockstep compute counter and checking
+    # row bounds so layout bugs surface as ArrayStateError.
     # ==================================================================
+    def _write_plane(self, dst_row: int, plane: np.ndarray,
+                     predicated: bool) -> None:
+        """Write-back phase of one compute cycle (tag-gated drivers)."""
+        bits = self.fleet._bits
+        if predicated:
+            dst = bits[:, dst_row]
+            dst[...] = np.where(self.periphery.tag, plane, dst)
+        else:
+            bits[:, dst_row] = plane
+
     def _cycle_copy_row(self, src_row: int, dst_row: int,
                         predicated: bool = False, invert: bool = False,
                         shift: int = 0) -> None:
         """One move cycle: sense ``src_row`` (BL rail, or BLB when
         ``invert``), optionally shift across bitlines through the column
-        mux, and write ``dst_row``."""
-        bl, blb = self.array.sense_single(src_row)
-        bits = blb if invert else bl
+        mux, and write ``dst_row`` — in every array at once."""
+        fleet = self.fleet
+        fleet._check_row(src_row)
+        fleet._check_row(dst_row)
+        fleet.compute_cycles += 1
+        src = fleet._bits[:, src_row]
+        plane = (1 - src) if invert else src
         if shift:
-            bits = self._shift_columns(bits, shift)
-        self.array.write_back(dst_row, bits,
-                              mask=self.periphery.write_mask(predicated))
+            plane = self._shift_columns(plane, shift)
+        self._write_plane(dst_row, plane, predicated)
         self.cycles += 1
 
     def _cycle_add_bit(self, row_a: int, row_b: int, dst_row: int,
                        predicated: bool = False) -> None:
-        """One full-adder cycle: sense rows A and B, add with the carry
-        latch, write the sum to ``dst_row`` (``dst_row`` may equal
-        ``row_b`` for in-place accumulation, as in Fig. 6)."""
-        bl, blb = self.array.sense(row_a, row_b)
-        total, _ = self.periphery.full_add(bl, blb)
-        self.array.write_back(dst_row, total,
-                              mask=self.periphery.write_mask(predicated))
+        """One fleet-wide full-adder cycle (``dst_row`` may equal ``row_b``
+        for in-place accumulation, as in Fig. 6). The two sensed rails
+        give ``A AND B`` and ``A NOR B``; their NOR is ``A XOR B``
+        (Figure 7), computed here directly as ``a ^ b``."""
+        fleet = self.fleet
+        fleet._check_row(row_a)
+        fleet._check_row(row_b)
+        fleet._check_row(dst_row)
+        fleet.compute_cycles += 1
+        bits = fleet._bits
+        a = bits[:, row_a]
+        b = bits[:, row_b]
+        total = self.periphery.add_step(a & b, a ^ b)
+        self._write_plane(dst_row, total, predicated)
         self.cycles += 1
 
     def _cycle_half_add_bit(self, row_a: int, dst_row: int,
                             const_bit: int = 0,
                             predicated: bool = False) -> None:
         """One adder cycle with a constant second operand (0 or 1)."""
-        bl, blb = self.array.sense_single(row_a)
+        fleet = self.fleet
+        fleet._check_row(row_a)
+        fleet._check_row(dst_row)
+        fleet.compute_cycles += 1
+        a = fleet._bits[:, row_a]
         if const_bit:
-            a_and_b, a_xor_b = bl, blb       # B = 1: A&B = A, A^B = ~A
+            total = self.periphery.add_step(a, 1 - a)   # B=1: A&B=A, A^B=~A
         else:
-            a_and_b = np.zeros(self.cols, dtype=np.uint8)
-            a_xor_b = bl                      # B = 0: A&B = 0, A^B = A
-        total = a_xor_b ^ self.periphery.carry
-        carry_out = (a_and_b | (a_xor_b & self.periphery.carry)).astype(np.uint8)
-        self.periphery.carry[:] = carry_out
-        self.array.write_back(dst_row, total,
-                              mask=self.periphery.write_mask(predicated))
+            total = self.periphery.add_step(np.uint8(0), a)  # B=0
+        self._write_plane(dst_row, total, predicated)
         self.cycles += 1
 
     def _cycle_write_const(self, row: int, bit: int,
                            predicated: bool = False) -> None:
-        """One cycle writing a constant bit to a whole wordline."""
-        bits = np.full(self.cols, bit, dtype=np.uint8)
-        self.array.write_back(row, bits,
-                              mask=self.periphery.write_mask(predicated))
-        self.array.compute_cycles += 1
+        """One cycle writing a constant bit to a wordline of every array."""
+        fleet = self.fleet
+        fleet._check_row(row)
+        fleet.compute_cycles += 1
+        if predicated:
+            dst = fleet._bits[:, row]
+            dst[...] = np.where(self.periphery.tag, np.uint8(bit), dst)
+        else:
+            fleet._bits[:, row] = bit
         self.cycles += 1
 
     def _cycle_store_carry(self, dst_row: int, predicated: bool = False) -> None:
         """One cycle writing the carry latches to a wordline."""
-        self.array.write_back(dst_row, self.periphery.carry.copy(),
-                              mask=self.periphery.write_mask(predicated))
-        self.array.compute_cycles += 1
+        self.fleet._check_row(dst_row)
+        self.fleet.compute_cycles += 1
+        self._write_plane(dst_row, self.periphery.carry, predicated)
         self.cycles += 1
 
     def _cycle_store_tag(self, dst_row: int) -> None:
         """One cycle writing the tag latches to a wordline."""
-        self.array.write_back(dst_row, self.periphery.tag.copy())
-        self.array.compute_cycles += 1
+        self.fleet._check_row(dst_row)
+        self.fleet.compute_cycles += 1
+        self.fleet._bits[:, dst_row] = self.periphery.tag
         self.cycles += 1
 
     def load_tag(self, row: int, invert: bool = False) -> None:
         """Latch a wordline into the tag latches (1 cycle)."""
-        bl, blb = self.array.sense_single(row)
-        self.periphery.load_tag(blb if invert else bl)
+        fleet = self.fleet
+        fleet._check_row(row)
+        fleet.compute_cycles += 1
+        a = fleet._bits[:, row]
+        self.periphery.tag[...] = (1 - a) if invert else a
         self.cycles += 1
 
     def set_tag_all(self) -> None:
@@ -143,13 +225,13 @@ class BitSerialUnit:
         self.periphery.set_tag_all()
 
     def _shift_columns(self, bits: np.ndarray, shift: int) -> np.ndarray:
-        """Move bits ``shift`` bitlines to the left (toward column 0),
-        zero-filling at the right edge. Models the column-mux /
-        sense-amp-cycling moves of Sec. III-D."""
+        """Move bits ``shift`` bitlines to the left (toward column 0) in
+        every array, zero-filling at the right edge. Models the column-mux
+        / sense-amp-cycling moves of Sec. III-D."""
         if shift <= 0:
             raise ArrayStateError(f"column shift must be positive, got {shift}")
         shifted = np.zeros_like(bits)
-        shifted[:-shift] = bits[shift:]
+        shifted[:, :-shift] = bits[:, shift:]
         return shifted
 
     # ==================================================================
@@ -161,10 +243,8 @@ class BitSerialUnit:
             self._cycle_write_const(op.bit(b), 0, predicated)
 
     def write_scalar(self, op: Operand, value: int) -> None:
-        """Broadcast an immediate to every bitline: ``nbits`` cycles.
-
-        Used for the quantization scalars the CPU sends back (Sec. IV-D).
-        """
+        """Broadcast an immediate to every bitline of every array:
+        ``nbits`` cycles (the quantization scalars of Sec. IV-D)."""
         if value < 0:
             raise ArrayStateError(
                 "broadcast immediates must be non-negative; use two's "
@@ -195,11 +275,7 @@ class BitSerialUnit:
 
     def add(self, a: Operand, b: Operand, dst: Operand,
             predicated: bool = False) -> None:
-        """``dst = a + b`` (Fig. 4): ``n`` adder cycles + 1 carry store.
-
-        ``a`` and ``b`` must be the same width ``n``; ``dst`` must be
-        ``n + 1`` bits so the final carry has a home.
-        """
+        """``dst = a + b`` (Fig. 4): ``n`` adder cycles + 1 carry store."""
         if a.nbits != b.nbits:
             raise LayoutError(
                 f"addition operands must match: {a.nbits} vs {b.nbits} bits")
@@ -215,11 +291,7 @@ class BitSerialUnit:
     def add_into(self, src: Operand, acc: Operand,
                  predicated: bool = False) -> None:
         """``acc += src`` where ``acc`` is wider than ``src``: ``acc.nbits``
-        cycles (full adds over ``src``, then carry ripple through the rest).
-
-        The accumulator must be sized so the addition cannot overflow; the
-        mapper guarantees this (3-byte partial sums, 4-byte reductions).
-        """
+        cycles (full adds over ``src``, then carry ripple through the rest)."""
         if src.nbits > acc.nbits:
             raise LayoutError(
                 f"accumulator ({acc.nbits} bits) narrower than source "
@@ -232,12 +304,8 @@ class BitSerialUnit:
 
     def sub(self, a: Operand, b: Operand, dst: Operand,
             scratch: Operand) -> None:
-        """``dst[0:n] = a - b`` (mod ``2^n``), ``dst[n]`` = not-borrow.
-
-        ``2n + 1`` cycles: complement-copy ``b`` into ``scratch`` (the BLB
-        rail supplies the inversion), add with carry-in 1, store the final
-        carry. A not-borrow of 1 means ``a >= b``.
-        """
+        """``dst[0:n] = a - b`` (mod ``2^n``), ``dst[n]`` = not-borrow:
+        ``2n + 1`` cycles. A not-borrow of 1 means ``a >= b``."""
         if a.nbits != b.nbits:
             raise LayoutError(
                 f"subtraction operands must match: {a.nbits} vs {b.nbits} bits")
@@ -256,12 +324,9 @@ class BitSerialUnit:
         self._cycle_store_carry(dst.bit(a.nbits))
 
     def sub_into(self, acc: Operand, b: Operand, scratch: Operand) -> None:
-        """``acc -= b`` modulo ``2**acc.nbits`` (two's complement in place).
-
-        ``2n`` cycles: complement-copy ``b`` into ``scratch``, then add it
-        with carry-in 1. No borrow flag is produced — callers that need the
-        comparison use :meth:`sub`.
-        """
+        """``acc -= b`` modulo ``2**acc.nbits`` (two's complement in place):
+        ``2n`` cycles. No borrow flag — callers that need the comparison
+        use :meth:`sub`."""
         if b.nbits != acc.nbits:
             raise LayoutError(
                 f"sub_into operands must match: {acc.nbits} vs {b.nbits} "
@@ -278,12 +343,7 @@ class BitSerialUnit:
     def multiply(self, a: Operand, b: Operand, product: Operand) -> None:
         """``product = a * b`` via predicated shift-adds (Fig. 6).
 
-        ``a`` (multiplicand) and ``b`` (multiplier) are ``n`` bits each;
-        ``product`` must be ``2n`` bits. Derived cost ``n^2 + 4n - 1``:
-        zero the product (``2n``), then for each multiplier bit load the
-        tag (1) and either predicated-copy the multiplicand (first bit,
-        ``n``) or predicated-add it at the right offset (``n`` adds plus a
-        predicated carry store).
+        Derived cost ``n^2 + 4n - 1``, identical to the single-array unit.
         """
         n = a.nbits
         if b.nbits != n:
@@ -324,13 +384,10 @@ class BitSerialUnit:
                work: Operand) -> None:
         """Restoring division: ``quotient = a // b`` per bitline.
 
-        ``work`` provides ``3n + 4`` contiguous scratch wordlines: the
-        remainder (``n + 1``), the trial difference (``n + 2``) and the
-        complemented divisor (``n``). After the call the remainder region
-        (first ``n + 1`` work rows) holds ``a % b``. Columns where
-        ``b == 0`` produce all-ones quotients (hardware would flag these;
-        the mapper never divides by zero — AvgPool divisors are window
-        sizes). Derived cost ``3n^2 + 8n + 1``.
+        Same layout contract as the single-array unit: ``work`` provides
+        ``3n + 4`` contiguous scratch wordlines and afterwards holds
+        ``a % b`` in its first ``n + 1`` rows. Derived cost
+        ``3n^2 + 8n + 1``.
         """
         n = a.nbits
         if b.nbits != n:
@@ -370,10 +427,7 @@ class BitSerialUnit:
 
     def compare_ge(self, a: Operand, b: Operand, dst: Operand,
                    scratch: Operand) -> None:
-        """Write ``a >= b`` (one bit per column) to ``dst``'s first row.
-
-        Implemented as a subtraction whose not-borrow lands in ``dst``.
-        """
+        """Write ``a >= b`` (one bit per column) to ``dst``'s first row."""
         if dst.nbits < 1:
             raise LayoutError("comparison needs one destination row")
         diff = Operand(scratch.row, a.nbits + 1)
@@ -385,8 +439,7 @@ class BitSerialUnit:
                    scratch: Operand) -> None:
         """Fold ``candidate`` into a running ``current = max(current, candidate)``.
 
-        ``scratch`` needs ``2n + 1`` rows (difference + not-borrow +
-        complement). Derived cost ``sub(n) + 1 + n``.
+        ``scratch`` needs ``2n + 1`` rows. Derived cost ``sub(n) + 1 + n``.
         """
         n = current.nbits
         if candidate.nbits != n:
@@ -420,11 +473,8 @@ class BitSerialUnit:
         self.set_tag_all()
 
     def relu(self, op: Operand, sign_row: int) -> None:
-        """Zero every element whose sign bit is set (Sec. IV-D ReLU).
-
-        ``1 + n`` cycles: load the tag from ``sign_row`` (1 means negative),
-        then predicated-write zeros over the operand.
-        """
+        """Zero every element whose sign bit is set (Sec. IV-D ReLU):
+        ``1 + n`` cycles."""
         self.load_tag(sign_row)
         self.zero(op, predicated=True)
         self.set_tag_all()
@@ -438,16 +488,15 @@ class BitSerialUnit:
 
     # ==================================================================
     # Compute Cache heritage ops (Sec. II-B): bit-parallel logicals,
-    # equality comparison and search. These need no bit-line interaction,
-    # so they run one cycle per wordline pair.
+    # equality comparison and search.
     # ==================================================================
     def logical_and(self, a: Operand, b: Operand, dst: Operand) -> None:
         """``dst = a AND b`` straight off the BL rail: ``n`` cycles."""
         self._check_width(a, b)
         self._check_width(a, dst)
         for k in range(a.nbits):
-            bl, _ = self.array.sense(a.bit(k), b.bit(k))
-            self.array.write_back(dst.bit(k), bl)
+            bl, _ = self.fleet.sense(a.bit(k), b.bit(k))
+            self.fleet.write_back(dst.bit(k), bl)
             self.cycles += 1
 
     def logical_nor(self, a: Operand, b: Operand, dst: Operand) -> None:
@@ -455,8 +504,8 @@ class BitSerialUnit:
         self._check_width(a, b)
         self._check_width(a, dst)
         for k in range(a.nbits):
-            _, blb = self.array.sense(a.bit(k), b.bit(k))
-            self.array.write_back(dst.bit(k), blb)
+            _, blb = self.fleet.sense(a.bit(k), b.bit(k))
+            self.fleet.write_back(dst.bit(k), blb)
             self.cycles += 1
 
     def logical_or(self, a: Operand, b: Operand, dst: Operand) -> None:
@@ -470,40 +519,31 @@ class BitSerialUnit:
         self._check_width(a, b)
         self._check_width(a, dst)
         for k in range(a.nbits):
-            bl, blb = self.array.sense(a.bit(k), b.bit(k))
-            self.array.write_back(dst.bit(k),
+            bl, blb = self.fleet.sense(a.bit(k), b.bit(k))
+            self.fleet.write_back(dst.bit(k),
                                   self.periphery.xor_from_rails(bl, blb))
             self.cycles += 1
 
     def equality_compare(self, a: Operand, b: Operand,
                          dst_row: int) -> None:
-        """Per-column ``a == b`` flag into ``dst_row``: ``n + 1`` cycles.
-
-        XOR bits accumulate into the tag as a running NEQ flag (the tag
-        latch ANDs successive enables), then the inverted tag is stored.
-        """
+        """Per-column ``a == b`` flag into ``dst_row``: ``n + 1`` cycles."""
         self._check_width(a, b)
-        neq = np.zeros(self.cols, dtype=np.uint8)
+        neq = np.zeros((self.n_arrays, self.cols), dtype=np.uint8)
         for k in range(a.nbits):
-            bl, blb = self.array.sense(a.bit(k), b.bit(k))
+            bl, blb = self.fleet.sense(a.bit(k), b.bit(k))
             neq |= self.periphery.xor_from_rails(bl, blb)
             self.cycles += 1
         self.periphery.load_tag(neq, invert=True)
         self._cycle_store_tag(dst_row)
 
     def search(self, haystack: Operand, key: int, dst_row: int) -> None:
-        """Flag columns whose value equals ``key``: ``n + 1`` cycles.
-
-        The key is driven on the wordline pair selects (no second operand
-        row needed): matching bits are read directly or complemented via
-        the BLB rail according to the key's bits.
-        """
+        """Flag columns whose value equals ``key``: ``n + 1`` cycles."""
         if key < 0 or key >= (1 << haystack.nbits):
             raise ArrayStateError(
                 f"search key {key} does not fit {haystack.nbits} bits")
-        mismatch = np.zeros(self.cols, dtype=np.uint8)
+        mismatch = np.zeros((self.n_arrays, self.cols), dtype=np.uint8)
         for k in range(haystack.nbits):
-            bl, blb = self.array.sense_single(haystack.bit(k))
+            bl, blb = self.fleet.sense_single(haystack.bit(k))
             want_one = (key >> k) & 1
             mismatch |= blb if want_one else bl
             self.cycles += 1
@@ -512,16 +552,9 @@ class BitSerialUnit:
 
     def reduce_tree(self, base: Operand, segment: Operand, elements: int,
                     width: int) -> None:
-        """Sum groups of ``elements`` adjacent bitlines (Fig. 5).
-
-        ``base`` holds the partial sums (``width`` bits live, but the region
-        must be wide enough for the final ``width + log2(elements)`` bits).
-        ``segment`` is the second 4-byte reduction segment of Fig. 10(b).
-        After the call, the total for each group of ``elements`` columns
-        sits on the group's first bitline; other bitlines hold garbage.
-
-        Cost per step ``s``: move ``width + s`` rows + add ``width + s + 1``.
-        """
+        """Sum groups of ``elements`` adjacent bitlines (Fig. 5), in every
+        array of the fleet at once. After the call, each group's total sits
+        on the group's first bitline; other bitlines hold garbage."""
         if elements <= 0 or elements & (elements - 1):
             raise LayoutError(
                 f"reduction element count must be a power of two, got "

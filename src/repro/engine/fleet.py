@@ -1,0 +1,289 @@
+"""Vectorized model of a fleet of compute-capable SRAM arrays.
+
+The paper's parallelism story (Sec. III-IV) is that *thousands* of 256x256
+arrays execute the same bit-serial instruction in lockstep: one compute
+cycle activates the same two wordlines in every array of a slice.
+:class:`ArrayFleet` models exactly that — ``n_arrays`` arrays stored as one
+``(n_arrays, rows, cols)`` uint8 tensor, with every primitive (two-row
+sensing, masked write-back, plain reads/writes) operating on *all arrays
+per call* as NumPy bit-plane operations.
+
+Cycle accounting is lockstep: one :meth:`ArrayFleet.sense` call is one
+compute cycle *of the whole fleet*, because the hardware broadcasts one
+instruction to every array. A fleet of one array therefore behaves exactly
+like the original scalar :class:`repro.sram.array.SRAMArray`, which is now
+a thin ``n_arrays=1`` view over this class.
+
+This module must stay dependency-light (NumPy + error types only): the
+single-array classes in :mod:`repro.sram` import it, so importing anything
+from :mod:`repro.core` here would create a cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ArrayStateError
+
+#: Geometry of the 8KB array used throughout the paper.
+DEFAULT_ROWS = 256
+DEFAULT_COLS = 256
+
+
+class ArrayFleet:
+    """``n_arrays`` compute SRAM arrays executing in lockstep.
+
+    Parameters
+    ----------
+    n_arrays:
+        Number of arrays in the fleet (>= 1). All arrays receive the same
+        instruction each cycle; data differs per array.
+    rows:
+        Wordlines per array (default 256).
+    cols:
+        Bitlines per array (default 256). Each bitline of each array is one
+        bit-serial ALU slot, so the fleet exposes ``n_arrays * cols`` lanes.
+    """
+
+    def __init__(self, n_arrays: int = 1, rows: int = DEFAULT_ROWS,
+                 cols: int = DEFAULT_COLS):
+        if n_arrays <= 0:
+            raise ArrayStateError(
+                f"fleet must contain at least one array, got {n_arrays}")
+        if rows <= 0 or cols <= 0:
+            raise ArrayStateError(f"array must be non-empty, got {rows}x{cols}")
+        self.n_arrays = n_arrays
+        self.rows = rows
+        self.cols = cols
+        self._bits = np.zeros((n_arrays, rows, cols), dtype=np.uint8)
+        self.access_cycles = 0
+        self.compute_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Plain SRAM behaviour (single wordline, all arrays)
+    # ------------------------------------------------------------------
+    def read_row(self, row: int) -> np.ndarray:
+        """Read one wordline of every array; returns ``(n_arrays, cols)``."""
+        self._check_row(row)
+        self.access_cycles += 1
+        return self._bits[:, row].copy()
+
+    def write_row(self, row: int, bits: np.ndarray,
+                  mask: np.ndarray | None = None) -> None:
+        """Write one wordline of every array.
+
+        ``mask`` models the per-column bit-line drivers gated by the tag
+        latch (Figure 7): positions where ``mask == 0`` keep their value.
+        """
+        self._check_row(row)
+        bits = self._coerce_bits(bits)
+        self.access_cycles += 1
+        if mask is None:
+            self._bits[:, row] = bits
+        else:
+            mask = self._coerce_bits(mask)
+            self._bits[:, row] = np.where(mask, bits, self._bits[:, row])
+
+    # ------------------------------------------------------------------
+    # Compute behaviour (two simultaneous wordlines, all arrays)
+    # ------------------------------------------------------------------
+    def sense(self, row_a: int, row_b: int) -> tuple[np.ndarray, np.ndarray]:
+        """Activate two wordlines fleet-wide and sense both rails.
+
+        Returns ``(bl, blb)``, each ``(n_arrays, cols)``, where
+        ``bl = A AND B`` and ``blb = A NOR B`` per bitline (Figure 2b).
+        One lockstep compute cycle for the whole fleet.
+        """
+        self._check_row(row_a)
+        self._check_row(row_b)
+        if row_a == row_b:
+            raise ArrayStateError(
+                f"compute sensing requires two distinct wordlines, got {row_a}")
+        self.compute_cycles += 1
+        a = self._bits[:, row_a]
+        b = self._bits[:, row_b]
+        return a & b, (1 - a) & (1 - b)
+
+    def sense_single(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """Activate one wordline in compute mode fleet-wide.
+
+        The missing operand reads as all-ones on BL sensing, so
+        ``bl = A`` and ``blb = NOT A``. Used for moves and tag loads.
+        """
+        self._check_row(row)
+        self.compute_cycles += 1
+        a = self._bits[:, row]
+        return a.copy(), 1 - a
+
+    def write_back(self, row: int, bits: np.ndarray,
+                   mask: np.ndarray | None = None) -> None:
+        """Phase-2 write of a compute cycle (WWL activation), all arrays.
+
+        Does *not* count an extra cycle: the paper's compute cycle has a
+        sensing phase and a write-back phase inside one clock.
+        """
+        self._check_row(row)
+        bits = self._coerce_bits(bits)
+        if mask is None:
+            self._bits[:, row] = bits
+        else:
+            mask = self._coerce_bits(mask)
+            self._bits[:, row] = np.where(mask, bits, self._bits[:, row])
+
+    # ------------------------------------------------------------------
+    # Test/host-side helpers (no cycle accounting; data arrives via TMU)
+    # ------------------------------------------------------------------
+    def load_bits(self, top_row: int, bits: np.ndarray,
+                  col_offset: int = 0) -> None:
+        """Bulk-store a bit tensor with its row 0 at ``top_row``.
+
+        ``bits`` is ``(n_arrays, n_rows, n_cols)``, or ``(n_rows, n_cols)``
+        to broadcast the same plane into every array. This is the host/TMU
+        initialisation path; transfer costs are charged by the transfer
+        models, not here.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim == 2:
+            bits = np.broadcast_to(bits, (self.n_arrays, *bits.shape))
+        if bits.ndim != 3 or bits.shape[0] != self.n_arrays:
+            raise ArrayStateError(
+                f"expected a ({self.n_arrays}, rows, cols) bit tensor, got "
+                f"shape {bits.shape}")
+        _, n_rows, n_cols = bits.shape
+        if top_row < 0 or top_row + n_rows > self.rows:
+            raise ArrayStateError(
+                f"rows [{top_row}, {top_row + n_rows}) outside array of "
+                f"{self.rows} rows")
+        if col_offset < 0 or col_offset + n_cols > self.cols:
+            raise ArrayStateError(
+                f"columns [{col_offset}, {col_offset + n_cols}) outside array "
+                f"of {self.cols} columns")
+        self._bits[:, top_row:top_row + n_rows,
+                   col_offset:col_offset + n_cols] = bits
+
+    def dump_bits(self, top_row: int, n_rows: int, col_offset: int = 0,
+                  n_cols: int | None = None) -> np.ndarray:
+        """Bulk-read ``(n_arrays, n_rows, n_cols)`` (host/TMU path)."""
+        if n_cols is None:
+            n_cols = self.cols - col_offset
+        if top_row < 0 or top_row + n_rows > self.rows:
+            raise ArrayStateError(
+                f"rows [{top_row}, {top_row + n_rows}) outside array of "
+                f"{self.rows} rows")
+        return self._bits[:, top_row:top_row + n_rows,
+                          col_offset:col_offset + n_cols].copy()
+
+    def reset_counters(self) -> None:
+        """Zero the lockstep access/compute cycle counters."""
+        self.access_cycles = 0
+        self.compute_cycles = 0
+
+    # ------------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ArrayStateError(
+                f"row {row} outside array of {self.rows} rows")
+
+    def _coerce_bits(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape == (self.cols,):
+            bits = np.broadcast_to(bits, (self.n_arrays, self.cols))
+        if bits.shape != (self.n_arrays, self.cols):
+            raise ArrayStateError(
+                f"expected ({self.n_arrays}, {self.cols}) bits, got shape "
+                f"{bits.shape}")
+        if np.any(bits > 1):
+            raise ArrayStateError("bit values must be 0 or 1")
+        return bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ArrayFleet(n_arrays={self.n_arrays}, rows={self.rows}, "
+                f"cols={self.cols}, access={self.access_cycles}, "
+                f"compute={self.compute_cycles})")
+
+
+class FleetPeriphery:
+    """Column peripherals (Figure 7) for every array of a fleet at once.
+
+    The carry and tag latches are ``(n_arrays, cols)`` planes; the
+    combinational full-adder/XOR logic evaluates on whole planes. Mirrors
+    :class:`repro.sram.peripheral.ColumnPeriphery`, which is the
+    ``n_arrays=1`` reference implementation.
+    """
+
+    def __init__(self, n_arrays: int, cols: int):
+        if n_arrays <= 0 or cols <= 0:
+            raise ArrayStateError(
+                f"periphery needs positive dimensions, got "
+                f"{n_arrays}x{cols}")
+        self.n_arrays = n_arrays
+        self.cols = cols
+        self.carry = np.zeros((n_arrays, cols), dtype=np.uint8)
+        self.tag = np.ones((n_arrays, cols), dtype=np.uint8)
+
+    # -- latch management (resets happen during instruction issue and cost
+    # -- no array cycles)
+    def clear_carry(self) -> None:
+        self.carry[:] = 0
+
+    def set_carry(self) -> None:
+        self.carry[:] = 1
+
+    def set_tag_all(self) -> None:
+        self.tag[:] = 1
+
+    def load_tag(self, bits: np.ndarray, invert: bool = False) -> None:
+        """Latch a sensed plane into the tag latches (optionally inverted
+        for free via the BLB sense amp)."""
+        bits = self._coerce(bits)
+        self.tag[:] = (1 - bits) if invert else bits
+
+    def load_carry(self, bits: np.ndarray) -> None:
+        self.carry[:] = self._coerce(bits)
+
+    # -- combinational logic -------------------------------------------
+    @staticmethod
+    def xor_from_rails(bl_and: np.ndarray, blb_nor: np.ndarray) -> np.ndarray:
+        """``A XOR B`` from the two sensed rails: ``NOR(A&B, A NOR B)``."""
+        return ((1 - bl_and) & (1 - blb_nor)).astype(np.uint8)
+
+    def add_step(self, a_and_b: np.ndarray,
+                 a_xor_b: np.ndarray) -> np.ndarray:
+        """The sum/carry latch update from pre-decoded AND/XOR planes.
+
+        This is the single implementation of the adder logic: the
+        validated rail-based :meth:`full_add` and the hot per-cycle path
+        of :class:`~repro.engine.bitserial.FleetBitSerialUnit` both land
+        here, so the carry semantics cannot drift between them. The carry
+        latch supplies carry-in and is overwritten with the carry-out;
+        returns the sum plane.
+        """
+        carry = self.carry
+        total = a_xor_b ^ carry
+        carry[...] = a_and_b | (a_xor_b & carry)
+        return total
+
+    def full_add(self, bl_and: np.ndarray,
+                 blb_nor: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One full-adder evaluation for every column of every array.
+
+        Takes the two sensed rails (``A AND B``, ``A NOR B``), validated;
+        returns ``(sum, carry_out)``.
+        """
+        a_and_b = self._coerce(bl_and)
+        a_xor_b = self.xor_from_rails(a_and_b, self._coerce(blb_nor))
+        total = self.add_step(a_and_b, a_xor_b)
+        return total, self.carry.copy()
+
+    def write_mask(self, predicated: bool) -> np.ndarray | None:
+        """Per-column write-driver enables: tag when predicated, else all."""
+        return self.tag.copy() if predicated else None
+
+    # ------------------------------------------------------------------
+    def _coerce(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.n_arrays, self.cols):
+            raise ArrayStateError(
+                f"expected ({self.n_arrays}, {self.cols}) column bits, got "
+                f"shape {bits.shape}")
+        return bits

@@ -13,9 +13,14 @@ under-drive (the 0.66 V read voltage that protects cells during multi-row
 activation) only affects delay and energy, which are captured by
 :mod:`repro.sram.energy`; functionally reads are non-destructive.
 
-The array also counts how many *access* cycles (plain reads/writes) and
-*compute* cycles (two-row activations) it performed, so the energy model can
-charge 8.6 pJ / 15.4 pJ per 256-bitline cycle (22 nm numbers from Sec. V).
+Since the array-fleet refactor, :class:`SRAMArray` is a thin ``n_arrays=1``
+view over :class:`repro.engine.fleet.ArrayFleet` — the vectorized engine
+that executes the same primitives across *all* arrays of a slice at once.
+The scalar API (one ``(cols,)`` vector per call) and the cycle accounting
+are unchanged: the fleet's lockstep counters coincide with the per-array
+counters when the fleet has one member, so the 8.6 pJ / 15.4 pJ
+per-256-bitline-cycle energy charging (22 nm numbers from Sec. V) is
+unaffected.
 """
 
 from __future__ import annotations
@@ -23,14 +28,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.errors import ArrayStateError
+from repro.engine.fleet import DEFAULT_COLS, DEFAULT_ROWS, ArrayFleet
 
-#: Geometry of the 8KB array used throughout the paper.
-DEFAULT_ROWS = 256
-DEFAULT_COLS = 256
+__all__ = ["DEFAULT_COLS", "DEFAULT_ROWS", "SRAMArray"]
 
 
 class SRAMArray:
-    """A single compute-capable SRAM array.
+    """A single compute-capable SRAM array: an ``ArrayFleet`` of one.
 
     Parameters
     ----------
@@ -39,25 +43,55 @@ class SRAMArray:
     cols:
         Number of bitlines (default 256). Each bitline is one bit-serial
         ALU slot.
+    fleet:
+        Optional existing single-array fleet to view. By default a fresh
+        ``ArrayFleet(1, rows, cols)`` backs the array.
     """
 
-    def __init__(self, rows: int = DEFAULT_ROWS, cols: int = DEFAULT_COLS):
-        if rows <= 0 or cols <= 0:
-            raise ArrayStateError(f"array must be non-empty, got {rows}x{cols}")
-        self.rows = rows
-        self.cols = cols
-        self._bits = np.zeros((rows, cols), dtype=np.uint8)
-        self.access_cycles = 0
-        self.compute_cycles = 0
+    def __init__(self, rows: int = DEFAULT_ROWS, cols: int = DEFAULT_COLS,
+                 fleet: ArrayFleet | None = None):
+        if fleet is None:
+            fleet = ArrayFleet(1, rows, cols)
+        elif fleet.n_arrays != 1:
+            raise ArrayStateError(
+                f"SRAMArray views exactly one array, got a fleet of "
+                f"{fleet.n_arrays}")
+        self.fleet = fleet
+        self.rows = fleet.rows
+        self.cols = fleet.cols
+
+    # ------------------------------------------------------------------
+    # Fleet-view plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _bits(self) -> np.ndarray:
+        """The array's bit plane (a live view into the backing fleet)."""
+        return self.fleet._bits[0]
+
+    @property
+    def access_cycles(self) -> int:
+        """Plain read/write cycles (delegated to the fleet counter)."""
+        return self.fleet.access_cycles
+
+    @access_cycles.setter
+    def access_cycles(self, value: int) -> None:
+        self.fleet.access_cycles = value
+
+    @property
+    def compute_cycles(self) -> int:
+        """Two-row activation cycles (delegated to the fleet counter)."""
+        return self.fleet.compute_cycles
+
+    @compute_cycles.setter
+    def compute_cycles(self, value: int) -> None:
+        self.fleet.compute_cycles = value
 
     # ------------------------------------------------------------------
     # Plain SRAM behaviour (single wordline)
     # ------------------------------------------------------------------
     def read_row(self, row: int) -> np.ndarray:
         """Read one wordline; returns a copy of its 0/1 bit vector."""
-        self._check_row(row)
-        self.access_cycles += 1
-        return self._bits[row].copy()
+        return self.fleet.read_row(row)[0]
 
     def write_row(self, row: int, bits: np.ndarray,
                   mask: np.ndarray | None = None) -> None:
@@ -66,14 +100,10 @@ class SRAMArray:
         ``mask`` models the per-column bit-line drivers gated by the tag
         latch (Figure 7): columns where ``mask == 0`` keep their old value.
         """
-        self._check_row(row)
+        self.fleet._check_row(row)
         bits = self._coerce_bits(bits)
-        self.access_cycles += 1
-        if mask is None:
-            self._bits[row] = bits
-        else:
-            mask = self._coerce_bits(mask)
-            self._bits[row] = np.where(mask, bits, self._bits[row])
+        self.fleet.access_cycles += 1
+        self._store(row, bits, mask)
 
     # ------------------------------------------------------------------
     # Compute behaviour (two simultaneous wordlines)
@@ -87,17 +117,8 @@ class SRAMArray:
         via word-line under-drive; 20 fabricated test chips tolerate 64
         simultaneous rows, the architecture only ever uses two).
         """
-        self._check_row(row_a)
-        self._check_row(row_b)
-        if row_a == row_b:
-            raise ArrayStateError(
-                f"compute sensing requires two distinct wordlines, got {row_a}")
-        self.compute_cycles += 1
-        a = self._bits[row_a]
-        b = self._bits[row_b]
-        bl = a & b
-        blb = (1 - a) & (1 - b)
-        return bl.copy(), blb.copy()
+        bl, blb = self.fleet.sense(row_a, row_b)
+        return bl[0].copy(), blb[0].copy()
 
     def sense_single(self, row: int) -> tuple[np.ndarray, np.ndarray]:
         """Activate one wordline in compute mode (the other operand reads
@@ -105,10 +126,8 @@ class SRAMArray:
 
         Used for moves and tag loads, which only need one operand row.
         """
-        self._check_row(row)
-        self.compute_cycles += 1
-        a = self._bits[row]
-        return a.copy(), (1 - a).copy()
+        bl, blb = self.fleet.sense_single(row)
+        return bl[0], blb[0]
 
     def write_back(self, row: int, bits: np.ndarray,
                    mask: np.ndarray | None = None) -> None:
@@ -117,13 +136,19 @@ class SRAMArray:
         Does *not* count an extra cycle: the paper's compute cycle has a
         sensing phase and a write-back phase inside one clock.
         """
-        self._check_row(row)
+        self.fleet._check_row(row)
         bits = self._coerce_bits(bits)
+        self._store(row, bits, mask)
+
+    def _store(self, row: int, bits: np.ndarray,
+               mask: np.ndarray | None) -> None:
+        """Write already-validated bits into the backing fleet plane
+        (single validation pass; the fleet's own coercion is skipped)."""
+        target = self.fleet._bits[0, row]
         if mask is None:
-            self._bits[row] = bits
+            target[...] = bits
         else:
-            mask = self._coerce_bits(mask)
-            self._bits[row] = np.where(mask, bits, self._bits[row])
+            target[...] = np.where(self._coerce_bits(mask), bits, target)
 
     # ------------------------------------------------------------------
     # Test/host-side helpers (no cycle accounting; data arrives via TMU)
@@ -137,41 +162,18 @@ class SRAMArray:
         models, not here.
         """
         bits = np.atleast_2d(np.asarray(bits, dtype=np.uint8))
-        n_rows, n_cols = bits.shape
-        if top_row < 0 or top_row + n_rows > self.rows:
-            raise ArrayStateError(
-                f"rows [{top_row}, {top_row + n_rows}) outside array of "
-                f"{self.rows} rows")
-        if col_offset < 0 or col_offset + n_cols > self.cols:
-            raise ArrayStateError(
-                f"columns [{col_offset}, {col_offset + n_cols}) outside array "
-                f"of {self.cols} columns")
-        self._bits[top_row:top_row + n_rows,
-                   col_offset:col_offset + n_cols] = bits
+        self.fleet.load_bits(top_row, bits[None, :, :], col_offset)
 
     def dump_bits(self, top_row: int, n_rows: int,
                   col_offset: int = 0, n_cols: int | None = None) -> np.ndarray:
         """Bulk-read a bit matrix (host/TMU path, no cycle accounting)."""
-        if n_cols is None:
-            n_cols = self.cols - col_offset
-        if top_row < 0 or top_row + n_rows > self.rows:
-            raise ArrayStateError(
-                f"rows [{top_row}, {top_row + n_rows}) outside array of "
-                f"{self.rows} rows")
-        return self._bits[top_row:top_row + n_rows,
-                          col_offset:col_offset + n_cols].copy()
+        return self.fleet.dump_bits(top_row, n_rows, col_offset, n_cols)[0]
 
     def reset_counters(self) -> None:
         """Zero the access/compute cycle counters."""
-        self.access_cycles = 0
-        self.compute_cycles = 0
+        self.fleet.reset_counters()
 
     # ------------------------------------------------------------------
-    def _check_row(self, row: int) -> None:
-        if not 0 <= row < self.rows:
-            raise ArrayStateError(
-                f"row {row} outside array of {self.rows} rows")
-
     def _coerce_bits(self, bits: np.ndarray) -> np.ndarray:
         bits = np.asarray(bits, dtype=np.uint8)
         if bits.shape != (self.cols,):

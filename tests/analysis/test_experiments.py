@@ -188,7 +188,7 @@ class TestArithmeticAndHardware:
 class TestAllExperiments:
     def test_everything_renders(self):
         results = all_experiments()
-        assert len(results) == 13
+        assert len(results) == 14
         for result in results:
             text = result.render()
             assert result.name in text

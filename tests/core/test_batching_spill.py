@@ -1,0 +1,110 @@
+"""Batching spill path and socket-scaled throughput (Sec. IV-E / VI-B).
+
+The output-buffer overflow -> DRAM dump accounting in
+:class:`InferenceResult` and the linear socket scaling of ``throughput()``
+previously had no direct unit tests; these pin both behaviours.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.config import NeuralCacheConfig
+from repro.core.executor import NeuralCacheSimulator
+from repro.nn import Conv2D, Network
+
+
+def conv_network(size: int = 32, channels: int = 32,
+                 filters: int = 64) -> Network:
+    net = Network(name="spill-case")
+    x = net.add_input("in", (size, size, channels))
+    net.add("conv", Conv2D(filters, (3, 3), padding="same"), x)
+    return net
+
+
+@pytest.fixture(scope="module")
+def config():
+    return NeuralCacheConfig()
+
+
+@pytest.fixture(scope="module")
+def sim(config):
+    return NeuralCacheSimulator(conv_network(), config)
+
+
+def overflow_batch(sim, config) -> int:
+    """Smallest batch whose outputs overflow the reserved-way buffer."""
+    output_bytes = sim.mappings[0].output_bytes
+    return int(config.output_buffer_bytes // output_bytes) + 1
+
+
+class TestSpillPath:
+    def test_no_spill_at_batch_one(self, sim):
+        result = sim.run(1)
+        assert result.spill_time == 0.0
+        assert result.spill_energy == 0.0
+
+    def test_no_spill_below_buffer_capacity(self, sim, config):
+        batch = overflow_batch(sim, config) - 1
+        result = sim.run(batch)
+        assert result.spill_time == 0.0
+        assert result.spill_energy == 0.0
+
+    def test_overflow_charges_dump_and_reload(self, sim, config):
+        batch = overflow_batch(sim, config)
+        result = sim.run(batch)
+        overflow = (batch * sim.mappings[0].output_bytes
+                    - config.output_buffer_bytes)
+        assert overflow > 0
+        spilled = 2.0 * overflow  # dump + reload
+        assert result.spill_time == pytest.approx(
+            config.dram.transfer_time(spilled))
+        assert result.spill_energy == pytest.approx(
+            config.dram.transfer_energy(spilled))
+
+    def test_spill_grows_with_batch(self, sim, config):
+        batch = overflow_batch(sim, config)
+        small = sim.run(batch)
+        large = sim.run(2 * batch)
+        assert large.spill_time > small.spill_time
+        assert large.spill_energy > small.spill_energy
+
+    def test_spill_included_in_totals(self, sim, config):
+        batch = overflow_batch(sim, config)
+        result = sim.run(batch)
+        layer_time = sum(r.latency for r in result.layers)
+        layer_energy = sum(r.schedule.total_energy for r in result.layers)
+        assert result.total_time == pytest.approx(
+            layer_time + result.spill_time)
+        assert result.total_energy == pytest.approx(
+            layer_energy + result.spill_energy)
+
+
+class TestThroughputSocketScaling:
+    def test_throughput_definition(self, sim, config):
+        result = sim.run(4)
+        assert sim.throughput(4) == pytest.approx(
+            config.sockets * 4 / result.total_time)
+
+    @pytest.mark.parametrize("sockets", [1, 2, 4])
+    def test_linear_in_sockets(self, config, sockets):
+        scaled = dataclasses.replace(config, sockets=sockets)
+        net = conv_network()
+        base = NeuralCacheSimulator(net, dataclasses.replace(config,
+                                                             sockets=1))
+        sim = NeuralCacheSimulator(net, scaled)
+        assert sim.throughput(2) == pytest.approx(
+            sockets * base.throughput(2))
+
+    def test_latency_is_per_socket_and_unscaled(self, config):
+        net = conv_network()
+        one = NeuralCacheSimulator(net, dataclasses.replace(config,
+                                                            sockets=1))
+        two = NeuralCacheSimulator(net, dataclasses.replace(config,
+                                                            sockets=2))
+        assert one.latency(4) == pytest.approx(two.latency(4))
+
+    def test_zero_socket_config_rejected(self, config):
+        with pytest.raises(SimulationError):
+            dataclasses.replace(config, sockets=0)

@@ -138,6 +138,52 @@ class TestConvEquivalence:
             FunctionalConv(conv, (8, 8, 64), weights.for_node("c"))
 
 
+class TestFleetLegacyParity:
+    """The vectorized fleet path and the legacy per-array path are the
+    same machine: identical outputs AND identical cycle reports."""
+
+    @pytest.mark.parametrize("conv,shape", [
+        (Conv2D(4, (3, 3), padding="same"), (6, 6, 4)),       # plain
+        (Conv2D(6, (1, 1)), (5, 5, 24)),                      # packed 1x1
+        (Conv2D(2, (5, 5), padding="valid"), (8, 8, 4)),      # split filter
+        (Conv2D(4, (3, 3), stride=2, padding="valid"), (7, 7, 5)),
+        (Conv2D(4, (3, 3), relu=False), (6, 6, 4)),           # host requant
+    ])
+    def test_vectorized_matches_legacy(self, conv, shape):
+        net = Network(name="parity")
+        x = net.add_input("in", shape)
+        net.add("c", conv, x)
+        weights = initialise_weights(net, seed=9)
+        image = QuantizedTensor.from_real(
+            RNG.uniform(0, 6, shape), weights.input_params)
+
+        def run(vectorized):
+            engine = FunctionalConv(
+                conv, shape, weights.for_node("c"),
+                output_params=weights.activation_params,
+                vectorized=vectorized)
+            return engine.run(image), engine.report
+
+        fleet_out, fleet_report = run(True)
+        legacy_out, legacy_report = run(False)
+        assert np.array_equal(fleet_out.data, legacy_out.data)
+        assert fleet_report == legacy_report
+
+    def test_chunked_fleet_matches_unchunked(self, monkeypatch):
+        """Memory-bounded chunking changes nothing observable."""
+        import repro.core.functional as functional_module
+
+        conv = Conv2D(4, (3, 3), padding="same")
+        engine, image, reference = single_conv_case(conv, (6, 6, 4))
+        full = engine.run(image)
+        monkeypatch.setattr(functional_module, "MAX_FLEET_ARRAYS", 2)
+        chunked_engine, _, _ = single_conv_case(conv, (6, 6, 4))
+        chunked = chunked_engine.run(image)
+        assert np.array_equal(chunked.data, full.data)
+        assert np.array_equal(chunked.data, reference.data)
+        assert chunked_engine.report == engine.report
+
+
 class TestPoolEquivalence:
     @pytest.mark.parametrize("kernel,stride,padding", [
         ((2, 2), 2, "valid"),

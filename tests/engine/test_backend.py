@@ -1,0 +1,178 @@
+"""The unified Backend protocol: analytic and functional engines behind
+one run(network, batch_size) interface."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.engine.backend import (
+    AnalyticBackend,
+    Backend,
+    BackendResult,
+    FleetExecutor,
+    available_backends,
+    get_backend,
+    tiny_verification_network,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_net():
+    return tiny_verification_network()
+
+
+class TestRegistry:
+    def test_both_engines_registered(self):
+        assert set(available_backends()) == {"analytic", "fleet"}
+
+    def test_get_backend_resolves(self):
+        assert isinstance(get_backend("analytic"), AnalyticBackend)
+        assert isinstance(get_backend("fleet"), FleetExecutor)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="unknown backend"):
+            get_backend("quantum")
+
+    def test_engines_satisfy_protocol(self):
+        assert isinstance(get_backend("analytic"), Backend)
+        assert isinstance(get_backend("fleet"), Backend)
+
+
+class TestAnalyticBackend:
+    def test_run_matches_concrete_simulator(self):
+        from repro.core.executor import NeuralCacheSimulator
+        from repro.nn import build_inception_v3
+
+        net = build_inception_v3()
+        backend = AnalyticBackend()
+        result = backend.run(net, batch_size=2)
+        direct = NeuralCacheSimulator(net).run(2)
+        assert result.backend == "analytic"
+        assert result.batch_size == 2
+        assert result.latency_s == direct.total_time
+        assert result.energy_j == direct.total_energy
+        assert result.inference.batch_size == 2
+
+    def test_simulator_cached_per_network(self):
+        from repro.nn import build_inception_v3
+
+        net = build_inception_v3()
+        backend = AnalyticBackend()
+        assert backend.simulator(net) is backend.simulator(net)
+
+    def test_simulator_cache_is_bounded(self):
+        backend = AnalyticBackend()
+        networks = [tiny_verification_network()
+                    for _ in range(AnalyticBackend.CACHE_SIZE + 3)]
+        for net in networks:
+            backend.simulator(net)
+        assert len(backend._simulators) == AnalyticBackend.CACHE_SIZE
+        # The most recent network is still cached.
+        assert backend.simulator(networks[-1]) is backend.simulator(
+            networks[-1])
+
+    def test_summary_renders_latency(self):
+        from repro.nn import build_inception_v3
+
+        backend = AnalyticBackend()
+        text = backend.run(build_inception_v3()).summary()
+        assert "latency" in text and "analytic" in text
+
+
+class TestFleetExecutor:
+    def test_run_verifies_bit_exact(self, tiny_net):
+        backend = FleetExecutor()
+        result = backend.run(tiny_net, batch_size=2)
+        assert result.backend == "fleet"
+        assert result.verified_images == 2
+        assert result.report.mac > 0
+        assert result.outputs is not None
+        assert tiny_net.output_name in result.outputs
+
+    def test_outputs_match_golden_executor(self, tiny_net):
+        from repro.nn import QuantizedTensor, ReferenceExecutor
+        from repro.nn.reference import initialise_weights
+
+        backend = FleetExecutor(seed=3)
+        result = backend.run(tiny_net, batch_size=1)
+        # Rebuild the deterministic image stream and check independently.
+        weights = initialise_weights(tiny_net, seed=3)
+        rng = np.random.default_rng(3)
+        image = QuantizedTensor.from_real(
+            rng.uniform(0, 6, tiny_net.input_shape), weights.input_params)
+        expected = ReferenceExecutor(tiny_net, weights).run_output(image)
+        got = result.outputs[tiny_net.output_name]
+        assert np.array_equal(got.data, expected.data)
+
+    def test_bad_batch_rejected(self, tiny_net):
+        with pytest.raises(SimulationError):
+            FleetExecutor().run(tiny_net, batch_size=0)
+
+    def test_default_network_is_functional_scale(self):
+        backend = FleetExecutor()
+        net = backend.default_network()
+        result = backend.run(net)
+        assert result.verified_images == 1
+
+    def test_summary_renders_cycles(self, tiny_net):
+        text = FleetExecutor().run(tiny_net).summary()
+        assert "compute cycles" in text and "bit-exact" in text
+
+
+class TestBackendResult:
+    def test_is_frozen(self):
+        result = BackendResult(backend="x", network="n", batch_size=1)
+        with pytest.raises(AttributeError):
+            result.backend = "y"
+
+
+class TestConsumers:
+    def test_experiments_use_the_protocol(self):
+        from repro.analysis import experiments
+
+        backend = experiments._backend()
+        assert isinstance(backend, Backend)
+
+    def test_cli_backend_mode(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--backend", "fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=fleet" in out
+        assert "bit-exact" in out
+
+    def test_cli_rejects_backend_with_experiment_names(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table3", "--backend", "fleet"])
+        assert "takes no experiment names" in capsys.readouterr().err
+
+    def test_cli_rejects_bad_batch(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--backend", "fleet", "--batch", "0"])
+        assert "--batch must be positive" in capsys.readouterr().err
+
+    def test_cli_reports_engine_failure_without_usage_text(self, capsys,
+                                                           monkeypatch):
+        from repro import __main__ as cli
+        from repro.common.errors import SimulationError
+
+        class BrokenBackend:
+            name = "fleet"
+
+            def default_network(self):
+                from repro.engine.backend import tiny_verification_network
+                return tiny_verification_network()
+
+            def run(self, network, batch_size=1):
+                raise SimulationError("functional output diverged")
+
+        monkeypatch.setattr(cli, "get_backend",
+                            lambda name: BrokenBackend())
+        assert cli.main(["--backend", "fleet"]) == 1
+        err = capsys.readouterr().err
+        assert "failed: functional output diverged" in err
+        assert "usage:" not in err
