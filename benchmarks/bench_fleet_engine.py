@@ -1,18 +1,36 @@
-"""Vectorized array-fleet engine vs the legacy one-array-at-a-time path.
+"""Array-fleet engine benchmarks: fleet vs legacy, packed vs unpacked.
 
-Both paths execute the *same* bit-serial cycle sequence and produce
-bit-identical outputs and cycle reports; the fleet path simply runs every
-serial pass of the layer as one lockstep NumPy bit-plane sequence instead
-of a Python loop over arrays. The measured speedup is recorded in the
-bench output (the refactor's acceptance target is >= 10x on the
-functional-conv benchmark).
+Two comparisons, both bit-identical by construction:
+
+* the vectorized fleet path vs the legacy one-array-at-a-time path (the
+  PR-1 refactor; acceptance target >= 10x on the functional conv);
+* the packed uint64 plane store vs the unpacked byte-per-bit reference on
+  the lockstep primitives themselves (acceptance target: >= 4x faster
+  multiply/add sequences at serving-scale fleets, 8x smaller resident
+  planes).
+
+Also runnable as a script so CI can smoke the packed store per PR::
+
+    python benchmarks/bench_fleet_engine.py --quick
+
+which runs the primitive comparison at a smaller fleet size with a
+relaxed speedup gate (CI machines are noisy) and exits non-zero when the
+packed store regresses in speedup, memory or bit-exactness.
 """
 
+import argparse
+import sys
 import time
 
 import numpy as np
 
 from repro.core.functional import FunctionalConv
+from repro.engine import (
+    ArrayFleet,
+    FleetBitSerialUnit,
+    Operand,
+    PackedArrayFleet,
+)
 from repro.nn import (
     Conv2D,
     Network,
@@ -22,6 +40,12 @@ from repro.nn import (
 )
 
 RNG = np.random.default_rng(321)
+
+#: Fleet sizes for the packed-store primitive comparison. The full size
+#: models a serving-scale slice (8192 arrays x 256 bitlines = 2M lanes);
+#: the quick size keeps the CI smoke step under a few seconds.
+PRIMITIVE_ARRAYS = 8192
+QUICK_ARRAYS = 1024
 
 
 def _conv_case():
@@ -74,3 +98,99 @@ def test_fleet_vs_legacy_conv(benchmark, record):
     # Soft gate: typically 15-25x; only flags a wholesale regression to
     # per-array behaviour, not wall-clock noise on a loaded machine.
     assert speedup >= 2.0
+
+
+# ----------------------------------------------------------------------
+# Packed plane store vs unpacked reference on the lockstep primitives
+# ----------------------------------------------------------------------
+def _time_primitives(fleet_cls, n_arrays: int, rounds: int):
+    """Best-of wall time for a multiply+add sequence on one store.
+
+    Returns ``(seconds, product_values, resident_bytes, cycles)`` so the
+    caller can cross-check bit-exactness and cycle-exactness between
+    stores, not just speed.
+    """
+    unit = FleetBitSerialUnit(fleet_cls(n_arrays, rows=256, cols=256))
+    rng = np.random.default_rng(7)
+    a, b = Operand(0, 8), Operand(8, 8)
+    product, total = Operand(16, 16), Operand(40, 9)
+    unit.write_values(a, rng.integers(0, 256, (n_arrays, 256)).astype(np.int64))
+    unit.write_values(b, rng.integers(0, 256, (n_arrays, 256)).astype(np.int64))
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        unit.multiply(a, b, product)
+        unit.add(a, b, total)
+        best = min(best, time.perf_counter() - start)
+    return best, unit.read_values(product), unit.fleet.nbytes, unit.cycles
+
+
+def compare_plane_stores(n_arrays: int, rounds: int = 3) -> dict:
+    """Measure packed vs unpacked lockstep primitives at one fleet size."""
+    ref_s, ref_vals, ref_bytes, ref_cycles = _time_primitives(
+        ArrayFleet, n_arrays, rounds)
+    packed_s, packed_vals, packed_bytes, packed_cycles = _time_primitives(
+        PackedArrayFleet, n_arrays, rounds)
+    return {
+        "n_arrays": n_arrays,
+        "unpacked_s": ref_s,
+        "packed_s": packed_s,
+        "speedup": ref_s / packed_s,
+        "memory_ratio": ref_bytes / packed_bytes,
+        "unpacked_bytes": ref_bytes,
+        "packed_bytes": packed_bytes,
+        "bit_exact": bool(np.array_equal(ref_vals, packed_vals)),
+        "cycle_exact": ref_cycles == packed_cycles,
+    }
+
+
+def render_plane_store_report(stats: dict) -> str:
+    return (f"Packed plane store benchmark: {stats['n_arrays']} arrays x "
+            f"256 bitlines, 8-bit multiply+add sequence -> packed "
+            f"{stats['packed_s'] * 1e3:.1f} ms vs unpacked "
+            f"{stats['unpacked_s'] * 1e3:.1f} ms "
+            f"({stats['speedup']:.1f}x faster), resident planes "
+            f"{stats['packed_bytes'] / 2**20:.1f} MiB vs "
+            f"{stats['unpacked_bytes'] / 2**20:.1f} MiB "
+            f"({stats['memory_ratio']:.0f}x smaller), "
+            f"bit-exact={stats['bit_exact']} "
+            f"cycle-exact={stats['cycle_exact']}")
+
+
+def test_packed_vs_unpacked_primitives(record):
+    stats = compare_plane_stores(PRIMITIVE_ARRAYS)
+    record(render_plane_store_report(stats))
+    assert stats["bit_exact"] and stats["cycle_exact"]
+    # cols=256 is a whole number of uint64 words, so exactly 8x.
+    assert stats["memory_ratio"] == 8.0
+    # Soft gate below the measured 4.3-4.6x (the recorded line carries
+    # the real number): only flags a wholesale regression to unpacked
+    # behaviour, not wall-clock noise on a loaded machine.
+    assert stats["speedup"] >= 3.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Packed vs unpacked plane-store smoke benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller fleet and a relaxed speedup gate "
+                             "(CI smoke mode)")
+    args = parser.parse_args(argv)
+    n_arrays = QUICK_ARRAYS if args.quick else PRIMITIVE_ARRAYS
+    min_speedup = 2.0 if args.quick else 4.0
+    stats = compare_plane_stores(n_arrays)
+    print(render_plane_store_report(stats))
+    ok = (stats["bit_exact"] and stats["cycle_exact"]
+          and stats["memory_ratio"] == 8.0
+          and stats["speedup"] >= min_speedup)
+    if not ok:
+        print(f"FAIL: packed store regressed (need bit/cycle exactness, "
+              f"8x memory, >= {min_speedup:.1f}x speedup)", file=sys.stderr)
+        return 1
+    print(f"OK (gates: bit/cycle exact, 8x memory, "
+          f">= {min_speedup:.1f}x speedup)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,18 +8,26 @@ Every execution engine in the reproduction sits behind
 * the *fleet* backend executes a verification-scale network bit by bit
   on the vectorized :class:`~repro.engine.fleet.ArrayFleet` — every
   bit-serial cycle runs on all arrays of the layer at once — and checks
-  each output against the golden NumPy executor.
+  each output against the golden NumPy executor;
+* the *fleet-packed* backend is the same engine on the packed plane
+  store (:class:`~repro.engine.packed.PackedArrayFleet`): 64 bit-columns
+  per uint64 word, 8x less memory, identical outputs and cycle reports.
 
 Run:  python examples/fleet_backends.py
 """
 
 from repro import get_backend
-from repro.engine import ArrayFleet, FleetBitSerialUnit, Operand
+from repro.engine import (
+    ArrayFleet,
+    FleetBitSerialUnit,
+    Operand,
+    PackedArrayFleet,
+)
 
 
 def main() -> None:
-    # -- the two engines through the one protocol -------------------------
-    for name in ("analytic", "fleet"):
+    # -- the engines through the one protocol -----------------------------
+    for name in ("analytic", "fleet", "fleet-packed"):
         backend = get_backend(name)
         result = backend.run(backend.default_network(), batch_size=2)
         print(result.summary())
@@ -39,6 +47,17 @@ def main() -> None:
     print(f"fleet multiply: {values.size} lanes x (23 * 11) in "
           f"{unit.cycles} lockstep cycles "
           f"({unit.fleet.compute_cycles} array compute cycles)")
+
+    # -- the packed store runs the same sequence on uint64 word planes ----
+    packed = FleetBitSerialUnit(PackedArrayFleet(n_arrays=4))
+    packed.write_values(a, 23)
+    packed.write_values(b, 11)
+    packed.multiply(a, b, product)
+    assert (packed.read_values(product) == 253).all()
+    assert packed.cycles == unit.cycles
+    print(f"packed store: same result in the same {packed.cycles} cycles, "
+          f"{packed.fleet.nbytes} resident bytes vs {unit.fleet.nbytes} "
+          f"unpacked ({unit.fleet.nbytes // packed.fleet.nbytes}x smaller)")
 
 
 if __name__ == "__main__":

@@ -40,7 +40,12 @@ from repro.core import (
     map_network,
     simulate_inference,
 )
-from repro.engine import ArrayFleet, FleetBitSerialUnit
+from repro.engine import (
+    ArrayFleet,
+    FleetBitSerialUnit,
+    PackedArrayFleet,
+    make_fleet,
+)
 from repro.engine.backend import (
     AnalyticBackend,
     Backend,
@@ -78,6 +83,8 @@ __all__ = [
     "FunctionalExecutor",
     "GpuBaseline",
     "Instruction",
+    "PackedArrayFleet",
+    "make_fleet",
     "InterconnectModel",
     "LastLevelCache",
     "Network",

@@ -6,12 +6,15 @@ Usage::
     python -m repro figure14 table3 # specific experiments
     python -m repro --list          # available experiment names
     python -m repro --backend fleet # one inference via the Backend API
+    python -m repro --backend fleet-packed   # same, packed plane store
     python -m repro --backend analytic --batch 16
 
 The ``--backend`` mode drives an execution engine through the unified
 :class:`~repro.engine.backend.Backend` protocol — ``analytic`` runs the
 paper's deterministic model on Inception v3, ``fleet`` runs bit-exact
-functional verification on the vectorized array fleet.
+functional verification on the vectorized array fleet, and
+``fleet-packed`` runs the same verification on the packed uint64 plane
+store (8x smaller, faster lockstep primitives, identical results).
 """
 
 from __future__ import annotations

@@ -7,7 +7,10 @@ from repro.common.bits import (
     int_to_bits,
     is_power_of_two,
     next_power_of_two,
+    pack_bit_plane,
+    packed_words,
     to_twos_complement,
+    unpack_bit_plane,
 )
 from repro.common.errors import (
     ArrayStateError,
@@ -41,5 +44,8 @@ __all__ = [
     "int_to_bits",
     "is_power_of_two",
     "next_power_of_two",
+    "pack_bit_plane",
+    "packed_words",
     "to_twos_complement",
+    "unpack_bit_plane",
 ]

@@ -69,6 +69,62 @@ def bitplanes_to_int(bits: np.ndarray) -> np.ndarray:
     return (bits.astype(np.int64) * weights).sum(axis=1)
 
 
+#: Bits per machine word of the packed bit-plane store.
+WORD_BITS = 64
+
+
+def packed_words(cols: int) -> int:
+    """Words needed to hold ``cols`` bit-columns (``ceil(cols / 64)``)."""
+    if cols <= 0:
+        raise ValueError(f"cols must be positive, got {cols}")
+    return ceil_div(cols, WORD_BITS)
+
+
+def pack_bit_plane(bits: np.ndarray, n_words: int | None = None) -> np.ndarray:
+    """Pack 0/1 bit columns into uint64 words along the last axis.
+
+    ``bits`` is ``(..., cols)`` with values 0/1; the result is
+    ``(..., n_words)`` uint64 where column ``c`` lives at bit ``c % 64``
+    (LSB-first) of word ``c // 64``. Tail bits beyond ``cols`` are zero.
+    This is the host<->packed-store boundary conversion; the packed store
+    itself only ever operates on whole words.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    cols = bits.shape[-1]
+    if n_words is None:
+        n_words = packed_words(cols)
+    if n_words * WORD_BITS < cols:
+        raise ValueError(
+            f"{n_words} words cannot hold {cols} bit columns")
+    as_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    pad = n_words * (WORD_BITS // 8) - as_bytes.shape[-1]
+    if pad:
+        as_bytes = np.concatenate(
+            [as_bytes, np.zeros((*as_bytes.shape[:-1], pad), dtype=np.uint8)],
+            axis=-1)
+    # '<u8' reads byte 0 as the least-significant byte on any host, so the
+    # LSB-first column order survives regardless of platform endianness.
+    words = np.ascontiguousarray(as_bytes).view("<u8")
+    return words.astype(np.uint64, copy=False)
+
+
+def unpack_bit_plane(words: np.ndarray, cols: int) -> np.ndarray:
+    """Unpack uint64 words back into ``(..., cols)`` 0/1 uint8 columns.
+
+    Inverse of :func:`pack_bit_plane` for the first ``cols`` bits.
+    """
+    if cols <= 0:
+        raise ValueError(f"cols must be positive, got {cols}")
+    words = np.asarray(words)
+    if words.shape[-1] * WORD_BITS < cols:
+        raise ValueError(
+            f"{words.shape[-1]} words hold fewer than {cols} bit columns")
+    as_bytes = np.ascontiguousarray(
+        words.astype("<u8", copy=False)).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :cols]
+
+
 def to_twos_complement(values: np.ndarray, nbits: int) -> np.ndarray:
     """Encode (possibly negative) ints into ``nbits``-wide two's complement."""
     values = np.asarray(values, dtype=np.int64)

@@ -27,10 +27,14 @@ outputs to the CPU.
 
 Since the array-fleet refactor, execution is *vectorized*: every serial
 pass of a layer maps to one member of an
-:class:`~repro.engine.fleet.ArrayFleet`, and the whole layer executes as
-one lockstep bit-serial sequence across all arrays — the paper's
-"thousands of arrays operating in lockstep" (Sec. III), and the reason
-functional verification is now an order of magnitude faster. The legacy
+:class:`~repro.engine.fleet.PlaneStore` fleet, and the whole layer
+executes as one lockstep bit-serial sequence across all arrays — the
+paper's "thousands of arrays operating in lockstep" (Sec. III), and the
+reason functional verification is now an order of magnitude faster.
+``packed=True`` backs every fleet with the packed uint64 plane store
+(:class:`~repro.engine.packed.PackedArrayFleet`) instead of the unpacked
+byte-per-bit reference; outputs and cycle reports are identical either
+way. The legacy
 per-array path is kept behind ``vectorized=False`` on
 :class:`FunctionalConv` for regression benchmarks; cycle reports
 aggregate per-array cycles, so both paths account identically.
@@ -52,7 +56,7 @@ from repro.common.errors import SimulationError
 from repro.config import NeuralCacheConfig
 from repro.core.mapping import LayerMapping, map_conv, map_pool
 from repro.engine.bitserial import FleetBitSerialUnit
-from repro.engine.fleet import ArrayFleet
+from repro.engine.packed import make_fleet
 from repro.nn.layers import AvgPool, Conv2D, MaxPool, same_padding_offsets
 from repro.nn.reference import ConvWeights
 from repro.nn.tensor import QuantizedTensor, RequantParams
@@ -146,17 +150,24 @@ class FunctionalConv:
                  config: NeuralCacheConfig | None = None,
                  name: str = "conv",
                  output_params=None,
-                 vectorized: bool = True):
+                 vectorized: bool = True,
+                 packed: bool = False):
         self.conv = conv
         self.input_shape = input_shape
         self.weights = weights
         self.config = config if config is not None else NeuralCacheConfig()
         self.name = name
         self.output_params = output_params
-        #: Execute all serial passes at once on an ArrayFleet (default).
+        #: Execute all serial passes at once on an array fleet (default).
         #: ``False`` selects the legacy one-array-at-a-time path, kept for
         #: the fleet-vs-legacy regression benchmark.
         self.vectorized = vectorized
+        #: Back the fleet with the packed uint64 plane store instead of
+        #: the unpacked byte-per-bit reference (vectorized path only).
+        self.packed = packed
+        if packed and not vectorized:
+            raise SimulationError(
+                "the packed plane store requires the vectorized path")
         self.mapping = map_conv(self.config, name, conv, input_shape)
         r, s, c, _ = conv.filter_shape(input_shape)
         if r * s * c > MAX_FUNCTIONAL_TAPS:
@@ -341,7 +352,8 @@ class FunctionalConv:
             raise SimulationError(
                 f"functional layout needs {xsum_rows.end} rows")
 
-        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=256, cols=cols))
+        unit = FleetBitSerialUnit(
+            make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed))
         for t in range(taps):
             unit.write_values(Operand(filter_rows.row + 8 * t, 8),
                               filter_plane[:, t])
@@ -540,7 +552,8 @@ class FunctionalConv:
         requant = self.weights.requant
         n_out = len(raw)
         n_arrays = -(-n_out // cols)
-        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=256, cols=cols))
+        unit = FleetBitSerialUnit(
+            make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed))
         w = CORRECTION_BITS
 
         acc = Operand(0, w)          # 0..33
@@ -682,11 +695,12 @@ class FunctionalMaxPool:
 
     def __init__(self, pool: MaxPool, input_shape: tuple[int, int, int],
                  config: NeuralCacheConfig | None = None,
-                 name: str = "maxpool"):
+                 name: str = "maxpool", packed: bool = False):
         self.pool = pool
         self.input_shape = input_shape
         self.config = config if config is not None else NeuralCacheConfig()
         self.mapping = map_pool(self.config, name, pool, input_shape)
+        self.packed = packed
         self.report = CycleReport()
 
     def run(self, x: QuantizedTensor) -> QuantizedTensor:
@@ -719,7 +733,8 @@ class FunctionalMaxPool:
                           out_j * pool.stride + s, out_c].astype(np.int64)
             return _stage_fleet(vals, n_arrays, cols)
 
-        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=64, cols=cols))
+        unit = FleetBitSerialUnit(
+            make_fleet(n_arrays, rows=64, cols=cols, packed=self.packed))
         current = Operand(0, 8)
         candidate = Operand(8, 8)
         scratch = Operand(16, 17)
@@ -739,11 +754,12 @@ class FunctionalAvgPool:
 
     def __init__(self, pool: AvgPool, input_shape: tuple[int, int, int],
                  config: NeuralCacheConfig | None = None,
-                 name: str = "avgpool"):
+                 name: str = "avgpool", packed: bool = False):
         self.pool = pool
         self.input_shape = input_shape
         self.config = config if config is not None else NeuralCacheConfig()
         self.mapping = map_pool(self.config, name, pool, input_shape)
+        self.packed = packed
         self.report = CycleReport()
 
     def run(self, x: QuantizedTensor) -> QuantizedTensor:
@@ -772,7 +788,8 @@ class FunctionalAvgPool:
                   for s in range(pool.kernel[1])]
         acc_bits = 16
 
-        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=128, cols=cols))
+        unit = FleetBitSerialUnit(
+            make_fleet(n_arrays, rows=128, cols=cols, packed=self.packed))
         element = Operand(0, 8)
         acc = Operand(8, acc_bits)
         divisor = Operand(24, acc_bits)
@@ -806,11 +823,13 @@ class FunctionalAdd:
 
     def __init__(self, input_shape: tuple[int, int, int],
                  config: NeuralCacheConfig | None = None,
-                 relu: bool = False, name: str = "add"):
+                 relu: bool = False, name: str = "add",
+                 packed: bool = False):
         self.input_shape = input_shape
         self.config = config if config is not None else NeuralCacheConfig()
         self.relu = relu
         self.name = name
+        self.packed = packed
         self.report = CycleReport()
 
     def run(self, a: QuantizedTensor, b: QuantizedTensor) -> QuantizedTensor:
@@ -837,7 +856,8 @@ class FunctionalAdd:
                    cols: int) -> np.ndarray:
         n_out = av.size
         n_arrays = -(-n_out // cols)
-        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=96, cols=cols))
+        unit = FleetBitSerialUnit(
+            make_fleet(n_arrays, rows=96, cols=cols, packed=self.packed))
         a8, b8 = Operand(0, 8), Operand(8, 8)
         total9 = Operand(16, 9)
         zp9 = Operand(25, 9)
@@ -885,13 +905,15 @@ class FunctionalBatchNorm:
 
     def __init__(self, input_shape: tuple[int, int, int], bn_weights,
                  config: NeuralCacheConfig | None = None,
-                 relu: bool = True, zp_out: int = 0, name: str = "bn"):
+                 relu: bool = True, zp_out: int = 0, name: str = "bn",
+                 packed: bool = False):
         self.input_shape = input_shape
         self.bn = bn_weights
         self.config = config if config is not None else NeuralCacheConfig()
         self.relu = relu
         self.zp_out = zp_out
         self.name = name
+        self.packed = packed
         self.report = CycleReport()
         if input_shape[2] != bn_weights.channels:
             raise SimulationError(
@@ -928,7 +950,8 @@ class FunctionalBatchNorm:
 
         n_out = qv.size
         n_arrays = -(-n_out // cols)
-        unit = FleetBitSerialUnit(ArrayFleet(n_arrays, rows=256, cols=cols))
+        unit = FleetBitSerialUnit(
+            make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed))
         w = CORRECTION_BITS
         q16 = Operand(0, 16)
         mult16 = Operand(16, 16)
@@ -988,7 +1011,8 @@ class FunctionalExecutor:
     """
 
     def __init__(self, network, weights,
-                 config: NeuralCacheConfig | None = None):
+                 config: NeuralCacheConfig | None = None,
+                 packed: bool = False):
         from repro.nn.layers import (
             Add,
             BatchNorm,
@@ -999,6 +1023,8 @@ class FunctionalExecutor:
         self.network = network
         self.weights = weights
         self.config = config if config is not None else NeuralCacheConfig()
+        #: Plane store for every layer's fleet (packed words vs reference).
+        self.packed = packed
         self.reports: dict[str, CycleReport] = {}
         self._concat_type = Concat
         self._bn_type = BatchNorm
@@ -1031,7 +1057,8 @@ class FunctionalExecutor:
             return inputs[0]
         if isinstance(layer, self._add_type):
             engine = FunctionalAdd(inputs[0].shape, self.config,
-                                   relu=layer.relu, name=node.name)
+                                   relu=layer.relu, name=node.name,
+                                   packed=self.packed)
             out = engine.run(inputs[0], inputs[1])
             self.reports[node.name] = engine.report
             return out
@@ -1039,18 +1066,19 @@ class FunctionalExecutor:
             engine = FunctionalBatchNorm(
                 inputs[0].shape, self.weights.bn_for_node(node.name),
                 self.config, relu=layer.relu,
-                zp_out=activation.zero_point, name=node.name)
+                zp_out=activation.zero_point, name=node.name,
+                packed=self.packed)
             out = engine.run(inputs[0])
             self.reports[node.name] = engine.report
             return out
         x = inputs[0]
         if isinstance(layer, MaxPool):
             engine = FunctionalMaxPool(layer, x.shape, self.config,
-                                       name=node.name)
+                                       name=node.name, packed=self.packed)
             out = engine.run(x)
         elif isinstance(layer, AvgPool):
             engine = FunctionalAvgPool(layer, x.shape, self.config,
-                                       name=node.name)
+                                       name=node.name, packed=self.packed)
             out = engine.run(x)
         else:
             conv = self.network.conv_of(node)
@@ -1060,7 +1088,8 @@ class FunctionalExecutor:
             engine = FunctionalConv(conv, data.shape,
                                     self.weights.for_node(node.name),
                                     self.config, name=node.name,
-                                    output_params=activation)
+                                    output_params=activation,
+                                    packed=self.packed)
             out = engine.run(data)
         self.reports[node.name] = engine.report
         return out

@@ -5,6 +5,11 @@ This package is the "scale + speed" layer of the reproduction:
 * :class:`~repro.engine.fleet.ArrayFleet` — N compute arrays as one
   ``(n_arrays, rows, cols)`` bit tensor, primitives lockstep across all
   arrays per call;
+* :class:`~repro.engine.packed.PackedArrayFleet` — the same primitives on
+  ``np.packbits``-style uint64 word planes (64 bit-columns per word, 8x
+  smaller, several times faster per lockstep op); both stores sit behind
+  the :class:`~repro.engine.fleet.PlaneStore` seam and
+  :func:`~repro.engine.packed.make_fleet` selects one;
 * :class:`~repro.engine.bitserial.FleetBitSerialUnit` — the fleet-wide
   port of the bit-serial operation sequences (bit-exact and cycle-exact
   with the single-array :class:`~repro.sram.bitserial.BitSerialUnit`);
@@ -18,7 +23,12 @@ the fleet — eager import here would close that cycle.
 """
 
 from repro.engine.bitserial import FleetBitSerialUnit, Operand
-from repro.engine.fleet import ArrayFleet, FleetPeriphery
+from repro.engine.fleet import ArrayFleet, FleetPeriphery, PlaneStore, mux
+from repro.engine.packed import (
+    PackedArrayFleet,
+    PackedFleetPeriphery,
+    make_fleet,
+)
 
 _BACKEND_NAMES = (
     "AnalyticBackend",
@@ -34,6 +44,11 @@ __all__ = [
     "FleetBitSerialUnit",
     "FleetPeriphery",
     "Operand",
+    "PackedArrayFleet",
+    "PackedFleetPeriphery",
+    "PlaneStore",
+    "make_fleet",
+    "mux",
     *_BACKEND_NAMES,
 ]
 

@@ -146,10 +146,17 @@ class FleetExecutor:
 
     Every image of the batch runs through
     :class:`~repro.core.functional.FunctionalExecutor` (whose layers
-    execute as single lockstep sequences across an
-    :class:`~repro.engine.fleet.ArrayFleet`) and, when ``verify`` is on,
-    is checked bit-for-bit against the golden NumPy executor — the
+    execute as single lockstep sequences across a
+    :class:`~repro.engine.fleet.PlaneStore` fleet) and, when ``verify``
+    is on, is checked bit-for-bit against the golden NumPy executor — the
     reproduction's analogue of the paper's trace-matching verification.
+
+    ``packed`` selects the bit-plane store: the packed uint64 word store
+    (:class:`~repro.engine.packed.PackedArrayFleet`, 8x smaller and
+    several times faster per lockstep op) or the unpacked byte-per-bit
+    reference. Both are registered — ``get_backend("fleet")`` and
+    ``get_backend("fleet-packed")`` — and produce identical outputs and
+    cycle reports; property tests pin that equivalence.
 
     Weights default to :func:`repro.nn.reference.initialise_weights` with
     a fixed seed; inputs are deterministic pseudo-random activations, so
@@ -159,11 +166,14 @@ class FleetExecutor:
     name = "fleet"
 
     def __init__(self, config: NeuralCacheConfig | None = None,
-                 weights=None, seed: int = 0, verify: bool = True):
+                 weights=None, seed: int = 0, verify: bool = True,
+                 packed: bool = False):
         self.config = config if config is not None else NeuralCacheConfig()
         self.weights = weights
         self.seed = seed
         self.verify = verify
+        self.packed = packed
+        self.name = "fleet-packed" if packed else "fleet"
 
     def run(self, network: Network, batch_size: int = 1) -> BackendResult:
         from repro.nn import QuantizedTensor, ReferenceExecutor
@@ -185,7 +195,8 @@ class FleetExecutor:
             image = QuantizedTensor.from_real(
                 rng.uniform(0, 6, network.input_shape),
                 weights.input_params)
-            executor = FunctionalExecutor(network, weights, self.config)
+            executor = FunctionalExecutor(network, weights, self.config,
+                                          packed=self.packed)
             outputs = executor.run(image)
             if golden is not None:
                 expected = golden.run_output(image)
@@ -219,10 +230,16 @@ def tiny_verification_network(size: int = 8, channels: int = 8,
     return net
 
 
-#: Registered engines, by CLI/experiment name.
-BACKENDS: dict[str, type] = {
+def _packed_fleet(config: NeuralCacheConfig | None = None) -> FleetExecutor:
+    """The fleet executor on the packed uint64 plane store."""
+    return FleetExecutor(config, packed=True)
+
+
+#: Registered engine factories (config -> Backend), by CLI/experiment name.
+BACKENDS: dict = {
     AnalyticBackend.name: AnalyticBackend,
     FleetExecutor.name: FleetExecutor,
+    "fleet-packed": _packed_fleet,
 }
 
 

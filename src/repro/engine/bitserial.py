@@ -4,10 +4,12 @@
 :class:`repro.sram.bitserial.BitSerialUnit`: the same operation sequences
 (copy, addition per Fig. 4, predicated multiplication per Fig. 6,
 restoring division, subtraction/compare, max/min folding, ReLU, selective
-copies, in-array tree reduction per Fig. 5) driven over an
-:class:`~repro.engine.fleet.ArrayFleet`, so every cycle executes on *all*
-``n_arrays * cols`` bitlines simultaneously — the data parallelism the
-paper's compute-cache slices actually have.
+copies, in-array tree reduction per Fig. 5) driven over any
+:class:`~repro.engine.fleet.PlaneStore` — the unpacked
+:class:`~repro.engine.fleet.ArrayFleet` reference or the packed
+:class:`~repro.engine.packed.PackedArrayFleet` — so every cycle executes
+on *all* ``n_arrays * cols`` bitlines simultaneously — the data
+parallelism the paper's compute-cache slices actually have.
 
 Cycle accounting is lockstep and bit-exact with the single-array unit:
 ``self.cycles`` after any operation equals the single-array value, because
@@ -31,7 +33,7 @@ import numpy as np
 
 from repro.common.bits import bitplanes_to_int, int_to_bitplanes
 from repro.common.errors import ArrayStateError, LayoutError
-from repro.engine.fleet import ArrayFleet, FleetPeriphery
+from repro.engine.fleet import ArrayFleet, PlaneStore, mux
 
 
 @dataclass(frozen=True)
@@ -64,11 +66,19 @@ class Operand:
 
 
 class FleetBitSerialUnit:
-    """Drives a whole fleet of SRAM arrays through bit-serial sequences."""
+    """Drives a whole fleet of SRAM arrays through bit-serial sequences.
 
-    def __init__(self, fleet: ArrayFleet | None = None):
+    ``fleet`` is any :class:`~repro.engine.fleet.PlaneStore` — the
+    unpacked :class:`~repro.engine.fleet.ArrayFleet` reference or the
+    packed :class:`~repro.engine.packed.PackedArrayFleet`. The sequences
+    below only touch planes through the store's native ops (and a
+    periphery the store itself supplies), so they run unmodified, with
+    identical results and cycle counts, on either representation.
+    """
+
+    def __init__(self, fleet: PlaneStore | None = None):
         self.fleet = fleet if fleet is not None else ArrayFleet()
-        self.periphery = FleetPeriphery(self.fleet.n_arrays, self.fleet.cols)
+        self.periphery = self.fleet.make_periphery()
         self.cycles = 0
 
     @property
@@ -117,21 +127,22 @@ class FleetBitSerialUnit:
     #
     # These are the hot inner loop of the whole reproduction: every
     # bit-serial op expands to thousands of calls. They therefore operate
-    # on the fleet's bit tensor directly (the operands are internally
-    # generated 0/1 planes, so the public API's per-call value validation
-    # would only re-check what the sequencer already guarantees), while
-    # still advancing the fleet's lockstep compute counter and checking
-    # row bounds so layout bugs surface as ArrayStateError.
+    # on native row planes directly (the operands are internally generated
+    # planes, so the public API's per-call value validation would only
+    # re-check what the sequencer already guarantees), while still
+    # advancing the fleet's lockstep compute counter and checking row
+    # bounds so layout bugs surface as ArrayStateError. Planes are opaque:
+    # only ``& | ^``, the store's plane ops and the periphery touch them,
+    # which is what lets the packed store run these sequences unmodified.
     # ==================================================================
     def _write_plane(self, dst_row: int, plane: np.ndarray,
                      predicated: bool) -> None:
         """Write-back phase of one compute cycle (tag-gated drivers)."""
-        bits = self.fleet._bits
+        dst = self.fleet.row_plane(dst_row)
         if predicated:
-            dst = bits[:, dst_row]
-            dst[...] = np.where(self.periphery.tag, plane, dst)
+            dst[...] = mux(self.periphery.tag, plane, dst)
         else:
-            bits[:, dst_row] = plane
+            dst[...] = plane
 
     def _cycle_copy_row(self, src_row: int, dst_row: int,
                         predicated: bool = False, invert: bool = False,
@@ -143,10 +154,10 @@ class FleetBitSerialUnit:
         fleet._check_row(src_row)
         fleet._check_row(dst_row)
         fleet.compute_cycles += 1
-        src = fleet._bits[:, src_row]
-        plane = (1 - src) if invert else src
+        src = fleet.row_plane(src_row)
+        plane = fleet.plane_not(src) if invert else src
         if shift:
-            plane = self._shift_columns(plane, shift)
+            plane = fleet.shift_plane(plane, shift)
         self._write_plane(dst_row, plane, predicated)
         self.cycles += 1
 
@@ -161,9 +172,8 @@ class FleetBitSerialUnit:
         fleet._check_row(row_b)
         fleet._check_row(dst_row)
         fleet.compute_cycles += 1
-        bits = fleet._bits
-        a = bits[:, row_a]
-        b = bits[:, row_b]
+        a = fleet.row_plane(row_a)
+        b = fleet.row_plane(row_b)
         total = self.periphery.add_step(a & b, a ^ b)
         self._write_plane(dst_row, total, predicated)
         self.cycles += 1
@@ -176,11 +186,12 @@ class FleetBitSerialUnit:
         fleet._check_row(row_a)
         fleet._check_row(dst_row)
         fleet.compute_cycles += 1
-        a = fleet._bits[:, row_a]
+        a = fleet.row_plane(row_a)
         if const_bit:
-            total = self.periphery.add_step(a, 1 - a)   # B=1: A&B=A, A^B=~A
+            # B=1: A&B=A, A^B=~A
+            total = self.periphery.add_step(a, fleet.plane_not(a))
         else:
-            total = self.periphery.add_step(np.uint8(0), a)  # B=0
+            total = self.periphery.add_step(fleet.const_plane(0), a)  # B=0
         self._write_plane(dst_row, total, predicated)
         self.cycles += 1
 
@@ -190,11 +201,7 @@ class FleetBitSerialUnit:
         fleet = self.fleet
         fleet._check_row(row)
         fleet.compute_cycles += 1
-        if predicated:
-            dst = fleet._bits[:, row]
-            dst[...] = np.where(self.periphery.tag, np.uint8(bit), dst)
-        else:
-            fleet._bits[:, row] = bit
+        self._write_plane(row, fleet.const_plane(bit), predicated)
         self.cycles += 1
 
     def _cycle_store_carry(self, dst_row: int, predicated: bool = False) -> None:
@@ -208,7 +215,7 @@ class FleetBitSerialUnit:
         """One cycle writing the tag latches to a wordline."""
         self.fleet._check_row(dst_row)
         self.fleet.compute_cycles += 1
-        self.fleet._bits[:, dst_row] = self.periphery.tag
+        self.fleet.row_plane(dst_row)[...] = self.periphery.tag
         self.cycles += 1
 
     def load_tag(self, row: int, invert: bool = False) -> None:
@@ -216,23 +223,13 @@ class FleetBitSerialUnit:
         fleet = self.fleet
         fleet._check_row(row)
         fleet.compute_cycles += 1
-        a = fleet._bits[:, row]
-        self.periphery.tag[...] = (1 - a) if invert else a
+        a = fleet.row_plane(row)
+        self.periphery.tag[...] = fleet.plane_not(a) if invert else a
         self.cycles += 1
 
     def set_tag_all(self) -> None:
         """Re-enable all write drivers (free: happens at instruction issue)."""
         self.periphery.set_tag_all()
-
-    def _shift_columns(self, bits: np.ndarray, shift: int) -> np.ndarray:
-        """Move bits ``shift`` bitlines to the left (toward column 0) in
-        every array, zero-filling at the right edge. Models the column-mux
-        / sense-amp-cycling moves of Sec. III-D."""
-        if shift <= 0:
-            raise ArrayStateError(f"column shift must be positive, got {shift}")
-        shifted = np.zeros_like(bits)
-        shifted[:, :-shift] = bits[:, shift:]
-        return shifted
 
     # ==================================================================
     # Composite operations (costs mirror CycleCosts.derived)
@@ -528,7 +525,7 @@ class FleetBitSerialUnit:
                          dst_row: int) -> None:
         """Per-column ``a == b`` flag into ``dst_row``: ``n + 1`` cycles."""
         self._check_width(a, b)
-        neq = np.zeros((self.n_arrays, self.cols), dtype=np.uint8)
+        neq = self.fleet.new_plane()
         for k in range(a.nbits):
             bl, blb = self.fleet.sense(a.bit(k), b.bit(k))
             neq |= self.periphery.xor_from_rails(bl, blb)
@@ -541,7 +538,7 @@ class FleetBitSerialUnit:
         if key < 0 or key >= (1 << haystack.nbits):
             raise ArrayStateError(
                 f"search key {key} does not fit {haystack.nbits} bits")
-        mismatch = np.zeros((self.n_arrays, self.cols), dtype=np.uint8)
+        mismatch = self.fleet.new_plane()
         for k in range(haystack.nbits):
             bl, blb = self.fleet.sense_single(haystack.bit(k))
             want_one = (key >> k) & 1

@@ -8,11 +8,27 @@ cycle activates the same two wordlines in every array of a slice.
 sensing, masked write-back, plain reads/writes) operating on *all arrays
 per call* as NumPy bit-plane operations.
 
-Cycle accounting is lockstep: one :meth:`ArrayFleet.sense` call is one
+Cycle accounting is lockstep: one :meth:`PlaneStore.sense` call is one
 compute cycle *of the whole fleet*, because the hardware broadcasts one
 instruction to every array. A fleet of one array therefore behaves exactly
 like the original scalar :class:`repro.sram.array.SRAMArray`, which is now
 a thin ``n_arrays=1`` view over this class.
+
+The storage format sits behind the :class:`PlaneStore` seam: every
+lockstep primitive is written once here in terms of a handful of abstract
+*plane ops* (``row_plane``, ``plane_not``, ``shift_plane``, pack/unpack),
+so the same sequencer code drives both the unpacked reference store
+(:class:`ArrayFleet`, one byte per bit) and the packed store
+(:class:`repro.engine.packed.PackedArrayFleet`, 64 bit-columns per uint64
+word — 8x smaller, several times faster per lockstep op).
+
+Plane currency: host-facing methods (``read_row``, ``write_row``,
+``load_bits``, ``dump_bits``) always speak 0/1 uint8, whatever the store;
+compute-facing methods (``sense``, ``sense_single``, ``write_back`` and
+the plane ops) speak the store's *native* planes — uint8 ``(n_arrays,
+cols)`` for the unpacked store, uint64 ``(n_arrays, n_words)`` for the
+packed one. Callers that sequence compute cycles treat native planes as
+opaque values supporting ``& | ^``.
 
 This module must stay dependency-light (NumPy + error types only): the
 single-array classes in :mod:`repro.sram` import it, so importing anything
@@ -30,8 +46,22 @@ DEFAULT_ROWS = 256
 DEFAULT_COLS = 256
 
 
-class ArrayFleet:
-    """``n_arrays`` compute SRAM arrays executing in lockstep.
+def mux(mask: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise select: ``a`` where a mask bit is set, else ``b``.
+
+    ``b ^ ((a ^ b) & mask)`` works unchanged on 0/1 uint8 planes and on
+    packed uint64 word planes — it is the store-agnostic form of the
+    tag-gated write drivers of Figure 7.
+    """
+    return b ^ ((a ^ b) & mask)
+
+
+class PlaneStore:
+    """Shared lockstep primitives over an abstract bit-plane storage.
+
+    Subclasses provide the storage and the native plane ops; every
+    primitive (and all its bounds/value validation) lives here exactly
+    once, so the packed and unpacked stores cannot drift apart.
 
     Parameters
     ----------
@@ -55,18 +85,77 @@ class ArrayFleet:
         self.n_arrays = n_arrays
         self.rows = rows
         self.cols = cols
-        self._bits = np.zeros((n_arrays, rows, cols), dtype=np.uint8)
         self.access_cycles = 0
         self.compute_cycles = 0
 
     # ------------------------------------------------------------------
-    # Plain SRAM behaviour (single wordline, all arrays)
+    # Native plane ops (the seam subclasses implement)
+    # ------------------------------------------------------------------
+    def row_plane(self, row: int) -> np.ndarray:
+        """Writable native view of one wordline across every array."""
+        raise NotImplementedError
+
+    def const_plane(self, bit: int):
+        """A broadcastable constant native plane (all-0 or all-1 columns).
+
+        May be a scalar or a shared read-only array; callers must not
+        mutate it.
+        """
+        raise NotImplementedError
+
+    def new_plane(self) -> np.ndarray:
+        """A fresh writable all-zero native plane, ``(n_arrays, ...)``."""
+        raise NotImplementedError
+
+    def plane_not(self, plane: np.ndarray) -> np.ndarray:
+        """Complement of the active columns of a native plane."""
+        raise NotImplementedError
+
+    def shift_plane(self, plane: np.ndarray, shift: int) -> np.ndarray:
+        """Move bits ``shift`` columns toward column 0, zero-filling at the
+        right edge (the column-mux / sense-amp-cycling moves of
+        Sec. III-D)."""
+        raise NotImplementedError
+
+    def pack_plane(self, bits: np.ndarray) -> np.ndarray:
+        """Host 0/1 uint8 ``(n_arrays, cols)`` -> native plane."""
+        raise NotImplementedError
+
+    def unpack_plane(self, plane: np.ndarray) -> np.ndarray:
+        """Native plane -> fresh host 0/1 uint8 ``(n_arrays, cols)``."""
+        raise NotImplementedError
+
+    def coerce_plane(self, plane: np.ndarray) -> np.ndarray:
+        """Validate an externally supplied native plane."""
+        raise NotImplementedError
+
+    def make_periphery(self):
+        """Column peripherals whose latches use this store's native planes."""
+        raise NotImplementedError
+
+    def _read_region(self, top_row: int, n_rows: int, col_offset: int,
+                     n_cols: int) -> np.ndarray:
+        """Host uint8 ``(n_arrays, n_rows, n_cols)`` copy of a region."""
+        raise NotImplementedError
+
+    def _write_region(self, top_row: int, n_rows: int, col_offset: int,
+                      bits: np.ndarray) -> None:
+        """Store validated host bits ``(n_arrays, n_rows, n_cols)``."""
+        raise NotImplementedError
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the backing bit-plane storage."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Plain SRAM behaviour (single wordline, all arrays; host currency)
     # ------------------------------------------------------------------
     def read_row(self, row: int) -> np.ndarray:
         """Read one wordline of every array; returns ``(n_arrays, cols)``."""
         self._check_row(row)
         self.access_cycles += 1
-        return self._bits[:, row].copy()
+        return self.unpack_plane(self.row_plane(row))
 
     def write_row(self, row: int, bits: np.ndarray,
                   mask: np.ndarray | None = None) -> None:
@@ -76,23 +165,24 @@ class ArrayFleet:
         latch (Figure 7): positions where ``mask == 0`` keep their value.
         """
         self._check_row(row)
-        bits = self._coerce_bits(bits)
+        plane = self.pack_plane(self._coerce_bits(bits))
         self.access_cycles += 1
+        dst = self.row_plane(row)
         if mask is None:
-            self._bits[:, row] = bits
+            dst[...] = plane
         else:
-            mask = self._coerce_bits(mask)
-            self._bits[:, row] = np.where(mask, bits, self._bits[:, row])
+            dst[...] = mux(self.pack_plane(self._coerce_bits(mask)),
+                           plane, dst)
 
     # ------------------------------------------------------------------
-    # Compute behaviour (two simultaneous wordlines, all arrays)
+    # Compute behaviour (two simultaneous wordlines; native currency)
     # ------------------------------------------------------------------
     def sense(self, row_a: int, row_b: int) -> tuple[np.ndarray, np.ndarray]:
         """Activate two wordlines fleet-wide and sense both rails.
 
-        Returns ``(bl, blb)``, each ``(n_arrays, cols)``, where
-        ``bl = A AND B`` and ``blb = A NOR B`` per bitline (Figure 2b).
-        One lockstep compute cycle for the whole fleet.
+        Returns native planes ``(bl, blb)`` where ``bl = A AND B`` and
+        ``blb = A NOR B`` per bitline (Figure 2b). One lockstep compute
+        cycle for the whole fleet.
         """
         self._check_row(row_a)
         self._check_row(row_b)
@@ -100,9 +190,9 @@ class ArrayFleet:
             raise ArrayStateError(
                 f"compute sensing requires two distinct wordlines, got {row_a}")
         self.compute_cycles += 1
-        a = self._bits[:, row_a]
-        b = self._bits[:, row_b]
-        return a & b, (1 - a) & (1 - b)
+        a = self.row_plane(row_a)
+        b = self.row_plane(row_b)
+        return a & b, self.plane_not(a) & self.plane_not(b)
 
     def sense_single(self, row: int) -> tuple[np.ndarray, np.ndarray]:
         """Activate one wordline in compute mode fleet-wide.
@@ -112,23 +202,24 @@ class ArrayFleet:
         """
         self._check_row(row)
         self.compute_cycles += 1
-        a = self._bits[:, row]
-        return a.copy(), 1 - a
+        a = self.row_plane(row)
+        return a.copy(), self.plane_not(a)
 
-    def write_back(self, row: int, bits: np.ndarray,
+    def write_back(self, row: int, plane: np.ndarray,
                    mask: np.ndarray | None = None) -> None:
         """Phase-2 write of a compute cycle (WWL activation), all arrays.
 
+        Takes *native* planes (e.g. the rails :meth:`sense` returned).
         Does *not* count an extra cycle: the paper's compute cycle has a
         sensing phase and a write-back phase inside one clock.
         """
         self._check_row(row)
-        bits = self._coerce_bits(bits)
+        plane = self.coerce_plane(plane)
+        dst = self.row_plane(row)
         if mask is None:
-            self._bits[:, row] = bits
+            dst[...] = plane
         else:
-            mask = self._coerce_bits(mask)
-            self._bits[:, row] = np.where(mask, bits, self._bits[:, row])
+            dst[...] = mux(self.coerce_plane(mask), plane, dst)
 
     # ------------------------------------------------------------------
     # Test/host-side helpers (no cycle accounting; data arrives via TMU)
@@ -138,9 +229,9 @@ class ArrayFleet:
         """Bulk-store a bit tensor with its row 0 at ``top_row``.
 
         ``bits`` is ``(n_arrays, n_rows, n_cols)``, or ``(n_rows, n_cols)``
-        to broadcast the same plane into every array. This is the host/TMU
-        initialisation path; transfer costs are charged by the transfer
-        models, not here.
+        to broadcast the same plane into every array, with values 0/1.
+        This is the host/TMU initialisation path; transfer costs are
+        charged by the transfer models, not here.
         """
         bits = np.asarray(bits, dtype=np.uint8)
         if bits.ndim == 2:
@@ -149,29 +240,19 @@ class ArrayFleet:
             raise ArrayStateError(
                 f"expected a ({self.n_arrays}, rows, cols) bit tensor, got "
                 f"shape {bits.shape}")
+        if np.any(bits > 1):
+            raise ArrayStateError("bit values must be 0 or 1")
         _, n_rows, n_cols = bits.shape
-        if top_row < 0 or top_row + n_rows > self.rows:
-            raise ArrayStateError(
-                f"rows [{top_row}, {top_row + n_rows}) outside array of "
-                f"{self.rows} rows")
-        if col_offset < 0 or col_offset + n_cols > self.cols:
-            raise ArrayStateError(
-                f"columns [{col_offset}, {col_offset + n_cols}) outside array "
-                f"of {self.cols} columns")
-        self._bits[:, top_row:top_row + n_rows,
-                   col_offset:col_offset + n_cols] = bits
+        self._check_region(top_row, n_rows, col_offset, n_cols)
+        self._write_region(top_row, n_rows, col_offset, bits)
 
     def dump_bits(self, top_row: int, n_rows: int, col_offset: int = 0,
                   n_cols: int | None = None) -> np.ndarray:
         """Bulk-read ``(n_arrays, n_rows, n_cols)`` (host/TMU path)."""
         if n_cols is None:
             n_cols = self.cols - col_offset
-        if top_row < 0 or top_row + n_rows > self.rows:
-            raise ArrayStateError(
-                f"rows [{top_row}, {top_row + n_rows}) outside array of "
-                f"{self.rows} rows")
-        return self._bits[:, top_row:top_row + n_rows,
-                          col_offset:col_offset + n_cols].copy()
+        self._check_region(top_row, n_rows, col_offset, n_cols)
+        return self._read_region(top_row, n_rows, col_offset, n_cols)
 
     def reset_counters(self) -> None:
         """Zero the lockstep access/compute cycle counters."""
@@ -184,7 +265,22 @@ class ArrayFleet:
             raise ArrayStateError(
                 f"row {row} outside array of {self.rows} rows")
 
+    def _check_region(self, top_row: int, n_rows: int, col_offset: int,
+                      n_cols: int) -> None:
+        """Bounds for a rectangular host-path region (load and dump share
+        this, so a dump can no longer wrap a negative offset or silently
+        truncate past the last column)."""
+        if n_rows < 0 or top_row < 0 or top_row + n_rows > self.rows:
+            raise ArrayStateError(
+                f"rows [{top_row}, {top_row + n_rows}) outside array of "
+                f"{self.rows} rows")
+        if n_cols < 0 or col_offset < 0 or col_offset + n_cols > self.cols:
+            raise ArrayStateError(
+                f"columns [{col_offset}, {col_offset + n_cols}) outside array "
+                f"of {self.cols} columns")
+
     def _coerce_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Validate host 0/1 bits, broadcasting ``(cols,)`` to every array."""
         bits = np.asarray(bits, dtype=np.uint8)
         if bits.shape == (self.cols,):
             bits = np.broadcast_to(bits, (self.n_arrays, self.cols))
@@ -197,9 +293,72 @@ class ArrayFleet:
         return bits
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"ArrayFleet(n_arrays={self.n_arrays}, rows={self.rows}, "
-                f"cols={self.cols}, access={self.access_cycles}, "
+        return (f"{type(self).__name__}(n_arrays={self.n_arrays}, "
+                f"rows={self.rows}, cols={self.cols}, "
+                f"access={self.access_cycles}, "
                 f"compute={self.compute_cycles})")
+
+
+class ArrayFleet(PlaneStore):
+    """``n_arrays`` compute SRAM arrays executing in lockstep.
+
+    The unpacked *reference* store: one uint8 byte per bit, native planes
+    are the host planes. Kept byte-per-bit so tests and debuggers can look
+    straight at ``_bits``; the production store is
+    :class:`repro.engine.packed.PackedArrayFleet`.
+    """
+
+    def __init__(self, n_arrays: int = 1, rows: int = DEFAULT_ROWS,
+                 cols: int = DEFAULT_COLS):
+        super().__init__(n_arrays, rows, cols)
+        self._bits = np.zeros((n_arrays, rows, cols), dtype=np.uint8)
+
+    # -- plane ops ------------------------------------------------------
+    def row_plane(self, row: int) -> np.ndarray:
+        return self._bits[:, row]
+
+    def const_plane(self, bit: int):
+        return np.uint8(1) if bit else np.uint8(0)
+
+    def new_plane(self) -> np.ndarray:
+        return np.zeros((self.n_arrays, self.cols), dtype=np.uint8)
+
+    def plane_not(self, plane: np.ndarray) -> np.ndarray:
+        return plane ^ 1
+
+    def shift_plane(self, plane: np.ndarray, shift: int) -> np.ndarray:
+        if shift <= 0:
+            raise ArrayStateError(f"column shift must be positive, got {shift}")
+        shifted = np.zeros_like(plane)
+        if shift < plane.shape[-1]:
+            shifted[..., :-shift] = plane[..., shift:]
+        return shifted
+
+    def pack_plane(self, bits: np.ndarray) -> np.ndarray:
+        return bits
+
+    def unpack_plane(self, plane: np.ndarray) -> np.ndarray:
+        return plane.copy()
+
+    def coerce_plane(self, plane: np.ndarray) -> np.ndarray:
+        return self._coerce_bits(plane)
+
+    def make_periphery(self) -> "FleetPeriphery":
+        return FleetPeriphery(self.n_arrays, self.cols)
+
+    def _read_region(self, top_row: int, n_rows: int, col_offset: int,
+                     n_cols: int) -> np.ndarray:
+        return self._bits[:, top_row:top_row + n_rows,
+                          col_offset:col_offset + n_cols].copy()
+
+    def _write_region(self, top_row: int, n_rows: int, col_offset: int,
+                      bits: np.ndarray) -> None:
+        self._bits[:, top_row:top_row + n_rows,
+                   col_offset:col_offset + bits.shape[-1]] = bits
+
+    @property
+    def nbytes(self) -> int:
+        return self._bits.nbytes
 
 
 class FleetPeriphery:
@@ -209,6 +368,9 @@ class FleetPeriphery:
     combinational full-adder/XOR logic evaluates on whole planes. Mirrors
     :class:`repro.sram.peripheral.ColumnPeriphery`, which is the
     ``n_arrays=1`` reference implementation.
+    :class:`repro.engine.packed.PackedFleetPeriphery` subclasses this with
+    packed uint64 latches; the adder logic is shared, only latch storage
+    and the rail complement differ.
     """
 
     def __init__(self, n_arrays: int, cols: int):
@@ -218,8 +380,13 @@ class FleetPeriphery:
                 f"{n_arrays}x{cols}")
         self.n_arrays = n_arrays
         self.cols = cols
-        self.carry = np.zeros((n_arrays, cols), dtype=np.uint8)
-        self.tag = np.ones((n_arrays, cols), dtype=np.uint8)
+        self._alloc_latches()
+
+    def _alloc_latches(self) -> None:
+        """Allocate the carry (cleared) and tag (all-enabled) latches in
+        this periphery's native plane format."""
+        self.carry = np.zeros((self.n_arrays, self.cols), dtype=np.uint8)
+        self.tag = np.ones((self.n_arrays, self.cols), dtype=np.uint8)
 
     # -- latch management (resets happen during instruction issue and cost
     # -- no array cycles)
@@ -236,27 +403,27 @@ class FleetPeriphery:
         """Latch a sensed plane into the tag latches (optionally inverted
         for free via the BLB sense amp)."""
         bits = self._coerce(bits)
-        self.tag[:] = (1 - bits) if invert else bits
+        self.tag[:] = self._invert(bits) if invert else bits
 
     def load_carry(self, bits: np.ndarray) -> None:
         self.carry[:] = self._coerce(bits)
 
     # -- combinational logic -------------------------------------------
-    @staticmethod
-    def xor_from_rails(bl_and: np.ndarray, blb_nor: np.ndarray) -> np.ndarray:
+    def xor_from_rails(self, bl_and: np.ndarray,
+                       blb_nor: np.ndarray) -> np.ndarray:
         """``A XOR B`` from the two sensed rails: ``NOR(A&B, A NOR B)``."""
-        return ((1 - bl_and) & (1 - blb_nor)).astype(np.uint8)
+        return self._invert(bl_and) & self._invert(blb_nor)
 
     def add_step(self, a_and_b: np.ndarray,
                  a_xor_b: np.ndarray) -> np.ndarray:
         """The sum/carry latch update from pre-decoded AND/XOR planes.
 
         This is the single implementation of the adder logic: the
-        validated rail-based :meth:`full_add` and the hot per-cycle path
-        of :class:`~repro.engine.bitserial.FleetBitSerialUnit` both land
-        here, so the carry semantics cannot drift between them. The carry
-        latch supplies carry-in and is overwritten with the carry-out;
-        returns the sum plane.
+        validated rail-based :meth:`full_add`, the hot per-cycle path of
+        :class:`~repro.engine.bitserial.FleetBitSerialUnit`, and the
+        packed store's periphery all land here, so the carry semantics
+        cannot drift between them. The carry latch supplies carry-in and
+        is overwritten with the carry-out; returns the sum plane.
         """
         carry = self.carry
         total = a_xor_b ^ carry
@@ -280,10 +447,16 @@ class FleetPeriphery:
         return self.tag.copy() if predicated else None
 
     # ------------------------------------------------------------------
+    def _invert(self, bits: np.ndarray) -> np.ndarray:
+        """Complement a latch plane (store-specific in subclasses)."""
+        return (bits ^ 1).astype(np.uint8)
+
     def _coerce(self, bits: np.ndarray) -> np.ndarray:
         bits = np.asarray(bits, dtype=np.uint8)
         if bits.shape != (self.n_arrays, self.cols):
             raise ArrayStateError(
                 f"expected ({self.n_arrays}, {self.cols}) column bits, got "
                 f"shape {bits.shape}")
+        if np.any(bits > 1):
+            raise ArrayStateError("latch bit values must be 0 or 1")
         return bits

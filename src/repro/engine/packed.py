@@ -1,0 +1,209 @@
+"""Packed-bit plane store: 64 bit-columns per machine word.
+
+:class:`ArrayFleet` keeps one uint8 byte per bit — convenient to inspect,
+but 8x more memory and 8x less ALU work per NumPy op than the hardware
+analogy allows. :class:`PackedArrayFleet` stores the same
+``(n_arrays, rows, cols)`` bit tensor as ``(n_arrays, rows, n_words)``
+uint64 words (column ``c`` at bit ``c % 64`` of word ``c // 64``,
+LSB-first), so every lockstep primitive — two-row sensing as ``a & b`` /
+``~a & ~b`` on whole words, tag-gated write-back, column shifts — touches
+8x fewer bytes and processes 64 bit-serial lanes per machine word. That is
+exactly how bit-level SRAM-compute reproductions get their throughput, and
+it drops the resident plane memory 8x for serving-scale fleets.
+
+The sequencing logic is *not* duplicated here: every primitive lives once
+in :class:`~repro.engine.fleet.PlaneStore`, and this module only supplies
+the packed storage and the native plane ops (complement, column shift,
+host pack/unpack). :class:`PackedFleetPeriphery` likewise inherits the
+full-adder logic from :class:`~repro.engine.fleet.FleetPeriphery` and only
+re-homes the carry/tag latches in packed words. Property tests pin the
+packed store bit-exact and cycle-exact against the unpacked reference for
+every bit-serial sequence, including ragged ``cols % 64 != 0`` geometries
+where the tail word is only partially populated.
+
+Invariant: bits at column positions >= ``cols`` (the tail of the last
+word) are always zero, in the store, in sensed rails and in the periphery
+latches. ``plane_not`` and the rail complements mask the tail, and
+:meth:`PackedArrayFleet.coerce_plane` rejects externally supplied planes
+that violate it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bits import (
+    WORD_BITS,
+    pack_bit_plane,
+    packed_words,
+    unpack_bit_plane,
+)
+from repro.common.errors import ArrayStateError
+from repro.engine.fleet import (
+    DEFAULT_COLS,
+    DEFAULT_ROWS,
+    ArrayFleet,
+    FleetPeriphery,
+    PlaneStore,
+)
+
+__all__ = ["PackedArrayFleet", "PackedFleetPeriphery", "make_fleet"]
+
+
+def _column_mask(cols: int) -> np.ndarray:
+    """Per-word active-column mask: all-ones, tail word partially set."""
+    n_words = packed_words(cols)
+    mask = np.full(n_words, ~np.uint64(0), dtype=np.uint64)
+    tail = cols % WORD_BITS
+    if tail:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    mask.flags.writeable = False
+    return mask
+
+
+def _packed_geometry(cols: int) -> tuple[int, np.ndarray, bool]:
+    """``(n_words, column mask, has-partial-tail-word)`` for ``cols``."""
+    return packed_words(cols), _column_mask(cols), bool(cols % WORD_BITS)
+
+
+def _coerce_words(owner, plane: np.ndarray, what: str,
+                  broadcast: bool = False) -> np.ndarray:
+    """Validate a packed plane against ``owner``'s geometry and the
+    tail-word invariant. ``owner`` is the fleet or periphery holding
+    ``n_arrays``/``n_words``/``_mask``/``_tail_partial`` — the single
+    implementation of the invariant check for both."""
+    plane = np.asarray(plane)
+    if plane.dtype != np.uint64:
+        raise ArrayStateError(
+            f"{what}s must be uint64 words, got dtype {plane.dtype}")
+    if broadcast and plane.shape == (owner.n_words,):
+        plane = np.broadcast_to(plane, (owner.n_arrays, owner.n_words))
+    if plane.shape != (owner.n_arrays, owner.n_words):
+        raise ArrayStateError(
+            f"expected ({owner.n_arrays}, {owner.n_words}) packed words, "
+            f"got shape {plane.shape}")
+    if owner._tail_partial and np.any(plane[..., -1] & ~owner._mask[-1]):
+        raise ArrayStateError(f"{what} sets bits beyond the last column")
+    return plane
+
+
+class PackedArrayFleet(PlaneStore):
+    """``n_arrays`` lockstep compute arrays on packed uint64 bit planes.
+
+    Same public surface and cycle accounting as :class:`ArrayFleet` (both
+    are :class:`PlaneStore` implementations); only the native plane
+    currency differs — ``(n_arrays, n_words)`` uint64 words instead of
+    ``(n_arrays, cols)`` uint8 bits. Host-facing methods (``read_row``,
+    ``write_row``, ``load_bits``, ``dump_bits``) still speak 0/1 uint8 and
+    convert at the boundary.
+    """
+
+    def __init__(self, n_arrays: int = 1, rows: int = DEFAULT_ROWS,
+                 cols: int = DEFAULT_COLS):
+        super().__init__(n_arrays, rows, cols)
+        self.n_words, self._mask, self._tail_partial = _packed_geometry(cols)
+        self._words = np.zeros((n_arrays, rows, self.n_words),
+                               dtype=np.uint64)
+
+    # -- plane ops ------------------------------------------------------
+    def row_plane(self, row: int) -> np.ndarray:
+        return self._words[:, row]
+
+    def const_plane(self, bit: int):
+        # The mask doubles as the all-ones plane (it is read-only).
+        return self._mask if bit else np.uint64(0)
+
+    def new_plane(self) -> np.ndarray:
+        return np.zeros((self.n_arrays, self.n_words), dtype=np.uint64)
+
+    def plane_not(self, plane: np.ndarray) -> np.ndarray:
+        return ~plane & self._mask
+
+    def shift_plane(self, plane: np.ndarray, shift: int) -> np.ndarray:
+        """Funnel-shift whole words: column ``c`` receives column
+        ``c + shift``, zero-filling past the last populated column."""
+        if shift <= 0:
+            raise ArrayStateError(f"column shift must be positive, got {shift}")
+        q, r = divmod(shift, WORD_BITS)
+        out = np.zeros_like(plane)
+        n = self.n_words
+        if q >= n:
+            return out
+        if r == 0:
+            out[..., :n - q] = plane[..., q:]
+        else:
+            out[..., :n - q] = plane[..., q:] >> np.uint64(r)
+            if q + 1 < n:
+                out[..., :n - q - 1] |= (plane[..., q + 1:]
+                                         << np.uint64(WORD_BITS - r))
+        return out
+
+    def pack_plane(self, bits: np.ndarray) -> np.ndarray:
+        return pack_bit_plane(bits, self.n_words)
+
+    def unpack_plane(self, plane: np.ndarray) -> np.ndarray:
+        return unpack_bit_plane(plane, self.cols)
+
+    def coerce_plane(self, plane: np.ndarray) -> np.ndarray:
+        return _coerce_words(self, plane, "packed plane", broadcast=True)
+
+    def make_periphery(self) -> "PackedFleetPeriphery":
+        return PackedFleetPeriphery(self.n_arrays, self.cols)
+
+    def _read_region(self, top_row: int, n_rows: int, col_offset: int,
+                     n_cols: int) -> np.ndarray:
+        rows = self.unpack_plane(self._words[:, top_row:top_row + n_rows])
+        return rows[:, :, col_offset:col_offset + n_cols]
+
+    def _write_region(self, top_row: int, n_rows: int, col_offset: int,
+                      bits: np.ndarray) -> None:
+        n_cols = bits.shape[-1]
+        if col_offset == 0 and n_cols == self.cols:
+            self._words[:, top_row:top_row + n_rows] = self.pack_plane(bits)
+            return
+        # Sub-word column range: read-modify-write the affected rows.
+        region = self.unpack_plane(self._words[:, top_row:top_row + n_rows])
+        region[:, :, col_offset:col_offset + n_cols] = bits
+        self._words[:, top_row:top_row + n_rows] = self.pack_plane(region)
+
+    @property
+    def nbytes(self) -> int:
+        return self._words.nbytes
+
+
+class PackedFleetPeriphery(FleetPeriphery):
+    """Column peripherals whose carry/tag latches are packed uint64 words.
+
+    The full-adder/XOR logic is inherited unchanged from
+    :class:`~repro.engine.fleet.FleetPeriphery` — bitwise ops are
+    representation-agnostic — so only latch storage, the rail complement
+    (which must mask the tail word) and plane validation live here.
+    """
+
+    def _alloc_latches(self) -> None:
+        self.n_words, self._mask, self._tail_partial = _packed_geometry(
+            self.cols)
+        self.carry = np.zeros((self.n_arrays, self.n_words),
+                              dtype=np.uint64)
+        self.tag = np.broadcast_to(self._mask,
+                                   (self.n_arrays, self.n_words)).copy()
+
+    def set_carry(self) -> None:
+        self.carry[:] = self._mask
+
+    def set_tag_all(self) -> None:
+        self.tag[:] = self._mask
+
+    def _invert(self, bits: np.ndarray) -> np.ndarray:
+        return ~bits & self._mask
+
+    def _coerce(self, bits: np.ndarray) -> np.ndarray:
+        return _coerce_words(self, bits, "packed latch plane")
+
+
+def make_fleet(n_arrays: int = 1, rows: int = DEFAULT_ROWS,
+               cols: int = DEFAULT_COLS, packed: bool = False) -> PlaneStore:
+    """Construct a plane store: the packed production store or the
+    unpacked byte-per-bit reference, behind the same seam."""
+    cls = PackedArrayFleet if packed else ArrayFleet
+    return cls(n_arrays, rows, cols)

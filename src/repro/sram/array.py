@@ -14,9 +14,13 @@ activation) only affects delay and energy, which are captured by
 :mod:`repro.sram.energy`; functionally reads are non-destructive.
 
 Since the array-fleet refactor, :class:`SRAMArray` is a thin ``n_arrays=1``
-view over :class:`repro.engine.fleet.ArrayFleet` — the vectorized engine
+view over a :class:`repro.engine.fleet.PlaneStore` — the vectorized engine
 that executes the same primitives across *all* arrays of a slice at once.
-The scalar API (one ``(cols,)`` vector per call) and the cycle accounting
+It only talks to the backing store through the store seam (plane ops and
+the host-currency bulk paths), so it views the unpacked
+:class:`~repro.engine.fleet.ArrayFleet` and the packed
+:class:`~repro.engine.packed.PackedArrayFleet` interchangeably while its
+own scalar API stays 0/1 uint8 vectors. The API and the cycle accounting
 are unchanged: the fleet's lockstep counters coincide with the per-array
 counters when the fleet has one member, so the 8.6 pJ / 15.4 pJ
 per-256-bitline-cycle energy charging (22 nm numbers from Sec. V) is
@@ -28,13 +32,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.errors import ArrayStateError
-from repro.engine.fleet import DEFAULT_COLS, DEFAULT_ROWS, ArrayFleet
+from repro.engine.fleet import (
+    DEFAULT_COLS,
+    DEFAULT_ROWS,
+    ArrayFleet,
+    PlaneStore,
+    mux,
+)
 
 __all__ = ["DEFAULT_COLS", "DEFAULT_ROWS", "SRAMArray"]
 
 
 class SRAMArray:
-    """A single compute-capable SRAM array: an ``ArrayFleet`` of one.
+    """A single compute-capable SRAM array: a plane-store fleet of one.
 
     Parameters
     ----------
@@ -44,12 +54,13 @@ class SRAMArray:
         Number of bitlines (default 256). Each bitline is one bit-serial
         ALU slot.
     fleet:
-        Optional existing single-array fleet to view. By default a fresh
-        ``ArrayFleet(1, rows, cols)`` backs the array.
+        Optional existing single-array plane store to view (unpacked or
+        packed). By default a fresh ``ArrayFleet(1, rows, cols)`` backs
+        the array.
     """
 
     def __init__(self, rows: int = DEFAULT_ROWS, cols: int = DEFAULT_COLS,
-                 fleet: ArrayFleet | None = None):
+                 fleet: PlaneStore | None = None):
         if fleet is None:
             fleet = ArrayFleet(1, rows, cols)
         elif fleet.n_arrays != 1:
@@ -65,7 +76,15 @@ class SRAMArray:
     # ------------------------------------------------------------------
     @property
     def _bits(self) -> np.ndarray:
-        """The array's bit plane (a live view into the backing fleet)."""
+        """The array's bit plane (a live view into the backing fleet).
+
+        Only the unpacked reference store has a byte-per-bit tensor to
+        view; packed-backed arrays must go through :meth:`dump_bits`.
+        """
+        if not isinstance(self.fleet, ArrayFleet):
+            raise ArrayStateError(
+                f"{type(self.fleet).__name__} has no byte-per-bit view; "
+                f"use dump_bits")
         return self.fleet._bits[0]
 
     @property
@@ -118,7 +137,7 @@ class SRAMArray:
         simultaneous rows, the architecture only ever uses two).
         """
         bl, blb = self.fleet.sense(row_a, row_b)
-        return bl[0].copy(), blb[0].copy()
+        return self.fleet.unpack_plane(bl)[0], self.fleet.unpack_plane(blb)[0]
 
     def sense_single(self, row: int) -> tuple[np.ndarray, np.ndarray]:
         """Activate one wordline in compute mode (the other operand reads
@@ -127,7 +146,7 @@ class SRAMArray:
         Used for moves and tag loads, which only need one operand row.
         """
         bl, blb = self.fleet.sense_single(row)
-        return bl[0], blb[0]
+        return self.fleet.unpack_plane(bl)[0], self.fleet.unpack_plane(blb)[0]
 
     def write_back(self, row: int, bits: np.ndarray,
                    mask: np.ndarray | None = None) -> None:
@@ -144,11 +163,15 @@ class SRAMArray:
                mask: np.ndarray | None) -> None:
         """Write already-validated bits into the backing fleet plane
         (single validation pass; the fleet's own coercion is skipped)."""
-        target = self.fleet._bits[0, row]
+        fleet = self.fleet
+        plane = fleet.pack_plane(bits[None, :])
+        target = fleet.row_plane(row)
         if mask is None:
-            target[...] = bits
+            target[...] = plane
         else:
-            target[...] = np.where(self._coerce_bits(mask), bits, target)
+            target[...] = mux(
+                fleet.pack_plane(self._coerce_bits(mask)[None, :]),
+                plane, target)
 
     # ------------------------------------------------------------------
     # Test/host-side helpers (no cycle accounting; data arrives via TMU)

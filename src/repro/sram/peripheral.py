@@ -120,4 +120,6 @@ class ColumnPeriphery:
         if bits.shape != (self.cols,):
             raise ArrayStateError(
                 f"expected {self.cols} column bits, got shape {bits.shape}")
+        if np.any(bits > 1):
+            raise ArrayStateError("latch bit values must be 0 or 1")
         return bits

@@ -22,20 +22,25 @@ def tiny_net():
 
 
 class TestRegistry:
-    def test_both_engines_registered(self):
-        assert set(available_backends()) == {"analytic", "fleet"}
+    def test_all_engines_registered(self):
+        assert set(available_backends()) == {"analytic", "fleet",
+                                             "fleet-packed"}
 
     def test_get_backend_resolves(self):
         assert isinstance(get_backend("analytic"), AnalyticBackend)
         assert isinstance(get_backend("fleet"), FleetExecutor)
+        packed = get_backend("fleet-packed")
+        assert isinstance(packed, FleetExecutor)
+        assert packed.packed and packed.name == "fleet-packed"
+        assert not get_backend("fleet").packed
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SimulationError, match="unknown backend"):
             get_backend("quantum")
 
     def test_engines_satisfy_protocol(self):
-        assert isinstance(get_backend("analytic"), Backend)
-        assert isinstance(get_backend("fleet"), Backend)
+        for name in available_backends():
+            assert isinstance(get_backend(name), Backend)
 
 
 class TestAnalyticBackend:
@@ -103,6 +108,16 @@ class TestFleetExecutor:
         expected = ReferenceExecutor(tiny_net, weights).run_output(image)
         got = result.outputs[tiny_net.output_name]
         assert np.array_equal(got.data, expected.data)
+
+    def test_packed_store_matches_unpacked(self, tiny_net):
+        unpacked = FleetExecutor().run(tiny_net, batch_size=1)
+        packed = FleetExecutor(packed=True).run(tiny_net, batch_size=1)
+        assert packed.backend == "fleet-packed"
+        assert packed.verified_images == 1
+        assert packed.report == unpacked.report
+        got = packed.outputs[tiny_net.output_name]
+        want = unpacked.outputs[tiny_net.output_name]
+        assert np.array_equal(got.data, want.data)
 
     def test_bad_batch_rejected(self, tiny_net):
         with pytest.raises(SimulationError):

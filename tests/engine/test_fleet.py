@@ -59,6 +59,33 @@ class TestFleetPrimitives:
         with pytest.raises(ArrayStateError):
             fleet.load_bits(3, np.zeros((1, 2, 4), dtype=np.uint8))
 
+    def test_dump_bits_column_bounds_checked(self):
+        # Regression: a negative col_offset used to wrap around and read
+        # the wrong region, and an oversized n_cols silently truncated.
+        fleet = ArrayFleet(1, rows=4, cols=8)
+        fleet.load_bits(0, np.ones((1, 1, 8), dtype=np.uint8))
+        with pytest.raises(ArrayStateError, match="columns"):
+            fleet.dump_bits(0, 1, col_offset=-2, n_cols=2)
+        with pytest.raises(ArrayStateError, match="columns"):
+            fleet.dump_bits(0, 1, col_offset=6, n_cols=4)
+        with pytest.raises(ArrayStateError, match="columns"):
+            fleet.dump_bits(0, 1, col_offset=9)
+        with pytest.raises(ArrayStateError, match="columns"):
+            fleet.dump_bits(0, 1, col_offset=0, n_cols=-1)
+        # In-bounds reads still work, including the full-width default.
+        assert fleet.dump_bits(0, 1, col_offset=6).shape == (1, 1, 2)
+        assert fleet.dump_bits(0, 1, col_offset=2, n_cols=3).shape == (1, 1, 3)
+
+    def test_load_bits_rejects_non_binary_payload(self):
+        # Regression: values > 1 used to land in the store and break the
+        # sense rails' complement math.
+        fleet = ArrayFleet(1, rows=4, cols=4)
+        bad = np.full((1, 1, 4), 2, dtype=np.uint8)
+        with pytest.raises(ArrayStateError, match="0 or 1"):
+            fleet.load_bits(0, bad)
+        with pytest.raises(ArrayStateError, match="0 or 1"):
+            fleet.load_bits(0, np.full((1, 4), 255, dtype=np.uint8))
+
     def test_counters_reset(self):
         fleet = ArrayFleet(2, rows=4, cols=4)
         fleet.read_row(0)
@@ -82,6 +109,22 @@ class TestPeriphery:
         total, carry = periphery.full_add(a & b, (1 - a) & (1 - b))
         assert np.array_equal(total, (a + b + cin) % 2)
         assert np.array_equal(carry, (a + b + cin) // 2)
+
+    def test_latch_loads_reject_non_binary_planes(self):
+        # Regression: load_tag/load_carry used to accept values > 1,
+        # silently corrupting later add_step carry logic.
+        periphery = FleetPeriphery(2, 4)
+        bad = np.full((2, 4), 3, dtype=np.uint8)
+        with pytest.raises(ArrayStateError, match="0 or 1"):
+            periphery.load_tag(bad)
+        with pytest.raises(ArrayStateError, match="0 or 1"):
+            periphery.load_tag(bad, invert=True)
+        with pytest.raises(ArrayStateError, match="0 or 1"):
+            periphery.load_carry(bad)
+        # Valid 0/1 planes still latch.
+        good = np.eye(2, 4, dtype=np.uint8)
+        periphery.load_carry(good)
+        assert np.array_equal(periphery.carry, good)
 
     def test_tag_gates_write_mask(self):
         periphery = FleetPeriphery(2, 4)

@@ -1,0 +1,372 @@
+"""The packed plane store is bit-exact and cycle-exact vs the reference.
+
+The acceptance contract of the packed-store change: for any geometry —
+including ragged ``cols % 64 != 0`` fleets, where the tail uint64 word is
+only partially populated — every :class:`FleetBitSerialUnit` sequence
+must leave a :class:`PackedArrayFleet` holding exactly the bits an
+:class:`ArrayFleet` holds, with exactly the same lockstep cycle counters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bits import (
+    WORD_BITS,
+    pack_bit_plane,
+    packed_words,
+    unpack_bit_plane,
+)
+from repro.common.errors import ArrayStateError, SimulationError
+from repro.engine import (
+    ArrayFleet,
+    FleetBitSerialUnit,
+    Operand,
+    PackedArrayFleet,
+    PackedFleetPeriphery,
+    make_fleet,
+)
+
+RNG = np.random.default_rng(23)
+
+#: Geometries exercising whole-word, multi-word and ragged tail cases.
+GEOMETRIES = [
+    pytest.param(2, 64, id="one-word"),
+    pytest.param(3, 256, id="four-words"),
+    pytest.param(2, 100, id="ragged-100"),
+    pytest.param(1, 37, id="ragged-37"),
+]
+
+
+def make_pair(n_arrays, cols, rows=256):
+    return (FleetBitSerialUnit(ArrayFleet(n_arrays, rows, cols)),
+            FleetBitSerialUnit(PackedArrayFleet(n_arrays, rows, cols)))
+
+
+def assert_stores_agree(ref, packed):
+    """Full-state, counter and periphery-latch equality."""
+    rows = ref.fleet.rows
+    assert np.array_equal(ref.fleet.dump_bits(0, rows),
+                          packed.fleet.dump_bits(0, rows))
+    assert ref.cycles == packed.cycles
+    assert ref.fleet.compute_cycles == packed.fleet.compute_cycles
+    assert ref.fleet.access_cycles == packed.fleet.access_cycles
+    cols = ref.fleet.cols
+    assert np.array_equal(ref.periphery.tag,
+                          unpack_bit_plane(packed.periphery.tag, cols))
+    assert np.array_equal(ref.periphery.carry,
+                          unpack_bit_plane(packed.periphery.carry, cols))
+
+
+class TestPackHelpers:
+    @pytest.mark.parametrize("cols", [1, 8, 63, 64, 65, 100, 256])
+    def test_roundtrip(self, cols):
+        bits = RNG.integers(0, 2, (3, 5, cols)).astype(np.uint8)
+        words = pack_bit_plane(bits)
+        assert words.shape == (3, 5, packed_words(cols))
+        assert words.dtype == np.uint64
+        assert np.array_equal(unpack_bit_plane(words, cols), bits)
+
+    def test_lsb_first_within_word(self):
+        bits = np.zeros(64, dtype=np.uint8)
+        bits[0] = bits[5] = 1
+        assert pack_bit_plane(bits)[0] == (1 << 0) | (1 << 5)
+
+    def test_ragged_tail_is_zero(self):
+        bits = np.ones((1, 70), dtype=np.uint8)
+        words = pack_bit_plane(bits)
+        assert words.shape == (1, 2)
+        assert words[0, 1] == np.uint64((1 << 6) - 1)
+
+    def test_word_count_validated(self):
+        with pytest.raises(ValueError):
+            pack_bit_plane(np.ones(129, dtype=np.uint8), n_words=2)
+        with pytest.raises(ValueError):
+            unpack_bit_plane(np.zeros(1, dtype=np.uint64), cols=65)
+        with pytest.raises(ValueError):
+            packed_words(0)
+
+
+class TestPackedFleetPrimitives:
+    @pytest.mark.parametrize("n_arrays,cols", GEOMETRIES)
+    def test_sense_rails_match_reference(self, n_arrays, cols):
+        ref = ArrayFleet(n_arrays, 8, cols)
+        packed = PackedArrayFleet(n_arrays, 8, cols)
+        a = RNG.integers(0, 2, (n_arrays, 1, cols)).astype(np.uint8)
+        b = RNG.integers(0, 2, (n_arrays, 1, cols)).astype(np.uint8)
+        for fleet in (ref, packed):
+            fleet.load_bits(0, a)
+            fleet.load_bits(1, b)
+        bl_u, blb_u = ref.sense(0, 1)
+        bl_p, blb_p = packed.sense(0, 1)
+        assert np.array_equal(bl_u, unpack_bit_plane(bl_p, cols))
+        assert np.array_equal(blb_u, unpack_bit_plane(blb_p, cols))
+        assert packed.compute_cycles == ref.compute_cycles == 1
+
+    def test_write_row_mask_and_read_row_speak_host_bits(self):
+        packed = PackedArrayFleet(2, rows=4, cols=100)
+        bits = RNG.integers(0, 2, (2, 100)).astype(np.uint8)
+        mask = RNG.integers(0, 2, (2, 100)).astype(np.uint8)
+        packed.write_row(1, bits)
+        packed.write_row(1, 1 - bits, mask=mask)
+        assert packed.access_cycles == 2
+        assert np.array_equal(packed.read_row(1),
+                              np.where(mask, 1 - bits, bits))
+        assert packed.access_cycles == 3  # the read counts too
+
+    def test_load_dump_sub_word_column_ranges(self):
+        # Column ranges that straddle a word boundary exercise the
+        # read-modify-write path of the packed store.
+        packed = PackedArrayFleet(1, rows=4, cols=130)
+        ref = ArrayFleet(1, rows=4, cols=130)
+        patch = RNG.integers(0, 2, (1, 2, 9)).astype(np.uint8)
+        for fleet in (ref, packed):
+            fleet.load_bits(1, patch, col_offset=60)
+        assert np.array_equal(packed.dump_bits(0, 4), ref.dump_bits(0, 4))
+        assert np.array_equal(packed.dump_bits(1, 2, col_offset=60, n_cols=9),
+                              patch)
+
+    def test_tail_word_invariant_rejected_on_dirty_planes(self):
+        packed = PackedArrayFleet(1, rows=4, cols=100)
+        dirty = np.full((1, packed.n_words), ~np.uint64(0), dtype=np.uint64)
+        with pytest.raises(ArrayStateError, match="beyond the last column"):
+            packed.write_back(0, dirty)
+        with pytest.raises(ArrayStateError, match="uint64"):
+            packed.write_back(0, np.ones((1, 100), dtype=np.uint8))
+
+    def test_host_path_validation_shared_with_reference(self):
+        # The boundary bugfix sweep applies to both stores: the checks
+        # live once in the PlaneStore base.
+        packed = PackedArrayFleet(1, rows=4, cols=100)
+        with pytest.raises(ArrayStateError, match="columns"):
+            packed.dump_bits(0, 1, col_offset=-2, n_cols=2)
+        with pytest.raises(ArrayStateError, match="columns"):
+            packed.dump_bits(0, 1, col_offset=99, n_cols=2)
+        with pytest.raises(ArrayStateError, match="0 or 1"):
+            packed.load_bits(0, np.full((1, 1, 100), 2, dtype=np.uint8))
+
+    def test_packed_periphery_rejects_dirty_latch_planes(self):
+        periphery = PackedFleetPeriphery(1, 100)
+        dirty = np.full((1, periphery.n_words), ~np.uint64(0),
+                        dtype=np.uint64)
+        with pytest.raises(ArrayStateError, match="beyond the last column"):
+            periphery.load_tag(dirty)
+        with pytest.raises(ArrayStateError, match="uint64"):
+            periphery.load_carry(np.ones((1, 100), dtype=np.uint8))
+
+    def test_resident_memory_is_8x_smaller_on_word_multiples(self):
+        ref = ArrayFleet(16, 256, 256)
+        packed = PackedArrayFleet(16, 256, 256)
+        assert packed.nbytes * 8 == ref.nbytes
+
+    def test_make_fleet_selects_store(self):
+        assert isinstance(make_fleet(2, 8, 64), ArrayFleet)
+        assert isinstance(make_fleet(2, 8, 64, packed=True), PackedArrayFleet)
+
+
+class TestSequenceEquivalence:
+    """Every FleetBitSerialUnit sequence, packed vs unpacked."""
+
+    @pytest.mark.parametrize("n_arrays,cols", GEOMETRIES)
+    def test_arithmetic_sequences(self, n_arrays, cols):
+        ref, packed = make_pair(n_arrays, cols)
+        av = RNG.integers(0, 256, (n_arrays, cols)).astype(np.int64)
+        bv = RNG.integers(1, 256, (n_arrays, cols)).astype(np.int64)
+        a, b = Operand(0, 8), Operand(8, 8)
+        for unit in (ref, packed):
+            unit.write_values(a, av)
+            unit.write_values(b, bv)
+            unit.add(a, b, Operand(16, 9))
+            unit.sub(a, b, Operand(25, 9), Operand(34, 8))
+            unit.multiply(a, b, Operand(42, 16))
+            unit.mac(a, b, Operand(58, 16), Operand(74, 20))
+            unit.divide(a, b, Operand(94, 8), Operand(102, 28))
+        assert np.array_equal(packed.read_values(Operand(16, 9)), av + bv)
+        assert np.array_equal(packed.read_values(Operand(42, 16)), av * bv)
+        assert np.array_equal(packed.read_values(Operand(94, 8)), av // bv)
+        assert_stores_agree(ref, packed)
+
+    @pytest.mark.parametrize("n_arrays,cols", GEOMETRIES)
+    def test_compare_minmax_relu_sequences(self, n_arrays, cols):
+        ref, packed = make_pair(n_arrays, cols)
+        av = RNG.integers(0, 64, (n_arrays, cols)).astype(np.int64)
+        bv = RNG.integers(0, 64, (n_arrays, cols)).astype(np.int64)
+        a, b = Operand(0, 6), Operand(6, 6)
+        for unit in (ref, packed):
+            unit.write_values(a, av)
+            unit.write_values(b, bv)
+            unit.compare_ge(a, b, Operand(12, 1), Operand(13, 13))
+            unit.max_update(a, b, Operand(26, 13))
+            unit.min_update(Operand(6, 6), Operand(0, 6), Operand(39, 13))
+            unit.relu(a, sign_row=a.bit(5))
+            unit.equality_compare(a, b, 52)
+            unit.search(b, int(bv[0, 0]), 53)
+        assert np.array_equal(packed.read_values(Operand(12, 1)),
+                              (av >= bv).astype(int))
+        assert_stores_agree(ref, packed)
+
+    @pytest.mark.parametrize("n_arrays,cols", GEOMETRIES)
+    def test_copy_logical_and_reduce_sequences(self, n_arrays, cols):
+        ref, packed = make_pair(n_arrays, cols)
+        av = RNG.integers(0, 256, (n_arrays, cols)).astype(np.int64)
+        bv = RNG.integers(0, 256, (n_arrays, cols)).astype(np.int64)
+        a, b = Operand(0, 8), Operand(8, 8)
+        shift = min(3, cols - 1)
+        for unit in (ref, packed):
+            unit.write_values(a, av)
+            unit.write_values(b, bv)
+            unit.copy(a, Operand(16, 8))
+            unit.complement_copy(a, Operand(24, 8))
+            unit.shift_copy(a, Operand(32, 8), shift)
+            unit.selective_copy(a, Operand(40, 8), tag_row=b.bit(0))
+            unit.logical_and(a, b, Operand(48, 8))
+            unit.logical_or(a, b, Operand(56, 8))
+            unit.logical_nor(a, b, Operand(64, 8))
+            unit.logical_xor(a, b, Operand(72, 8))
+            unit.write_scalar(Operand(80, 8), 77)
+            unit.zero(Operand(88, 8))
+            unit.reduce_tree(Operand(100, 12), Operand(116, 12),
+                             elements=4, width=8)
+        assert np.array_equal(packed.read_values(Operand(48, 8)), av & bv)
+        assert np.array_equal(packed.read_values(Operand(72, 8)), av ^ bv)
+        expected_shift = np.zeros_like(av)
+        expected_shift[:, :-shift] = av[:, shift:]
+        assert np.array_equal(packed.read_values(Operand(32, 8)),
+                              expected_shift)
+        assert_stores_agree(ref, packed)
+
+    def test_multi_word_column_shift(self):
+        # Shifts larger than one 64-bit word cross word boundaries in the
+        # packed store's funnel shifter.
+        ref, packed = make_pair(1, 256)
+        av = RNG.integers(0, 256, (1, 256)).astype(np.int64)
+        for shift in (1, 63, 64, 65, 130, 255):
+            for unit in (ref, packed):
+                unit.write_values(Operand(0, 8), av)
+                unit.shift_copy(Operand(0, 8), Operand(8, 8), shift)
+            assert_stores_agree(ref, packed)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_add_multiply(self, data):
+        n_arrays, cols = 2, data.draw(
+            st.sampled_from([64, 100, 37]), label="cols")
+        nbits = data.draw(st.integers(min_value=1, max_value=8))
+        hi = (1 << nbits) - 1
+        draw_vals = st.lists(st.integers(0, hi),
+                             min_size=n_arrays * cols,
+                             max_size=n_arrays * cols)
+        av = np.array(data.draw(draw_vals)).reshape(n_arrays, cols)
+        bv = np.array(data.draw(draw_vals)).reshape(n_arrays, cols)
+        ref, packed = make_pair(n_arrays, cols)
+        a, b = Operand(0, nbits), Operand(nbits, nbits)
+        for unit in (ref, packed):
+            unit.write_values(a, av)
+            unit.write_values(b, bv)
+            unit.add(a, b, Operand(2 * nbits, nbits + 1))
+            unit.multiply(a, b, Operand(4 * nbits, 2 * nbits))
+        assert np.array_equal(
+            packed.read_values(Operand(4 * nbits, 2 * nbits)), av * bv)
+        assert_stores_agree(ref, packed)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_masked_write_back_sequences(self, data):
+        """Random tag-gated write-back programs leave both stores
+        identical — the tail-word masking of the packed store under
+        arbitrary masks at ragged widths."""
+        cols = data.draw(st.sampled_from([64, 100, 37, 130]), label="cols")
+        n_arrays, rows = 2, 8
+        ref = ArrayFleet(n_arrays, rows, cols)
+        packed = PackedArrayFleet(n_arrays, rows, cols)
+        n_ops = data.draw(st.integers(1, 6), label="n_ops")
+        plane = st.lists(st.integers(0, 1), min_size=n_arrays * cols,
+                         max_size=n_arrays * cols)
+        for _ in range(n_ops):
+            row = data.draw(st.integers(0, rows - 1))
+            bits = np.array(data.draw(plane),
+                            dtype=np.uint8).reshape(n_arrays, cols)
+            masked = data.draw(st.booleans())
+            mask = (np.array(data.draw(plane),
+                             dtype=np.uint8).reshape(n_arrays, cols)
+                    if masked else None)
+            ref.write_back(row, bits, mask=mask)
+            packed.write_back(
+                row, pack_bit_plane(bits, packed.n_words),
+                mask=None if mask is None
+                else pack_bit_plane(mask, packed.n_words))
+        assert np.array_equal(ref.dump_bits(0, rows),
+                              packed.dump_bits(0, rows))
+        assert ref.compute_cycles == packed.compute_cycles == 0
+
+
+class TestFunctionalPacked:
+    """The quantized layer sequences (conv incl. quantize stage, pools)
+    on the packed store match the unpacked store bit for bit."""
+
+    def _conv_case(self):
+        from repro.nn import (
+            Conv2D,
+            Network,
+            QuantizedTensor,
+            initialise_weights,
+        )
+        conv = Conv2D(8, (3, 3), padding="same")
+        shape = (6, 6, 8)
+        net = Network(name="packed-check")
+        x = net.add_input("in", shape)
+        net.add("c", conv, x)
+        weights = initialise_weights(net, seed=9)
+        image = QuantizedTensor.from_real(RNG.uniform(0, 6, shape),
+                                          weights.input_params)
+        return conv, shape, weights, image
+
+    def test_conv_and_quantize_stage_match(self):
+        from repro.core.functional import FunctionalConv
+
+        conv, shape, weights, image = self._conv_case()
+
+        def run(packed):
+            engine = FunctionalConv(conv, shape, weights.for_node("c"),
+                                    output_params=weights.activation_params,
+                                    packed=packed)
+            return engine.run(image), engine.report
+
+        out_u, report_u = run(False)
+        out_p, report_p = run(True)
+        assert np.array_equal(out_u.data, out_p.data)
+        assert report_u == report_p
+
+    def test_packed_requires_vectorized_path(self):
+        from repro.core.functional import FunctionalConv
+
+        conv, shape, weights, _ = self._conv_case()
+        with pytest.raises(SimulationError, match="vectorized"):
+            FunctionalConv(conv, shape, weights.for_node("c"),
+                           vectorized=False, packed=True)
+
+
+class TestPackedSRAMArrayView:
+    def test_single_array_view_over_packed_store(self):
+        from repro.sram import BitSerialUnit, SRAMArray
+
+        array = SRAMArray(fleet=PackedArrayFleet(1, 64, 100))
+        unit = BitSerialUnit(array)
+        ref = BitSerialUnit(SRAMArray(rows=64, cols=100))
+        values = RNG.integers(0, 16, 100).astype(np.int64)
+        a, b = Operand(0, 4), Operand(4, 4)
+        for u in (unit, ref):
+            u.write_values(a, values)
+            u.write_values(b, 3)
+            u.multiply(a, b, Operand(8, 8))
+        assert np.array_equal(unit.read_values(Operand(8, 8)), values * 3)
+        assert unit.cycles == ref.cycles
+        assert array.compute_cycles == ref.array.compute_cycles
+
+    def test_packed_view_has_no_byte_per_bit_tensor(self):
+        from repro.sram import SRAMArray
+
+        array = SRAMArray(fleet=PackedArrayFleet(1, 8, 64))
+        with pytest.raises(ArrayStateError, match="byte-per-bit"):
+            array._bits

@@ -37,6 +37,15 @@ class TestLatches:
         assert p.write_mask(predicated=False) is None
         assert np.array_equal(p.write_mask(predicated=True), [0, 1, 1, 0])
 
+    def test_latch_loads_reject_non_binary_values(self):
+        # Regression: values > 1 used to latch silently and corrupt the
+        # next full_add (mirrors the FleetPeriphery check).
+        p = ColumnPeriphery(4)
+        with pytest.raises(ArrayStateError, match="0 or 1"):
+            p.load_tag(bits([0, 2, 0, 0]))
+        with pytest.raises(ArrayStateError, match="0 or 1"):
+            p.load_carry(bits([3, 0, 0, 0]))
+
 
 class TestFullAdder:
     def test_xor_from_rails_truth_table(self):
