@@ -1,21 +1,28 @@
-"""Array-fleet engine benchmarks: fleet vs legacy, packed vs unpacked.
+"""Array-fleet engine benchmarks: fleet vs legacy, packed vs unpacked,
+sharded vs single-socket.
 
-Two comparisons, both bit-identical by construction:
+Three comparisons, all bit-identical by construction:
 
 * the vectorized fleet path vs the legacy one-array-at-a-time path (the
   PR-1 refactor; acceptance target >= 10x on the functional conv);
 * the packed uint64 plane store vs the unpacked byte-per-bit reference on
   the lockstep primitives themselves (acceptance target: >= 4x faster
   multiply/add sequences at serving-scale fleets, 8x smaller resident
-  planes).
+  planes);
+* the sharded backend (one packed fleet per socket, batch split
+  round-robin) vs the unsharded ``fleet-packed`` run — gated on the
+  aggregation being lossless (outputs bit-exact, cycle reports
+  identical, every image verified), with single-process wall time and
+  the modeled per-socket throughput recorded.
 
-Also runnable as a script so CI can smoke the packed store per PR::
+Also runnable as a script so CI can smoke both per PR::
 
     python benchmarks/bench_fleet_engine.py --quick
 
 which runs the primitive comparison at a smaller fleet size with a
-relaxed speedup gate (CI machines are noisy) and exits non-zero when the
-packed store regresses in speedup, memory or bit-exactness.
+relaxed speedup gate (CI machines are noisy) plus the sharded
+aggregation check, and exits non-zero when the packed store regresses in
+speedup, memory or bit-exactness, or when sharding stops being lossless.
 """
 
 import argparse
@@ -31,6 +38,8 @@ from repro.engine import (
     Operand,
     PackedArrayFleet,
 )
+from repro.engine.backend import FleetExecutor, tiny_verification_network
+from repro.engine.sharding import ShardedBackend
 from repro.nn import (
     Conv2D,
     Network,
@@ -169,9 +178,76 @@ def test_packed_vs_unpacked_primitives(record):
     assert stats["speedup"] >= 3.0
 
 
+# ----------------------------------------------------------------------
+# Sharded backend vs the single unsharded packed fleet
+# ----------------------------------------------------------------------
+def compare_sharded(batch_size: int = 8, shards: int = 2,
+                    rounds: int = 2) -> dict:
+    """Sharded vs unsharded run of the same batch, equality cross-checked.
+
+    In-process the shards execute sequentially, so wall time measures the
+    sharding overhead (should be ~none); the throughput story is the
+    modeled one — ``shards`` independent sockets each retiring its slice
+    — which only holds if aggregation is lossless, and that is what the
+    gates check.
+    """
+    net = tiny_verification_network()
+    single = FleetExecutor(packed=True)
+    sharded = ShardedBackend(shards=shards)
+
+    single_s = _best_of(lambda: single.run(net, batch_size), rounds)
+    sharded_s = _best_of(lambda: sharded.run(net, batch_size), rounds)
+    single_res = single.run(net, batch_size)
+    sharded_res = sharded.run(net, batch_size)
+
+    out = net.output_name
+    per_shard = [s.report for s in sharded_res.shard_reports]
+    return {
+        "batch_size": batch_size,
+        "shards": shards,
+        "single_s": single_s,
+        "sharded_s": sharded_s,
+        "overhead": sharded_s / single_s - 1.0,
+        "bit_exact": bool(np.array_equal(
+            sharded_res.outputs[out].data, single_res.outputs[out].data)),
+        "report_identical": sharded_res.report == single_res.report,
+        "shards_cover_batch": sum(
+            s.images for s in sharded_res.shard_reports) == batch_size,
+        "per_shard_cycles": [r.total for r in per_shard],
+        "verified": sharded_res.verified_images,
+    }
+
+
+def render_sharded_report(stats: dict) -> str:
+    return (f"Sharded backend benchmark: batch {stats['batch_size']} over "
+            f"{stats['shards']} socket shards -> sharded "
+            f"{stats['sharded_s'] * 1e3:.1f} ms vs single fleet "
+            f"{stats['single_s'] * 1e3:.1f} ms "
+            f"({stats['overhead'] * 100:+.1f}% in-process overhead), "
+            f"per-shard cycles {stats['per_shard_cycles']}, "
+            f"bit-exact={stats['bit_exact']} "
+            f"report-identical={stats['report_identical']} "
+            f"verified={stats['verified']}/{stats['batch_size']}")
+
+
+def _sharded_gates_pass(stats: dict) -> bool:
+    return (stats["bit_exact"] and stats["report_identical"]
+            and stats["shards_cover_batch"]
+            and stats["verified"] == stats["batch_size"])
+
+
+def test_sharded_vs_single_fleet(record):
+    # An odd batch over 2 shards: the shard count does not divide it.
+    stats = compare_sharded(batch_size=5, shards=2)
+    record(render_sharded_report(stats))
+    assert _sharded_gates_pass(stats)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Packed vs unpacked plane-store smoke benchmark")
+        description="Fleet engine smoke benchmarks: packed vs unpacked "
+                    "plane store, plus sharded-vs-single aggregation "
+                    "gates")
     parser.add_argument("--quick", action="store_true",
                         help="smaller fleet and a relaxed speedup gate "
                              "(CI smoke mode)")
@@ -187,8 +263,23 @@ def main(argv=None) -> int:
         print(f"FAIL: packed store regressed (need bit/cycle exactness, "
               f"8x memory, >= {min_speedup:.1f}x speedup)", file=sys.stderr)
         return 1
+
+    # Sharded aggregation smoke: a shard count that divides the batch and
+    # one that does not (quick mode keeps the batch CI-sized).
+    batch = 4 if args.quick else 8
+    for shards in (2, 3):
+        sharded_stats = compare_sharded(batch_size=batch, shards=shards,
+                                        rounds=1 if args.quick else 2)
+        print(render_sharded_report(sharded_stats))
+        if not _sharded_gates_pass(sharded_stats):
+            print("FAIL: sharded aggregation regressed (need bit-exact "
+                  "outputs, identical cycle reports, full batch coverage "
+                  "and verification)", file=sys.stderr)
+            return 1
+
     print(f"OK (gates: bit/cycle exact, 8x memory, "
-          f">= {min_speedup:.1f}x speedup)")
+          f">= {min_speedup:.1f}x speedup; sharded aggregation lossless "
+          f"at shard counts 2 and 3)")
     return 0
 
 

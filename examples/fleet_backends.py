@@ -1,4 +1,4 @@
-"""One Backend API, two engines: analytic model and vectorized fleet.
+"""One Backend API, three engines: analytic, vectorized fleet, sharded.
 
 Every execution engine in the reproduction sits behind
 ``Backend.run(network, batch_size)``:
@@ -11,12 +11,16 @@ Every execution engine in the reproduction sits behind
   each output against the golden NumPy executor;
 * the *fleet-packed* backend is the same engine on the packed plane
   store (:class:`~repro.engine.packed.PackedArrayFleet`): 64 bit-columns
-  per uint64 word, 8x less memory, identical outputs and cycle reports.
+  per uint64 word, 8x less memory, identical outputs and cycle reports;
+* the *sharded* backend splits the batch round-robin across socket
+  shards (Sec. VI-B's multi-socket node), each shard a fleet executor on
+  its own packed plane store, and aggregates per-shard cycle reports —
+  bit-exact and cycle-identical to the unsharded run.
 
 Run:  python examples/fleet_backends.py
 """
 
-from repro import get_backend
+from repro import ShardedBackend, get_backend
 from repro.engine import (
     ArrayFleet,
     FleetBitSerialUnit,
@@ -27,11 +31,24 @@ from repro.engine import (
 
 def main() -> None:
     # -- the engines through the one protocol -----------------------------
-    for name in ("analytic", "fleet", "fleet-packed"):
+    for name in ("analytic", "fleet", "fleet-packed", "sharded"):
         backend = get_backend(name)
         result = backend.run(backend.default_network(), batch_size=2)
         print(result.summary())
         print()
+
+    # -- sharding is lossless: any shard count, same answer ---------------
+    fleet_packed = get_backend("fleet-packed")
+    net = fleet_packed.default_network()
+    reference = fleet_packed.run(net, batch_size=5)
+    for shards in (2, 3):        # divides the batch and does not
+        sharded = ShardedBackend(shards=shards).run(net, batch_size=5)
+        assert sharded.report == reference.report
+        per_shard = [s.report.total for s in sharded.shard_reports]
+        print(f"{shards} shards over batch 5: per-shard cycles "
+              f"{per_shard}, aggregate {sharded.report.total} == "
+              f"unsharded {reference.report.total}")
+    print()
 
     # -- the fleet primitive underneath ------------------------------------
     # 4 arrays x 256 bitlines = 1024 bit-serial ALU lanes; one multiply

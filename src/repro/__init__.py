@@ -53,6 +53,7 @@ from repro.engine.backend import (
     FleetExecutor,
     get_backend,
 )
+from repro.engine.sharding import ShardedBackend
 from repro.nn import (
     Conv2D,
     Network,
@@ -95,6 +96,7 @@ __all__ = [
     "QuantizedTensor",
     "ReferenceExecutor",
     "SRAMArray",
+    "ShardedBackend",
     "build_inception_v3",
     "get_backend",
     "initialise_weights",

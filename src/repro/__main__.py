@@ -8,13 +8,17 @@ Usage::
     python -m repro --backend fleet # one inference via the Backend API
     python -m repro --backend fleet-packed   # same, packed plane store
     python -m repro --backend analytic --batch 16
+    python -m repro --backend sharded --batch 8 --shards 4
 
 The ``--backend`` mode drives an execution engine through the unified
 :class:`~repro.engine.backend.Backend` protocol — ``analytic`` runs the
 paper's deterministic model on Inception v3, ``fleet`` runs bit-exact
-functional verification on the vectorized array fleet, and
-``fleet-packed`` runs the same verification on the packed uint64 plane
-store (8x smaller, faster lockstep primitives, identical results).
+functional verification on the vectorized array fleet, ``fleet-packed``
+runs the same verification on the packed uint64 plane store (8x smaller,
+faster lockstep primitives, identical results), and ``sharded`` splits
+the batch round-robin across socket shards (``--shards``, default
+``config.sockets``), each on its own packed fleet, with results and
+cycle totals identical to the unsharded run.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ EXPERIMENTS = {
     "peak": experiments.peak_throughput,
     "area": experiments.area_report,
     "fleet": experiments.fleet_verification,
+    "sharding": experiments.sharding,
 }
 
 
@@ -58,6 +63,9 @@ def main(argv: list[str] | None = None) -> int:
                              "regenerating experiments")
     parser.add_argument("--batch", type=int, default=1, metavar="N",
                         help="batch size for --backend runs (default 1)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="socket shards for --backend sharded runs "
+                             "(default: the config's socket count)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -75,6 +83,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.batch <= 0:
             parser.error(f"--batch must be positive, got {args.batch}")
         backend = get_backend(args.backend)
+        if args.shards is not None:
+            from repro.engine.sharding import ShardedBackend
+
+            if not isinstance(backend, ShardedBackend):
+                parser.error("--shards only applies to the sharded "
+                             "backends")
+            if args.shards <= 0:
+                parser.error(f"--shards must be positive, got "
+                             f"{args.shards}")
+            # Rebuild the registry's backend with the explicit shard
+            # count; store choice stays whatever the name resolved to.
+            backend = ShardedBackend(backend.config, shards=args.shards,
+                                     packed=backend.packed)
         network = backend.default_network()
         try:
             print(backend.run(network, args.batch).summary())
@@ -88,6 +109,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.batch != 1:
         parser.error("--batch only applies to --backend runs")
+    if args.shards is not None:
+        parser.error("--shards only applies to --backend sharded runs")
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

@@ -13,6 +13,7 @@ from repro.analysis.experiments import (
     peak_throughput,
     robustness_report,
     section6a_example,
+    sharding,
     table1,
     table2,
     table3,
@@ -47,6 +48,7 @@ __all__ = [
     "ratio_cell",
     "robustness_report",
     "section6a_example",
+    "sharding",
     "table1",
     "table2",
     "table3",

@@ -467,9 +467,81 @@ def fleet_verification(batch_size: int = 2) -> ExperimentResult:
                "executor exactly.",))
 
 
+@lru_cache(maxsize=2)
+def sharding(batch_size: int = 4, socket_counts: tuple[int, ...] = (1, 2, 4)
+             ) -> ExperimentResult:
+    """Multi-socket sharding: the linear scaling claim of Sec. VI-B.
+
+    Two halves of the same story. Analytically, "Neural Cache throughput
+    scales linearly with the number of host CPUs": the model's
+    inferences/s at each socket count must be exactly ``sockets x`` the
+    single-socket figure. Functionally, the
+    :class:`~repro.engine.sharding.ShardedBackend` splits a batch
+    round-robin across socket shards (one packed fleet each) and its
+    aggregate must be *identical* — outputs bit-exact, cycle report
+    equal — to the unsharded ``fleet-packed`` run, so the socket-scaling
+    numbers rest on sharding that provably loses nothing.
+    """
+    import dataclasses
+
+    from repro.engine.backend import tiny_verification_network
+    from repro.engine.sharding import ShardedBackend
+
+    rows = []
+    data: dict = {"throughput": {}, "batch_size": batch_size}
+
+    # -- analytic: throughput vs socket count at a fixed batch --
+    reference = None
+    for sockets in socket_counts:
+        config = dataclasses.replace(NeuralCacheConfig(), sockets=sockets)
+        t = AnalyticBackend(config).throughput(_network(), batch_size)
+        if reference is None:
+            reference = t
+        data["throughput"][sockets] = t
+        base = socket_counts[0]
+        rows.append((f"analytic throughput, {sockets} socket(s)",
+                     f"{t:.1f} inf/s",
+                     f"{t / reference:.2f}x vs {base} socket(s) "
+                     f"(linear: {sockets / base:.2f}x)"))
+
+    # -- functional: sharded aggregate vs the unsharded packed fleet --
+    net = tiny_verification_network()
+    unsharded = get_backend("fleet-packed").run(net, batch_size=batch_size)
+    shards = NeuralCacheConfig().sockets
+    sharded = ShardedBackend(shards=shards).run(net, batch_size=batch_size)
+    for s in sharded.shard_reports:
+        rows.append((f"functional shard {s.shard} ({net.name})",
+                     f"{s.report.total} cycles / {s.images} image(s)",
+                     "round-robin slice"))
+    identical = (sharded.report == unsharded.report
+                 and np.array_equal(
+                     sharded.outputs[net.output_name].data,
+                     unsharded.outputs[net.output_name].data))
+    rows.append(("sharded vs unsharded aggregate",
+                 "identical" if identical else "MISMATCH",
+                 f"{sharded.report.total} vs {unsharded.report.total} "
+                 f"cycles, outputs "
+                 f"{'bit-exact' if identical else 'DIVERGED'}"))
+    rows.append(("images verified bit-exact",
+                 f"{sharded.verified_images}/{batch_size}",
+                 "vs golden executor"))
+    data["sharded"] = sharded
+    data["unsharded"] = unsharded
+    data["identical"] = identical
+    return ExperimentResult(
+        name="Multi-socket sharding: linear throughput scaling (Sec. VI-B)",
+        headers=("Quantity", "Measured", "Check"),
+        rows=tuple(rows),
+        data=data,
+        notes=(f"The analytic model runs {shards} independent caches per "
+               f"node (Fig. 16's dual socket); the ShardedBackend is the "
+               f"functional counterpart — per-shard packed fleets whose "
+               f"aggregate is bit- and cycle-identical to one fleet.",))
+
+
 def all_experiments() -> list[ExperimentResult]:
     """Every regenerated table/figure, in paper order."""
     return [table1(), table2(), figure13(), figure14(), figure15(),
             figure16(), table3(), table4(), section6a_example(),
             arithmetic_latencies(), peak_throughput(), area_report(),
-            robustness_report(), fleet_verification()]
+            robustness_report(), fleet_verification(), sharding()]

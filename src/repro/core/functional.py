@@ -1008,6 +1008,13 @@ class FunctionalExecutor:
     concatenation is pure data movement (the outputs of branches land in
     adjacent regions of the reserved way) and happens on the host, exactly
     as the architecture leaves it to the output-management machinery.
+
+    Layer engines (and therefore every layer's mapping plan) are built on
+    first use and reused across :meth:`run` calls — the filters stay
+    resident across a batch, exactly as the architecture amortises
+    filter loading (Sec. IV-E). Per-image state (the cycle reports) is
+    reset at the start of each run, so ``reports``/:meth:`total_report`
+    always describe the most recent image.
     """
 
     def __init__(self, network, weights,
@@ -1026,6 +1033,8 @@ class FunctionalExecutor:
         #: Plane store for every layer's fleet (packed words vs reference).
         self.packed = packed
         self.reports: dict[str, CycleReport] = {}
+        #: Node name -> layer engine, planned once and reused per image.
+        self._engines: dict[str, object] = {}
         self._concat_type = Concat
         self._bn_type = BatchNorm
         self._fc_type = FullyConnected
@@ -1038,6 +1047,7 @@ class FunctionalExecutor:
             raise SimulationError(
                 f"input shape {image.shape} does not match network "
                 f"{self.network.input_shape}")
+        self.reports = {}
         results = {self.network.input_name: image}
         for node in self.network.layer_nodes():
             inputs = [results[name] for name in node.inputs]
@@ -1047,50 +1057,61 @@ class FunctionalExecutor:
     def run_output(self, image: QuantizedTensor) -> QuantizedTensor:
         return self.run(image)[self.network.output_name]
 
-    def _run_node(self, node, inputs):
+    def _engine_for(self, node, inputs):
+        """The node's layer engine, built (planned) once per executor."""
+        engine = self._engines.get(node.name)
+        if engine is None:
+            engine = self._build_engine(node, inputs)
+            self._engines[node.name] = engine
+        # Per-image state: each run reports its own cycles.
+        engine.report = CycleReport()
+        return engine
+
+    def _build_engine(self, node, inputs):
         layer = node.layer
         activation = self.weights.activation_params
+        if isinstance(layer, self._add_type):
+            return FunctionalAdd(inputs[0].shape, self.config,
+                                 relu=layer.relu, name=node.name,
+                                 packed=self.packed)
+        if isinstance(layer, self._qbn_type):
+            return FunctionalBatchNorm(
+                inputs[0].shape, self.weights.bn_for_node(node.name),
+                self.config, relu=layer.relu,
+                zp_out=activation.zero_point, name=node.name,
+                packed=self.packed)
+        if isinstance(layer, MaxPool):
+            return FunctionalMaxPool(layer, inputs[0].shape, self.config,
+                                     name=node.name, packed=self.packed)
+        if isinstance(layer, AvgPool):
+            return FunctionalAvgPool(layer, inputs[0].shape, self.config,
+                                     name=node.name, packed=self.packed)
+        conv = self.network.conv_of(node)
+        shape = inputs[0].shape
+        if isinstance(layer, self._fc_type):
+            shape = (1, 1, int(np.prod(shape)))
+        return FunctionalConv(conv, shape,
+                              self.weights.for_node(node.name),
+                              self.config, name=node.name,
+                              output_params=activation,
+                              packed=self.packed)
+
+    def _run_node(self, node, inputs):
+        layer = node.layer
         if isinstance(layer, self._concat_type):
             data = np.concatenate([t.data for t in inputs], axis=2)
             return QuantizedTensor(data, inputs[0].params)
         if isinstance(layer, self._bn_type):
             return inputs[0]
+        engine = self._engine_for(node, inputs)
         if isinstance(layer, self._add_type):
-            engine = FunctionalAdd(inputs[0].shape, self.config,
-                                   relu=layer.relu, name=node.name,
-                                   packed=self.packed)
             out = engine.run(inputs[0], inputs[1])
-            self.reports[node.name] = engine.report
-            return out
-        if isinstance(layer, self._qbn_type):
-            engine = FunctionalBatchNorm(
-                inputs[0].shape, self.weights.bn_for_node(node.name),
-                self.config, relu=layer.relu,
-                zp_out=activation.zero_point, name=node.name,
-                packed=self.packed)
-            out = engine.run(inputs[0])
-            self.reports[node.name] = engine.report
-            return out
-        x = inputs[0]
-        if isinstance(layer, MaxPool):
-            engine = FunctionalMaxPool(layer, x.shape, self.config,
-                                       name=node.name, packed=self.packed)
-            out = engine.run(x)
-        elif isinstance(layer, AvgPool):
-            engine = FunctionalAvgPool(layer, x.shape, self.config,
-                                       name=node.name, packed=self.packed)
-            out = engine.run(x)
+        elif isinstance(layer, self._fc_type):
+            x = inputs[0]
+            out = engine.run(
+                QuantizedTensor(x.data.reshape(1, 1, -1), x.params))
         else:
-            conv = self.network.conv_of(node)
-            data = x
-            if isinstance(layer, self._fc_type):
-                data = QuantizedTensor(x.data.reshape(1, 1, -1), x.params)
-            engine = FunctionalConv(conv, data.shape,
-                                    self.weights.for_node(node.name),
-                                    self.config, name=node.name,
-                                    output_params=activation,
-                                    packed=self.packed)
-            out = engine.run(data)
+            out = engine.run(inputs[0])
         self.reports[node.name] = engine.report
         return out
 

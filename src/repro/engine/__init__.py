@@ -35,8 +35,14 @@ _BACKEND_NAMES = (
     "Backend",
     "BackendResult",
     "FleetExecutor",
+    "ShardReport",
     "available_backends",
+    "check_batch_size",
     "get_backend",
+)
+
+_SHARDING_NAMES = (
+    "ShardedBackend",
 )
 
 __all__ = [
@@ -50,6 +56,7 @@ __all__ = [
     "make_fleet",
     "mux",
     *_BACKEND_NAMES,
+    *_SHARDING_NAMES,
 ]
 
 
@@ -57,4 +64,7 @@ def __getattr__(name: str):
     if name in _BACKEND_NAMES:
         from repro.engine import backend
         return getattr(backend, name)
+    if name in _SHARDING_NAMES:
+        from repro.engine import sharding
+        return getattr(sharding, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

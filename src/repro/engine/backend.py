@@ -33,6 +33,18 @@ from repro.nn.graph import Network
 
 
 @dataclass(frozen=True)
+class ShardReport:
+    """One shard's slice of a sharded batch (socket-level breakdown)."""
+
+    #: Shard index within the sharded backend (0-based).
+    shard: int
+    #: Images the round-robin assignment handed this shard.
+    images: int
+    #: The shard's aggregate functional compute-cycle report.
+    report: CycleReport
+
+
+@dataclass(frozen=True)
 class BackendResult:
     """What any backend returns for one batch.
 
@@ -57,6 +69,11 @@ class BackendResult:
     outputs: dict | None = None
     #: Images verified bit-exact against the golden executor (functional).
     verified_images: int = 0
+    #: Whether bit-exact verification was requested for this run, so the
+    #: summary can distinguish "verify off" from "verified 0/N".
+    verify: bool = False
+    #: Per-shard cycle breakdown (sharded backends only).
+    shard_reports: tuple[ShardReport, ...] | None = None
 
     def summary(self) -> str:
         """A short human-readable account of the run."""
@@ -73,10 +90,49 @@ class BackendResult:
             lines.append(f"  compute cycles: {r.total} (mac {r.mac}, "
                          f"reduce {r.reduction}, quant {r.quantization}, "
                          f"pool {r.pooling}) over {r.passes} array passes")
-        if self.verified_images:
+        if self.shard_reports is not None:
+            for s in self.shard_reports:
+                lines.append(f"  shard {s.shard}: {s.images} image(s), "
+                             f"{s.report.total} compute cycles over "
+                             f"{s.report.passes} array passes")
+        if self.verify:
+            # Explicit even at 0/N, so a verification-skipped run never
+            # reads the same as a verify-off run.
+            lines.append(f"  verified bit-exact vs golden executor on "
+                         f"{self.verified_images}/{self.batch_size} "
+                         f"image(s)")
+        elif self.verified_images:
             lines.append(f"  verified bit-exact vs golden executor on "
                          f"{self.verified_images} image(s)")
         return "\n".join(lines)
+
+
+def check_batch_size(batch_size: int, backend: str) -> None:
+    """Reject non-positive batch sizes, uniformly across all backends.
+
+    Every ``Backend.run`` implementation calls this first, so programmatic
+    callers get the same guarantee the CLI enforces — no backend silently
+    produces nonsense latency/throughput for ``batch_size <= 0``.
+    """
+    if batch_size <= 0:
+        raise SimulationError(
+            f"backend {backend!r}: batch size must be positive, "
+            f"got {batch_size}")
+
+
+def deterministic_images(network: Network, weights, seed: int,
+                         batch_size: int) -> list:
+    """The deterministic pseudo-random input stream every functional
+    backend runs: image ``i`` depends only on ``(network, seed, i)``, so a
+    sharded run over any assignment of this stream sees exactly the images
+    the unsharded run would."""
+    from repro.nn import QuantizedTensor
+
+    rng = np.random.default_rng(seed)
+    return [QuantizedTensor.from_real(
+                rng.uniform(0, 6, network.input_shape),
+                weights.input_params)
+            for _ in range(batch_size)]
 
 
 @runtime_checkable
@@ -125,6 +181,7 @@ class AnalyticBackend:
         return entry[1]
 
     def run(self, network: Network, batch_size: int = 1) -> BackendResult:
+        check_batch_size(batch_size, self.name)
         result = self.simulator(network).run(batch_size)
         return BackendResult(
             backend=self.name, network=network.name, batch_size=batch_size,
@@ -133,6 +190,7 @@ class AnalyticBackend:
 
     def throughput(self, network: Network, batch_size: int = 1) -> float:
         """Inferences/s for the node (socket-scaled, Sec. VI-B)."""
+        check_batch_size(batch_size, self.name)
         return self.simulator(network).throughput(batch_size)
 
     def default_network(self) -> Network:
@@ -175,28 +233,54 @@ class FleetExecutor:
         self.packed = packed
         self.name = "fleet-packed" if packed else "fleet"
 
-    def run(self, network: Network, batch_size: int = 1) -> BackendResult:
-        from repro.nn import QuantizedTensor, ReferenceExecutor
+    def weights_for(self, network: Network):
+        """The run's weights: explicit, or seeded deterministically."""
         from repro.nn.reference import initialise_weights
 
-        if batch_size <= 0:
-            raise SimulationError(
-                f"batch size must be positive, got {batch_size}")
-        weights = self.weights
-        if weights is None:
-            weights = initialise_weights(network, seed=self.seed)
-        rng = np.random.default_rng(self.seed)
-        golden = ReferenceExecutor(network, weights) if self.verify else None
+        if self.weights is not None:
+            return self.weights
+        return initialise_weights(network, seed=self.seed)
 
+    def golden_for(self, network: Network, weights):
+        """The golden NumPy executor, or ``None`` when verify is off."""
+        from repro.nn import ReferenceExecutor
+
+        return ReferenceExecutor(network, weights) if self.verify else None
+
+    def run(self, network: Network, batch_size: int = 1) -> BackendResult:
+        check_batch_size(batch_size, self.name)
+        weights = self.weights_for(network)
+        golden = self.golden_for(network, weights)
+        images = deterministic_images(network, weights, self.seed,
+                                      batch_size)
+        total, outputs, verified = self.run_images(network, images,
+                                                   weights, golden)
+        return BackendResult(
+            backend=self.name, network=network.name, batch_size=batch_size,
+            report=total, outputs=outputs, verified_images=verified,
+            verify=self.verify)
+
+    def run_images(self, network: Network, images, weights=None,
+                   golden=None) -> tuple[CycleReport, dict | None, int]:
+        """Drive explicit images through one persistent executor.
+
+        One :class:`~repro.core.functional.FunctionalExecutor` serves the
+        whole stream, so every layer's mapping is planned exactly once per
+        batch (filters stay resident, Sec. IV-E) — not once per image.
+        Returns ``(aggregate report, last image's outputs, verified)``;
+        this is the shard-level unit of work
+        :class:`~repro.engine.sharding.ShardedBackend` aggregates.
+        """
+        if weights is None:
+            weights = self.weights_for(network)
+        if golden is None:
+            golden = self.golden_for(network, weights)
+        executor = FunctionalExecutor(network, weights, self.config,
+                                      packed=self.packed)
         total = CycleReport()
         outputs = None
         verified = 0
-        for _ in range(batch_size):
-            image = QuantizedTensor.from_real(
-                rng.uniform(0, 6, network.input_shape),
-                weights.input_params)
-            executor = FunctionalExecutor(network, weights, self.config,
-                                          packed=self.packed)
+        for image in images:
             outputs = executor.run(image)
             if golden is not None:
                 expected = golden.run_output(image)
@@ -207,9 +291,7 @@ class FleetExecutor:
                         f"from the golden executor")
                 verified += 1
             total = total.merged(executor.total_report())
-        return BackendResult(
-            backend=self.name, network=network.name, batch_size=batch_size,
-            report=total, outputs=outputs, verified_images=verified)
+        return total, outputs, verified
 
     def default_network(self) -> Network:
         """A verification-scale conv+pool network (the functional path is
@@ -235,11 +317,25 @@ def _packed_fleet(config: NeuralCacheConfig | None = None) -> FleetExecutor:
     return FleetExecutor(config, packed=True)
 
 
+def _sharded(config: NeuralCacheConfig | None = None) -> Backend:
+    """Multi-socket sharded execution on packed per-shard fleets."""
+    from repro.engine.sharding import ShardedBackend
+    return ShardedBackend(config)
+
+
+def _sharded_unpacked(config: NeuralCacheConfig | None = None) -> Backend:
+    """The sharded backend on the unpacked reference store."""
+    from repro.engine.sharding import ShardedBackend
+    return ShardedBackend(config, packed=False)
+
+
 #: Registered engine factories (config -> Backend), by CLI/experiment name.
 BACKENDS: dict = {
     AnalyticBackend.name: AnalyticBackend,
     FleetExecutor.name: FleetExecutor,
     "fleet-packed": _packed_fleet,
+    "sharded": _sharded,
+    "sharded-unpacked": _sharded_unpacked,
 }
 
 

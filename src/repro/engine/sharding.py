@@ -1,0 +1,120 @@
+"""Multi-socket sharding of the array fleet behind the Backend protocol.
+
+The paper's throughput story is multi-socket: "Neural Cache throughput
+scales linearly with the number of host CPUs" (Sec. VI-B), and Fig. 16 is
+measured on a dual-socket node — two independent caches, each running the
+full network over its own slice of the batch. The reproduction's
+:class:`~repro.config.NeuralCacheConfig` already models ``sockets=2``;
+this module makes a functional backend actually shard work that way.
+
+:class:`ShardedBackend` splits a batch across ``shards`` sockets (one
+:class:`~repro.engine.backend.FleetExecutor` per shard, each on its own
+packed :class:`~repro.engine.packed.PackedArrayFleet` by default),
+assigns images **round-robin** — image ``i`` goes to shard ``i % shards``,
+the arrival-order policy a serving frontend would use — and aggregates
+the per-shard cycle reports.
+
+The design invariant, shared with systolic-array partitioning in
+SCALE-Sim and BrainWave's weight-stationary sharding across FPGAs: the
+sharded result must be *exactly* the unsharded result.  Three properties
+make that hold here, and the property tests in
+``tests/engine/test_sharding.py`` pin all of them for shard counts that
+do and do not divide the batch:
+
+* every shard sees the same deterministic image stream positions the
+  unsharded run would (the stream depends only on ``(network, seed)``,
+  never on the shard layout);
+* per-image cycle reports depend only on ``(network, weights, image)``,
+  and report aggregation is a commutative sum, so any partition of the
+  batch merges back to the identical total;
+* the result's ``outputs`` are the globally-last image's outputs, which
+  round-robin places at the tail of shard ``(batch - 1) % shards``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+from repro.config import NeuralCacheConfig
+from repro.core.functional import CycleReport
+from repro.engine.backend import (
+    BackendResult,
+    FleetExecutor,
+    ShardReport,
+    check_batch_size,
+    deterministic_images,
+)
+from repro.nn.graph import Network
+
+
+class ShardedBackend:
+    """A batch sharded across sockets, bit-exact with the unsharded run.
+
+    ``shards`` defaults to ``config.sockets`` (the paper's dual-socket
+    node). Each shard is a :class:`~repro.engine.backend.FleetExecutor`
+    whose layers execute on its own plane-store fleet — packed uint64
+    words by default (``packed=False`` selects the unpacked byte-per-bit
+    reference, registered as ``sharded-unpacked``).
+
+    ``run`` returns the same :class:`~repro.engine.backend.BackendResult`
+    surface as the unsharded fleet backends, plus a ``shard_reports``
+    breakdown so ``summary()`` shows per-socket cycle totals — the
+    functional side of the analytic model's linear socket scaling.
+    """
+
+    def __init__(self, config: NeuralCacheConfig | None = None,
+                 shards: int | None = None, packed: bool = True,
+                 weights=None, seed: int = 0, verify: bool = True):
+        self.config = config if config is not None else NeuralCacheConfig()
+        if shards is None:
+            shards = self.config.sockets
+        if shards <= 0:
+            raise SimulationError(
+                f"shard count must be positive, got {shards}")
+        self.shards = shards
+        self.packed = packed
+        self.weights = weights
+        self.seed = seed
+        self.verify = verify
+        self.name = "sharded" if packed else "sharded-unpacked"
+        #: One fleet executor per socket; stateless between batches.
+        self._executors = tuple(
+            FleetExecutor(self.config, weights=weights, seed=seed,
+                          verify=verify, packed=packed)
+            for _ in range(shards))
+
+    def run(self, network: Network, batch_size: int = 1) -> BackendResult:
+        check_batch_size(batch_size, self.name)
+        weights = self._executors[0].weights_for(network)
+        golden = self._executors[0].golden_for(network, weights)
+        images = deterministic_images(network, weights, self.seed,
+                                      batch_size)
+
+        total = CycleReport()
+        verified = 0
+        outputs = None
+        shard_reports = []
+        for k, shard in enumerate(self._executors):
+            assigned = images[k::self.shards]       # round-robin slice
+            if not assigned:
+                # More shards than images: this socket idles.
+                shard_reports.append(ShardReport(shard=k, images=0,
+                                                 report=CycleReport()))
+                continue
+            report, out_k, ver_k = shard.run_images(network, assigned,
+                                                    weights, golden)
+            total = total.merged(report)
+            verified += ver_k
+            shard_reports.append(ShardReport(shard=k, images=len(assigned),
+                                             report=report))
+            if (batch_size - 1) % self.shards == k:
+                # The globally-last image is the tail of this shard's
+                # slice, so its outputs match the unsharded run's.
+                outputs = out_k
+        return BackendResult(
+            backend=self.name, network=network.name, batch_size=batch_size,
+            report=total, outputs=outputs, verified_images=verified,
+            verify=self.verify, shard_reports=tuple(shard_reports))
+
+    def default_network(self) -> Network:
+        """Same verification-scale default as the unsharded fleet."""
+        return self._executors[0].default_network()

@@ -14,6 +14,7 @@ from repro.analysis import (
     paper,
     peak_throughput,
     section6a_example,
+    sharding,
     table1,
     table2,
     table3,
@@ -185,10 +186,31 @@ class TestArithmeticAndHardware:
         assert result.data["banks"] == 14 * 80
 
 
+class TestSharding:
+    def test_analytic_scaling_is_linear(self):
+        data = sharding().data
+        t1 = data["throughput"][1]
+        for sockets, t in data["throughput"].items():
+            assert t == pytest.approx(sockets * t1, rel=1e-9)
+
+    def test_functional_aggregate_identical(self):
+        data = sharding().data
+        assert data["identical"]
+        assert data["sharded"].report == data["unsharded"].report
+        assert (data["sharded"].verified_images
+                == data["batch_size"])
+
+    def test_per_shard_rows_present(self):
+        result = sharding()
+        shard_rows = [r for r in result.rows
+                      if r[0].startswith("functional shard")]
+        assert len(shard_rows) == len(result.data["sharded"].shard_reports)
+
+
 class TestAllExperiments:
     def test_everything_renders(self):
         results = all_experiments()
-        assert len(results) == 14
+        assert len(results) == 15
         for result in results:
             text = result.render()
             assert result.name in text

@@ -24,7 +24,8 @@ def tiny_net():
 class TestRegistry:
     def test_all_engines_registered(self):
         assert set(available_backends()) == {"analytic", "fleet",
-                                             "fleet-packed"}
+                                             "fleet-packed", "sharded",
+                                             "sharded-unpacked"}
 
     def test_get_backend_resolves(self):
         assert isinstance(get_backend("analytic"), AnalyticBackend)
@@ -41,6 +42,16 @@ class TestRegistry:
     def test_engines_satisfy_protocol(self):
         for name in available_backends():
             assert isinstance(get_backend(name), Backend)
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_explicit_config_propagates(self, name):
+        """Every registered factory must accept the config positionally
+        and hand it to the engine it builds."""
+        from repro.config import NeuralCacheConfig
+
+        config = NeuralCacheConfig()
+        backend = get_backend(name, config)
+        assert backend.config is config
 
 
 class TestAnalyticBackend:
@@ -83,6 +94,16 @@ class TestAnalyticBackend:
         text = backend.run(build_inception_v3()).summary()
         assert "latency" in text and "analytic" in text
 
+    @pytest.mark.parametrize("batch_size", [0, -1])
+    def test_bad_batch_rejected(self, tiny_net, batch_size):
+        """Regression: the analytic engine used to accept batch <= 0 and
+        return nonsense latency/throughput when called programmatically."""
+        backend = AnalyticBackend()
+        with pytest.raises(SimulationError, match="batch size"):
+            backend.run(tiny_net, batch_size=batch_size)
+        with pytest.raises(SimulationError, match="batch size"):
+            backend.throughput(tiny_net, batch_size=batch_size)
+
 
 class TestFleetExecutor:
     def test_run_verifies_bit_exact(self, tiny_net):
@@ -119,9 +140,10 @@ class TestFleetExecutor:
         want = unpacked.outputs[tiny_net.output_name]
         assert np.array_equal(got.data, want.data)
 
-    def test_bad_batch_rejected(self, tiny_net):
-        with pytest.raises(SimulationError):
-            FleetExecutor().run(tiny_net, batch_size=0)
+    @pytest.mark.parametrize("batch_size", [0, -3])
+    def test_bad_batch_rejected(self, tiny_net, batch_size):
+        with pytest.raises(SimulationError, match="batch size"):
+            FleetExecutor().run(tiny_net, batch_size=batch_size)
 
     def test_default_network_is_functional_scale(self):
         backend = FleetExecutor()
@@ -133,12 +155,49 @@ class TestFleetExecutor:
         text = FleetExecutor().run(tiny_net).summary()
         assert "compute cycles" in text and "bit-exact" in text
 
+    def test_summary_counts_verified_over_batch(self, tiny_net):
+        text = FleetExecutor().run(tiny_net, batch_size=2).summary()
+        assert "2/2" in text
+
+    def test_verify_off_summary_omits_verification(self, tiny_net):
+        result = FleetExecutor(verify=False).run(tiny_net, batch_size=2)
+        assert result.verified_images == 0
+        assert not result.verify
+        assert "verified" not in result.summary()
+
+    def test_plans_each_layer_once_per_batch(self, tiny_net, monkeypatch):
+        """Regression: run() used to rebuild the FunctionalExecutor (and
+        re-plan every layer's mapping) for every image of the batch."""
+        from repro.core.functional import FunctionalExecutor
+
+        built = []
+
+        class CountingExecutor(FunctionalExecutor):
+            def __init__(self, *args, **kwargs):
+                built.append(self)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr("repro.engine.backend.FunctionalExecutor",
+                            CountingExecutor)
+        result = FleetExecutor().run(tiny_net, batch_size=4)
+        assert result.verified_images == 4
+        assert len(built) == 1
+
 
 class TestBackendResult:
     def test_is_frozen(self):
         result = BackendResult(backend="x", network="n", batch_size=1)
         with pytest.raises(AttributeError):
             result.backend = "y"
+
+    def test_requested_verification_is_explicit_even_at_zero(self):
+        """Regression: a verify-on run that verified nothing used to be
+        indistinguishable from a verify-off run in the summary."""
+        requested = BackendResult(backend="x", network="n", batch_size=2,
+                                  verify=True, verified_images=0)
+        assert "0/2" in requested.summary()
+        off = BackendResult(backend="x", network="n", batch_size=2)
+        assert "verified" not in off.summary()
 
 
 class TestConsumers:
