@@ -1,7 +1,7 @@
 """Array-fleet engine benchmarks: fleet vs legacy, packed vs unpacked,
-sharded vs single-socket.
+sharded vs single-socket, batched vs per-image.
 
-Three comparisons, all bit-identical by construction:
+Four comparisons, all bit-identical by construction:
 
 * the vectorized fleet path vs the legacy one-array-at-a-time path (the
   PR-1 refactor; acceptance target >= 10x on the functional conv);
@@ -13,19 +13,27 @@ Three comparisons, all bit-identical by construction:
   round-robin) vs the unsharded ``fleet-packed`` run — gated on the
   aggregation being lossless (outputs bit-exact, cycle reports
   identical, every image verified), with single-process wall time and
-  the modeled per-socket throughput recorded.
+  the modeled per-socket throughput recorded;
+* batch-in-fleet execution vs the per-image loop on the conv functional
+  path (acceptance target: >= 4x wall-clock at batch >= 8 on the packed
+  store, outputs bit-exact, cycle reports identical — batching changes
+  wall-clock, not modeled cycles), plus the block tap-plane load vs the
+  per-plane host-pack loop it replaced.
 
-Also runnable as a script so CI can smoke both per PR::
+Also runnable as a script so CI can smoke everything per PR::
 
-    python benchmarks/bench_fleet_engine.py --quick
+    python benchmarks/bench_fleet_engine.py --quick [--json PATH]
 
-which runs the primitive comparison at a smaller fleet size with a
-relaxed speedup gate (CI machines are noisy) plus the sharded
-aggregation check, and exits non-zero when the packed store regresses in
-speedup, memory or bit-exactness, or when sharding stops being lossless.
+which runs the primitive comparison at a smaller fleet size with relaxed
+speedup gates (CI machines are noisy) plus the sharded-aggregation and
+batched-correctness checks, and exits non-zero when the packed store,
+the sharded aggregation or the batched path regresses in speedup or
+exactness. ``--json`` additionally emits every section's measurements as
+one JSON document for the bench trajectory.
 """
 
 import argparse
+import json
 import sys
 import time
 
@@ -67,7 +75,7 @@ def _conv_case():
     image = QuantizedTensor.from_real(RNG.uniform(0, 6, shape),
                                       weights.input_params)
     reference = ReferenceExecutor(net, weights).run_output(image)
-    return conv, shape, weights, image, reference
+    return conv, shape, weights, image, reference, net
 
 
 def _best_of(fn, rounds: int) -> float:
@@ -80,7 +88,7 @@ def _best_of(fn, rounds: int) -> float:
 
 
 def test_fleet_vs_legacy_conv(benchmark, record):
-    conv, shape, weights, image, reference = _conv_case()
+    conv, shape, weights, image, reference, _ = _conv_case()
 
     def run(vectorized: bool) -> FunctionalConv:
         engine = FunctionalConv(conv, shape, weights.for_node("c"),
@@ -186,7 +194,10 @@ def compare_sharded(batch_size: int = 8, shards: int = 2,
     """Sharded vs unsharded run of the same batch, equality cross-checked.
 
     In-process the shards execute sequentially, so wall time measures the
-    sharding overhead (should be ~none); the throughput story is the
+    sharding overhead — since batch-in-fleet execution, that overhead is
+    real (splitting a batch across shards also splits one big batched
+    fleet pass into several smaller ones); on actual multi-socket
+    hardware the shards run concurrently. The throughput story is the
     modeled one — ``shards`` independent sockets each retiring its slice
     — which only holds if aggregation is lossless, and that is what the
     gates check.
@@ -243,18 +254,158 @@ def test_sharded_vs_single_fleet(record):
     assert _sharded_gates_pass(stats)
 
 
+# ----------------------------------------------------------------------
+# Batch-in-fleet execution vs the per-image loop
+# ----------------------------------------------------------------------
+def compare_batched_conv(batch_size: int = 8, packed: bool = True,
+                         rounds: int = 3) -> dict:
+    """Batched vs per-image conv execution of the same image stream.
+
+    The batch folds into the fleet's array axis, so every bit-serial
+    sequence runs once per batch instead of once per image — the
+    wall-clock lever — while outputs stay bit-exact (also against the
+    golden executor) and the cycle report identical: the arrays are
+    parallel hardware, so batching must not change modeled cycles.
+    """
+    conv, shape, weights, image, reference, net = _conv_case()
+    rng = np.random.default_rng(99)
+    images = [QuantizedTensor.from_real(rng.uniform(0, 6, shape),
+                                        weights.input_params)
+              for _ in range(batch_size)]
+
+    def make() -> FunctionalConv:
+        return FunctionalConv(conv, shape, weights.for_node("c"),
+                              output_params=weights.activation_params,
+                              packed=packed)
+
+    batched_s = _best_of(lambda: make().run_batch(images), rounds)
+
+    def loop():
+        engine = make()
+        return [engine.run(im) for im in images]
+
+    loop_s = _best_of(loop, rounds)
+
+    batched_engine = make()
+    batched_out = batched_engine.run_batch(images)
+    loop_engine = make()
+    loop_out = [loop_engine.run(im) for im in images]
+    golden = ReferenceExecutor(net, weights)
+    bit_exact = all(
+        np.array_equal(got.data, want.data)
+        and np.array_equal(got.data, golden.run_output(im).data)
+        for got, want, im in zip(batched_out, loop_out, images))
+    return {
+        "batch_size": batch_size,
+        "packed": packed,
+        "batched_s": batched_s,
+        "per_image_s": loop_s,
+        "speedup": loop_s / batched_s,
+        "bit_exact": bit_exact,
+        "report_identical": batched_engine.report == loop_engine.report,
+    }
+
+
+def compare_block_load(n_arrays: int = 512, taps: int = 9,
+                       rounds: int = 3) -> dict:
+    """The batched host pack at the ``load_bits`` boundary: one
+    ``write_value_block`` call for all of a layer's tap planes vs the
+    per-plane ``write_values`` loop it replaced (the 'before')."""
+    rng = np.random.default_rng(11)
+    values = rng.integers(0, 256, (n_arrays, taps, 256)).astype(np.uint8)
+    values64 = values.astype(np.int64)   # what the per-plane loop carried
+    unit = FleetBitSerialUnit(PackedArrayFleet(n_arrays, rows=256, cols=256))
+    block = Operand(0, taps * 8)
+
+    per_plane_s = _best_of(
+        lambda: [unit.write_values(Operand(block.row + 8 * t, 8),
+                                   values64[:, t])
+                 for t in range(taps)], rounds)
+    loop_state = unit.fleet.dump_bits(block.row, taps * 8)
+    block_s = _best_of(
+        lambda: unit.write_value_block(block, values, 8), rounds)
+    block_state = unit.fleet.dump_bits(block.row, taps * 8)
+    return {
+        "n_arrays": n_arrays,
+        "taps": taps,
+        "per_plane_s": per_plane_s,
+        "block_s": block_s,
+        "speedup": per_plane_s / block_s,
+        "bit_exact": bool(np.array_equal(loop_state, block_state)),
+    }
+
+
+def render_batched_report(stats: dict) -> str:
+    store = "packed" if stats["packed"] else "unpacked"
+    return (f"Batch-in-fleet benchmark ({store} store): batch "
+            f"{stats['batch_size']} conv -> one fleet pass "
+            f"{stats['batched_s'] * 1e3:.1f} ms vs per-image loop "
+            f"{stats['per_image_s'] * 1e3:.1f} ms "
+            f"({stats['speedup']:.1f}x faster), "
+            f"bit-exact={stats['bit_exact']} "
+            f"report-identical={stats['report_identical']}")
+
+
+def render_block_load_report(stats: dict) -> str:
+    return (f"Block tap-plane load benchmark: {stats['taps']} planes x "
+            f"{stats['n_arrays']} arrays in one write_value_block "
+            f"{stats['block_s'] * 1e3:.2f} ms vs per-plane loop "
+            f"{stats['per_plane_s'] * 1e3:.2f} ms "
+            f"({stats['speedup']:.1f}x faster), "
+            f"bit-exact={stats['bit_exact']}")
+
+
+def _batched_gates_pass(stats: dict, min_speedup: float) -> bool:
+    return (stats["bit_exact"] and stats["report_identical"]
+            and stats["speedup"] >= min_speedup)
+
+
+def test_batched_vs_per_image_conv(record):
+    # Full target: >= 4x at batch >= 8 on the packed (production) store.
+    stats = compare_batched_conv(batch_size=16, packed=True)
+    record(render_batched_report(stats))
+    # Soft gate below the measured 4.2-5.4x (the recorded line carries
+    # the real number): only flags a wholesale regression to per-image
+    # behaviour, not wall-clock noise on a loaded machine.
+    assert _batched_gates_pass(stats, min_speedup=2.0)
+
+
+def test_batched_unpacked_store_also_wins(record):
+    stats = compare_batched_conv(batch_size=8, packed=False)
+    record(render_batched_report(stats))
+    # The unpacked store does real byte-per-bit work per image, so its
+    # batched win is smaller (~3x measured); gate only on correctness
+    # plus not being slower than the loop.
+    assert _batched_gates_pass(stats, min_speedup=1.2)
+
+
+def test_block_tap_plane_load(record):
+    stats = compare_block_load()
+    record(render_block_load_report(stats))
+    assert stats["bit_exact"]
+    # One vectorized pack for the whole block must never lose to the
+    # per-plane loop it replaced.
+    assert stats["speedup"] >= 1.0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fleet engine smoke benchmarks: packed vs unpacked "
-                    "plane store, plus sharded-vs-single aggregation "
-                    "gates")
+                    "plane store, sharded-vs-single aggregation gates, "
+                    "batched-vs-per-image execution gates")
     parser.add_argument("--quick", action="store_true",
-                        help="smaller fleet and a relaxed speedup gate "
-                             "(CI smoke mode)")
+                        help="smaller fleet/batches and relaxed speedup "
+                             "gates (CI smoke mode)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write every section's measurements to "
+                             "PATH as one JSON document (bench "
+                             "trajectory)")
     args = parser.parse_args(argv)
+    results: dict = {"mode": "quick" if args.quick else "full"}
     n_arrays = QUICK_ARRAYS if args.quick else PRIMITIVE_ARRAYS
     min_speedup = 2.0 if args.quick else 4.0
     stats = compare_plane_stores(n_arrays)
+    results["plane_store"] = stats
     print(render_plane_store_report(stats))
     ok = (stats["bit_exact"] and stats["cycle_exact"]
           and stats["memory_ratio"] == 8.0
@@ -262,25 +413,76 @@ def main(argv=None) -> int:
     if not ok:
         print(f"FAIL: packed store regressed (need bit/cycle exactness, "
               f"8x memory, >= {min_speedup:.1f}x speedup)", file=sys.stderr)
-        return 1
+        return _finish(results, args.json, 1)
 
     # Sharded aggregation smoke: a shard count that divides the batch and
     # one that does not (quick mode keeps the batch CI-sized).
     batch = 4 if args.quick else 8
+    results["sharded"] = []
     for shards in (2, 3):
         sharded_stats = compare_sharded(batch_size=batch, shards=shards,
                                         rounds=1 if args.quick else 2)
+        results["sharded"].append(sharded_stats)
         print(render_sharded_report(sharded_stats))
         if not _sharded_gates_pass(sharded_stats):
             print("FAIL: sharded aggregation regressed (need bit-exact "
                   "outputs, identical cycle reports, full batch coverage "
                   "and verification)", file=sys.stderr)
-            return 1
+            return _finish(results, args.json, 1)
+
+    # Batch-in-fleet smoke: the conv functional path at batch >= 8 on
+    # the packed store. Full mode holds the >= 4x acceptance line; quick
+    # mode relaxes to 2x (a > 2x slowdown vs the ~4-5x expectation —
+    # i.e. a wholesale regression toward per-image behaviour — still
+    # fails CI, wall-clock noise does not). Correctness gates (bit-exact
+    # outputs, identical cycle reports) are never relaxed.
+    batched_batch = 8 if args.quick else 16
+    batched_min = 2.0 if args.quick else 4.0
+    batched_stats = compare_batched_conv(
+        batch_size=batched_batch, packed=True,
+        rounds=1 if args.quick else 3)
+    results["batched"] = batched_stats
+    print(render_batched_report(batched_stats))
+    if not _batched_gates_pass(batched_stats, batched_min):
+        print(f"FAIL: batch-in-fleet regressed (need bit-exact outputs, "
+              f"identical cycle reports and >= {batched_min:.1f}x speedup "
+              f"at batch {batched_batch})", file=sys.stderr)
+        return _finish(results, args.json, 1)
+    if not args.quick:
+        unpacked_stats = compare_batched_conv(batch_size=8, packed=False)
+        results["batched_unpacked"] = unpacked_stats
+        print(render_batched_report(unpacked_stats))
+        if not _batched_gates_pass(unpacked_stats, 1.2):
+            print("FAIL: batch-in-fleet regressed on the unpacked store",
+                  file=sys.stderr)
+            return _finish(results, args.json, 1)
+
+    block_stats = compare_block_load(
+        n_arrays=128 if args.quick else 512,
+        rounds=1 if args.quick else 3)
+    results["block_load"] = block_stats
+    print(render_block_load_report(block_stats))
+    if not block_stats["bit_exact"]:
+        print("FAIL: block tap-plane load diverged from the per-plane "
+              "loop", file=sys.stderr)
+        return _finish(results, args.json, 1)
 
     print(f"OK (gates: bit/cycle exact, 8x memory, "
-          f">= {min_speedup:.1f}x speedup; sharded aggregation lossless "
-          f"at shard counts 2 and 3)")
-    return 0
+          f">= {min_speedup:.1f}x packed speedup; sharded aggregation "
+          f"lossless at shard counts 2 and 3; batch-in-fleet bit-exact, "
+          f"report-identical and >= {batched_min:.1f}x at batch "
+          f"{batched_batch}; block load bit-exact)")
+    return _finish(results, args.json, 0)
+
+
+def _finish(results: dict, json_path: str | None, code: int) -> int:
+    """Write the JSON trajectory document (always, even on failure)."""
+    results["ok"] = code == 0
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+        print(f"wrote {json_path}")
+    return code
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ Usage::
     python -m repro --backend fleet-packed   # same, packed plane store
     python -m repro --backend analytic --batch 16
     python -m repro --backend sharded --batch 8 --shards 4
+    python -m repro --backend fleet --batch 8 --no-batched   # per-image loop
 
 The ``--backend`` mode drives an execution engine through the unified
 :class:`~repro.engine.backend.Backend` protocol — ``analytic`` runs the
@@ -19,6 +20,11 @@ faster lockstep primitives, identical results), and ``sharded`` splits
 the batch round-robin across socket shards (``--shards``, default
 ``config.sockets``), each on its own packed fleet, with results and
 cycle totals identical to the unsharded run.
+
+Functional backends fold the whole batch into the fleet's array axis by
+default (one fleet pass per layer computes every image);
+``--no-batched`` selects the per-image reference loop, whose outputs and
+cycle reports are identical — only wall-clock differs.
 """
 
 from __future__ import annotations
@@ -66,6 +72,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="socket shards for --backend sharded runs "
                              "(default: the config's socket count)")
+    parser.add_argument("--batched", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="fold the batch into the fleet's array axis "
+                             "for functional --backend runs (default: "
+                             "batched; --no-batched keeps the per-image "
+                             "reference loop)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -82,7 +94,10 @@ def main(argv: list[str] | None = None) -> int:
                 f"names (got: {', '.join(args.names)})")
         if args.batch <= 0:
             parser.error(f"--batch must be positive, got {args.batch}")
-        backend = get_backend(args.backend)
+        backend = get_backend(args.backend, batched=args.batched)
+        if args.batched is not None and not hasattr(backend, "batched"):
+            parser.error("--batched/--no-batched only applies to the "
+                         "functional fleet backends")
         if args.shards is not None:
             from repro.engine.sharding import ShardedBackend
 
@@ -93,9 +108,11 @@ def main(argv: list[str] | None = None) -> int:
                 parser.error(f"--shards must be positive, got "
                              f"{args.shards}")
             # Rebuild the registry's backend with the explicit shard
-            # count; store choice stays whatever the name resolved to.
+            # count; store and batching stay whatever the name (and
+            # --batched) resolved to.
             backend = ShardedBackend(backend.config, shards=args.shards,
-                                     packed=backend.packed)
+                                     packed=backend.packed,
+                                     batched=backend.batched)
         network = backend.default_network()
         try:
             print(backend.run(network, args.batch).summary())
@@ -111,6 +128,9 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--batch only applies to --backend runs")
     if args.shards is not None:
         parser.error("--shards only applies to --backend sharded runs")
+    if args.batched is not None:
+        parser.error("--batched/--no-batched only applies to --backend "
+                     "runs")
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

@@ -47,26 +47,56 @@ def int_to_bitplanes(values: np.ndarray, nbits: int) -> np.ndarray:
     (LSB = plane 0) of every element — the fleet-wide analogue of
     :func:`int_to_bits`. Values are masked to ``nbits``.
     """
-    values = np.asarray(values, dtype=np.int64)
+    values = np.asarray(values)
     if values.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got shape {values.shape}")
     if nbits <= 0:
         raise ValueError(f"nbits must be positive, got {nbits}")
+    if values.dtype == np.uint8 and nbits <= 8:
+        # Byte planes straight from uint8 tensors (the bulk-load hot
+        # path): no int64 round-trip, no sign scan.
+        shifts = np.arange(nbits, dtype=np.uint8)[None, :, None]
+        return (values[:, None, :] >> shifts) & np.uint8(1)
+    values = values.astype(np.int64, copy=False)
     if np.any(values < 0):
         raise ValueError("int_to_bitplanes only handles non-negative values; "
                          "encode signed data in two's complement first")
-    shifts = np.arange(nbits, dtype=np.int64)[None, :, None]
-    return ((values[:, None, :] >> shifts) & 1).astype(np.uint8)
+    if nbits <= 8:
+        # Byte-wide fields (activation/filter planes, the bulk-load hot
+        # path): extract bits in uint8 so the (n, nbits, cols)
+        # intermediate is 8x smaller than the int64 general case.
+        compact = (values & ((1 << nbits) - 1)).astype(np.uint8)
+        shifts = np.arange(nbits, dtype=np.uint8)[None, :, None]
+        return (compact[:, None, :] >> shifts) & np.uint8(1)
+    # Wider fields: unpack the int64 little-endian byte view at C speed
+    # instead of materialising an (n, nbits, cols) int64 shift product.
+    as_bytes = np.ascontiguousarray(
+        values.astype("<i8", copy=False)).view(np.uint8)
+    bits = np.unpackbits(as_bytes.reshape(*values.shape, 8), axis=-1,
+                         bitorder="little")[..., :nbits]
+    return bits.transpose(0, 2, 1)
 
 
 def bitplanes_to_int(bits: np.ndarray) -> np.ndarray:
-    """Convert ``(n, nbits, cols)`` LSB-first bit planes back to ints."""
+    """Convert ``(n, nbits, cols)`` LSB-first bit planes back to ints.
+
+    The bit planes are packed to byte planes at C speed and the (at most
+    eight) byte planes combined in int64 — the host unpack boundary for
+    fleet read-backs, so it must not materialise an ``(n, nbits, cols)``
+    int64 intermediate as the naive weighted sum would.
+    """
     bits = np.asarray(bits)
     if bits.ndim != 3:
         raise ValueError(f"expected a 3-D bit tensor, got shape {bits.shape}")
-    nbits = bits.shape[1]
-    weights = (np.int64(1) << np.arange(nbits, dtype=np.int64))[None, :, None]
-    return (bits.astype(np.int64) * weights).sum(axis=1)
+    n, nbits, cols = bits.shape
+    if nbits > 64:
+        raise ValueError(f"bit planes wider than 64 bits ({nbits}) do not "
+                         f"fit the int64 host currency")
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    out = np.zeros((n, cols), dtype=np.int64)
+    for k in range(packed.shape[1]):
+        out |= packed[:, k, :].astype(np.int64) << (8 * k)
+    return out
 
 
 #: Bits per machine word of the packed bit-plane store.

@@ -36,6 +36,11 @@ class NeuralCacheConfig:
     #: Fraction of the reserved I/O way usable for buffering outputs when
     #: batching (the rest buffers inputs).
     output_buffer_fraction: float = 0.5
+    #: Cap on arrays per lockstep chunk of a functional fleet pass, so
+    #: batched fleets (batch x arrays-per-image) stay memory-bounded.
+    #: ``None`` selects the module default
+    #: (:data:`repro.core.functional.MAX_FLEET_ARRAYS`).
+    max_fleet_arrays: int | None = None
     #: Filter-splitting threshold in bytes per bitline (Sec. IV-A).
     split_threshold_bytes: int = 9
     #: Channels a 1x1 filter packs per bitline (Sec. IV-A).
@@ -72,6 +77,10 @@ class NeuralCacheConfig:
         if not 0 < self.output_buffer_fraction <= 1:
             raise SimulationError(
                 "output buffer fraction must be in (0, 1]")
+        if self.max_fleet_arrays is not None and self.max_fleet_arrays <= 0:
+            raise SimulationError(
+                "max fleet arrays must be positive (or None for the "
+                "module default)")
         if self.split_threshold_bytes <= 0 or self.pack_limit <= 0:
             raise SimulationError("mapping thresholds must be positive")
         if self.element_bits <= 0:
@@ -95,6 +104,7 @@ class NeuralCacheConfig:
             energy=self.energy, frequency_hz=self.frequency_hz,
             sockets=self.sockets,
             output_buffer_fraction=self.output_buffer_fraction,
+            max_fleet_arrays=self.max_fleet_arrays,
             split_threshold_bytes=self.split_threshold_bytes,
             pack_limit=self.pack_limit, element_bits=self.element_bits,
             input_gather_calibration=self.input_gather_calibration,

@@ -39,6 +39,17 @@ per-array path is kept behind ``vectorized=False`` on
 :class:`FunctionalConv` for regression benchmarks; cycle reports
 aggregate per-array cycles, so both paths account identically.
 
+The *batch* dimension is a fleet dimension too: every engine exposes
+``run_batch``, which folds a whole batch of images into the fleet's
+``n_arrays`` axis — one fleet of ``batch * arrays_per_image`` arrays,
+loaded with every image's bit planes at once, runs each layer's
+bit-serial sequence once per *batch* instead of once per image. Arrays
+stay aligned to image boundaries, so a batched pass executes exactly the
+arrays the per-image loop would and reports identical per-image cycles
+(the arrays are parallel hardware — batching changes wall-clock, not
+modeled cycles). Fleets are chunked at ``config.max_fleet_arrays``
+(default :data:`MAX_FLEET_ARRAYS`) arrays so memory stays bounded.
+
 Scale limits: the compute stage's input-sum must fit 16 bits for the
 in-cache correction multiply, which bounds a layer's reduction size
 (R.S.C) to 257 taps. That comfortably covers verification-scale layers;
@@ -71,7 +82,9 @@ MAX_FUNCTIONAL_TAPS = 257
 #: tensor at ~16 MB per chunk. The conv compute stage additionally bounds
 #: its int64 gather temporaries (whose size scales with taps * lanes) via
 #: ``GATHER_BUDGET_ELEMENTS``; verification-scale layers still run in a
-#: single all-arrays pass.
+#: single all-arrays pass. Overridable per run via
+#: ``NeuralCacheConfig.max_fleet_arrays`` (batched passes multiply the
+#: array count by the batch size, so serving-scale batches chunk).
 MAX_FLEET_ARRAYS = 256
 #: Elements per int64 gather temporary in a conv chunk (~16 MB each).
 GATHER_BUDGET_ELEMENTS = 1 << 21
@@ -99,6 +112,25 @@ class CycleReport:
             quantization=self.quantization + other.quantization,
             pooling=self.pooling + other.pooling,
             passes=self.passes + other.passes)
+
+    def scaled(self, n_images: int) -> "CycleReport":
+        """The report of ``n_images`` identical per-image passes.
+
+        Bit-serial sequences are data-independent, so every image of a
+        batch costs exactly the same cycles; a batched fleet pass must
+        therefore report precisely the per-image report times the batch —
+        this is the *only* way to turn a per-image report into a batch
+        total (summing a batch total again double-counts).
+        """
+        if n_images < 0:
+            raise SimulationError(
+                f"cannot scale a cycle report by {n_images} images")
+        return CycleReport(
+            mac=self.mac * n_images,
+            reduction=self.reduction * n_images,
+            quantization=self.quantization * n_images,
+            pooling=self.pooling * n_images,
+            passes=self.passes * n_images)
 
 
 @dataclass(frozen=True)
@@ -187,18 +219,50 @@ class FunctionalConv:
     # ------------------------------------------------------------------
     def run(self, x: QuantizedTensor) -> QuantizedTensor:
         """Execute and return the quantized output tensor."""
+        if self.vectorized:
+            return self.run_batch([x])[0]
         conv = self.conv
         if x.shape != self.input_shape:
             raise SimulationError(
                 f"input shape {x.shape} does not match layer "
                 f"{self.input_shape}")
         e, f, m = conv.output_shape(self.input_shape)
-        raw, xsum = self._compute_stage(x)
-        out = self._quantize_stage(raw, xsum, x.params.zero_point)
+        raw, xsum = self._compute_stage_legacy(x)
+        out = self._quantize_stage(raw[None, :], xsum[None, :],
+                                   x.params.zero_point)[0]
         params = self.output_params
         if params is None:
             params = self._default_output_params()
         return QuantizedTensor(out.reshape(e, f, m).astype(np.uint8), params)
+
+    def run_batch(self, xs: list[QuantizedTensor]) -> list[QuantizedTensor]:
+        """Execute a whole batch as one fleet pass per stage.
+
+        The batch folds into the fleet's array axis: image ``b``'s passes
+        occupy arrays ``[b * arrays_per_image, (b + 1) * arrays_per_image)``
+        — exactly the arrays the per-image loop would build — so outputs
+        and per-image cycle accounting are identical to running ``run``
+        once per image, while every bit-serial sequence executes once per
+        *batch*.
+        """
+        # The input zero point broadcasts into padding and the quantize
+        # constants, so the batch must share quantization parameters.
+        _check_batch(xs, self.input_shape, shared_params=True)
+        if not self.vectorized:
+            # Legacy regression path: one array at a time, one image at
+            # a time (``run`` accumulates into the same report).
+            return [self.run(x) for x in xs]
+        conv = self.conv
+        e, f, m = conv.output_shape(self.input_shape)
+        padded = self._padded_batch(np.stack([x.data for x in xs]),
+                                    xs[0].params.zero_point)
+        raw, xsum = self._compute_stage_fleet(padded)
+        out = self._quantize_stage(raw, xsum, xs[0].params.zero_point)
+        params = self.output_params
+        if params is None:
+            params = self._default_output_params()
+        return [QuantizedTensor(o.reshape(e, f, m).astype(np.uint8), params)
+                for o in out]
 
     def _default_output_params(self):
         # Standalone use: derive nominal parameters from the requant ratio.
@@ -212,12 +276,6 @@ class FunctionalConv:
     # ------------------------------------------------------------------
     # Stage 1: MACs + reduction
     # ------------------------------------------------------------------
-    def _compute_stage(self, x: QuantizedTensor) -> tuple[np.ndarray, np.ndarray]:
-        """Run all output batches; returns int64 (raw, xsum) per output."""
-        if self.vectorized:
-            return self._compute_stage_fleet(x)
-        return self._compute_stage_legacy(x)
-
     def _compute_stage_legacy(self, x: QuantizedTensor
                               ) -> tuple[np.ndarray, np.ndarray]:
         """Pre-fleet path: a Python loop over one array pass at a time."""
@@ -244,26 +302,30 @@ class FunctionalConv:
             self.report.passes += 1
         return raw, xsum
 
-    def _compute_stage_fleet(self, x: QuantizedTensor
+    def _compute_stage_fleet(self, padded: np.ndarray
                              ) -> tuple[np.ndarray, np.ndarray]:
-        """All output batches at once: one array-fleet member per pass.
+        """All images' output batches at once: one fleet member per pass.
 
-        The filter and input bit-planes for every pass are gathered with
-        vectorized indexing, then a *single* lockstep MAC/reduction
-        sequence executes on the whole fleet — no Python loop over arrays.
-        Cycle reports charge ``sequence_cycles * n_arrays`` so the totals
-        match the legacy serial path exactly. Fleets larger than
-        ``MAX_FLEET_ARRAYS`` execute in bounded chunks so the gather
-        tensors never outgrow memory on output-heavy layers.
+        ``padded`` is the ``(batch, H_p, W_p, C)`` zero-point-padded input
+        stack. The filter and input bit-planes for every pass of every
+        image are gathered with vectorized indexing, then a *single*
+        lockstep MAC/reduction sequence executes on the whole
+        ``batch * arrays_per_image`` fleet — no Python loop over arrays
+        or images. Arrays never straddle image boundaries, so cycle
+        reports (``sequence_cycles * n_arrays`` per chunk) match the
+        per-image loop exactly. Fleets larger than
+        ``config.max_fleet_arrays`` execute in bounded chunks so the
+        gather tensors never outgrow memory on output-heavy layers or
+        large batches.
         """
         conv = self.conv
         e, f, m = conv.output_shape(self.input_shape)
         n_out = e * f * m
+        n_images = padded.shape[0]
         cols = self.config.geometry.array_cols
         lanes = self.mapping.channels_padded
         groups = max(cols // lanes, 1)
 
-        padded = self._padded_input(x)
         filters = self.weights.filters.data  # (R, S, C, M)
 
         # -- vectorized (lane, tap) -> (r, s, c) gather tables --
@@ -283,57 +345,68 @@ class FunctionalConv:
         fgather = filters[rr, ss, cc]        # (lanes, taps, M)
         tables = (valid, rr, ss, cc, fgather)
 
-        raw = np.zeros(n_out, dtype=np.int64)
-        xsum = np.zeros(n_out, dtype=np.int64)
-        # Chunks stay aligned to whole arrays (multiples of ``groups``) and
-        # respect both the array cap and the gather-temporary budget.
+        arrays_per_image = -(-n_out // groups)
+        total_arrays = n_images * arrays_per_image
+        raw = np.zeros((n_images, n_out), dtype=np.int64)
+        xsum = np.zeros((n_images, n_out), dtype=np.int64)
+        # Chunks are whole arrays and respect both the array cap and the
+        # gather-temporary budget.
         arrays_by_gather = max(
             GATHER_BUDGET_ELEMENTS // (groups * lanes * taps), 1)
-        per_chunk = min(MAX_FLEET_ARRAYS, arrays_by_gather) * groups
-        for start in range(0, n_out, per_chunk):
-            end = min(start + per_chunk, n_out)
-            r_vals, s_vals = self._run_fleet_chunk(
-                padded, tables, start, end, cols, lanes, groups)
-            raw[start:end] = r_vals
-            xsum[start:end] = s_vals
+        per_chunk = min(_max_fleet_arrays(self.config), arrays_by_gather)
+        for a0, a1 in _array_chunks(total_arrays, per_chunk):
+            self._run_fleet_chunk(padded, tables, a0, a1, arrays_per_image,
+                                  cols, lanes, groups, raw, xsum)
         return raw, xsum
 
-    def _run_fleet_chunk(self, padded: np.ndarray, tables, start: int,
-                         end: int, cols: int, lanes: int, groups: int
-                         ) -> tuple[np.ndarray, np.ndarray]:
-        """One bounded fleet: outputs ``[start, end)``, one array/pass."""
+    def _run_fleet_chunk(self, padded: np.ndarray, tables, a0: int, a1: int,
+                         arrays_per_image: int, cols: int, lanes: int,
+                         groups: int, raw: np.ndarray,
+                         xsum: np.ndarray) -> None:
+        """One bounded fleet: arrays ``[a0, a1)`` of the global
+        batch-by-arrays axis, one array per pass. Results land in the
+        ``(batch, n_out)`` ``raw``/``xsum`` accumulators."""
         conv = self.conv
         mapping = self.mapping
         e, f, m = conv.output_shape(self.input_shape)
+        n_out = e * f * m
         valid, rr, ss, cc, fgather = tables
         taps = self.plan.taps
         stride = conv.stride
         packed = mapping.pack_factor > 1
-        n_out = end - start
-        n_arrays = -(-n_out // groups)
+        n_arrays = a1 - a0
 
-        out_idx = np.arange(start, end)
-        out_i = out_idx // (f * m)
-        out_j = (out_idx // m) % f
-        out_m = out_idx % m
+        # Which image and which of its outputs each (array, group) serves.
+        arr = np.arange(a0, a1)
+        img = arr // arrays_per_image
+        local = arr % arrays_per_image
+        out_local = local[:, None] * groups + np.arange(groups)[None, :]
+        live = out_local < n_out              # (n_arrays, groups)
+        ol = np.minimum(out_local, n_out - 1)
+        out_i = ol // (f * m)
+        out_j = (ol // m) % f
+        out_m = ol % m
 
-        # Filter bytes and window bytes per (output, lane, tap).
-        fvals = fgather[:, :, out_m].astype(np.int64)
-        fvals = np.where(valid[:, :, None], fvals, 0).transpose(2, 0, 1)
-        row_idx = out_i[:, None, None] * stride + rr[None, :, :]
-        col_idx = out_j[:, None, None] * stride + ss[None, :, :]
-        ivals = padded[row_idx, col_idx, cc[None, :, :]].astype(np.int64)
-        ivals = np.where(valid[None, :, :], ivals, 0)
+        # Filter bytes and window bytes per (array, group, lane, tap),
+        # gathered and staged in uint8 end-to-end — the batched fleet's
+        # temporaries are the batch's actual bytes, not int64 copies.
+        fvals = np.where(valid[:, :, None, None], fgather[:, :, out_m],
+                         np.uint8(0))
+        fvals = fvals.transpose(2, 3, 0, 1)   # (n_arrays, groups, lanes, taps)
+        fvals[~live] = 0
+        row_idx = out_i[:, :, None, None] * stride + rr[None, None, :, :]
+        col_idx = out_j[:, :, None, None] * stride + ss[None, None, :, :]
+        ivals = padded[img[:, None, None, None], row_idx, col_idx,
+                       cc[None, None, :, :]]
+        ivals = np.where(valid[None, None, :, :], ivals, np.uint8(0))
+        ivals[~live] = 0
 
         def planes(vals: np.ndarray) -> np.ndarray:
-            """(n_out, lanes, taps) -> (n_arrays, taps, cols) fleet planes."""
-            full = np.zeros((n_arrays * groups, lanes, taps), dtype=np.int64)
-            full[:n_out] = vals
-            full = full.reshape(n_arrays, groups, lanes, taps)
-            full = full.transpose(0, 3, 1, 2).reshape(n_arrays, taps,
+            """(n_arrays, groups, lanes, taps) -> (n_arrays, taps, cols)."""
+            full = vals.transpose(0, 3, 1, 2).reshape(n_arrays, taps,
                                                       groups * lanes)
             if groups * lanes < cols:
-                widened = np.zeros((n_arrays, taps, cols), dtype=np.int64)
+                widened = np.zeros((n_arrays, taps, cols), dtype=vals.dtype)
                 widened[:, :, :groups * lanes] = full
                 full = widened
             return full
@@ -354,12 +427,11 @@ class FunctionalConv:
 
         unit = FleetBitSerialUnit(
             make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed))
-        for t in range(taps):
-            unit.write_values(Operand(filter_rows.row + 8 * t, 8),
-                              filter_plane[:, t])
-            if not packed:
-                unit.write_values(Operand(input_rows.row + 8 * t, 8),
-                                  input_plane[:, t])
+        # One vectorized host pack loads all taps' planes at once (the
+        # per-tap write_values loop was the pack boundary hot spot).
+        unit.write_value_block(filter_rows, filter_plane, 8)
+        if not packed:
+            unit.write_value_block(input_rows, input_plane, 8)
         unit.zero(Operand(partial.row, 24))
         unit.zero(Operand(xsum_rows.row, 24))
 
@@ -389,22 +461,27 @@ class FunctionalConv:
         raw_bits = unit.read_values(partial)
         sum_bits = unit.read_values(xsum_rows)
         head = np.arange(groups) * lanes
-        raw = raw_bits[:, head].reshape(-1)[:n_out]
-        xsum = sum_bits[:, head].reshape(-1)[:n_out]
-        return raw, xsum
+        img_of = np.broadcast_to(img[:, None], ol.shape)
+        raw[img_of[live], ol[live]] = raw_bits[:, head][live]
+        xsum[img_of[live], ol[live]] = sum_bits[:, head][live]
 
     def _padded_input(self, x: QuantizedTensor) -> np.ndarray:
-        """'same'-pad with the input zero point (zero contribution)."""
-        data = x.data
+        """'same'-pad one image with the input zero point."""
+        return self._padded_batch(x.data[None], x.params.zero_point)[0]
+
+    def _padded_batch(self, data: np.ndarray, zero_point: int) -> np.ndarray:
+        """'same'-pad a ``(batch, H, W, C)`` stack with the input zero
+        point (zero contribution)."""
         if self.conv.padding == "same":
-            top, bottom = same_padding_offsets(data.shape[0],
+            top, bottom = same_padding_offsets(data.shape[1],
                                                self.conv.kernel[0],
                                                self.conv.stride)
-            left, right = same_padding_offsets(data.shape[1],
+            left, right = same_padding_offsets(data.shape[2],
                                                self.conv.kernel[1],
                                                self.conv.stride)
-            data = np.pad(data, ((top, bottom), (left, right), (0, 0)),
-                          constant_values=x.params.zero_point)
+            data = np.pad(data,
+                          ((0, 0), (top, bottom), (left, right), (0, 0)),
+                          constant_values=zero_point)
         return data
 
     def _run_array_pass(self, padded: np.ndarray, filters: np.ndarray,
@@ -489,7 +566,10 @@ class FunctionalConv:
                         zpx: int) -> np.ndarray:
         """Apply zero-point corrections, ReLU and requantization in cache.
 
-        The true accumulator is recovered from the unsigned in-cache sums:
+        ``raw``/``xsum`` are ``(batch, n_out)``; the whole batch stages
+        into one fleet (arrays aligned to image boundaries) and the
+        correction/requantization sequence runs once per batch. The true
+        accumulator is recovered from the unsigned in-cache sums:
 
             acc = raw - zpw * xsum + (N * zpx * zpw - zpx * sum_w[m])
 
@@ -520,38 +600,54 @@ class FunctionalConv:
         if self.vectorized:
             return self._quantize_fleet(raw, xsum, const_per_output, zpw,
                                         in_cache_requant, cols)
-        out = np.zeros(len(raw), dtype=np.int64)
-        for start in range(0, len(raw), cols):
-            end = min(start + cols, len(raw))
-            width = end - start
-            out[start:end] = self._quantize_batch(
-                raw[start:end], xsum[start:end],
-                const_per_output[start:end], zpw, in_cache_requant,
-                cols)[:width]
+        n_images, n_out = raw.shape
+        out = np.zeros((n_images, n_out), dtype=np.int64)
+        for b in range(n_images):
+            for start in range(0, n_out, cols):
+                end = min(start + cols, n_out)
+                width = end - start
+                out[b, start:end] = self._quantize_batch(
+                    raw[b, start:end], xsum[b, start:end],
+                    const_per_output[start:end], zpw, in_cache_requant,
+                    cols)[:width]
         return out
 
     def _quantize_fleet(self, raw: np.ndarray, xsum: np.ndarray,
                         const: np.ndarray, zpw: int,
                         in_cache_requant: bool, cols: int) -> np.ndarray:
-        """All quantization passes at once: one fleet member per pass of
-        up-to-``cols`` outputs, same sequence as :meth:`_quantize_batch`.
-        Chunked at ``MAX_FLEET_ARRAYS`` arrays to bound memory."""
-        out = np.zeros(len(raw), dtype=np.int64)
-        for start, end in _fleet_chunks(len(raw), cols):
-            out[start:end] = self._quantize_fleet_chunk(
-                raw[start:end], xsum[start:end], const[start:end], zpw,
-                in_cache_requant, cols)
-        return out
-
-    def _quantize_fleet_chunk(self, raw: np.ndarray, xsum: np.ndarray,
-                              const: np.ndarray, zpw: int,
-                              in_cache_requant: bool,
-                              cols: int) -> np.ndarray:
+        """All quantization passes of the whole batch at once: one fleet
+        member per pass of up-to-``cols`` outputs, same sequence as
+        :meth:`_quantize_batch`. Chunked at ``config.max_fleet_arrays``
+        arrays to bound memory."""
         from repro.common.bits import to_twos_complement
 
+        n_images, n_out = raw.shape
+        const_tc = to_twos_complement(const, CORRECTION_BITS)
+
+        def stage_group(b0: int, b1: int) -> list[np.ndarray]:
+            return [
+                _stage_batch(raw[b0:b1], cols),
+                _stage_batch(xsum[b0:b1], cols),
+                _stage_batch(np.broadcast_to(const_tc, (b1 - b0, n_out)),
+                             cols),
+            ]
+
+        return _run_batched_staged(
+            n_images, n_out, cols, self.config, stage_group,
+            lambda planes: self._quantize_fleet_chunk(
+                planes[0], planes[1], planes[2], zpw, in_cache_requant,
+                cols))
+
+    def _quantize_fleet_chunk(self, raw_planes: np.ndarray,
+                              xsum_planes: np.ndarray,
+                              const_planes: np.ndarray, zpw: int,
+                              in_cache_requant: bool,
+                              cols: int) -> np.ndarray:
+        """One bounded fleet of staged ``(n_arrays, cols)`` value planes;
+        returns the resulting ``(n_arrays, cols)`` output values (dead
+        lanes hold garbage and are discarded on unstaging)."""
         requant = self.weights.requant
-        n_out = len(raw)
-        n_arrays = -(-n_out // cols)
+        n_arrays = raw_planes.shape[0]
         unit = FleetBitSerialUnit(
             make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed))
         w = CORRECTION_BITS
@@ -564,10 +660,9 @@ class FunctionalConv:
         scr = Operand(134, w)
 
         # Host staging (the output-move path already paid for this data).
-        unit.write_values(acc, _stage_fleet(raw, n_arrays, cols))
-        unit.write_values(xs16, _stage_fleet(xsum, n_arrays, cols))
-        unit.write_values(kreg, _stage_fleet(
-            to_twos_complement(const, w), n_arrays, cols))
+        unit.write_values(acc, raw_planes)
+        unit.write_values(xs16, xsum_planes)
+        unit.write_values(kreg, const_planes)
 
         before = unit.cycles
         # acc += (N*zpx*zpw - zpx*sum_w[m]);  acc -= zpw * xsum
@@ -581,8 +676,7 @@ class FunctionalConv:
             # No-ReLU layers (the final FC) requantize on the host, as the
             # paper ships final outputs to the CPU anyway.
             self.report.quantization += (unit.cycles - before) * n_arrays
-            signed = from_twos_complement(
-                unit.read_values(acc).reshape(-1)[:n_out], w)
+            signed = from_twos_complement(unit.read_values(acc), w)
             if self.conv.relu:
                 signed = np.maximum(signed, 0)
             return requant.apply(signed).astype(np.int64)
@@ -614,7 +708,7 @@ class FunctionalConv:
         for high in (8, 9):
             unit.selective_copy(sat8, Operand(out10.row, 8), out10.bit(high))
         self.report.quantization += (unit.cycles - before) * n_arrays
-        return unit.read_values(Operand(out10.row, 8)).reshape(-1)[:n_out]
+        return unit.read_values(Operand(out10.row, 8))
 
     def _quantize_batch(self, raw: np.ndarray, xsum: np.ndarray,
                         const: np.ndarray, zpw: int,
@@ -704,35 +798,40 @@ class FunctionalMaxPool:
         self.report = CycleReport()
 
     def run(self, x: QuantizedTensor) -> QuantizedTensor:
+        return self.run_batch([x])[0]
+
+    def run_batch(self, xs: list[QuantizedTensor]) -> list[QuantizedTensor]:
+        """Max-pool a whole batch in one fleet pass per chunk."""
+        _check_batch(xs, self.input_shape)
         pool = self.pool
         e, f, c = pool.output_shape(self.input_shape)
-        padded = _pad_pool_input(x.data, pool, fill=0)
+        padded = _pad_pool_input(np.stack([x.data for x in xs]), pool,
+                                 fill=0)
         n_out = e * f * c
         cols = self.config.geometry.array_cols
         out_i, out_j, out_c = _pool_output_coords(n_out, f, c)
-        out = np.zeros(n_out, dtype=np.int64)
-        for start, end in _fleet_chunks(n_out, cols):
-            out[start:end] = self._run_fleet(
-                padded, out_i[start:end], out_j[start:end],
-                out_c[start:end], cols)
-        return QuantizedTensor(out.reshape(e, f, c).astype(np.uint8),
-                               x.params)
-
-    def _run_fleet(self, padded: np.ndarray, out_i: np.ndarray,
-                   out_j: np.ndarray, out_c: np.ndarray,
-                   cols: int) -> np.ndarray:
-        pool = self.pool
-        n_out = out_i.size
-        n_arrays = -(-n_out // cols)
         window = [(r, s) for r in range(pool.kernel[0])
                   for s in range(pool.kernel[1])]
 
-        def plane(tap_index: int) -> np.ndarray:
-            r, s = window[tap_index]
-            vals = padded[out_i * pool.stride + r,
-                          out_j * pool.stride + s, out_c].astype(np.int64)
-            return _stage_fleet(vals, n_arrays, cols)
+        def stage_group(b0: int, b1: int) -> list[np.ndarray]:
+            # Every window tap of the group's images, on the fleet axis.
+            return [_stage_batch(
+                        padded[b0:b1, out_i * pool.stride + r,
+                               out_j * pool.stride + s,
+                               out_c].astype(np.int64), cols)
+                    for r, s in window]
 
+        out = _run_batched_staged(
+            len(xs), n_out, cols, self.config, stage_group,
+            lambda planes: self._run_fleet(planes, cols))
+        return [QuantizedTensor(o.reshape(e, f, c).astype(np.uint8),
+                                x.params)
+                for o, x in zip(out, xs)]
+
+    def _run_fleet(self, taps: list[np.ndarray], cols: int) -> np.ndarray:
+        """One bounded fleet: fold the staged window taps into a running
+        maximum, all ``(n_arrays, cols)`` slots at once."""
+        n_arrays = taps[0].shape[0]
         unit = FleetBitSerialUnit(
             make_fleet(n_arrays, rows=64, cols=cols, packed=self.packed))
         current = Operand(0, 8)
@@ -740,13 +839,13 @@ class FunctionalMaxPool:
         scratch = Operand(16, 17)
 
         before = unit.cycles
-        unit.write_values(current, plane(0))
-        for t in range(1, len(window)):
-            unit.write_values(candidate, plane(t))
+        unit.write_values(current, taps[0])
+        for tap in taps[1:]:
+            unit.write_values(candidate, tap)
             unit.max_update(current, candidate, scratch)
         self.report.pooling += (unit.cycles - before) * n_arrays
         self.report.passes += n_arrays
-        return unit.read_values(current).reshape(-1)[:n_out]
+        return unit.read_values(current)
 
 
 class FunctionalAvgPool:
@@ -763,29 +862,47 @@ class FunctionalAvgPool:
         self.report = CycleReport()
 
     def run(self, x: QuantizedTensor) -> QuantizedTensor:
+        return self.run_batch([x])[0]
+
+    def run_batch(self, xs: list[QuantizedTensor]) -> list[QuantizedTensor]:
+        """Average-pool a whole batch in one fleet pass per chunk."""
+        _check_batch(xs, self.input_shape)
         pool = self.pool
         e, f, c = pool.output_shape(self.input_shape)
-        padded = _pad_pool_input(x.data, pool, fill=0)
-        counts = _pool_tap_counts(x.data.shape, pool)
+        padded = _pad_pool_input(np.stack([x.data for x in xs]), pool,
+                                 fill=0)
+        counts = _pool_tap_counts(self.input_shape, pool)
         n_out = e * f * c
         cols = self.config.geometry.array_cols
         out_i, out_j, out_c = _pool_output_coords(n_out, f, c)
-        out = np.zeros(n_out, dtype=np.int64)
-        for start, end in _fleet_chunks(n_out, cols):
-            out[start:end] = self._run_fleet(
-                padded, counts, out_i[start:end], out_j[start:end],
-                out_c[start:end], cols)
-        return QuantizedTensor(out.reshape(e, f, c).astype(np.uint8),
-                               x.params)
-
-    def _run_fleet(self, padded: np.ndarray, counts: np.ndarray,
-                   out_i: np.ndarray, out_j: np.ndarray,
-                   out_c: np.ndarray, cols: int) -> np.ndarray:
-        pool = self.pool
-        n_out = out_i.size
-        n_arrays = -(-n_out // cols)
         window = [(r, s) for r in range(pool.kernel[0])
                   for s in range(pool.kernel[1])]
+
+        def stage_group(b0: int, b1: int) -> list[np.ndarray]:
+            taps = [_stage_batch(
+                        padded[b0:b1, out_i * pool.stride + r,
+                               out_j * pool.stride + s,
+                               out_c].astype(np.int64), cols)
+                    for r, s in window]
+            # Dead columns divide by 1 so divide() never sees a zero
+            # divisor; tap counts are layout-only, shared by all images.
+            taps.append(_stage_batch(
+                np.broadcast_to(counts[out_i, out_j], (b1 - b0, n_out)),
+                cols, fill=1))
+            return taps
+
+        out = _run_batched_staged(
+            len(xs), n_out, cols, self.config, stage_group,
+            lambda planes: self._run_fleet(planes[:-1], planes[-1], cols))
+        return [QuantizedTensor(o.reshape(e, f, c).astype(np.uint8),
+                                x.params)
+                for o, x in zip(out, xs)]
+
+    def _run_fleet(self, taps: list[np.ndarray], divisors: np.ndarray,
+                   cols: int) -> np.ndarray:
+        """One bounded fleet: window sum then restoring division on all
+        staged ``(n_arrays, cols)`` slots at once."""
+        n_arrays = taps[0].shape[0]
         acc_bits = 16
 
         unit = FleetBitSerialUnit(
@@ -798,18 +915,14 @@ class FunctionalAvgPool:
 
         before = unit.cycles
         unit.zero(acc)
-        for r, s in window:
-            vals = padded[out_i * pool.stride + r,
-                          out_j * pool.stride + s, out_c].astype(np.int64)
-            unit.write_values(element, _stage_fleet(vals, n_arrays, cols))
+        for tap in taps:
+            unit.write_values(element, tap)
             unit.add_into(element, acc)
-        # Dead columns divide by 1 so divide() never sees a zero divisor.
-        div_vals = _stage_fleet(counts[out_i, out_j], n_arrays, cols, fill=1)
-        unit.write_values(divisor, div_vals)
+        unit.write_values(divisor, divisors)
         unit.divide(acc, divisor, quotient, work)
         self.report.pooling += (unit.cycles - before) * n_arrays
         self.report.passes += n_arrays
-        return unit.read_values(quotient).reshape(-1)[:n_out]
+        return unit.read_values(quotient)
 
 
 class FunctionalAdd:
@@ -833,29 +946,48 @@ class FunctionalAdd:
         self.report = CycleReport()
 
     def run(self, a: QuantizedTensor, b: QuantizedTensor) -> QuantizedTensor:
-        if a.shape != self.input_shape or b.shape != self.input_shape:
+        return self.run_batch([a], [b])[0]
+
+    def run_batch(self, a_list: list[QuantizedTensor],
+                  b_list: list[QuantizedTensor]) -> list[QuantizedTensor]:
+        """Add a whole batch of operand pairs in one fleet pass per chunk.
+
+        The shared zero point broadcasts to the entire fleet, so every
+        image of the batch must carry the same quantization parameters
+        (they do, coming out of one network's branches).
+        """
+        if len(a_list) != len(b_list):
             raise SimulationError(
-                f"operand shapes {a.shape}/{b.shape} do not match layer "
-                f"{self.input_shape}")
-        if a.params != b.params:
+                f"operand batches must match: {len(a_list)} vs "
+                f"{len(b_list)} images")
+        _check_batch(a_list, self.input_shape, shared_params=True)
+        _check_batch(b_list, self.input_shape, shared_params=True)
+        if a_list[0].params != b_list[0].params:
             raise SimulationError(
                 "elementwise add requires shared quantization parameters; "
                 "requantize the branches first")
-        zp = a.params.zero_point
-        flat_a = a.data.reshape(-1).astype(np.int64)
-        flat_b = b.data.reshape(-1).astype(np.int64)
+        zp = a_list[0].params.zero_point
+        n_out = int(np.prod(self.input_shape))
         cols = self.config.geometry.array_cols
-        out = np.zeros(flat_a.size, dtype=np.int64)
-        for start, end in _fleet_chunks(flat_a.size, cols):
-            out[start:end] = self._run_fleet(flat_a[start:end],
-                                             flat_b[start:end], zp, cols)
-        return QuantizedTensor(out.reshape(self.input_shape).astype(np.uint8),
-                               a.params)
+
+        def stage_group(b0: int, b1: int) -> list[np.ndarray]:
+            return [_stage_batch(
+                        np.stack([t.data.reshape(-1)
+                                  for t in ts[b0:b1]]).astype(np.int64),
+                        cols)
+                    for ts in (a_list, b_list)]
+
+        out = _run_batched_staged(
+            len(a_list), n_out, cols, self.config, stage_group,
+            lambda planes: self._run_fleet(planes[0], planes[1], zp, cols))
+        return [QuantizedTensor(
+                    o.reshape(self.input_shape).astype(np.uint8), a.params)
+                for o, a in zip(out, a_list)]
 
     def _run_fleet(self, av: np.ndarray, bv: np.ndarray, zp: int,
                    cols: int) -> np.ndarray:
-        n_out = av.size
-        n_arrays = -(-n_out // cols)
+        """One bounded fleet over staged ``(n_arrays, cols)`` operands."""
+        n_arrays = av.shape[0]
         unit = FleetBitSerialUnit(
             make_fleet(n_arrays, rows=96, cols=cols, packed=self.packed))
         a8, b8 = Operand(0, 8), Operand(8, 8)
@@ -867,8 +999,8 @@ class FunctionalAdd:
         sat8 = Operand(62, 8)
         relu_cmp = Operand(70, 10)     # second compare for fused ReLU
 
-        unit.write_values(a8, _stage_fleet(av, n_arrays, cols))
-        unit.write_values(b8, _stage_fleet(bv, n_arrays, cols))
+        unit.write_values(a8, av)
+        unit.write_values(b8, bv)
 
         before = unit.cycles
         unit.add(a8, b8, total9)
@@ -889,7 +1021,7 @@ class FunctionalAdd:
                                 relu_cmp.bit(9), invert=True)
         self.report.pooling += (unit.cycles - before) * n_arrays
         self.report.passes += n_arrays
-        return unit.read_values(Operand(diff10.row, 8)).reshape(-1)[:n_out]
+        return unit.read_values(Operand(diff10.row, 8))
 
 
 class FunctionalBatchNorm:
@@ -925,31 +1057,59 @@ class FunctionalBatchNorm:
                 f"epilogue window")
 
     def run(self, x: QuantizedTensor) -> QuantizedTensor:
-        if x.shape != self.input_shape:
-            raise SimulationError(
-                f"input shape {x.shape} does not match layer "
-                f"{self.input_shape}")
+        return self.run_batch([x])[0]
+
+    def run_batch(self, xs: list[QuantizedTensor]) -> list[QuantizedTensor]:
+        """Batch-normalise a whole batch in one fleet pass per chunk."""
+        from repro.nn.tensor import QuantParams, round_shift
+
+        from repro.common.bits import to_twos_complement
+
+        _check_batch(xs, self.input_shape)
         h, w, c = self.input_shape
-        flat_q = x.data.reshape(-1).astype(np.int64)
-        # Channel index of each flattened output (C varies fastest).
+        n_out = h * w * c
+        # Channel index of each flattened output (C varies fastest); the
+        # per-channel scalars/biases are layout-only, shared by all images.
         channel_of = np.tile(np.arange(c), h * w)
         cols = self.config.geometry.array_cols
-        out = np.zeros(flat_q.size, dtype=np.int64)
-        for start, end in _fleet_chunks(flat_q.size, cols):
-            out[start:end] = self._run_fleet(flat_q[start:end],
-                                             channel_of[start:end], cols)
-        from repro.nn.tensor import QuantParams
-        params = QuantParams(scale=x.params.scale, zero_point=self.zp_out)
-        return QuantizedTensor(out.reshape(self.input_shape).astype(np.uint8),
-                               params)
+        mult_col = self.bn.multiplier[channel_of]
+        bias_col = to_twos_complement(self.bn.bias[channel_of],
+                                      CORRECTION_BITS)
 
-    def _run_fleet(self, qv: np.ndarray, channels: np.ndarray,
-                   cols: int) -> np.ndarray:
-        from repro.common.bits import to_twos_complement
-        from repro.nn.tensor import round_shift
+        def stage_group(b0: int, b1: int) -> list[np.ndarray]:
+            group = b1 - b0
+            return [
+                _stage_batch(np.stack([x.data.reshape(-1)
+                                       for x in xs[b0:b1]]).astype(np.int64),
+                             cols),
+                _stage_batch(np.broadcast_to(mult_col, (group, n_out)),
+                             cols),
+                _stage_batch(np.broadcast_to(bias_col, (group, n_out)),
+                             cols),
+            ]
 
-        n_out = qv.size
-        n_arrays = -(-n_out // cols)
+        out = _run_batched_staged(
+            len(xs), n_out, cols, self.config, stage_group,
+            lambda planes: self._run_fleet(planes[0], planes[1],
+                                           planes[2], cols))
+        if not self.relu:
+            # Host epilogue for no-ReLU layers (as with the final FC).
+            signed = from_twos_complement(out, CORRECTION_BITS)
+            out = np.clip(round_shift(signed, self.bn.shift) + self.zp_out,
+                          0, 255)
+        return [QuantizedTensor(
+                    o.reshape(self.input_shape).astype(np.uint8),
+                    QuantParams(scale=x.params.scale,
+                                zero_point=self.zp_out))
+                for o, x in zip(out, xs)]
+
+    def _run_fleet(self, q_planes: np.ndarray, mult_planes: np.ndarray,
+                   bias_planes: np.ndarray, cols: int) -> np.ndarray:
+        """One bounded fleet over staged ``(n_arrays, cols)`` values.
+
+        Returns the requantized bytes (ReLU layers) or the raw 34-bit
+        two's complement accumulators (no-ReLU layers, host epilogue)."""
+        n_arrays = q_planes.shape[0]
         unit = FleetBitSerialUnit(
             make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed))
         w = CORRECTION_BITS
@@ -963,12 +1123,9 @@ class FunctionalBatchNorm:
         out10 = Operand(177, 10)
         sat8 = Operand(187, 8)
 
-        mult_col = self.bn.multiplier[channels]
-        bias_col = self.bn.bias[channels]
-        unit.write_values(q16, _stage_fleet(qv, n_arrays, cols))
-        unit.write_values(mult16, _stage_fleet(mult_col, n_arrays, cols))
-        unit.write_values(bias34, _stage_fleet(
-            to_twos_complement(bias_col, w), n_arrays, cols))
+        unit.write_values(q16, q_planes)
+        unit.write_values(mult16, mult_planes)
+        unit.write_values(bias34, bias_planes)
 
         before = unit.cycles
         unit.multiply(q16, mult16, Operand(acc.row, 32))
@@ -978,10 +1135,7 @@ class FunctionalBatchNorm:
         if not self.relu:
             self.report.quantization += (unit.cycles - before) * n_arrays
             self.report.passes += n_arrays
-            signed = from_twos_complement(
-                unit.read_values(acc).reshape(-1)[:n_out], w)
-            out = round_shift(signed, self.bn.shift) + self.zp_out
-            return np.clip(out, 0, 255)
+            return unit.read_values(acc)
 
         unit.relu(acc, sign_row=acc.bit(w - 1))
         shift = self.bn.shift
@@ -998,7 +1152,7 @@ class FunctionalBatchNorm:
             unit.selective_copy(sat8, Operand(out10.row, 8), out10.bit(high))
         self.report.quantization += (unit.cycles - before) * n_arrays
         self.report.passes += n_arrays
-        return unit.read_values(Operand(out10.row, 8)).reshape(-1)[:n_out]
+        return unit.read_values(Operand(out10.row, 8))
 
 
 class FunctionalExecutor:
@@ -1010,11 +1164,13 @@ class FunctionalExecutor:
     as the architecture leaves it to the output-management machinery.
 
     Layer engines (and therefore every layer's mapping plan) are built on
-    first use and reused across :meth:`run` calls — the filters stay
-    resident across a batch, exactly as the architecture amortises
-    filter loading (Sec. IV-E). Per-image state (the cycle reports) is
-    reset at the start of each run, so ``reports``/:meth:`total_report`
-    always describe the most recent image.
+    first use and reused across :meth:`run`/:meth:`run_batch` calls — the
+    filters stay resident across a batch, exactly as the architecture
+    amortises filter loading (Sec. IV-E). Per-run state (the cycle
+    reports) is reset at the start of each run, so
+    ``reports``/:meth:`total_report` always describe the most recent
+    run — one image for :meth:`run`, the whole batch for
+    :meth:`run_batch`.
     """
 
     def __init__(self, network, weights,
@@ -1043,12 +1199,31 @@ class FunctionalExecutor:
 
     def run(self, image: QuantizedTensor) -> dict[str, QuantizedTensor]:
         """Execute every layer; returns all node outputs by name."""
-        if image.shape != self.network.input_shape:
-            raise SimulationError(
-                f"input shape {image.shape} does not match network "
-                f"{self.network.input_shape}")
+        batch = self.run_batch([image])
+        return {name: tensors[0] for name, tensors in batch.items()}
+
+    def run_batch(self, images: list[QuantizedTensor]
+                  ) -> dict[str, list[QuantizedTensor]]:
+        """Execute every layer once for a whole batch of images.
+
+        The batch folds into each layer's fleet dimension
+        (``batch * arrays_per_image`` arrays), so every bit-serial
+        sequence of the network runs once per *batch* instead of once per
+        image, with outputs and aggregate cycle reports identical to
+        looping :meth:`run` (``reports`` holds each layer's whole-batch
+        cycles — the per-image loop total, since batching changes
+        wall-clock, not modeled cycles). Returns node name -> one output
+        tensor per image.
+        """
+        if not images:
+            raise SimulationError("run_batch needs at least one image")
+        for image in images:
+            if image.shape != self.network.input_shape:
+                raise SimulationError(
+                    f"input shape {image.shape} does not match network "
+                    f"{self.network.input_shape}")
         self.reports = {}
-        results = {self.network.input_name: image}
+        results = {self.network.input_name: list(images)}
         for node in self.network.layer_nodes():
             inputs = [results[name] for name in node.inputs]
             results[node.name] = self._run_node(node, inputs)
@@ -1063,7 +1238,7 @@ class FunctionalExecutor:
         if engine is None:
             engine = self._build_engine(node, inputs)
             self._engines[node.name] = engine
-        # Per-image state: each run reports its own cycles.
+        # Per-run state: each run/batch reports its own cycles.
         engine.report = CycleReport()
         return engine
 
@@ -1097,21 +1272,27 @@ class FunctionalExecutor:
                               packed=self.packed)
 
     def _run_node(self, node, inputs):
+        """Run one node for the whole batch; ``inputs`` are per-branch
+        lists of per-image tensors."""
         layer = node.layer
         if isinstance(layer, self._concat_type):
-            data = np.concatenate([t.data for t in inputs], axis=2)
-            return QuantizedTensor(data, inputs[0].params)
+            # Pure data movement, on the host (Sec. IV-E).
+            return [QuantizedTensor(
+                        np.concatenate([branch[i].data for branch in inputs],
+                                       axis=2),
+                        inputs[0][i].params)
+                    for i in range(len(inputs[0]))]
         if isinstance(layer, self._bn_type):
             return inputs[0]
-        engine = self._engine_for(node, inputs)
+        engine = self._engine_for(node, [branch[0] for branch in inputs])
         if isinstance(layer, self._add_type):
-            out = engine.run(inputs[0], inputs[1])
+            out = engine.run_batch(inputs[0], inputs[1])
         elif isinstance(layer, self._fc_type):
-            x = inputs[0]
-            out = engine.run(
-                QuantizedTensor(x.data.reshape(1, 1, -1), x.params))
+            out = engine.run_batch(
+                [QuantizedTensor(x.data.reshape(1, 1, -1), x.params)
+                 for x in inputs[0]])
         else:
-            out = engine.run(inputs[0])
+            out = engine.run_batch(inputs[0])
         self.reports[node.name] = engine.report
         return out
 
@@ -1123,24 +1304,93 @@ class FunctionalExecutor:
         return total
 
 
-def _fleet_chunks(n_out: int, cols: int) -> list[tuple[int, int]]:
-    """Output slices sized to at most ``MAX_FLEET_ARRAYS`` arrays each,
-    bounding fleet memory on activation-heavy layers."""
-    per_chunk = MAX_FLEET_ARRAYS * cols
-    return [(start, min(start + per_chunk, n_out))
-            for start in range(0, n_out, per_chunk)]
+def _max_fleet_arrays(config: NeuralCacheConfig) -> int:
+    """The configured per-chunk array cap (module default when unset)."""
+    if config.max_fleet_arrays is not None:
+        return config.max_fleet_arrays
+    return MAX_FLEET_ARRAYS
 
 
-def _stage_fleet(values: np.ndarray, n_arrays: int, cols: int,
-                 fill: int = 0) -> np.ndarray:
-    """Stage a flat value vector as ``(n_arrays, cols)`` fleet planes.
+def _array_chunks(total_arrays: int, max_arrays: int
+                  ) -> list[tuple[int, int]]:
+    """Slices of the global batch-by-arrays axis, at most ``max_arrays``
+    each, bounding fleet memory on activation-heavy layers and batches."""
+    return [(a0, min(a0 + max_arrays, total_arrays))
+            for a0 in range(0, total_arrays, max_arrays)]
 
-    Array ``p`` receives elements ``[p * cols, (p + 1) * cols)``; the tail
-    columns of the last array are padded with ``fill`` (dead lanes).
+
+def _run_batched_staged(n_images: int, n_out: int, cols: int,
+                        config: NeuralCacheConfig, stage_group,
+                        run_chunk) -> np.ndarray:
+    """Drive a staged batched pass with bounded peak memory.
+
+    Images are processed in image-aligned groups sized so one group's
+    staged planes respect ``config.max_fleet_arrays`` (a single image
+    whose own fleet exceeds the cap still forms a group and is chunked on
+    the array axis inside) — staging the whole batch up front would let
+    peak host memory grow with the batch regardless of the chunk knob.
+    ``stage_group(b0, b1)`` returns the group's staged
+    ``(arrays, cols)`` value planes; ``run_chunk(planes)`` executes one
+    bounded fleet over chunk slices of them and returns the output plane.
+    Chunk and group boundaries are unobservable: bit-serial sequences are
+    data-independent and cycles are charged per array, so any partition
+    yields identical outputs and cycle reports (property-tested with
+    ``max_fleet_arrays=2``).
     """
-    staged = np.full(n_arrays * cols, fill, dtype=np.int64)
-    staged[:len(values)] = values
-    return staged.reshape(n_arrays, cols)
+    max_arrays = _max_fleet_arrays(config)
+    arrays_per_image = -(-n_out // cols)
+    per_group = max(max_arrays // arrays_per_image, 1)
+    out = np.zeros((n_images, n_out), dtype=np.int64)
+    for b0 in range(0, n_images, per_group):
+        b1 = min(b0 + per_group, n_images)
+        planes = stage_group(b0, b1)
+        out_planes = np.zeros_like(planes[0])
+        for a0, a1 in _array_chunks(planes[0].shape[0], max_arrays):
+            out_planes[a0:a1] = run_chunk([p[a0:a1] for p in planes])
+        out[b0:b1] = _unstage_batch(out_planes, b1 - b0, n_out)
+    return out
+
+
+def _check_batch(xs, input_shape, shared_params: bool = False) -> None:
+    """Validate a ``run_batch`` image list: non-empty, every image the
+    layer's shape, and (when the sequence broadcasts a scalar derived
+    from them) shared quantization parameters."""
+    if not xs:
+        raise SimulationError("run_batch needs at least one image")
+    for x in xs:
+        if x.shape != input_shape:
+            raise SimulationError(
+                f"input shape {x.shape} does not match layer "
+                f"{input_shape}")
+        if shared_params and x.params != xs[0].params:
+            raise SimulationError(
+                "batched execution requires every image of the batch to "
+                "share quantization parameters")
+
+
+def _stage_batch(values: np.ndarray, cols: int, fill: int = 0) -> np.ndarray:
+    """Stage ``(batch, n_out)`` values as ``(batch * arrays, cols)`` fleet
+    planes, arrays aligned to image boundaries.
+
+    Image ``b`` occupies arrays ``[b * arrays, (b + 1) * arrays)`` with
+    ``arrays = ceil(n_out / cols)``; array ``p`` of an image receives its
+    elements ``[p * cols, (p + 1) * cols)``, and the tail columns of each
+    image's last array are padded with ``fill`` (dead lanes) — exactly the
+    arrays a per-image loop would stage, so batched cycle accounting
+    (cycles x arrays) matches the loop.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    batch, n_out = values.shape
+    arrays_per_image = -(-n_out // cols)
+    staged = np.full((batch, arrays_per_image * cols), fill, dtype=np.int64)
+    staged[:, :n_out] = values
+    return staged.reshape(batch * arrays_per_image, cols)
+
+
+def _unstage_batch(planes: np.ndarray, batch: int, n_out: int) -> np.ndarray:
+    """Inverse of :func:`_stage_batch`: the live ``(batch, n_out)`` values
+    of per-image-aligned ``(batch * arrays, cols)`` planes."""
+    return planes.reshape(batch, -1)[:, :n_out]
 
 
 def _pool_output_coords(n_out: int, f: int, c: int
@@ -1151,13 +1401,16 @@ def _pool_output_coords(n_out: int, f: int, c: int
 
 
 def _pad_pool_input(data: np.ndarray, pool, fill: int) -> np.ndarray:
+    """'same'-pad a ``(H, W, C)`` image or a ``(batch, H, W, C)`` stack."""
     if pool.padding == "valid":
         return data
-    top, bottom = same_padding_offsets(data.shape[0], pool.kernel[0],
+    lead = data.ndim - 3
+    top, bottom = same_padding_offsets(data.shape[lead], pool.kernel[0],
                                        pool.stride)
-    left, right = same_padding_offsets(data.shape[1], pool.kernel[1],
+    left, right = same_padding_offsets(data.shape[lead + 1], pool.kernel[1],
                                        pool.stride)
-    return np.pad(data, ((top, bottom), (left, right), (0, 0)),
+    return np.pad(data,
+                  ((0, 0),) * lead + ((top, bottom), (left, right), (0, 0)),
                   constant_values=fill)
 
 

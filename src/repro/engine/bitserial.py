@@ -118,6 +118,36 @@ class FleetBitSerialUnit:
                 f"{values.shape}")
         self.fleet.load_bits(op.row, int_to_bitplanes(values, op.nbits))
 
+    def write_value_block(self, base: Operand, values: np.ndarray,
+                          nbits: int) -> None:
+        """Store a contiguous block of equal-width fields in one host load.
+
+        ``values`` is ``(n_arrays, n_fields, cols)``; field ``t`` occupies
+        ``nbits`` wordlines starting at ``base.row + t * nbits``. All the
+        fields' bit planes are built and loaded in a *single*
+        ``load_bits`` call — on the packed store that is one vectorized
+        host pack for the whole block instead of ``n_fields`` separate
+        packs, which is the conversion hot spot when a conv layer loads
+        its tap planes (host/TMU path, no compute cycles either way).
+        """
+        values = np.asarray(values)
+        if values.dtype != np.uint8:
+            values = values.astype(np.int64, copy=False)
+        if (values.ndim != 3 or values.shape[0] != self.n_arrays
+                or values.shape[2] != self.cols):
+            raise ArrayStateError(
+                f"expected ({self.n_arrays}, n_fields, {self.cols}) "
+                f"values, got shape {values.shape}")
+        n_fields = values.shape[1]
+        if base.nbits != n_fields * nbits:
+            raise LayoutError(
+                f"block of {n_fields} x {nbits}-bit fields needs "
+                f"{n_fields * nbits} rows, operand has {base.nbits}")
+        planes = int_to_bitplanes(values.reshape(-1, self.cols), nbits)
+        self.fleet.load_bits(
+            base.row,
+            planes.reshape(self.n_arrays, n_fields * nbits, self.cols))
+
     def read_values(self, op: Operand) -> np.ndarray:
         """Read back ``(n_arrays, cols)`` integers from ``op``."""
         return bitplanes_to_int(self.fleet.dump_bits(op.row, op.nbits))

@@ -63,7 +63,8 @@ class ShardedBackend:
 
     def __init__(self, config: NeuralCacheConfig | None = None,
                  shards: int | None = None, packed: bool = True,
-                 weights=None, seed: int = 0, verify: bool = True):
+                 weights=None, seed: int = 0, verify: bool = True,
+                 batched: bool = True):
         self.config = config if config is not None else NeuralCacheConfig()
         if shards is None:
             shards = self.config.sockets
@@ -75,11 +76,15 @@ class ShardedBackend:
         self.weights = weights
         self.seed = seed
         self.verify = verify
+        #: Batch-in-fleet execution inside each shard: a shard's whole
+        #: round-robin slice runs as one fleet pass per layer (the
+        #: per-image loop remains as ``batched=False``).
+        self.batched = batched
         self.name = "sharded" if packed else "sharded-unpacked"
         #: One fleet executor per socket; stateless between batches.
         self._executors = tuple(
             FleetExecutor(self.config, weights=weights, seed=seed,
-                          verify=verify, packed=packed)
+                          verify=verify, packed=packed, batched=batched)
             for _ in range(shards))
 
     def run(self, network: Network, batch_size: int = 1) -> BackendResult:

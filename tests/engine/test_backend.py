@@ -53,6 +53,21 @@ class TestRegistry:
         backend = get_backend(name, config)
         assert backend.config is config
 
+    @pytest.mark.parametrize("name", available_backends())
+    def test_batched_flag_propagates(self, name):
+        """Every registered factory must accept ``batched`` and hand it
+        to the engine it builds (the analytic model, which has no
+        functional loop to fold, accepts and ignores it)."""
+        backend = get_backend(name, batched=False)
+        if hasattr(backend, "batched"):
+            assert backend.batched is False
+        default = get_backend(name)
+        if hasattr(default, "batched"):
+            assert default.batched is True
+        # The flag must reach every shard of a sharded backend.
+        for shard in getattr(backend, "_executors", ()):
+            assert shard.batched is False
+
 
 class TestAnalyticBackend:
     def test_run_matches_concrete_simulator(self):
@@ -165,6 +180,29 @@ class TestFleetExecutor:
         assert not result.verify
         assert "verified" not in result.summary()
 
+    @pytest.mark.parametrize("packed", [False, True])
+    @pytest.mark.parametrize("batch_size", [1, 3, 8])
+    def test_batched_matches_per_image_loop(self, tiny_net, packed,
+                                            batch_size):
+        """The tentpole property: folding the batch into the fleet axis
+        changes wall-clock only — outputs, cycle reports and verification
+        counts are identical to the per-image loop."""
+        batched = FleetExecutor(packed=packed).run(tiny_net, batch_size)
+        loop = FleetExecutor(packed=packed, batched=False).run(tiny_net,
+                                                               batch_size)
+        assert batched.report == loop.report
+        assert batched.verified_images == loop.verified_images == batch_size
+        for name in loop.outputs:
+            assert np.array_equal(batched.outputs[name].data,
+                                  loop.outputs[name].data), name
+
+    def test_batched_report_is_per_image_scaled(self, tiny_net):
+        """Regression: a batched pass must not double-count per-image
+        cycles — its report is exactly the single-image report scaled."""
+        single = FleetExecutor().run(tiny_net, batch_size=1)
+        batched = FleetExecutor().run(tiny_net, batch_size=6)
+        assert batched.report == single.report.scaled(6)
+
     def test_plans_each_layer_once_per_batch(self, tiny_net, monkeypatch):
         """Regression: run() used to rebuild the FunctionalExecutor (and
         re-plan every layer's mapping) for every image of the batch."""
@@ -229,6 +267,30 @@ class TestConsumers:
             main(["--backend", "fleet", "--batch", "0"])
         assert "--batch must be positive" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("flag", ["--batched", "--no-batched"])
+    def test_cli_batched_flag(self, capsys, flag):
+        from repro.__main__ import main
+
+        assert main(["--backend", "fleet", "--batch", "2", flag]) == 0
+        out = capsys.readouterr().out
+        assert "backend=fleet" in out and "2/2" in out
+
+    def test_cli_rejects_batched_for_analytic(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--backend", "analytic", "--no-batched"])
+        assert ("--batched/--no-batched only applies"
+                in capsys.readouterr().err)
+
+    def test_cli_rejects_batched_without_backend_mode(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table3", "--no-batched"])
+        assert ("--batched/--no-batched only applies"
+                in capsys.readouterr().err)
+
     def test_cli_reports_engine_failure_without_usage_text(self, capsys,
                                                            monkeypatch):
         from repro import __main__ as cli
@@ -245,7 +307,7 @@ class TestConsumers:
                 raise SimulationError("functional output diverged")
 
         monkeypatch.setattr(cli, "get_backend",
-                            lambda name: BrokenBackend())
+                            lambda name, **kwargs: BrokenBackend())
         assert cli.main(["--backend", "fleet"]) == 1
         err = capsys.readouterr().err
         assert "failed: functional output diverged" in err

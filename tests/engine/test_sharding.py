@@ -74,6 +74,23 @@ class TestShardedEquivalence:
         assert result.backend == "sharded-unpacked"
         assert_equivalent(result, unsharded[4], tiny_net)
 
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_batched_shards_match_per_image_shards(self, tiny_net,
+                                                   unsharded, shards):
+        """Each shard runs its round-robin slice as one batched fleet
+        pass; per-image shard execution must be indistinguishable."""
+        batched = ShardedBackend(shards=shards).run(tiny_net, batch_size=5)
+        loop = ShardedBackend(shards=shards, batched=False).run(
+            tiny_net, batch_size=5)
+        assert batched.report == loop.report
+        assert batched.shard_reports == loop.shard_reports
+        got = batched.outputs[tiny_net.output_name]
+        want = loop.outputs[tiny_net.output_name]
+        assert np.array_equal(got.data, want.data)
+        # And both still match the unsharded reference.
+        assert_equivalent(batched, unsharded[5], tiny_net)
+        assert_equivalent(loop, unsharded[5], tiny_net)
+
 
 class TestShardAssignment:
     def test_round_robin_image_counts(self, tiny_net):
@@ -102,6 +119,13 @@ class TestShardAssignment:
         for shard in backend._executors:
             assert shard.config is config
             assert shard.packed
+            assert shard.batched
+
+    def test_batched_flag_propagates_to_every_shard(self):
+        backend = ShardedBackend(shards=2, batched=False)
+        assert not backend.batched
+        for shard in backend._executors:
+            assert not shard.batched
 
     def test_bad_shard_count_rejected(self):
         with pytest.raises(SimulationError, match="shard count"):
