@@ -13,11 +13,7 @@ direction of the effect:
 from repro.config import NeuralCacheConfig
 from repro.core.executor import NeuralCacheSimulator
 from repro.core.mapping import map_conv
-from repro.core.schedule import (
-    mac_cycles_per_pass,
-    reduction_cycles_per_pass,
-    schedule_layer,
-)
+from repro.core.schedule import reduction_cycles_per_pass
 from repro.nn import Conv2D, build_inception_v3
 from repro.sram.cost import CycleCosts
 

@@ -1,7 +1,7 @@
 """Array-fleet engine benchmarks: fleet vs legacy, packed vs unpacked,
-sharded vs single-socket, batched vs per-image.
+sharded vs single-socket, batched vs per-image, shard drivers, serving.
 
-Four comparisons, all bit-identical by construction:
+Six comparisons, all bit-identical by construction:
 
 * the vectorized fleet path vs the legacy one-array-at-a-time path (the
   PR-1 refactor; acceptance target >= 10x on the functional conv);
@@ -18,16 +18,29 @@ Four comparisons, all bit-identical by construction:
   path (acceptance target: >= 4x wall-clock at batch >= 8 on the packed
   store, outputs bit-exact, cycle reports identical — batching changes
   wall-clock, not modeled cycles), plus the block tap-plane load vs the
-  per-plane host-pack loop it replaced.
+  per-plane host-pack loop it replaced;
+* the concurrent shard drivers (thread / process pools) vs the serial
+  driver — gated on every driver being bit-exact and
+  cycle-report-identical to serial, with the process driver's
+  wall-clock speedup over serial recorded, and gated >= 1.05x at 2
+  shards in full mode on hosts with >= 2 CPUs (a 1-CPU host cannot run
+  shards in parallel, so there the number is recorded, not gated);
+* the async batched serving stack (``repro.serving``) — a request
+  stream coalesced into batched fleet passes over a pool of sharded
+  backends. Gated on the serving invariants: no lost responses, no
+  duplicated responses, every response bit-exact vs the direct
+  ``run_requests`` path; p50/p95/p99 tail latency and throughput are
+  recorded. This is the CI serving smoke gate.
 
 Also runnable as a script so CI can smoke everything per PR::
 
     python benchmarks/bench_fleet_engine.py --quick [--json PATH]
 
 which runs the primitive comparison at a smaller fleet size with relaxed
-speedup gates (CI machines are noisy) plus the sharded-aggregation and
-batched-correctness checks, and exits non-zero when the packed store,
-the sharded aggregation or the batched path regresses in speedup or
+speedup gates (CI machines are noisy) plus the sharded-aggregation,
+shard-driver, serving and batched-correctness checks, and exits non-zero
+when the packed store, the sharded aggregation, a concurrent shard
+driver, the serving stack or the batched path regresses in speedup or
 exactness. ``--json`` additionally emits every section's measurements as
 one JSON document for the bench trajectory.
 """
@@ -255,6 +268,114 @@ def test_sharded_vs_single_fleet(record):
 
 
 # ----------------------------------------------------------------------
+# Concurrent shard drivers vs the serial driver
+# ----------------------------------------------------------------------
+def compare_shard_drivers(batch_size: int = 16, shards: int = 2,
+                          rounds: int = 2,
+                          drivers: tuple = ("thread", "process")) -> dict:
+    """Thread/process shard pools vs the serial reference driver.
+
+    Every driver executes the same picklable ShardWork units through the
+    same module-level ``execute_shard``, so results must be identical —
+    outputs bit-exact, aggregate and per-shard cycle reports equal. The
+    process driver is the wall-clock lever: with >= 2 CPUs the modeled
+    socket parallelism becomes real speedup (pool spin-up and work-unit
+    pickling are the overheads it must amortise).
+    """
+    import os
+
+    net = tiny_verification_network()
+    serial = ShardedBackend(shards=shards, driver="serial")
+    serial_s = _best_of(lambda: serial.run(net, batch_size), rounds)
+    serial_res = serial.run(net, batch_size)
+    out = net.output_name
+
+    stats: dict = {
+        "batch_size": batch_size,
+        "shards": shards,
+        "cpus": os.cpu_count() or 1,
+        "serial_s": serial_s,
+        "drivers": {},
+    }
+    for driver in drivers:
+        backend = ShardedBackend(shards=shards, driver=driver)
+        driver_s = _best_of(lambda: backend.run(net, batch_size), rounds)
+        res = backend.run(net, batch_size)
+        stats["drivers"][driver] = {
+            "seconds": driver_s,
+            "speedup": serial_s / driver_s,
+            "bit_exact": bool(np.array_equal(res.outputs[out].data,
+                                             serial_res.outputs[out].data)),
+            "report_identical": res.report == serial_res.report,
+            "shard_reports_identical":
+                res.shard_reports == serial_res.shard_reports,
+            "verified": res.verified_images,
+        }
+    return stats
+
+
+def render_shard_driver_report(stats: dict) -> str:
+    parts = []
+    for driver, d in stats["drivers"].items():
+        parts.append(f"{driver} {d['seconds'] * 1e3:.1f} ms "
+                     f"({d['speedup']:.2f}x vs serial)")
+    return (f"Shard driver benchmark: batch {stats['batch_size']} over "
+            f"{stats['shards']} shards on {stats['cpus']} CPU(s) -> "
+            f"serial {stats['serial_s'] * 1e3:.1f} ms, "
+            + ", ".join(parts)
+            + "; all drivers bit-exact and report-identical="
+            + str(_shard_drivers_exact(stats)))
+
+
+def _shard_drivers_exact(stats: dict) -> bool:
+    return all(d["bit_exact"] and d["report_identical"]
+               and d["shard_reports_identical"]
+               for d in stats["drivers"].values())
+
+
+def test_shard_drivers_match_serial(record):
+    stats = compare_shard_drivers(batch_size=8, rounds=1)
+    record(render_shard_driver_report(stats))
+    assert _shard_drivers_exact(stats)
+
+
+# ----------------------------------------------------------------------
+# Async batched serving smoke (the CI serving gate)
+# ----------------------------------------------------------------------
+def compare_serving(n_requests: int = 24, sockets: int = 2,
+                    pool_size: int = 2, max_batch: int = 6,
+                    driver: str = "thread") -> dict:
+    """One served request stream, with the gate verdict in the stats.
+
+    The serving stack must lose nothing relative to the direct
+    ``run_requests`` path: every request answered exactly once,
+    bit-exact, however arrivals were coalesced into batches and
+    whichever pool node ran them. Tail latency and throughput are the
+    recorded serving numbers (host wall-clock, so recorded — the gates
+    are the correctness invariants, which never relax).
+    """
+    from repro.serving import run_serving_benchmark
+
+    return run_serving_benchmark(n_requests=n_requests, sockets=sockets,
+                                 pool_size=pool_size, max_batch=max_batch,
+                                 max_wait_ms=2.0, driver=driver)
+
+
+def _serving_gates_pass(stats: dict) -> bool:
+    return (stats["lost"] == 0 and stats["duplicates"] == 0
+            and stats["bit_exact"]
+            and stats["responded"] == stats["n_requests"])
+
+
+def test_serving_smoke(record):
+    from repro.serving import render_serving_report
+
+    stats = compare_serving(n_requests=12, max_batch=4)
+    record(render_serving_report(stats))
+    assert _serving_gates_pass(stats)
+
+
+# ----------------------------------------------------------------------
 # Batch-in-fleet execution vs the per-image loop
 # ----------------------------------------------------------------------
 def compare_batched_conv(batch_size: int = 8, packed: bool = True,
@@ -392,7 +513,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fleet engine smoke benchmarks: packed vs unpacked "
                     "plane store, sharded-vs-single aggregation gates, "
-                    "batched-vs-per-image execution gates")
+                    "shard-driver equivalence + process speedup gates, "
+                    "serving smoke gates, batched-vs-per-image execution "
+                    "gates")
     parser.add_argument("--quick", action="store_true",
                         help="smaller fleet/batches and relaxed speedup "
                              "gates (CI smoke mode)")
@@ -429,6 +552,44 @@ def main(argv=None) -> int:
                   "outputs, identical cycle reports, full batch coverage "
                   "and verification)", file=sys.stderr)
             return _finish(results, args.json, 1)
+
+    # Shard drivers: every driver must be indistinguishable from serial
+    # in results; the process driver must additionally buy wall-clock at
+    # >= 2 shards when the host actually has parallel CPUs (full mode —
+    # CI runners and 1-CPU sandboxes record the number instead of
+    # gating it; the correctness gates never relax).
+    driver_stats = compare_shard_drivers(
+        batch_size=8 if args.quick else 16,
+        rounds=1 if args.quick else 2)
+    results["shard_drivers"] = driver_stats
+    print(render_shard_driver_report(driver_stats))
+    if not _shard_drivers_exact(driver_stats):
+        print("FAIL: a concurrent shard driver diverged from the serial "
+              "driver (need bit-exact outputs and identical aggregate + "
+              "per-shard cycle reports)", file=sys.stderr)
+        return _finish(results, args.json, 1)
+    process_speedup = driver_stats["drivers"]["process"]["speedup"]
+    if (not args.quick and driver_stats["cpus"] >= 2
+            and process_speedup < 1.05):
+        print(f"FAIL: process shard driver shows no wall-clock speedup "
+              f"over serial ({process_speedup:.2f}x at "
+              f"{driver_stats['shards']} shards on "
+              f"{driver_stats['cpus']} CPUs)", file=sys.stderr)
+        return _finish(results, args.json, 1)
+
+    # Serving smoke (the CI serving gate): lost/duplicated responses or
+    # bit-inexact results vs the direct run_requests path fail the run.
+    serving_stats = compare_serving(
+        n_requests=12 if args.quick else 32,
+        max_batch=4 if args.quick else 6)
+    results["serving"] = serving_stats
+    from repro.serving import render_serving_report
+    print(render_serving_report(serving_stats))
+    if not _serving_gates_pass(serving_stats):
+        print("FAIL: serving regressed (lost or duplicated responses, or "
+              "responses not bit-exact vs the direct run_batch path)",
+              file=sys.stderr)
+        return _finish(results, args.json, 1)
 
     # Batch-in-fleet smoke: the conv functional path at batch >= 8 on
     # the packed store. Full mode holds the >= 4x acceptance line; quick
@@ -469,9 +630,11 @@ def main(argv=None) -> int:
 
     print(f"OK (gates: bit/cycle exact, 8x memory, "
           f">= {min_speedup:.1f}x packed speedup; sharded aggregation "
-          f"lossless at shard counts 2 and 3; batch-in-fleet bit-exact, "
-          f"report-identical and >= {batched_min:.1f}x at batch "
-          f"{batched_batch}; block load bit-exact)")
+          f"lossless at shard counts 2 and 3; shard drivers identical to "
+          f"serial; serving exact — nothing lost, duplicated or "
+          f"bit-inexact; batch-in-fleet bit-exact, report-identical and "
+          f">= {batched_min:.1f}x at batch {batched_batch}; block load "
+          f"bit-exact)")
     return _finish(results, args.json, 0)
 
 

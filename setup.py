@@ -2,7 +2,9 @@
 
 `pip install -e . --no-build-isolation` needs bdist_wheel; this offline
 environment lacks it, so `python setup.py develop` provides the editable
-install path. Configuration lives in pyproject.toml.
+install path. All configuration — package metadata, the dependency
+extras ([test], [bench], [lint]) that CI and local installs share, and
+the ruff/coverage tool config — lives in pyproject.toml.
 """
 
 from setuptools import setup

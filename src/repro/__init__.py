@@ -54,6 +54,7 @@ from repro.engine.backend import (
     get_backend,
 )
 from repro.engine.sharding import ShardedBackend
+from repro.serving import Server, ServingReport
 from repro.nn import (
     Conv2D,
     Network,
@@ -95,6 +96,8 @@ __all__ = [
     "Operand",
     "QuantizedTensor",
     "ReferenceExecutor",
+    "Server",
+    "ServingReport",
     "SRAMArray",
     "ShardedBackend",
     "build_inception_v3",

@@ -9,7 +9,9 @@ Usage::
     python -m repro --backend fleet-packed   # same, packed plane store
     python -m repro --backend analytic --batch 16
     python -m repro --backend sharded --batch 8 --shards 4
+    python -m repro --backend sharded --shards 2 --shard-driver process
     python -m repro --backend fleet --batch 8 --no-batched   # per-image loop
+    python -m repro serve-bench --requests 32 --sockets 2    # serving smoke
 
 The ``--backend`` mode drives an execution engine through the unified
 :class:`~repro.engine.backend.Backend` protocol — ``analytic`` runs the
@@ -19,12 +21,22 @@ runs the same verification on the packed uint64 plane store (8x smaller,
 faster lockstep primitives, identical results), and ``sharded`` splits
 the batch round-robin across socket shards (``--shards``, default
 ``config.sockets``), each on its own packed fleet, with results and
-cycle totals identical to the unsharded run.
+cycle totals identical to the unsharded run. ``--shard-driver`` selects
+how the shard pool executes — ``serial`` (default), ``thread`` or
+``process`` (real wall-clock parallelism across OS processes); every
+driver is bit-exact and cycle-report-identical to serial.
 
 Functional backends fold the whole batch into the fleet's array axis by
 default (one fleet pass per layer computes every image);
 ``--no-batched`` selects the per-image reference loop, whose outputs and
 cycle reports are identical — only wall-clock differs.
+
+The ``serve-bench`` subcommand runs the async batched serving benchmark
+(:mod:`repro.serving`): a request stream coalesced into batched fleet
+passes over a pool of sharded backends, reporting p50/p95/p99 tail
+latency and throughput, and exiting non-zero when any response is lost,
+duplicated or not bit-exact against the direct ``run_requests`` path —
+the CI serving smoke gate.
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ import sys
 
 from repro.analysis import experiments
 from repro.engine.backend import available_backends, get_backend
+from repro.engine.sharding import SHARD_DRIVERS
 
 #: name -> zero-argument callable returning an ExperimentResult.
 EXPERIMENTS = {
@@ -51,10 +64,71 @@ EXPERIMENTS = {
     "area": experiments.area_report,
     "fleet": experiments.fleet_verification,
     "sharding": experiments.sharding,
+    "serving": experiments.serving,
 }
 
 
+def serve_bench_main(argv: list[str]) -> int:
+    """The ``serve-bench`` subcommand: serving smoke + tail latency."""
+    from repro.serving import render_serving_report, run_serving_benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-bench",
+        description="Async batched serving benchmark: coalesce a request "
+                    "stream into batched fleet passes over a pool of "
+                    "sharded backends; reports p50/p95/p99 tail latency "
+                    "and throughput, fails on lost/duplicated responses "
+                    "or bit-inexact results vs the direct run_batch "
+                    "path.")
+    parser.add_argument("--requests", type=int, default=32, metavar="N",
+                        help="requests in the stream (default 32)")
+    parser.add_argument("--sockets", type=int, default=2, metavar="N",
+                        help="socket shards per pool node (default 2)")
+    parser.add_argument("--pool", type=int, default=2, metavar="N",
+                        help="backends in the serving pool (default 2)")
+    parser.add_argument("--max-batch", type=int, default=8, metavar="N",
+                        help="largest coalesced batch (default 8)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        metavar="MS",
+                        help="longest wait for a partial batch to fill "
+                             "(default 2.0)")
+    parser.add_argument("--shard-driver", choices=SHARD_DRIVERS,
+                        default="thread",
+                        help="shard driver of each pool node "
+                             "(default thread)")
+    parser.add_argument("--arrival-gap-ms", type=float, default=0.0,
+                        metavar="MS",
+                        help="spacing between request arrivals "
+                             "(default 0: an already-queued burst)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizing (fewer requests, smaller "
+                             "batches); gates are never relaxed")
+    args = parser.parse_args(argv)
+    for name in ("requests", "sockets", "pool", "max_batch"):
+        if getattr(args, name) <= 0:
+            parser.error(f"--{name.replace('_', '-')} must be positive")
+    if args.max_wait_ms < 0 or args.arrival_gap_ms < 0:
+        parser.error("waits and gaps must be non-negative")
+    if args.quick:
+        args.requests = min(args.requests, 12)
+        args.max_batch = min(args.max_batch, 4)
+    stats = run_serving_benchmark(
+        n_requests=args.requests, sockets=args.sockets,
+        pool_size=args.pool, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, driver=args.shard_driver,
+        arrival_gap_ms=args.arrival_gap_ms)
+    print(render_serving_report(stats))
+    if not stats["ok"]:
+        print("serve-bench: FAIL — responses lost, duplicated or not "
+              "bit-exact vs the direct run_batch path", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve-bench":
+        return serve_bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Neural Cache (ISCA 2018) reproduction: regenerate "
@@ -72,6 +146,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="socket shards for --backend sharded runs "
                              "(default: the config's socket count)")
+    parser.add_argument("--shard-driver", choices=SHARD_DRIVERS,
+                        default=None,
+                        help="how --backend sharded runs its shard pool: "
+                             "serial (default), thread, or process "
+                             "(wall-clock parallel; results identical)")
     parser.add_argument("--batched", action=argparse.BooleanOptionalAction,
                         default=None,
                         help="fold the batch into the fleet's array axis "
@@ -94,7 +173,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"names (got: {', '.join(args.names)})")
         if args.batch <= 0:
             parser.error(f"--batch must be positive, got {args.batch}")
-        backend = get_backend(args.backend, batched=args.batched)
+        try:
+            backend = get_backend(args.backend, batched=args.batched,
+                                  driver=args.shard_driver)
+        except SimulationError as exc:
+            # e.g. --shard-driver on a backend without a shard pool.
+            parser.error(str(exc))
         if args.batched is not None and not hasattr(backend, "batched"):
             parser.error("--batched/--no-batched only applies to the "
                          "functional fleet backends")
@@ -108,11 +192,12 @@ def main(argv: list[str] | None = None) -> int:
                 parser.error(f"--shards must be positive, got "
                              f"{args.shards}")
             # Rebuild the registry's backend with the explicit shard
-            # count; store and batching stay whatever the name (and
-            # --batched) resolved to.
+            # count; store, batching and driver stay whatever the name
+            # (and --batched / --shard-driver) resolved to.
             backend = ShardedBackend(backend.config, shards=args.shards,
                                      packed=backend.packed,
-                                     batched=backend.batched)
+                                     batched=backend.batched,
+                                     driver=backend.driver)
         network = backend.default_network()
         try:
             print(backend.run(network, args.batch).summary())
@@ -128,6 +213,9 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--batch only applies to --backend runs")
     if args.shards is not None:
         parser.error("--shards only applies to --backend sharded runs")
+    if args.shard_driver is not None:
+        parser.error("--shard-driver only applies to --backend sharded "
+                     "runs")
     if args.batched is not None:
         parser.error("--batched/--no-batched only applies to --backend "
                      "runs")

@@ -14,6 +14,7 @@ from repro.analysis.experiments import (
     robustness_report,
     section6a_example,
     sharding,
+    serving,
     table1,
     table2,
     table3,
@@ -49,6 +50,7 @@ __all__ = [
     "robustness_report",
     "section6a_example",
     "sharding",
+    "serving",
     "table1",
     "table2",
     "table3",

@@ -58,7 +58,7 @@ Inception-scale layers are the analytic simulator's job.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -70,7 +70,7 @@ from repro.engine.bitserial import FleetBitSerialUnit
 from repro.engine.packed import make_fleet
 from repro.nn.layers import AvgPool, Conv2D, MaxPool, same_padding_offsets
 from repro.nn.reference import ConvWeights
-from repro.nn.tensor import QuantizedTensor, RequantParams
+from repro.nn.tensor import QuantizedTensor
 from repro.sram.array import SRAMArray
 from repro.sram.bitserial import BitSerialUnit, Operand
 

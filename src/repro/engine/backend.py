@@ -45,6 +45,30 @@ class ShardReport:
 
 
 @dataclass(frozen=True)
+class BatchOutcome:
+    """What a functional engine produced for an *explicit* image stream.
+
+    This is the serving-side counterpart of :class:`BackendResult`:
+    ``run(network, batch_size)`` generates its own deterministic images,
+    while ``run_requests(network, images)`` executes images a caller
+    (the request queue in :mod:`repro.serving`, a shard driver, a test)
+    actually handed over — and must therefore return one response per
+    image, in arrival order, not just the last image's outputs.
+    """
+
+    #: Aggregate functional compute-cycle report for the stream.
+    report: CycleReport
+    #: The network output tensor of image ``i`` at position ``i``.
+    responses: tuple
+    #: Node name -> QuantizedTensor for the last image (debug surface,
+    #: same shape as :attr:`BackendResult.outputs`); ``None`` when the
+    #: stream was empty.
+    outputs: dict | None
+    #: Images verified bit-exact against the golden executor.
+    verified: int
+
+
+@dataclass(frozen=True)
 class BackendResult:
     """What any backend returns for one batch.
 
@@ -273,6 +297,18 @@ class FleetExecutor:
                    golden=None) -> tuple[CycleReport, dict | None, int]:
         """Drive explicit images through one persistent executor.
 
+        Aggregate-only convenience over :meth:`run_requests`: returns
+        ``(aggregate report, last image's outputs, verified)``, the
+        shard-level unit of work
+        :class:`~repro.engine.sharding.ShardedBackend` aggregates.
+        """
+        outcome = self.run_requests(network, images, weights, golden)
+        return outcome.report, outcome.outputs, outcome.verified
+
+    def run_requests(self, network: Network, images, weights=None,
+                     golden=None) -> BatchOutcome:
+        """Execute an explicit image stream; per-image responses.
+
         One :class:`~repro.core.functional.FunctionalExecutor` serves the
         whole stream, so every layer's mapping is planned exactly once per
         batch (filters stay resident, Sec. IV-E) — not once per image.
@@ -280,36 +316,46 @@ class FleetExecutor:
         executes as *one* fleet pass per layer, the batch folded into the
         fleet's array axis; ``batched=False`` falls back to the per-image
         loop, whose outputs and aggregate cycle report are identical.
-        Returns ``(aggregate report, last image's outputs, verified)``;
-        this is the shard-level unit of work
-        :class:`~repro.engine.sharding.ShardedBackend` aggregates.
+
+        The returned :class:`BatchOutcome` carries the network output of
+        image ``i`` at ``responses[i]`` — this is the entry point the
+        serving frontend (:mod:`repro.serving`) coalesces request batches
+        into.
         """
         if weights is None:
             weights = self.weights_for(network)
         if golden is None:
             golden = self.golden_for(network, weights)
+        images = list(images)
+        if not images:
+            return BatchOutcome(report=CycleReport(), responses=(),
+                                outputs=None, verified=0)
         executor = FunctionalExecutor(network, weights, self.config,
                                       packed=self.packed)
-        images = list(images)
-        if self.batched and images:
+        if self.batched:
             results = executor.run_batch(images)
-            verified = self._verify_batch(network, images,
-                                          results[network.output_name],
+            responses = tuple(results[network.output_name])
+            verified = self._verify_batch(network, images, responses,
                                           golden)
             outputs = {name: tensors[-1]
                        for name, tensors in results.items()}
-            return executor.total_report(), outputs, verified
+            return BatchOutcome(report=executor.total_report(),
+                                responses=responses, outputs=outputs,
+                                verified=verified)
         total = CycleReport()
+        responses = []
         outputs = None
         verified = 0
         for image in images:
             outputs = executor.run(image)
+            responses.append(outputs[network.output_name])
             if golden is not None:
-                self._verify_batch(network, [image],
-                                   [outputs[network.output_name]], golden)
+                self._verify_batch(network, [image], [responses[-1]],
+                                   golden)
                 verified += 1
             total = total.merged(executor.total_report())
-        return total, outputs, verified
+        return BatchOutcome(report=total, responses=tuple(responses),
+                            outputs=outputs, verified=verified)
 
     def _verify_batch(self, network: Network, images, outputs,
                       golden) -> int:
@@ -344,41 +390,59 @@ def tiny_verification_network(size: int = 8, channels: int = 8,
     return net
 
 
+def _check_no_driver(name: str, driver: str | None) -> None:
+    """Unsharded engines have no shard pool to drive."""
+    if driver is not None:
+        raise SimulationError(
+            f"backend {name!r} does not take a shard driver; only the "
+            f"sharded backends run a shard pool")
+
+
 def _analytic(config: NeuralCacheConfig | None = None,
-              batched: bool = True) -> AnalyticBackend:
+              batched: bool = True,
+              driver: str | None = None) -> AnalyticBackend:
     """The analytic model. It has no functional per-image loop to fold,
     so ``batched`` is accepted for registry uniformity and ignored."""
+    _check_no_driver("analytic", driver)
     return AnalyticBackend(config)
 
 
 def _fleet(config: NeuralCacheConfig | None = None,
-           batched: bool = True) -> FleetExecutor:
+           batched: bool = True,
+           driver: str | None = None) -> FleetExecutor:
     """The fleet executor on the unpacked reference store."""
+    _check_no_driver("fleet", driver)
     return FleetExecutor(config, batched=batched)
 
 
 def _packed_fleet(config: NeuralCacheConfig | None = None,
-                  batched: bool = True) -> FleetExecutor:
+                  batched: bool = True,
+                  driver: str | None = None) -> FleetExecutor:
     """The fleet executor on the packed uint64 plane store."""
+    _check_no_driver("fleet-packed", driver)
     return FleetExecutor(config, packed=True, batched=batched)
 
 
 def _sharded(config: NeuralCacheConfig | None = None,
-             batched: bool = True) -> Backend:
+             batched: bool = True,
+             driver: str | None = None) -> Backend:
     """Multi-socket sharded execution on packed per-shard fleets."""
     from repro.engine.sharding import ShardedBackend
-    return ShardedBackend(config, batched=batched)
+    return ShardedBackend(config, batched=batched,
+                          driver=driver if driver is not None else "serial")
 
 
 def _sharded_unpacked(config: NeuralCacheConfig | None = None,
-                      batched: bool = True) -> Backend:
+                      batched: bool = True,
+                      driver: str | None = None) -> Backend:
     """The sharded backend on the unpacked reference store."""
     from repro.engine.sharding import ShardedBackend
-    return ShardedBackend(config, packed=False, batched=batched)
+    return ShardedBackend(config, packed=False, batched=batched,
+                          driver=driver if driver is not None else "serial")
 
 
-#: Registered engine factories ((config, batched) -> Backend), by
-#: CLI/experiment name.
+#: Registered engine factories ((config, batched, driver) -> Backend),
+#: by CLI/experiment name.
 BACKENDS: dict = {
     AnalyticBackend.name: _analytic,
     FleetExecutor.name: _fleet,
@@ -394,12 +458,16 @@ def available_backends() -> tuple[str, ...]:
 
 
 def get_backend(name: str, config: NeuralCacheConfig | None = None,
-                batched: bool | None = None) -> Backend:
+                batched: bool | None = None,
+                driver: str | None = None) -> Backend:
     """Resolve a backend by name; raises on unknown names.
 
     ``batched`` selects batch-in-fleet execution for the functional
     backends (the CLI's ``--batched/--no-batched``); ``None`` keeps each
-    engine's default (batched on).
+    engine's default (batched on). ``driver`` selects the shard driver of
+    the sharded backends — ``serial``, ``thread`` or ``process`` (the
+    CLI's ``--shard-driver``); any non-``None`` value is rejected for
+    engines that have no shard pool to drive.
     """
     try:
         factory = BACKENDS[name]
@@ -407,6 +475,9 @@ def get_backend(name: str, config: NeuralCacheConfig | None = None,
         raise SimulationError(
             f"unknown backend {name!r}; available: "
             f"{', '.join(available_backends())}") from None
-    if batched is None:
-        return factory(config)
-    return factory(config, batched=batched)
+    kwargs: dict = {}
+    if batched is not None:
+        kwargs["batched"] = batched
+    if driver is not None:
+        kwargs["driver"] = driver
+    return factory(config, **kwargs)

@@ -8,18 +8,31 @@ full network over its own slice of the batch. The reproduction's
 this module makes a functional backend actually shard work that way.
 
 :class:`ShardedBackend` splits a batch across ``shards`` sockets (one
-:class:`~repro.engine.backend.FleetExecutor` per shard, each on its own
-packed :class:`~repro.engine.packed.PackedArrayFleet` by default),
-assigns images **round-robin** — image ``i`` goes to shard ``i % shards``,
-the arrival-order policy a serving frontend would use — and aggregates
-the per-shard cycle reports.
+fleet executor pass per shard, each on its own packed
+:class:`~repro.engine.packed.PackedArrayFleet` by default), assigns
+images **round-robin** — image ``i`` goes to shard ``i % shards``, the
+arrival-order policy a serving frontend would use — and aggregates the
+per-shard cycle reports.
+
+The shard pool runs on a pluggable **driver** (``driver=``):
+
+* ``serial`` (default) — shards execute one after another in-process,
+  the reference the concurrent drivers must match;
+* ``thread`` — one :class:`concurrent.futures.ThreadPoolExecutor`
+  worker per shard (NumPy releases the GIL inside the hot lockstep
+  kernels, so shard passes overlap);
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`, one
+  OS process per shard: the modeled socket parallelism becomes real
+  wall-clock parallelism. Process workers require picklable work, which
+  is why a shard's slice -> ``run_batch`` call is factored into the
+  module-level :func:`execute_shard` over a frozen :class:`ShardWork`.
 
 The design invariant, shared with systolic-array partitioning in
 SCALE-Sim and BrainWave's weight-stationary sharding across FPGAs: the
-sharded result must be *exactly* the unsharded result.  Three properties
-make that hold here, and the property tests in
-``tests/engine/test_sharding.py`` pin all of them for shard counts that
-do and do not divide the batch:
+sharded result must be *exactly* the unsharded result, on every driver.
+Four properties make that hold here, and the property tests in
+``tests/engine/test_sharding.py`` / ``tests/engine/test_shard_driver.py``
+pin all of them for shard counts that do and do not divide the batch:
 
 * every shard sees the same deterministic image stream positions the
   unsharded run would (the stream depends only on ``(network, seed)``,
@@ -27,17 +40,24 @@ do and do not divide the batch:
 * per-image cycle reports depend only on ``(network, weights, image)``,
   and report aggregation is a commutative sum, so any partition of the
   batch merges back to the identical total;
+* drivers differ only in *where* :func:`execute_shard` runs — every
+  driver executes the same :class:`ShardWork` units and collects their
+  outcomes in shard order, so completion order cannot leak into results;
 * the result's ``outputs`` are the globally-last image's outputs, which
   round-robin places at the tail of shard ``(batch - 1) % shards``.
 """
 
 from __future__ import annotations
 
+from concurrent import futures
+from dataclasses import dataclass
+
 from repro.common.errors import SimulationError
 from repro.config import NeuralCacheConfig
 from repro.core.functional import CycleReport
 from repro.engine.backend import (
     BackendResult,
+    BatchOutcome,
     FleetExecutor,
     ShardReport,
     check_batch_size,
@@ -45,32 +65,108 @@ from repro.engine.backend import (
 )
 from repro.nn.graph import Network
 
+#: Accepted shard drivers, in the order the CLI documents them.
+SHARD_DRIVERS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ShardWork:
+    """One shard's slice of a batch, as a self-contained unit of work.
+
+    Everything :func:`execute_shard` needs travels inside — network,
+    weights, images and the executor knobs — so the unit is picklable
+    and a process-pool worker can run it without any shared state. The
+    weights are resolved *once* by the backend and shipped to every
+    shard (weight-stationary replication, BrainWave-style), so all
+    shards compute with bit-identical filters.
+    """
+
+    #: Shard index within the sharded backend (0-based).
+    shard: int
+    network: Network
+    #: The shard's round-robin slice, in stream order.
+    images: tuple
+    weights: object
+    config: NeuralCacheConfig
+    packed: bool
+    batched: bool
+    verify: bool
+    seed: int
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one shard's :func:`execute_shard` call produced."""
+
+    shard: int
+    #: Images the round-robin assignment handed this shard.
+    images: int
+    outcome: BatchOutcome
+
+
+def execute_shard(work: ShardWork) -> ShardOutcome:
+    """Run one shard's slice as one (batched) fleet pass.
+
+    Module-level on purpose: the process driver pickles ``work`` to a
+    worker and this function by reference, so the same code path serves
+    every driver — serial and thread call it directly, process calls it
+    in a child. A fresh :class:`~repro.engine.backend.FleetExecutor` is
+    built per call (they are stateless between batches), and with
+    ``verify`` each worker builds its own golden executor, so no state
+    is shared across concurrently-running shards.
+    """
+    if not work.images:
+        # More shards than images: this socket idles.
+        return ShardOutcome(shard=work.shard, images=0,
+                            outcome=BatchOutcome(report=CycleReport(),
+                                                 responses=(),
+                                                 outputs=None, verified=0))
+    executor = FleetExecutor(work.config, weights=work.weights,
+                             seed=work.seed, verify=work.verify,
+                             packed=work.packed, batched=work.batched)
+    outcome = executor.run_requests(work.network, list(work.images),
+                                    work.weights)
+    return ShardOutcome(shard=work.shard, images=len(work.images),
+                        outcome=outcome)
+
 
 class ShardedBackend:
     """A batch sharded across sockets, bit-exact with the unsharded run.
 
     ``shards`` defaults to ``config.sockets`` (the paper's dual-socket
-    node). Each shard is a :class:`~repro.engine.backend.FleetExecutor`
-    whose layers execute on its own plane-store fleet — packed uint64
-    words by default (``packed=False`` selects the unpacked byte-per-bit
-    reference, registered as ``sharded-unpacked``).
+    node). Each shard executes its round-robin slice as one fleet pass
+    on its own plane-store fleet — packed uint64 words by default
+    (``packed=False`` selects the unpacked byte-per-bit reference,
+    registered as ``sharded-unpacked``).
+
+    ``driver`` selects how the shard pool executes — ``serial``,
+    ``thread`` or ``process`` (:data:`SHARD_DRIVERS`). All three run the
+    same :class:`ShardWork` units through :func:`execute_shard` and
+    aggregate outcomes in shard order, so results and cycle reports are
+    identical by construction; only wall-clock differs.
 
     ``run`` returns the same :class:`~repro.engine.backend.BackendResult`
     surface as the unsharded fleet backends, plus a ``shard_reports``
     breakdown so ``summary()`` shows per-socket cycle totals — the
     functional side of the analytic model's linear socket scaling.
+    ``run_requests`` is the serving entry point: explicit images in,
+    per-image responses out, arrival order preserved across shards.
     """
 
     def __init__(self, config: NeuralCacheConfig | None = None,
                  shards: int | None = None, packed: bool = True,
                  weights=None, seed: int = 0, verify: bool = True,
-                 batched: bool = True):
+                 batched: bool = True, driver: str = "serial"):
         self.config = config if config is not None else NeuralCacheConfig()
         if shards is None:
             shards = self.config.sockets
         if shards <= 0:
             raise SimulationError(
                 f"shard count must be positive, got {shards}")
+        if driver not in SHARD_DRIVERS:
+            raise SimulationError(
+                f"unknown shard driver {driver!r}; available: "
+                f"{', '.join(SHARD_DRIVERS)}")
         self.shards = shards
         self.packed = packed
         self.weights = weights
@@ -80,46 +176,111 @@ class ShardedBackend:
         #: round-robin slice runs as one fleet pass per layer (the
         #: per-image loop remains as ``batched=False``).
         self.batched = batched
+        #: How the shard pool executes: serial / thread / process.
+        self.driver = driver
         self.name = "sharded" if packed else "sharded-unpacked"
-        #: One fleet executor per socket; stateless between batches.
-        self._executors = tuple(
-            FleetExecutor(self.config, weights=weights, seed=seed,
-                          verify=verify, packed=packed, batched=batched)
-            for _ in range(shards))
+        #: Template executor: resolves weights/golden/default network
+        #: exactly like each shard's worker will.
+        self._template = FleetExecutor(self.config, weights=weights,
+                                       seed=seed, verify=verify,
+                                       packed=packed, batched=batched)
 
-    def run(self, network: Network, batch_size: int = 1) -> BackendResult:
-        check_batch_size(batch_size, self.name)
-        weights = self._executors[0].weights_for(network)
-        golden = self._executors[0].golden_for(network, weights)
-        images = deterministic_images(network, weights, self.seed,
-                                      batch_size)
+    # -- work construction -------------------------------------------------
+    def shard_works(self, network: Network, images,
+                    weights=None) -> list[ShardWork]:
+        """The picklable per-shard work units for an image stream.
 
+        Image ``i`` goes to shard ``i % shards`` (round-robin). Exposed
+        so tests and tools can inspect exactly what a driver would
+        execute.
+        """
+        if weights is None:
+            weights = self._template.weights_for(network)
+        images = list(images)
+        return [ShardWork(shard=k, network=network,
+                          images=tuple(images[k::self.shards]),
+                          weights=weights, config=self.config,
+                          packed=self.packed, batched=self.batched,
+                          verify=self.verify, seed=self.seed)
+                for k in range(self.shards)]
+
+    def _execute(self, works: list[ShardWork]) -> list[ShardOutcome]:
+        """Run the shard pool on the configured driver, in shard order."""
+        if self.driver == "serial":
+            return [execute_shard(work) for work in works]
+        pool_cls = (futures.ThreadPoolExecutor if self.driver == "thread"
+                    else futures.ProcessPoolExecutor)
+        busy = sum(1 for work in works if work.images)
+        with pool_cls(max_workers=max(1, busy)) as pool:
+            # Executor.map preserves submission (= shard) order, so the
+            # aggregation below is independent of completion order.
+            return list(pool.map(execute_shard, works))
+
+    def _run_shards(self, network: Network, images, weights
+                    ) -> tuple[list[ShardOutcome], CycleReport, int, dict | None]:
+        """Execute the stream; merge outcomes in shard order.
+
+        The one aggregation loop both surfaces share: merged cycle
+        report, summed verification count, and the globally-last image's
+        outputs — which round-robin places at the tail of shard
+        ``(len(images) - 1) % shards``, so they match the unsharded
+        run's.
+        """
+        outcomes = self._execute(self.shard_works(network, images,
+                                                  weights))
         total = CycleReport()
         verified = 0
         outputs = None
-        shard_reports = []
-        for k, shard in enumerate(self._executors):
-            assigned = images[k::self.shards]       # round-robin slice
-            if not assigned:
-                # More shards than images: this socket idles.
-                shard_reports.append(ShardReport(shard=k, images=0,
-                                                 report=CycleReport()))
-                continue
-            report, out_k, ver_k = shard.run_images(network, assigned,
-                                                    weights, golden)
-            total = total.merged(report)
-            verified += ver_k
-            shard_reports.append(ShardReport(shard=k, images=len(assigned),
-                                             report=report))
-            if (batch_size - 1) % self.shards == k:
-                # The globally-last image is the tail of this shard's
-                # slice, so its outputs match the unsharded run's.
-                outputs = out_k
+        last_shard = (len(images) - 1) % self.shards
+        for result in outcomes:
+            total = total.merged(result.outcome.report)
+            verified += result.outcome.verified
+            if result.images and result.shard == last_shard:
+                outputs = result.outcome.outputs
+        return outcomes, total, verified, outputs
+
+    # -- the Backend surface ----------------------------------------------
+    def run(self, network: Network, batch_size: int = 1) -> BackendResult:
+        check_batch_size(batch_size, self.name)
+        weights = self._template.weights_for(network)
+        images = deterministic_images(network, weights, self.seed,
+                                      batch_size)
+        outcomes, total, verified, outputs = self._run_shards(
+            network, images, weights)
+        shard_reports = tuple(
+            ShardReport(shard=result.shard, images=result.images,
+                        report=result.outcome.report)
+            for result in outcomes)
         return BackendResult(
             backend=self.name, network=network.name, batch_size=batch_size,
             report=total, outputs=outputs, verified_images=verified,
-            verify=self.verify, shard_reports=tuple(shard_reports))
+            verify=self.verify, shard_reports=shard_reports)
+
+    def run_requests(self, network: Network, images) -> BatchOutcome:
+        """Serving entry point: explicit images, responses in arrival
+        order.
+
+        The stream is sharded round-robin exactly like :meth:`run`'s
+        deterministic batch, executed on the configured driver, and the
+        per-shard responses are interleaved back so ``responses[i]`` is
+        image ``i``'s network output — regardless of shard count, driver
+        or completion order.
+        """
+        images = list(images)
+        if not images:
+            return BatchOutcome(report=CycleReport(), responses=(),
+                                outputs=None, verified=0)
+        weights = self._template.weights_for(network)
+        outcomes, total, verified, outputs = self._run_shards(
+            network, images, weights)
+        responses: list = [None] * len(images)
+        for result in outcomes:
+            # Inverse of the round-robin slice images[shard::shards].
+            for j, response in enumerate(result.outcome.responses):
+                responses[j * self.shards + result.shard] = response
+        return BatchOutcome(report=total, responses=tuple(responses),
+                            outputs=outputs, verified=verified)
 
     def default_network(self) -> Network:
         """Same verification-scale default as the unsharded fleet."""
-        return self._executors[0].default_network()
+        return self._template.default_network()

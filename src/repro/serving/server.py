@@ -1,0 +1,303 @@
+"""Asyncio request queue: coalesce arrivals into batched fleet passes.
+
+The paper's data-center claim (Sec. VI-B, Fig. 16) is about a *request
+stream*, not one-off batch runs: a node keeps its sockets busy by
+batching whatever arrived, trading a bounded queueing delay for the
+batch-in-fleet throughput win. :class:`Server` is that frontend:
+
+* :meth:`Server.submit` enqueues one image and returns an awaitable
+  response — the request's network output tensor, bit-exact with the
+  direct ``run_requests`` path;
+* a batcher task coalesces queued arrivals into batches of at most
+  ``max_batch`` images, waiting at most ``max_wait_ms`` after the first
+  arrival before flushing a partial batch (the classic
+  size-or-deadline policy of serving stacks like BrainWave's);
+* each batch is dispatched to an idle backend from a **pool** (any
+  objects with ``run_requests(network, images)``, e.g. one
+  :class:`~repro.engine.sharding.ShardedBackend` per node) on a worker
+  thread, so the event loop keeps accepting arrivals while fleets
+  compute and up to ``len(backends)`` batches execute concurrently;
+* per-request latency (submit -> response) and per-batch sizes are
+  recorded, and :meth:`Server.report` reduces them to the serving
+  numbers that matter: p50/p95/p99 tail latency and throughput.
+
+Everything is deterministic given the arrival order: batches preserve
+queue order, responses map back by position, and a response future is
+resolved exactly once (double resolution would mean a duplicated
+response — the counter is exposed so the smoke gate can fail on it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.engine.backend import BatchOutcome
+from repro.nn.graph import Network
+
+
+@runtime_checkable
+class ServingBackend(Protocol):
+    """Anything the server can drive: explicit images in, outcome out."""
+
+    def run_requests(self, network: Network, images) -> BatchOutcome:
+        """Execute ``images`` and return per-image responses in order."""
+        ...  # pragma: no cover - protocol signature
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Tail latency and throughput of one serving run."""
+
+    #: Requests submitted / responses delivered (equal unless lost).
+    requests: int
+    responded: int
+    #: Responses whose future was already resolved (must stay 0).
+    duplicates: int
+    #: Batches dispatched and their mean size (the coalescing win).
+    batches: int
+    mean_batch: float
+    #: Submit -> response latency percentiles, milliseconds.
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    #: Responses per second over the whole run (first submit -> last
+    #: response).
+    throughput_rps: float
+    #: Wall-clock seconds from first submit to last response.
+    wall_s: float
+
+    def summary(self) -> str:
+        """A short human-readable account of the run."""
+        return (
+            f"served {self.responded}/{self.requests} request(s) in "
+            f"{self.batches} batch(es) (mean batch {self.mean_batch:.1f}) "
+            f"-> {self.throughput_rps:.1f} req/s, latency p50 "
+            f"{self.p50_ms:.1f} ms / p95 {self.p95_ms:.1f} ms / p99 "
+            f"{self.p99_ms:.1f} ms"
+        )
+
+
+class _Request:
+    """One queued image and the future its response resolves."""
+
+    __slots__ = ("image", "future", "submitted_at")
+
+    def __init__(self, image, future, submitted_at: float):
+        self.image = image
+        self.future = future
+        self.submitted_at = submitted_at
+
+
+class Server:
+    """Batch-coalescing serving frontend over a pool of backends.
+
+    Use as an async context manager::
+
+        backends = [ShardedBackend(shards=2, driver="thread")]
+        async with Server(backends, network, max_batch=8) as server:
+            outputs = await asyncio.gather(
+                *(server.submit(image) for image in images)
+            )
+
+    ``max_batch`` caps how many queued requests one fleet pass computes
+    (the fold into the fleet's array axis); ``max_wait_ms`` bounds how
+    long the first request of a batch waits for company before a
+    partial batch is flushed. ``max_wait_ms=0`` disables coalescing
+    beyond what is already queued at dispatch time.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[ServingBackend],
+        network: Network,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+    ):
+        if not backends:
+            raise SimulationError("serving needs at least one backend")
+        for backend in backends:
+            if not isinstance(backend, ServingBackend):
+                raise SimulationError(
+                    f"{type(backend).__name__} cannot serve: it has no "
+                    f"run_requests(network, images) entry point"
+                )
+        if max_batch <= 0:
+            raise SimulationError(
+                f"max_batch must be positive, got {max_batch}"
+            )
+        if max_wait_ms < 0:
+            raise SimulationError(
+                f"max_wait_ms must be non-negative, got {max_wait_ms}"
+            )
+        self.network = network
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self._backends = tuple(backends)
+        # Lifecycle state (created by start(), torn down by close()).
+        self._queue: deque[_Request] = deque()
+        self._wake: asyncio.Event | None = None
+        self._idle: asyncio.Queue | None = None
+        self._batcher: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._closing = False
+        self._started = False
+        # Statistics.
+        self._latencies: list[float] = []
+        self._batch_sizes: list[int] = []
+        self._requests = 0
+        self._responded = 0
+        self._duplicates = 0
+        self._first_submit: float | None = None
+        self._last_response: float | None = None
+
+    # -- lifecycle --------------------------------------------------------
+    async def start(self) -> "Server":
+        """Start the batcher; requests can be submitted afterwards."""
+        if self._started:
+            raise SimulationError("server already started")
+        self._started = True
+        self._closing = False
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Queue()
+        for backend in self._backends:
+            self._idle.put_nowait(backend)
+        self._batcher = asyncio.create_task(self._run_batches())
+        return self
+
+    async def close(self) -> None:
+        """Drain the queue, wait for in-flight batches, stop the batcher.
+
+        Every request submitted before ``close`` still gets its
+        response — draining flushes partial batches rather than
+        dropping them.
+        """
+        if not self._started:
+            return
+        self._closing = True
+        self._wake.set()
+        await self._batcher
+        if self._inflight:
+            await asyncio.gather(*tuple(self._inflight))
+        self._started = False
+
+    async def __aenter__(self) -> "Server":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- the request surface ----------------------------------------------
+    async def submit(self, image):
+        """Enqueue one image; awaits and returns its network output.
+
+        Submissions coalesce: whatever is queued when a backend becomes
+        available executes as one fleet pass (up to ``max_batch``).
+        """
+        if not self._started or self._closing:
+            raise SimulationError("server is not accepting requests")
+        now = time.perf_counter()
+        if self._first_submit is None:
+            self._first_submit = now
+        self._requests += 1
+        future = asyncio.get_running_loop().create_future()
+        self._queue.append(_Request(image, future, now))
+        self._wake.set()
+        return await future
+
+    # -- batching ---------------------------------------------------------
+    async def _run_batches(self) -> None:
+        while True:
+            batch = await self._collect()
+            if batch is None:
+                return
+            backend = await self._idle.get()
+            task = asyncio.create_task(self._execute(backend, batch))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _collect(self) -> list[_Request] | None:
+        """Wait for requests; return up to ``max_batch`` of them.
+
+        Returns ``None`` when the server is closing and the queue is
+        drained — the batcher's exit signal.
+        """
+        while not self._queue:
+            if self._closing:
+                return None
+            self._wake.clear()
+            await self._wake.wait()
+        deadline = self._queue[0].submitted_at + self.max_wait_ms / 1e3
+        while len(self._queue) < self.max_batch and not self._closing:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), remaining)
+            except (TimeoutError, asyncio.TimeoutError):
+                break
+        batch = []
+        while self._queue and len(batch) < self.max_batch:
+            batch.append(self._queue.popleft())
+        return batch
+
+    async def _execute(self, backend: ServingBackend, batch) -> None:
+        """Run one batch on a worker thread; resolve its futures."""
+        images = [request.image for request in batch]
+        loop = asyncio.get_running_loop()
+        try:
+            outcome = await loop.run_in_executor(
+                None, backend.run_requests, self.network, images
+            )
+        except Exception as exc:
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        finally:
+            self._idle.put_nowait(backend)
+        now = time.perf_counter()
+        self._batch_sizes.append(len(batch))
+        self._last_response = now
+        for request, response in zip(batch, outcome.responses):
+            if request.future.done():
+                # A future resolved twice would be a duplicated
+                # response; count it so the smoke gate can fail.
+                self._duplicates += 1
+                continue
+            request.future.set_result(response)
+            self._responded += 1
+            self._latencies.append(now - request.submitted_at)
+
+    # -- statistics -------------------------------------------------------
+    def report(self) -> ServingReport:
+        """Reduce the recorded run to tail latency and throughput."""
+        latencies_ms = np.asarray(self._latencies) * 1e3
+        if latencies_ms.size:
+            p50, p95, p99 = np.percentile(latencies_ms, (50, 95, 99))
+        else:
+            p50 = p95 = p99 = 0.0
+        wall = 0.0
+        if self._first_submit is not None and self._last_response is not None:
+            wall = self._last_response - self._first_submit
+        return ServingReport(
+            requests=self._requests,
+            responded=self._responded,
+            duplicates=self._duplicates,
+            batches=len(self._batch_sizes),
+            mean_batch=(
+                float(np.mean(self._batch_sizes)) if self._batch_sizes else 0.0
+            ),
+            p50_ms=float(p50),
+            p95_ms=float(p95),
+            p99_ms=float(p99),
+            throughput_rps=self._responded / wall if wall > 0 else 0.0,
+            wall_s=wall,
+        )

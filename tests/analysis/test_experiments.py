@@ -14,6 +14,7 @@ from repro.analysis import (
     paper,
     peak_throughput,
     section6a_example,
+    serving,
     sharding,
     table1,
     table2,
@@ -207,10 +208,26 @@ class TestSharding:
         assert len(shard_rows) == len(result.data["sharded"].shard_reports)
 
 
+class TestServing:
+    def test_serving_gate_holds_for_both_socket_counts(self):
+        result = serving(n_requests=8)
+        assert result.data["ok"]
+        for stats in result.data["serving"].values():
+            assert stats["lost"] == 0
+            assert stats["duplicates"] == 0
+            assert stats["bit_exact"]
+
+    def test_rows_cover_measured_analytic_and_gate(self):
+        result = serving(n_requests=8)
+        kinds = {row[0].split(": ")[1] for row in result.rows}
+        assert kinds == {"measured serving", "analytic Fig. 16 curve",
+                         "serving gate"}
+
+
 class TestAllExperiments:
     def test_everything_renders(self):
         results = all_experiments()
-        assert len(results) == 15
+        assert len(results) == 16
         for result in results:
             text = result.render()
             assert result.name in text

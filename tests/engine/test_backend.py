@@ -64,9 +64,11 @@ class TestRegistry:
         default = get_backend(name)
         if hasattr(default, "batched"):
             assert default.batched is True
-        # The flag must reach every shard of a sharded backend.
-        for shard in getattr(backend, "_executors", ()):
-            assert shard.batched is False
+        # The flag must reach every shard work unit of a sharded backend.
+        if hasattr(backend, "shard_works"):
+            for work in backend.shard_works(tiny_verification_network(),
+                                            []):
+                assert work.batched is False
 
 
 class TestAnalyticBackend:

@@ -8,7 +8,6 @@ count, which the derived cost model pins analytically.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

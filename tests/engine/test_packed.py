@@ -13,7 +13,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.bits import (
-    WORD_BITS,
     pack_bit_plane,
     packed_words,
     unpack_bit_plane,

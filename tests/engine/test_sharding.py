@@ -112,20 +112,22 @@ class TestShardAssignment:
         backend = ShardedBackend(config)
         assert backend.shards == config.sockets
 
-    def test_config_propagates_to_every_shard(self):
+    def test_config_propagates_to_every_shard(self, tiny_net):
         config = NeuralCacheConfig()
         backend = ShardedBackend(config, shards=2)
         assert backend.config is config
-        for shard in backend._executors:
-            assert shard.config is config
-            assert shard.packed
-            assert shard.batched
+        works = backend.shard_works(tiny_net, [])
+        assert len(works) == 2
+        for work in works:
+            assert work.config is config
+            assert work.packed
+            assert work.batched
 
-    def test_batched_flag_propagates_to_every_shard(self):
+    def test_batched_flag_propagates_to_every_shard(self, tiny_net):
         backend = ShardedBackend(shards=2, batched=False)
         assert not backend.batched
-        for shard in backend._executors:
-            assert not shard.batched
+        for work in backend.shard_works(tiny_net, []):
+            assert not work.batched
 
     def test_bad_shard_count_rejected(self):
         with pytest.raises(SimulationError, match="shard count"):

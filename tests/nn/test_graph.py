@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import ShapeError
-from repro.nn import AvgPool, Concat, Conv2D, FullyConnected, MaxPool, Network
+from repro.nn import AvgPool, Concat, Conv2D, FullyConnected, Network
 
 
 def small_net():

@@ -1,0 +1,258 @@
+"""The serving frontend: coalescing, exactness, tails, lifecycle.
+
+Tests run their own event loops (``asyncio.run``) so the suite needs no
+async plugin. The core property mirrors the shard-driver tests: however
+arrivals are coalesced into batches and whichever pool backend runs
+them, response ``i`` is bit-exact the direct ``run_requests`` output
+for image ``i`` — serving changes wall-clock, never results.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.engine.backend import (
+    FleetExecutor,
+    deterministic_images,
+    tiny_verification_network,
+)
+from repro.engine.sharding import ShardedBackend
+from repro.serving import (
+    Server,
+    ServingBackend,
+    ServingReport,
+    run_load,
+    run_serving_benchmark,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_net():
+    return tiny_verification_network()
+
+
+@pytest.fixture(scope="module")
+def stream(tiny_net):
+    """Eight deterministic images and their expected responses."""
+    executor = FleetExecutor(packed=True, verify=False)
+    weights = executor.weights_for(tiny_net)
+    images = deterministic_images(tiny_net, weights, 0, 8)
+    expected = executor.run_requests(tiny_net, images, weights).responses
+    return images, expected
+
+
+def make_backend(**kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("verify", False)
+    return ShardedBackend(**kwargs)
+
+
+class TestServerResponses:
+    def test_burst_is_bit_exact_and_complete(self, tiny_net, stream):
+        images, expected = stream
+        result = run_load([make_backend()], tiny_net, images,
+                          expected=expected, max_batch=4)
+        assert result.ok
+        assert result.lost == 0
+        assert result.duplicates == 0
+        assert result.matched == len(images)
+        assert result.report.responded == len(images)
+
+    def test_each_response_matches_its_own_request(self, tiny_net,
+                                                   stream):
+        """Responses must map back by request, not merely as a set."""
+        images, expected = stream
+
+        async def scenario():
+            async with Server([make_backend()], tiny_net,
+                              max_batch=3) as server:
+                return await asyncio.gather(
+                    *(server.submit(image) for image in images))
+
+        responses = asyncio.run(scenario())
+        for got, want in zip(responses, expected):
+            assert np.array_equal(got.data, want.data)
+
+    def test_pool_of_two_backends_still_exact(self, tiny_net, stream):
+        images, expected = stream
+        result = run_load([make_backend(), make_backend()], tiny_net,
+                          images, expected=expected, max_batch=2)
+        assert result.ok
+        # max_batch 2 over 8 requests needs >= 4 dispatches; how arrivals
+        # landed in batches is timing-dependent, correctness is not.
+        assert result.report.batches >= 4
+
+    @pytest.mark.parametrize("driver", ["thread", "process"])
+    def test_concurrent_shard_drivers_under_serving(self, tiny_net,
+                                                    stream, driver):
+        images, expected = stream
+        result = run_load([make_backend(driver=driver)], tiny_net, images,
+                          expected=expected, max_batch=4)
+        assert result.ok
+
+    def test_spaced_arrivals_still_exact(self, tiny_net, stream):
+        images, expected = stream
+        result = run_load([make_backend()], tiny_net, images,
+                          expected=expected, max_batch=4,
+                          max_wait_ms=1.0, arrival_gap_ms=2.0)
+        assert result.ok
+
+
+class TestCoalescing:
+    def test_burst_coalesces_to_max_batch(self, tiny_net, stream):
+        images, expected = stream
+        result = run_load([make_backend()], tiny_net, images,
+                          expected=expected, max_batch=4,
+                          max_wait_ms=50.0)
+        assert result.ok
+        assert result.report.batches == 2
+        assert result.report.mean_batch == 4.0
+
+    def test_single_request_flushes_on_deadline(self, tiny_net, stream):
+        images, expected = stream
+        result = run_load([make_backend()], tiny_net, images[:1],
+                          expected=expected[:1], max_batch=8,
+                          max_wait_ms=5.0)
+        assert result.ok
+        assert result.report.batches == 1
+        assert result.report.mean_batch == 1.0
+
+    def test_close_flushes_partial_batch(self, tiny_net, stream):
+        """A partial batch pending at close still gets responses."""
+        images, expected = stream
+
+        async def scenario():
+            async with Server([make_backend()], tiny_net, max_batch=8,
+                              max_wait_ms=10_000.0) as server:
+                # Only 3 of max_batch 8 arrive; the huge wait would hold
+                # them, but close() must drain, not drop.
+                return await asyncio.gather(
+                    *(server.submit(image) for image in images[:3]))
+
+        responses = asyncio.run(scenario())
+        assert len(responses) == 3
+        for got, want in zip(responses, expected):
+            assert np.array_equal(got.data, want.data)
+
+
+class TestReport:
+    def test_report_counts_and_tails(self, tiny_net, stream):
+        images, expected = stream
+        result = run_load([make_backend()], tiny_net, images,
+                          expected=expected, max_batch=4)
+        report = result.report
+        assert isinstance(report, ServingReport)
+        assert report.requests == len(images)
+        assert report.responded == len(images)
+        assert report.batches >= 2
+        assert 0 < report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.throughput_rps > 0
+        assert report.wall_s > 0
+
+    def test_summary_renders_the_serving_numbers(self, tiny_net, stream):
+        images, expected = stream
+        result = run_load([make_backend()], tiny_net, images,
+                          expected=expected, max_batch=4)
+        text = result.report.summary()
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "req/s" in text
+
+    def test_empty_report_is_all_zero(self, tiny_net):
+        server = Server([make_backend()], tiny_net)
+        report = server.report()
+        assert report.requests == 0
+        assert report.p99_ms == 0.0
+        assert report.throughput_rps == 0.0
+
+
+class TestLifecycleAndValidation:
+    def test_submit_before_start_rejected(self, tiny_net, stream):
+        images, _ = stream
+        server = Server([make_backend()], tiny_net)
+        with pytest.raises(SimulationError, match="not accepting"):
+            asyncio.run(server.submit(images[0]))
+
+    def test_empty_pool_rejected(self, tiny_net):
+        with pytest.raises(SimulationError, match="at least one backend"):
+            Server([], tiny_net)
+
+    def test_non_serving_backend_rejected(self, tiny_net):
+        class NoRequests:
+            pass
+
+        with pytest.raises(SimulationError, match="cannot serve"):
+            Server([NoRequests()], tiny_net)
+
+    def test_bad_knobs_rejected(self, tiny_net):
+        with pytest.raises(SimulationError, match="max_batch"):
+            Server([make_backend()], tiny_net, max_batch=0)
+        with pytest.raises(SimulationError, match="max_wait_ms"):
+            Server([make_backend()], tiny_net, max_wait_ms=-1.0)
+
+    def test_backend_failure_propagates_to_requests(self, tiny_net,
+                                                    stream):
+        images, _ = stream
+
+        class Exploding:
+            def run_requests(self, network, imgs):
+                raise SimulationError("fleet diverged")
+
+        async def scenario():
+            async with Server([Exploding()], tiny_net,
+                              max_batch=4) as server:
+                return await asyncio.gather(
+                    *(server.submit(image) for image in images[:2]),
+                    return_exceptions=True)
+
+        responses = asyncio.run(scenario())
+        assert len(responses) == 2
+        for response in responses:
+            assert isinstance(response, SimulationError)
+
+    def test_serving_backend_protocol(self):
+        assert isinstance(make_backend(), ServingBackend)
+        assert isinstance(FleetExecutor(), ServingBackend)
+
+
+class TestServingBenchmark:
+    def test_smoke_stats_are_gate_ready(self):
+        stats = run_serving_benchmark(n_requests=8, sockets=2,
+                                      pool_size=2, max_batch=4,
+                                      driver="thread")
+        assert stats["ok"]
+        assert stats["responded"] == 8
+        assert stats["lost"] == 0
+        assert stats["duplicates"] == 0
+        assert stats["bit_exact"]
+        assert stats["throughput_rps"] > 0
+
+    def test_experiment_reports_two_socket_counts(self):
+        from repro.analysis import serving
+
+        result = serving(n_requests=8)
+        assert result.data["ok"]
+        assert set(result.data["serving"]) == {1, 2}
+        for stats in result.data["serving"].values():
+            assert stats["ok"]
+            assert stats["p99_ms"] >= stats["p50_ms"]
+        # Analytic Fig. 16 curve: linear in sockets.
+        t = result.data["analytic_throughput"]
+        assert t[2] == pytest.approx(2 * t[1], rel=1e-9)
+
+    def test_cli_serve_bench_quick(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["serve-bench", "--quick", "--requests", "8",
+                     "--pool", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving benchmark" in out
+        assert "bit-exact=True" in out
+
+    def test_cli_serve_bench_rejects_bad_sizes(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--requests", "0"])
+        assert "--requests must be positive" in capsys.readouterr().err
