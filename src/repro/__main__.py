@@ -22,9 +22,11 @@ faster lockstep primitives, identical results), and ``sharded`` splits
 the batch round-robin across socket shards (``--shards``, default
 ``config.sockets``), each on its own packed fleet, with results and
 cycle totals identical to the unsharded run. ``--shard-driver`` selects
-how the shard pool executes — ``serial`` (default), ``thread`` or
-``process`` (real wall-clock parallelism across OS processes); every
-driver is bit-exact and cycle-report-identical to serial.
+how the shard pool executes — ``serial`` (default), ``thread``,
+``process`` (real wall-clock parallelism across OS processes) or
+``pool`` (persistent zero-copy workers: forked once, image payloads
+through shared-memory arenas); every driver is bit-exact and
+cycle-report-identical to serial.
 
 Functional backends fold the whole batch into the fleet's array axis by
 default (one fleet pass per layer computes every image);
@@ -149,8 +151,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shard-driver", choices=SHARD_DRIVERS,
                         default=None,
                         help="how --backend sharded runs its shard pool: "
-                             "serial (default), thread, or process "
-                             "(wall-clock parallel; results identical)")
+                             "serial (default), thread, process "
+                             "(wall-clock parallel) or pool (persistent "
+                             "zero-copy workers); results identical")
     parser.add_argument("--batched", action=argparse.BooleanOptionalAction,
                         default=None,
                         help="fold the batch into the fleet's array axis "
@@ -193,11 +196,15 @@ def main(argv: list[str] | None = None) -> int:
                              f"{args.shards}")
             # Rebuild the registry's backend with the explicit shard
             # count; store, batching and driver stay whatever the name
-            # (and --batched / --shard-driver) resolved to.
+            # (and --batched / --shard-driver) resolved to. The
+            # registry's instance is closed first — a pool-driver
+            # backend already holds live workers at this point.
+            discarded = backend
             backend = ShardedBackend(backend.config, shards=args.shards,
                                      packed=backend.packed,
                                      batched=backend.batched,
                                      driver=backend.driver)
+            discarded.close()
         network = backend.default_network()
         try:
             print(backend.run(network, args.batch).summary())
@@ -207,6 +214,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"python -m repro: backend {args.backend!r} failed: "
                   f"{exc}", file=sys.stderr)
             return 1
+        finally:
+            if hasattr(backend, "close"):
+                backend.close()
         return 0
 
     if args.batch != 1:

@@ -45,6 +45,18 @@ _SHARDING_NAMES = (
     "ShardedBackend",
 )
 
+# Shared-memory plane stores and the persistent pool are lazy for the
+# same reason as the backend: both pull in repro.core via the executor.
+_SHARED_NAMES = (
+    "SharedPlaneStore",
+    "SharedSegment",
+    "shared_segment_stats",
+)
+
+_POOL_NAMES = (
+    "ShardWorkerPool",
+)
+
 __all__ = [
     "ArrayFleet",
     "FleetBitSerialUnit",
@@ -57,6 +69,8 @@ __all__ = [
     "mux",
     *_BACKEND_NAMES,
     *_SHARDING_NAMES,
+    *_SHARED_NAMES,
+    *_POOL_NAMES,
 ]
 
 
@@ -67,4 +81,10 @@ def __getattr__(name: str):
     if name in _SHARDING_NAMES:
         from repro.engine import sharding
         return getattr(sharding, name)
+    if name in _SHARED_NAMES:
+        from repro.engine import shared
+        return getattr(shared, name)
+    if name in _POOL_NAMES:
+        from repro.engine import pool
+        return getattr(pool, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -465,9 +465,9 @@ def get_backend(name: str, config: NeuralCacheConfig | None = None,
     ``batched`` selects batch-in-fleet execution for the functional
     backends (the CLI's ``--batched/--no-batched``); ``None`` keeps each
     engine's default (batched on). ``driver`` selects the shard driver of
-    the sharded backends — ``serial``, ``thread`` or ``process`` (the
-    CLI's ``--shard-driver``); any non-``None`` value is rejected for
-    engines that have no shard pool to drive.
+    the sharded backends — ``serial``, ``thread``, ``process`` or
+    ``pool`` (the CLI's ``--shard-driver``); any non-``None`` value is
+    rejected for engines that have no shard pool to drive.
     """
     try:
         factory = BACKENDS[name]

@@ -102,8 +102,14 @@ class PackedArrayFleet(PlaneStore):
                  cols: int = DEFAULT_COLS):
         super().__init__(n_arrays, rows, cols)
         self.n_words, self._mask, self._tail_partial = _packed_geometry(cols)
-        self._words = np.zeros((n_arrays, rows, self.n_words),
-                               dtype=np.uint64)
+        self._words = self._alloc_words()
+
+    def _alloc_words(self) -> np.ndarray:
+        """The backing word tensor — the allocation seam
+        :class:`~repro.engine.shared.SharedPlaneStore` re-homes in a
+        shared-memory segment."""
+        return np.zeros((self.n_arrays, self.rows, self.n_words),
+                        dtype=np.uint64)
 
     # -- plane ops ------------------------------------------------------
     def row_plane(self, row: int) -> np.ndarray:
@@ -202,8 +208,23 @@ class PackedFleetPeriphery(FleetPeriphery):
 
 
 def make_fleet(n_arrays: int = 1, rows: int = DEFAULT_ROWS,
-               cols: int = DEFAULT_COLS, packed: bool = False) -> PlaneStore:
-    """Construct a plane store: the packed production store or the
-    unpacked byte-per-bit reference, behind the same seam."""
+               cols: int = DEFAULT_COLS,
+               packed: bool | str = False) -> PlaneStore:
+    """Construct a plane store behind the :class:`PlaneStore` seam.
+
+    ``packed`` selects the storage: ``False`` is the unpacked
+    byte-per-bit reference, ``True`` the packed uint64 production store,
+    and ``"shared"`` the packed store on a shared-memory segment
+    (:class:`~repro.engine.shared.SharedPlaneStore`) — what the
+    persistent pool workers run on, so a fleet's planes are mappable
+    from other processes instead of picklable only.
+    """
+    if isinstance(packed, str):
+        if packed != "shared":
+            raise ArrayStateError(
+                f"unknown plane store {packed!r}; use False (unpacked), "
+                f"True (packed) or 'shared' (packed, shared-memory)")
+        from repro.engine.shared import SharedPlaneStore
+        return SharedPlaneStore(n_arrays, rows, cols)
     cls = PackedArrayFleet if packed else ArrayFleet
     return cls(n_arrays, rows, cols)

@@ -1,0 +1,486 @@
+"""Persistent shard workers: warm executors behind shared-memory arenas.
+
+The ``process`` shard driver pays two costs per batch that have nothing
+to do with computing: it re-forks a ``ProcessPoolExecutor`` (pool
+spin-up), and it pickles every image slice and the full weight set
+through :class:`~repro.engine.sharding.ShardWork` (serialization of the
+very bytes the fleets are about to compute on). Both costs sit on the
+serving path, where they recur per coalesced batch.
+
+:class:`ShardWorkerPool` removes both. Workers are forked **once per
+backend lifetime** and each holds warm program state — the network, the
+resolved weights, the golden executor when verification is on, and a
+:class:`~repro.engine.backend.FleetExecutor` whose packed uint64 bit
+planes live in shared-memory segments
+(:class:`~repro.engine.shared.SharedPlaneStore`). Per batch, the parent
+writes the image payloads into a shared **input arena**, sends each
+worker a :class:`PoolShardWork` that names the arena and the worker's
+round-robin lane (``start``/``stride``/``batch`` arithmetic — no index
+lists, no arrays), and reads the responses back out of a shared
+**output arena**. The only bytes that cross the pipes are the O(1) work
+descriptors, the per-shard cycle reports, and (for the one shard that
+owns the globally-last image) the small per-node outputs dict.
+
+Arena layout: one fixed-size slot per image, ``16-byte quantization
+header + payload`` (`~repro.nn.tensor.QuantParams` as ``scale: f8,
+zero: i8``), slots aligned to 16 bytes. Image ``i`` occupies slot ``i``
+in both arenas, so shard ``k`` touches exactly the slots
+``k, k+shards, ...`` — the same round-robin assignment every other
+driver uses, which is what keeps the pool bit-exact and
+shard-report-identical to the serial reference.
+
+Lifecycle is explicit and owned by the pool: the parent owns both
+arenas (created under the pool's segment scope, grown by powers of two,
+unlinked on close); each worker scopes its plane segments under the
+pool's scope too, so after a **crash** the parent can terminate the
+remaining workers and sweep every segment the pool ever created by
+prefix (:func:`~repro.engine.shared.unlink_scope`) without asking the
+dead worker what it had allocated. Normal shutdown drains the workers
+(they release their recycled plane segments themselves) and then sweeps
+anyway; ``close()`` is idempotent.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.config import NeuralCacheConfig
+from repro.engine.backend import BatchOutcome, FleetExecutor
+from repro.engine.shared import (
+    SharedSegment,
+    release_pooled_segments,
+    set_segment_scope,
+    unlink_scope,
+)
+from repro.nn.graph import Network
+from repro.nn.tensor import QuantParams, QuantizedTensor
+
+__all__ = ["PoolShardWork", "ShardWorkerPool"]
+
+#: Per-image arena header: the image's quantization parameters. 16 bytes,
+#: so slots stay 16-byte aligned without padding games.
+_PARAM_DTYPE = np.dtype([("scale", "<f8"), ("zero", "<i8")])
+
+#: Slot alignment (and header size) in bytes.
+_ALIGN = 16
+
+
+def _slot_size(payload_nbytes: int) -> int:
+    """One arena slot: header + payload, rounded up to the alignment."""
+    raw = _ALIGN + payload_nbytes
+    return (raw + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _write_slot(buf: np.ndarray, slot: int, slot_size: int,
+                tensor: QuantizedTensor) -> None:
+    """Serialize one image into its arena slot (header + raw uint8)."""
+    base = slot * slot_size
+    header = buf[base:base + _ALIGN].view(_PARAM_DTYPE)
+    header["scale"] = tensor.params.scale
+    header["zero"] = tensor.params.zero_point
+    payload = tensor.data.reshape(-1)
+    buf[base + _ALIGN:base + _ALIGN + payload.size] = payload
+
+
+def _read_slot(buf: np.ndarray, slot: int, slot_size: int,
+               shape: tuple) -> QuantizedTensor:
+    """Materialize one image from its arena slot (copies out)."""
+    base = slot * slot_size
+    header = buf[base:base + _ALIGN].view(_PARAM_DTYPE)
+    params = QuantParams(scale=float(header["scale"][0]),
+                         zero_point=int(header["zero"][0]))
+    count = int(np.prod(shape, dtype=np.int64))
+    data = buf[base + _ALIGN:base + _ALIGN + count].reshape(shape).copy()
+    return QuantizedTensor(data=data, params=params)
+
+
+@dataclass(frozen=True)
+class PoolShardWork:
+    """One shard's lane through the arenas — O(1) bytes, no arrays.
+
+    The pool-driver counterpart of
+    :class:`~repro.engine.sharding.ShardWork`: where that unit carries
+    its image slice (and weights) by value, this one carries only the
+    arena segment names and the round-robin arithmetic
+    ``slots = range(shard, batch, stride)``. Its pickle size is
+    therefore independent of batch size and image resolution — the
+    regression test pins that, because any array sneaking in here
+    silently reintroduces the per-batch serialization the pool exists
+    to remove.
+    """
+
+    #: Shard index, which is also the first slot of the shard's lane.
+    shard: int
+    #: Total images in the staged batch (slots ``0..batch-1``).
+    batch: int
+    #: Slot stride of the lane (= the pool's shard count).
+    stride: int
+    #: Shared-memory segment names of the staged arenas.
+    input_segment: str
+    output_segment: str
+    #: Per-image payload geometry (fixes the slot size on both sides).
+    input_shape: tuple
+    output_shape: tuple
+    #: Whether this shard must ship the per-node outputs dict back over
+    #: the pipe (true only for the shard owning the globally-last image).
+    want_outputs: bool
+
+    @property
+    def count(self) -> int:
+        """Images on this shard's lane."""
+        return len(range(self.shard, self.batch, self.stride))
+
+
+class _WorkerState:
+    """Everything a pool worker keeps warm between batches."""
+
+    def __init__(self):
+        self.network = None
+        self.weights = None
+        self.executor = None
+        self.golden = None
+        #: Arena attachments cached by role, keyed by segment name —
+        #: re-attach only when the parent grew (renamed) an arena.
+        self.arenas: dict[str, SharedSegment] = {}
+
+    def load_program(self, network, weights, config, packed, batched,
+                     verify, seed) -> None:
+        """(Re)build the warm executor for a broadcast program.
+
+        ``packed=True`` becomes ``packed="shared"`` here: the worker's
+        fleets allocate their word planes on
+        :class:`~repro.engine.shared.SharedPlaneStore` segments (scoped
+        to this worker, recycled across layer chunks), which is the
+        zero-copy tentpole — plane state lives in mappable segments,
+        not private heap.
+        """
+        self.network = network
+        self.weights = weights
+        self.executor = FleetExecutor(
+            config, weights=weights, seed=seed, verify=verify,
+            packed="shared" if packed else False, batched=batched)
+        self.golden = self.executor.golden_for(network, weights)
+
+    def _arena(self, role: str, name: str) -> SharedSegment:
+        # Pop first, re-cache only on success: a failed attach must not
+        # leave a closed (or stale) segment behind as the cache entry.
+        cached = self.arenas.pop(role, None)
+        if cached is not None:
+            if cached.name == name:
+                self.arenas[role] = cached
+                return cached
+            cached.close()
+        segment = SharedSegment.attach(name)
+        self.arenas[role] = segment
+        return segment
+
+    def run(self, work: PoolShardWork):
+        """Execute one lane: arena in, warm executor, arena out."""
+        if self.executor is None:
+            raise SimulationError("pool worker has no program loaded")
+        in_slot = _slot_size(int(np.prod(work.input_shape,
+                                         dtype=np.int64)))
+        out_slot = _slot_size(int(np.prod(work.output_shape,
+                                          dtype=np.int64)))
+        slots = range(work.shard, work.batch, work.stride)
+        in_buf = self._arena("in", work.input_segment).view(
+            np.uint8, (work.batch * in_slot,))
+        images = [_read_slot(in_buf, slot, in_slot, work.input_shape)
+                  for slot in slots]
+        del in_buf
+        outcome = self.executor.run_requests(self.network, images,
+                                             self.weights, self.golden)
+        out_buf = self._arena("out", work.output_segment).view(
+            np.uint8, (work.batch * out_slot,))
+        for slot, response in zip(slots, outcome.responses):
+            _write_slot(out_buf, slot, out_slot, response)
+        del out_buf
+        outputs = outcome.outputs if work.want_outputs else None
+        return len(images), outcome.report, outcome.verified, outputs
+
+    def close(self) -> None:
+        for segment in self.arenas.values():
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - shutdown best-effort
+                pass
+        self.arenas.clear()
+
+
+def _worker_main(conn, scope: str) -> None:
+    """A pool worker's whole life: scope, serve messages, clean up."""
+    set_segment_scope(scope)
+    state = _WorkerState()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:  # pragma: no cover - parent vanished
+                break
+            kind = message[0]
+            if kind == "close":
+                break
+            try:
+                if kind == "program":
+                    state.load_program(*message[1:])
+                    conn.send(("ok",))
+                elif kind == "run":
+                    conn.send(("done", *state.run(message[1])))
+                else:
+                    conn.send(("error", f"unknown message {kind!r}"))
+            except Exception as exc:
+                # Report-and-continue: a failed batch must not take the
+                # warm worker (and its segments) down with it.
+                try:
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                except Exception:  # pragma: no cover - pipe gone too
+                    break
+    finally:
+        state.close()
+        release_pooled_segments()
+        conn.close()
+
+
+class ShardWorkerPool:
+    """A long-lived pool of warm shard workers over shared arenas.
+
+    Spawned eagerly at construction (one fork per shard, before any
+    caller can have started threads), reused across every
+    ``run``/``run_requests`` batch of its owning backend, and shut down
+    exactly once — by :meth:`close`, which the backend's own ``close``
+    (and the serving layer's ``Server.close(close_backends=True)``)
+    calls.
+
+    Crash containment: if a worker dies mid-batch, the parent
+    terminates the remaining workers, unlinks both arenas, sweeps every
+    segment under the pool's scope, and raises
+    :class:`~repro.common.errors.SimulationError`. The pool is dead
+    afterwards — a half-crashed pool must fail loudly, not limp.
+    """
+
+    def __init__(self, shards: int, config: NeuralCacheConfig,
+                 packed: bool = True, batched: bool = True,
+                 verify: bool = True, seed: int = 0):
+        if shards <= 0:
+            raise SimulationError(
+                f"shard count must be positive, got {shards}")
+        self.shards = shards
+        self.config = config
+        self.packed = packed
+        self.batched = batched
+        self.verify = verify
+        self.seed = seed
+        #: Every segment this pool's parent or workers create carries
+        #: this prefix — the crash-sweep handle.
+        self.scope = f"repro-pool-{os.getpid()}-{secrets.token_hex(4)}"
+        self._program: tuple | None = None
+        self._input: SharedSegment | None = None
+        self._output: SharedSegment | None = None
+        self._closed = False
+        # Fork eagerly: workers must exist before the owner's process
+        # ever starts threads (the serving executor does), and eager
+        # spawn is what "no re-fork per batch" means.
+        context = get_context("fork")
+        self._conns = []
+        self._workers = []
+        for k in range(shards):
+            parent_conn, child_conn = context.Pipe()
+            worker = context.Process(
+                target=_worker_main,
+                args=(child_conn, f"{self.scope}-w{k}"),
+                name=f"repro-shard-worker-{k}", daemon=True)
+            worker.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._workers.append(worker)
+
+    # -- plumbing ----------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._closed:
+            raise SimulationError("shard worker pool is closed")
+
+    def _send(self, shard: int, message: tuple) -> None:
+        try:
+            self._conns[shard].send(message)
+        except (BrokenPipeError, OSError):
+            self._fail(shard)
+
+    def _recv(self, shard: int) -> tuple:
+        try:
+            reply = self._conns[shard].recv()
+        except (EOFError, OSError):
+            self._fail(shard)
+        if reply[0] == "error":
+            raise SimulationError(
+                f"pool shard {shard} failed: {reply[1]}")
+        return reply
+
+    def _fail(self, shard: int) -> None:
+        """A worker died: tear the whole pool down, then raise."""
+        self.close(drain=False)
+        raise SimulationError(
+            f"pool shard worker {shard} died; pool shut down and its "
+            f"segments were swept")
+
+    def _broadcast_program(self, network: Network, weights) -> None:
+        """Ship the program once per (network, weights) identity.
+
+        Strong references to the broadcast pair are kept, so the
+        ``id()``-keyed cache can never alias a collected object (the
+        same guard the analytic backend's simulator cache uses).
+        """
+        key = (id(network), id(weights))
+        if self._program is not None and self._program[0] == key:
+            return
+        message = ("program", network, weights, self.config, self.packed,
+                   self.batched, self.verify, self.seed)
+        for shard in range(self.shards):
+            self._send(shard, message)
+        for shard in range(self.shards):
+            self._recv(shard)
+        self._program = (key, network, weights)
+
+    def _ensure_arena(self, current: SharedSegment | None,
+                      nbytes: int) -> SharedSegment:
+        """An owned arena of at least ``nbytes`` (power-of-two growth)."""
+        if current is not None and current.nbytes >= nbytes:
+            return current
+        if current is not None:
+            current.close(unlink=True)
+        capacity = 1 << max(0, int(nbytes - 1).bit_length())
+        return SharedSegment.create(capacity, scope=self.scope)
+
+    # -- the batch surface -------------------------------------------------
+    def stage(self, network: Network, images, weights) -> list[PoolShardWork]:
+        """Write a batch into the input arena; return the O(1) works.
+
+        Split from :meth:`dispatch` so the pickle-payload regression
+        test can stage real batches and measure exactly the bytes a
+        dispatch would push through the pipes.
+        """
+        self._check_alive()
+        self._broadcast_program(network, weights)
+        images = list(images)
+        batch = len(images)
+        input_shape = tuple(network.input_shape)
+        output_shape = tuple(network.node(network.output_name).output_shape)
+        in_slot = _slot_size(int(np.prod(input_shape, dtype=np.int64)))
+        out_slot = _slot_size(int(np.prod(output_shape, dtype=np.int64)))
+        self._input = self._ensure_arena(self._input,
+                                         max(1, batch * in_slot))
+        self._output = self._ensure_arena(self._output,
+                                          max(1, batch * out_slot))
+        in_buf = self._input.view(np.uint8, (self._input.nbytes,))
+        try:
+            for slot, image in enumerate(images):
+                if tuple(image.data.shape) != input_shape:
+                    raise SimulationError(
+                        f"image {slot} has shape {image.data.shape}, "
+                        f"expected the network input {input_shape}")
+                _write_slot(in_buf, slot, in_slot, image)
+        finally:
+            del in_buf
+        last_shard = (batch - 1) % self.shards
+        return [PoolShardWork(shard=k, batch=batch, stride=self.shards,
+                              input_segment=self._input.name,
+                              output_segment=self._output.name,
+                              input_shape=input_shape,
+                              output_shape=output_shape,
+                              want_outputs=(batch > 0 and k == last_shard))
+                for k in range(self.shards)]
+
+    def dispatch(self, works: list[PoolShardWork]) -> list:
+        """Run staged works on the warm workers; outcomes in shard order.
+
+        Empty lanes (``shards > batch``) are never sent — their idle
+        outcomes are synthesized here, so idle workers cost nothing.
+        """
+        from repro.core.functional import CycleReport
+        from repro.engine.sharding import ShardOutcome
+
+        self._check_alive()
+        for work in works:
+            if work.count:
+                self._send(work.shard, ("run", work))
+        outcomes = []
+        for work in works:
+            if not work.count:
+                outcomes.append(ShardOutcome(
+                    shard=work.shard, images=0,
+                    outcome=BatchOutcome(report=CycleReport(),
+                                         responses=(), outputs=None,
+                                         verified=0)))
+                continue
+            _, count, report, verified, outputs = self._recv(work.shard)
+            # The arena view is scoped to this iteration: a crash
+            # surfacing in the next _recv must find no live exports, or
+            # the teardown could not unmap the arena.
+            out_buf = self._output.view(np.uint8, (self._output.nbytes,))
+            out_slot = _slot_size(int(np.prod(work.output_shape,
+                                              dtype=np.int64)))
+            responses = tuple(
+                _read_slot(out_buf, slot, out_slot, work.output_shape)
+                for slot in range(work.shard, work.batch, work.stride))
+            del out_buf
+            outcomes.append(ShardOutcome(
+                shard=work.shard, images=count,
+                outcome=BatchOutcome(report=report, responses=responses,
+                                     outputs=outputs, verified=verified)))
+        return outcomes
+
+    def run(self, network: Network, images, weights) -> list:
+        """Stage + dispatch one batch."""
+        return self.dispatch(self.stage(network, images, weights))
+
+    # -- lifecycle ---------------------------------------------------------
+    def worker_pids(self) -> tuple[int, ...]:
+        """The live workers' PIDs — how tests pin "no re-fork"."""
+        self._check_alive()
+        return tuple(worker.pid for worker in self._workers)
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the pool down; idempotent.
+
+        ``drain`` asks workers to exit cleanly (releasing their own
+        recycled plane segments); the crash path passes ``False`` and
+        terminates. Either way both arenas are unlinked and the pool's
+        whole segment scope is swept, so nothing the pool ever created
+        outlives it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for conn, worker in zip(self._conns, self._workers):
+            if drain:
+                try:
+                    conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            worker.join(timeout=5 if drain else 0.5)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=5)
+        for arena in (self._input, self._output):
+            if arena is not None:
+                try:
+                    arena.close(unlink=True)
+                except Exception:  # pragma: no cover - live views on a
+                    pass           # crash path; the sweep below catches it
+        self._input = self._output = None
+        unlink_scope(self.scope)
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

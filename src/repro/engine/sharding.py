@@ -25,7 +25,12 @@ The shard pool runs on a pluggable **driver** (``driver=``):
   OS process per shard: the modeled socket parallelism becomes real
   wall-clock parallelism. Process workers require picklable work, which
   is why a shard's slice -> ``run_batch`` call is factored into the
-  module-level :func:`execute_shard` over a frozen :class:`ShardWork`.
+  module-level :func:`execute_shard` over a frozen :class:`ShardWork`;
+* ``pool`` — a persistent :class:`~repro.engine.pool.ShardWorkerPool`:
+  workers forked once per backend lifetime, each holding a warm
+  executor on shared-memory plane stores, with image payloads moving
+  through shared arenas instead of pickles. Same results, none of the
+  per-batch fork/serialization cost the ``process`` driver pays.
 
 The design invariant, shared with systolic-array partitioning in
 SCALE-Sim and BrainWave's weight-stationary sharding across FPGAs: the
@@ -66,7 +71,7 @@ from repro.engine.backend import (
 from repro.nn.graph import Network
 
 #: Accepted shard drivers, in the order the CLI documents them.
-SHARD_DRIVERS: tuple[str, ...] = ("serial", "thread", "process")
+SHARD_DRIVERS: tuple[str, ...] = ("serial", "thread", "process", "pool")
 
 
 @dataclass(frozen=True)
@@ -140,10 +145,24 @@ class ShardedBackend:
     registered as ``sharded-unpacked``).
 
     ``driver`` selects how the shard pool executes — ``serial``,
-    ``thread`` or ``process`` (:data:`SHARD_DRIVERS`). All three run the
-    same :class:`ShardWork` units through :func:`execute_shard` and
-    aggregate outcomes in shard order, so results and cycle reports are
-    identical by construction; only wall-clock differs.
+    ``thread``, ``process`` or ``pool`` (:data:`SHARD_DRIVERS`). The
+    first three run the same :class:`ShardWork` units through
+    :func:`execute_shard`; ``pool`` runs the equivalent round-robin
+    lanes on a persistent :class:`~repro.engine.pool.ShardWorkerPool`
+    forked eagerly here in the constructor. Every driver aggregates
+    outcomes in shard order, so results and cycle reports are identical
+    by construction; only wall-clock differs.
+
+    ``shards`` is deliberately independent of ``config.sockets``: the
+    default models the paper's node, but ``shards=8`` on a 2-socket
+    config emulates a multi-node cluster tier behind the same Backend
+    API — each shard is one more independent cache running the full
+    network over its slice.
+
+    Pool-driver backends own OS resources (worker processes, shared
+    arenas); :meth:`close` releases them, and the backend is a context
+    manager for scoped use. The other drivers hold nothing, so
+    ``close`` is a no-op for them.
 
     ``run`` returns the same :class:`~repro.engine.backend.BackendResult`
     surface as the unsharded fleet backends, plus a ``shard_reports``
@@ -176,7 +195,7 @@ class ShardedBackend:
         #: round-robin slice runs as one fleet pass per layer (the
         #: per-image loop remains as ``batched=False``).
         self.batched = batched
-        #: How the shard pool executes: serial / thread / process.
+        #: How the shard pool executes: serial / thread / process / pool.
         self.driver = driver
         self.name = "sharded" if packed else "sharded-unpacked"
         #: Template executor: resolves weights/golden/default network
@@ -184,6 +203,35 @@ class ShardedBackend:
         self._template = FleetExecutor(self.config, weights=weights,
                                        seed=seed, verify=verify,
                                        packed=packed, batched=batched)
+        #: Most-recently-used resolved weights per network (same bounded
+        #: id()-keyed pattern as the analytic simulator cache). Stable
+        #: weight identity across batches is what lets the persistent
+        #: pool broadcast a program once and reuse it every batch.
+        self._weights_cache: dict[int, tuple[Network, object]] = {}
+        self._pool = None
+        if driver == "pool":
+            # Eager fork, before any caller can have started threads
+            # (the serving executor does): the pool lives as long as
+            # the backend, which is the whole point of the driver.
+            from repro.engine.pool import ShardWorkerPool
+            self._pool = ShardWorkerPool(shards, self.config,
+                                         packed=packed, batched=batched,
+                                         verify=verify, seed=seed)
+
+    WEIGHTS_CACHE_SIZE = 4
+
+    def _weights_for(self, network: Network):
+        """Resolved weights with stable identity across batches."""
+        if self.weights is not None:
+            return self.weights
+        key = id(network)
+        entry = self._weights_cache.pop(key, None)
+        if entry is None or entry[0] is not network:
+            entry = (network, self._template.weights_for(network))
+        self._weights_cache[key] = entry    # re-insert = most recent
+        while len(self._weights_cache) > self.WEIGHTS_CACHE_SIZE:
+            self._weights_cache.pop(next(iter(self._weights_cache)))
+        return entry[1]
 
     # -- work construction -------------------------------------------------
     def shard_works(self, network: Network, images,
@@ -195,7 +243,7 @@ class ShardedBackend:
         execute.
         """
         if weights is None:
-            weights = self._template.weights_for(network)
+            weights = self._weights_for(network)
         images = list(images)
         return [ShardWork(shard=k, network=network,
                           images=tuple(images[k::self.shards]),
@@ -205,16 +253,27 @@ class ShardedBackend:
                 for k in range(self.shards)]
 
     def _execute(self, works: list[ShardWork]) -> list[ShardOutcome]:
-        """Run the shard pool on the configured driver, in shard order."""
+        """Run the shard pool on the configured driver, in shard order.
+
+        Empty works (``shards > len(images)``) are never submitted to a
+        concurrent pool — :func:`execute_shard` synthesizes their idle
+        outcomes locally, so idle shards cost neither a worker slot nor
+        a pickle round-trip.
+        """
         if self.driver == "serial":
+            return [execute_shard(work) for work in works]
+        busy = [work for work in works if work.images]
+        if not busy:
             return [execute_shard(work) for work in works]
         pool_cls = (futures.ThreadPoolExecutor if self.driver == "thread"
                     else futures.ProcessPoolExecutor)
-        busy = sum(1 for work in works if work.images)
-        with pool_cls(max_workers=max(1, busy)) as pool:
+        with pool_cls(max_workers=len(busy)) as pool:
             # Executor.map preserves submission (= shard) order, so the
             # aggregation below is independent of completion order.
-            return list(pool.map(execute_shard, works))
+            executed = list(pool.map(execute_shard, busy))
+        done = iter(executed)
+        return [next(done) if work.images else execute_shard(work)
+                for work in works]
 
     def _run_shards(self, network: Network, images, weights
                     ) -> tuple[list[ShardOutcome], CycleReport, int, dict | None]:
@@ -226,8 +285,11 @@ class ShardedBackend:
         ``(len(images) - 1) % shards``, so they match the unsharded
         run's.
         """
-        outcomes = self._execute(self.shard_works(network, images,
-                                                  weights))
+        if self._pool is not None:
+            outcomes = self._pool.run(network, images, weights)
+        else:
+            outcomes = self._execute(self.shard_works(network, images,
+                                                      weights))
         total = CycleReport()
         verified = 0
         outputs = None
@@ -239,10 +301,43 @@ class ShardedBackend:
                 outputs = result.outcome.outputs
         return outcomes, total, verified, outputs
 
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release the driver's OS resources (idempotent).
+
+        Only the pool driver holds any — its persistent workers and the
+        shared arenas. The futures drivers build and drain their pools
+        per batch, and serial holds nothing.
+        """
+        if self._pool is not None:
+            self._pool.close()
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """The pool driver's worker PIDs (empty for other drivers).
+
+        Stable PIDs across consecutive batches are the observable proof
+        that the pool never re-forks — the acceptance test reads them.
+        """
+        if self._pool is None:
+            return ()
+        return self._pool.worker_pids()
+
+    def __enter__(self) -> "ShardedBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
     # -- the Backend surface ----------------------------------------------
     def run(self, network: Network, batch_size: int = 1) -> BackendResult:
         check_batch_size(batch_size, self.name)
-        weights = self._template.weights_for(network)
+        weights = self._weights_for(network)
         images = deterministic_images(network, weights, self.seed,
                                       batch_size)
         outcomes, total, verified, outputs = self._run_shards(
@@ -270,7 +365,7 @@ class ShardedBackend:
         if not images:
             return BatchOutcome(report=CycleReport(), responses=(),
                                 outputs=None, verified=0)
-        weights = self._template.weights_for(network)
+        weights = self._weights_for(network)
         outcomes, total, verified, outputs = self._run_shards(
             network, images, weights)
         responses: list = [None] * len(images)

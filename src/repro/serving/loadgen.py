@@ -130,7 +130,9 @@ def run_serving_benchmark(
 
     The pool holds ``pool_size`` independent
     :class:`~repro.engine.sharding.ShardedBackend` nodes of ``sockets``
-    shards each on the given ``driver``; expected responses come from a
+    shards each on the given ``driver`` (``pool`` nodes fork their
+    persistent workers here, before serving starts any threads, and are
+    closed when the run ends); expected responses come from a
     *serial-driver* backend so the whole concurrent serving stack is
     checked against the reference path. Verification against the golden
     executor is off in both paths — serving-rate correctness is the
@@ -149,15 +151,19 @@ def run_serving_benchmark(
         ShardedBackend(config, shards=sockets, verify=False, driver=driver)
         for _ in range(pool_size)
     ]
-    result = run_load(
-        pool,
-        network,
-        images,
-        expected=expected,
-        max_batch=max_batch,
-        max_wait_ms=max_wait_ms,
-        arrival_gap_ms=arrival_gap_ms,
-    )
+    try:
+        result = run_load(
+            pool,
+            network,
+            images,
+            expected=expected,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            arrival_gap_ms=arrival_gap_ms,
+        )
+    finally:
+        for backend in pool:
+            backend.close()
     report = result.report
     return {
         "n_requests": n_requests,

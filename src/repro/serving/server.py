@@ -111,6 +111,14 @@ class Server:
     long the first request of a batch waits for company before a
     partial batch is flushed. ``max_wait_ms=0`` disables coalescing
     beyond what is already queued at dispatch time.
+
+    ``close_backends`` hands the pool's lifecycle to the server: after
+    the drain, :meth:`close` also calls each backend's own ``close()``
+    (backends without one are left alone). This is how a server over
+    pool-driver :class:`~repro.engine.sharding.ShardedBackend` nodes —
+    which hold one persistent worker pool across *all* ``submit``
+    calls, instead of paying driver startup per coalesced batch —
+    releases those workers and their shared segments exactly once.
     """
 
     def __init__(
@@ -119,6 +127,7 @@ class Server:
         network: Network,
         max_batch: int = 8,
         max_wait_ms: float = 2.0,
+        close_backends: bool = False,
     ):
         if not backends:
             raise SimulationError("serving needs at least one backend")
@@ -139,6 +148,7 @@ class Server:
         self.network = network
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.close_backends = close_backends
         self._backends = tuple(backends)
         # Lifecycle state (created by start(), torn down by close()).
         self._queue: deque[_Request] = deque()
@@ -176,7 +186,9 @@ class Server:
 
         Every request submitted before ``close`` still gets its
         response — draining flushes partial batches rather than
-        dropping them.
+        dropping them. With ``close_backends`` the drained pool's
+        backends are closed too (their own ``close`` is idempotent, so
+        a caller that also closes them directly loses nothing).
         """
         if not self._started:
             return
@@ -186,6 +198,11 @@ class Server:
         if self._inflight:
             await asyncio.gather(*tuple(self._inflight))
         self._started = False
+        if self.close_backends:
+            for backend in self._backends:
+                closer = getattr(backend, "close", None)
+                if closer is not None:
+                    closer()
 
     async def __aenter__(self) -> "Server":
         return await self.start()

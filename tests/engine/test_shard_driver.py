@@ -247,6 +247,15 @@ class TestCliPropagation:
         assert "backend=sharded" in out
         assert "3/3" in out
 
+    def test_cli_runs_pool_driver_end_to_end(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--backend", "sharded", "--batch", "3",
+                     "--shards", "3", "--shard-driver", "pool"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=sharded" in out
+        assert "3/3" in out
+
     def test_cli_rejects_driver_for_unsharded_backend(self, capsys):
         from repro.__main__ import main
 
