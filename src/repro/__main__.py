@@ -153,7 +153,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="how --backend sharded runs its shard pool: "
                              "serial (default), thread, process "
                              "(wall-clock parallel) or pool (persistent "
-                             "zero-copy workers); results identical")
+                             "zero-copy workers; fork-based, POSIX "
+                             "only); results identical")
     parser.add_argument("--batched", action=argparse.BooleanOptionalAction,
                         default=None,
                         help="fold the batch into the fleet's array axis "

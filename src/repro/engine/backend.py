@@ -467,7 +467,10 @@ def get_backend(name: str, config: NeuralCacheConfig | None = None,
     engine's default (batched on). ``driver`` selects the shard driver of
     the sharded backends — ``serial``, ``thread``, ``process`` or
     ``pool`` (the CLI's ``--shard-driver``); any non-``None`` value is
-    rejected for engines that have no shard pool to drive.
+    rejected for engines that have no shard pool to drive. The ``pool``
+    driver forks persistent workers at construction, so it is POSIX-only
+    (requires the ``fork`` start method) and should be resolved before
+    the process starts any threads.
     """
     try:
         factory = BACKENDS[name]

@@ -44,6 +44,8 @@ from __future__ import annotations
 
 import os
 import secrets
+import threading
+import warnings
 from dataclasses import dataclass
 from multiprocessing import get_context
 
@@ -55,6 +57,7 @@ from repro.engine.backend import BatchOutcome, FleetExecutor
 from repro.engine.shared import (
     SharedSegment,
     release_pooled_segments,
+    reset_shared_state,
     set_segment_scope,
     unlink_scope,
 )
@@ -216,6 +219,9 @@ class _WorkerState:
 def _worker_main(conn, scope: str) -> None:
     """A pool worker's whole life: scope, serve messages, clean up."""
     set_segment_scope(scope)
+    # The fork copied the parent's recycler/ledger; forget it, or this
+    # worker's exit-time release would unlink names the parent owns.
+    reset_shared_state()
     state = _WorkerState()
     try:
         while True:
@@ -261,7 +267,16 @@ class ShardWorkerPool:
     terminates the remaining workers, unlinks both arenas, sweeps every
     segment under the pool's scope, and raises
     :class:`~repro.common.errors.SimulationError`. The pool is dead
-    afterwards — a half-crashed pool must fail loudly, not limp.
+    afterwards — a half-crashed pool must fail loudly, not limp. A
+    worker-*reported* error is gentler: the replies of every other
+    shard in the round are drained first (keeping the pipes level), the
+    error raises, and the pool keeps serving.
+
+    Platform: workers are forked (they inherit the program objects and
+    the arena handles by address), so the pool driver needs the ``fork``
+    start method — POSIX only, and unsafe to construct after the owner
+    process has started threads. Construction raises on platforms
+    without fork and warns if extra threads are already running.
     """
 
     def __init__(self, shards: int, config: NeuralCacheConfig,
@@ -285,8 +300,23 @@ class ShardWorkerPool:
         self._closed = False
         # Fork eagerly: workers must exist before the owner's process
         # ever starts threads (the serving executor does), and eager
-        # spawn is what "no re-fork per batch" means.
-        context = get_context("fork")
+        # spawn is what "no re-fork per batch" means. Fork is required
+        # — workers inherit the program objects and arena handles — so
+        # the pool driver is POSIX-only (Linux/macOS).
+        try:
+            context = get_context("fork")
+        except ValueError:
+            raise SimulationError(
+                "the pool shard driver needs the fork start method, "
+                "which this platform does not support; use "
+                "driver='process' instead") from None
+        if threading.active_count() > 1:
+            warnings.warn(
+                "ShardWorkerPool forks while this process already runs "
+                f"{threading.active_count() - 1} extra thread(s); "
+                "construct pool-driver backends before starting any "
+                "threads (forking a multithreaded process is unsafe)",
+                RuntimeWarning, stacklevel=3)
         self._conns = []
         self._workers = []
         for k in range(shards):
@@ -312,14 +342,35 @@ class ShardWorkerPool:
             self._fail(shard)
 
     def _recv(self, shard: int) -> tuple:
+        """One raw reply from a shard; a dead pipe tears the pool down."""
         try:
-            reply = self._conns[shard].recv()
+            return self._conns[shard].recv()
         except (EOFError, OSError):
             self._fail(shard)
-        if reply[0] == "error":
-            raise SimulationError(
-                f"pool shard {shard} failed: {reply[1]}")
-        return reply
+
+    def _drain(self, shards) -> dict[int, tuple]:
+        """One reply per shard, drained fully even when some are errors.
+
+        Every shard that was sent a message in this round answers
+        exactly once, so its reply must be consumed *before* any error
+        raises — otherwise the surviving workers' queued "done" replies
+        would pair with the next round's messages, desyncing the
+        protocol and silently corrupting every later batch. Raises
+        after the drain if any shard reported an error; the workers
+        (and the pool) stay serviceable.
+        """
+        replies: dict[int, tuple] = {}
+        errors = []
+        for shard in shards:
+            reply = self._recv(shard)
+            if reply[0] == "error":
+                errors.append((shard, reply[1]))
+            else:
+                replies[shard] = reply
+        if errors:
+            raise SimulationError("pool " + "; ".join(
+                f"shard {shard} failed: {msg}" for shard, msg in errors))
+        return replies
 
     def _fail(self, shard: int) -> None:
         """A worker died: tear the whole pool down, then raise."""
@@ -342,8 +393,9 @@ class ShardWorkerPool:
                    self.batched, self.verify, self.seed)
         for shard in range(self.shards):
             self._send(shard, message)
-        for shard in range(self.shards):
-            self._recv(shard)
+        # A partial failure leaves _program unset, so the next stage()
+        # re-broadcasts to every worker and they converge again.
+        self._drain(range(self.shards))
         self._program = (key, network, weights)
 
     def _ensure_arena(self, current: SharedSegment | None,
@@ -408,6 +460,13 @@ class ShardWorkerPool:
         for work in works:
             if work.count:
                 self._send(work.shard, ("run", work))
+        # Drain every dispatched shard before touching the output arena:
+        # errors raise only after the pipes are level again, and slots
+        # are read only once their writer has answered "done". All
+        # replies are in hand, so no _recv (and thus no crash teardown)
+        # can fire while an arena view below is live.
+        replies = self._drain(
+            [work.shard for work in works if work.count])
         outcomes = []
         for work in works:
             if not work.count:
@@ -417,10 +476,7 @@ class ShardWorkerPool:
                                          responses=(), outputs=None,
                                          verified=0)))
                 continue
-            _, count, report, verified, outputs = self._recv(work.shard)
-            # The arena view is scoped to this iteration: a crash
-            # surfacing in the next _recv must find no live exports, or
-            # the teardown could not unmap the arena.
+            _, count, report, verified, outputs = replies[work.shard]
             out_buf = self._output.view(np.uint8, (self._output.nbytes,))
             out_slot = _slot_size(int(np.prod(work.output_shape,
                                               dtype=np.int64)))

@@ -54,6 +54,7 @@ __all__ = [
     "SharedPlaneStore",
     "SharedSegment",
     "release_pooled_segments",
+    "reset_shared_state",
     "set_segment_scope",
     "shared_segment_stats",
     "unlink_scope",
@@ -135,7 +136,7 @@ class SharedSegment:
     be dropped before ``close()`` (closing with live exports raises).
     """
 
-    __slots__ = ("_shm", "nbytes", "owner", "_recycle", "_closed")
+    __slots__ = ("_shm", "nbytes", "owner", "_recycle", "_closed", "_pid")
 
     def __init__(self, shm: shared_memory.SharedMemory, nbytes: int,
                  owner: bool, recycle: bool):
@@ -144,6 +145,9 @@ class SharedSegment:
         self.owner = owner
         self._recycle = recycle
         self._closed = False
+        # Ownership is per-process: a forked child inherits the owner
+        # object but must never unlink (or recycle) the parent's name.
+        self._pid = os.getpid()
         _active[shm.name] = _active.get(shm.name, 0) + 1
 
     @classmethod
@@ -153,7 +157,10 @@ class SharedSegment:
         if nbytes <= 0:
             raise ArrayStateError(
                 f"shared segment must hold at least one byte, got {nbytes}")
-        pooled = _recycler.get(nbytes)
+        # A recycled segment keeps the name (and scope prefix) it was
+        # born with, so explicit-scope requests — pool arenas, which a
+        # crash sweep must find by prefix — always allocate fresh.
+        pooled = None if scope is not None else _recycler.get(nbytes)
         if pooled:
             shm = pooled.pop()
             wipe = np.frombuffer(shm.buf, dtype=np.uint8, count=nbytes)
@@ -210,6 +217,11 @@ class SharedSegment:
             _active[self.name] = count
         else:
             _active.pop(self.name, None)
+        if self._pid != os.getpid():
+            # Forked child closing an inherited owner handle: drop the
+            # mapping only — the creating process still owns the name.
+            self._shm.close()
+            return
         if self.owner and unlink is not False:
             if self._recycle and unlink is not True and _recycler_room():
                 _recycler.setdefault(self.nbytes, []).append(self._shm)
@@ -251,6 +263,27 @@ def release_pooled_segments() -> int:
             released += 1
     _recycler.clear()
     return released
+
+
+def reset_shared_state() -> None:
+    """Forget shared-memory state inherited across a fork.
+
+    A forked worker inherits the parent's recycler and active ledger by
+    value; if it released them at exit (:func:`release_pooled_segments`
+    unlinks by name) it would destroy segments the parent still owns
+    and may hand out again. Pool workers call this before serving:
+    inherited recycled mappings are unmapped — never unlinked — and the
+    ledger starts empty so the worker only accounts for its own
+    segments.
+    """
+    for pooled in _recycler.values():
+        for shm in pooled:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - unmap best-effort
+                pass
+    _recycler.clear()
+    _active.clear()
 
 
 def shared_segment_stats() -> dict:

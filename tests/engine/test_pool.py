@@ -227,6 +227,81 @@ class TestLifecycle:
             result = backend.run(tiny_net, batch_size=4)
             assert result.verified_images == 4
 
+    def test_worker_error_drains_the_other_shards_replies(self, tiny_net):
+        """One shard errors mid-dispatch while the others succeed.
+
+        The successful shards' "done" replies are already in their
+        pipes when the error raises; if they were not drained, the next
+        dispatch would pair its fresh works with this batch's stale
+        replies and read arena slots while workers are still writing —
+        silently wrong results for every later batch. The post-error
+        batches here *vary in size*, so a stale reply (whose per-shard
+        image count belongs to the poisoned batch) cannot masquerade as
+        the fresh one.
+        """
+        from dataclasses import replace
+
+        reference = {n: ShardedBackend(shards=2, driver="serial").run(
+                         tiny_net, batch_size=n) for n in (4, 6)}
+        with ShardedBackend(shards=2, driver="pool") as backend:
+            backend.run(tiny_net, batch_size=4)
+            pids = backend.worker_pids()
+            weights = backend._weights_for(tiny_net)
+            images = deterministic_images(tiny_net, weights, 0, 4)
+            works = backend._pool.stage(tiny_net, images, weights)
+            broken = replace(works[0],
+                             input_segment="repro-no-such-segment")
+            with pytest.raises(SimulationError,
+                               match="shard 0 failed"):
+                backend._pool.dispatch([broken, works[1]])
+            # Shard 1 ran its lane and replied; that reply must be gone
+            # from the pipe, and the pool must still be bit-exact.
+            assert backend.worker_pids() == pids
+            for batch in (6, 4, 6):
+                result = backend.run(tiny_net, batch_size=batch)
+                assert result.report == reference[batch].report
+                assert (result.shard_reports
+                        == reference[batch].shard_reports)
+                assert result.verified_images == batch
+
+    def test_workers_do_not_unlink_parent_recycled_segments(self, tiny_net):
+        """Fork inherits the parent's recycler; workers must not act on it.
+
+        Before the worker-side reset, a worker's exit-time
+        release_pooled_segments() unlinked recycled names the parent
+        still owns and may hand out again via SharedSegment.create.
+        """
+        from repro.engine.shared import (
+            SharedPlaneStore,
+            release_pooled_segments,
+        )
+
+        store = SharedPlaneStore(1, rows=4, cols=64)
+        name = store.segment_name
+        store.close()       # owner + recyclable -> pooled, still linked
+        try:
+            with ShardedBackend(shards=2, driver="pool") as backend:
+                backend.run(tiny_net, batch_size=2)
+            # The workers exited; the parent's pooled segment survives.
+            attached = SharedSegment.attach(name)
+            attached.close()
+        finally:
+            release_pooled_segments()
+
+    def test_pool_warns_when_forking_with_threads(self, tiny_net):
+        import threading
+
+        release = threading.Event()
+        thread = threading.Thread(target=release.wait)
+        thread.start()
+        try:
+            with pytest.warns(RuntimeWarning, match="thread"):
+                backend = ShardedBackend(shards=1, driver="pool")
+            backend.close()
+        finally:
+            release.set()
+            thread.join()
+
     def test_server_close_backends_releases_the_pool(self, tiny_net):
         from repro.serving.server import Server
 

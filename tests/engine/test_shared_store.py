@@ -131,6 +131,27 @@ class TestSharedStoreLifecycle:
         with pytest.raises(ArrayStateError, match="does not exist"):
             SharedSegment.attach(name)
 
+    def test_scoped_create_skips_the_recycler(self):
+        """A recycled segment keeps its birth name, so a create that
+        asks for an explicit scope (a pool arena, swept by prefix on
+        crash) must allocate fresh instead of popping the free list."""
+        release_pooled_segments()
+        pooled = SharedSegment.create(512, recycle=True)
+        pooled_name = pooled.name
+        pooled.close()      # into the recycler, still linked
+        try:
+            scoped = SharedSegment.create(512, scope="repro-scoped-arena")
+            assert scoped.name != pooled_name
+            assert scoped.name.startswith("repro-scoped-arena-")
+            scoped.close(unlink=True)
+            # The recycled segment was left untouched for the next
+            # scopeless create.
+            reused = SharedSegment.create(512, recycle=True)
+            assert reused.name == pooled_name
+            reused.close(unlink=True)
+        finally:
+            release_pooled_segments()
+
     def test_forced_unlink_bypasses_the_recycler(self):
         store = SharedPlaneStore(1, rows=4, cols=64)
         name = store.segment_name
