@@ -12,6 +12,8 @@ Usage::
     python -m repro --backend sharded --shards 2 --shard-driver process
     python -m repro --backend fleet --batch 8 --no-batched   # per-image loop
     python -m repro serve-bench --requests 32 --sockets 2    # serving smoke
+    python -m repro verify                  # static dataflow verification
+    python -m repro verify --model lenet5 -v
 
 The ``--backend`` mode drives an execution engine through the unified
 :class:`~repro.engine.backend.Backend` protocol — ``analytic`` runs the
@@ -39,6 +41,11 @@ passes over a pool of sharded backends, reporting p50/p95/p99 tail
 latency and throughput, and exiting non-zero when any response is lost,
 duplicated or not bit-exact against the direct ``run_requests`` path —
 the CI serving smoke gate.
+
+The ``verify`` subcommand statically checks the dataflow of every
+registered model's recorded bit-serial layer programs (def-before-use,
+operand overlap, geometry bounds, tag/carry discipline, dead writes) —
+see :mod:`repro.verify`. CI runs it as the ``verify`` job.
 """
 
 from __future__ import annotations
@@ -131,6 +138,10 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "verify":
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Neural Cache (ISCA 2018) reproduction: regenerate "

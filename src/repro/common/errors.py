@@ -41,3 +41,22 @@ class SimulationError(ReproError):
 
 class IsaError(ReproError):
     """An in-cache instruction is malformed or cannot be decoded."""
+
+
+class VerifyError(ReproError):
+    """A program failed static dataflow verification or the shadow-state
+    sanitizer caught an illegal access at runtime.
+
+    Structured so tools can act on the failure, not just print it:
+    ``check`` names the verification pass or sanitizer rule that fired
+    (e.g. ``"uninit-read"``), ``op`` names the offending operation when
+    known (instruction text or recorded call), and ``row`` pinpoints the
+    wordline involved, if any.
+    """
+
+    def __init__(self, message: str, *, check: str = "verify",
+                 op: str | None = None, row: int | None = None):
+        super().__init__(message)
+        self.check = check
+        self.op = op
+        self.row = row

@@ -458,8 +458,13 @@ class FunctionalConv:
         self.report.passes += n_arrays
 
         # -- read back each group's head column (output move path) --
-        raw_bits = unit.read_values(partial)
-        sum_bits = unit.read_values(xsum_rows)
+        # Only the rows the sequence wrote are live: 24 accumulator bits
+        # plus one growth bit per reduction step. The rest of the 32-row
+        # regions hold power-on zeros — reading them would work, but the
+        # dataflow verifier rightly flags reads of never-written rows.
+        live_bits = 24 + (lanes.bit_length() - 1 if lanes > 1 else 0)
+        raw_bits = unit.read_values(Operand(partial.row, live_bits))
+        sum_bits = unit.read_values(Operand(xsum_rows.row, live_bits))
         head = np.arange(groups) * lanes
         img_of = np.broadcast_to(img[:, None], ol.shape)
         raw[img_of[live], ol[live]] = raw_bits[:, head][live]
@@ -554,8 +559,12 @@ class FunctionalConv:
         self.report.reduction += unit.cycles - before
 
         # -- read back each group's head column (output move path) --
-        raw_bits = unit.read_values(partial)
-        sum_bits = unit.read_values(xsum_rows)
+        # As in the batched stage: read only the written rows (24 + one
+        # growth bit per reduction step); the tail of the 32-row regions
+        # was never driven.
+        live_bits = 24 + (lanes.bit_length() - 1 if lanes > 1 else 0)
+        raw_bits = unit.read_values(Operand(partial.row, live_bits))
+        sum_bits = unit.read_values(Operand(xsum_rows.row, live_bits))
         head = np.arange(len(batch)) * lanes
         return raw_bits[head], sum_bits[head]
 

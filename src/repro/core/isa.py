@@ -112,8 +112,45 @@ class ControlFSM:
         """Per-array cycle count (all arrays run in lockstep)."""
         return self.units[0].cycles
 
+    def validate(self, program: list[Instruction]) -> None:
+        """Reject programs that do not fit the attached arrays.
+
+        The paper's contract is *validate once, broadcast everywhere*: a
+        bounds violation must be caught here, before the first cycle, not
+        as an :class:`~repro.common.errors.ArrayStateError` halfway
+        through execution with every array's state already mutated.
+        Checks every operand region and every row-valued immediate (the
+        CRELU sign row, the CSELCOPY tag row) against the smallest
+        attached geometry, and cross-bitline shifts against the columns.
+        """
+        rows = min(unit.rows for unit in self.units)
+        cols = min(unit.cols for unit in self.units)
+        for index, instr in enumerate(program):
+            for operand in instr.operands:
+                if operand.end > rows:
+                    raise IsaError(
+                        f"instruction {index} `{instr}`: operand "
+                        f"r{operand.row}:{operand.nbits} ends at wordline "
+                        f"{operand.end}, beyond the array's {rows} rows")
+            imm = instr.immediate
+            if instr.opcode in (Opcode.CRELU, Opcode.CSELCOPY):
+                assert imm is not None  # __post_init__ guarantees it
+                if not 0 <= imm < rows:
+                    role = ("sign row" if instr.opcode is Opcode.CRELU
+                            else "tag row")
+                    raise IsaError(
+                        f"instruction {index} `{instr}`: {role} {imm} "
+                        f"outside the array's {rows} rows")
+            elif instr.opcode is Opcode.CMOVE:
+                assert imm is not None
+                if not 0 < imm < cols:
+                    raise IsaError(
+                        f"instruction {index} `{instr}`: column shift "
+                        f"{imm} outside the array's {cols} bitlines")
+
     def execute(self, program: list[Instruction]) -> int:
-        """Run a program on every array; returns cycles consumed."""
+        """Run a validated program on every array; returns cycles consumed."""
+        self.validate(program)
         start = self.cycles
         for instruction in program:
             self._dispatch(instruction)

@@ -48,6 +48,7 @@ _SHARDING_NAMES = (
 # Shared-memory plane stores and the persistent pool are lazy for the
 # same reason as the backend: both pull in repro.core via the executor.
 _SHARED_NAMES = (
+    "SegmentStats",
     "SharedPlaneStore",
     "SharedSegment",
     "shared_segment_stats",

@@ -27,13 +27,56 @@ of that array. :class:`Operand` is *defined* here and re-exported by
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.common.bits import bitplanes_to_int, int_to_bitplanes
 from repro.common.errors import ArrayStateError, LayoutError
-from repro.engine.fleet import ArrayFleet, PlaneStore, mux
+from repro.engine.fleet import ArrayFleet, PlaneStore
+
+#: Module-wide trace hook: when set (by repro.verify.recorder), every
+#: *top-level* composite operation on any FleetBitSerialUnit is reported
+#: as ``hook(unit, method_name, args, kwargs)`` before it executes.
+#: Nested composite calls (mac -> multiply -> load_tag, ...) are
+#: suppressed via a per-unit depth counter, so a recorded program is the
+#: sequence of calls the *engine* made — the unit of transformation the
+#: static verifier reasons about. ``None`` (the default) costs one global
+#: read per composite call.
+_TRACE_HOOK = None
+
+
+def set_trace_hook(hook):
+    """Install (or clear, with ``None``) the composite-call trace hook.
+
+    Returns the previously installed hook so callers can restore it —
+    :func:`repro.verify.recorder.record_programs` is the intended user.
+    """
+    global _TRACE_HOOK
+    previous = _TRACE_HOOK
+    _TRACE_HOOK = hook
+    return previous
+
+
+def _traced(fn):
+    """Report top-level calls of ``fn`` to the trace hook, if installed."""
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        hook = _TRACE_HOOK
+        if hook is None:
+            return fn(self, *args, **kwargs)
+        if not self._trace_depth:
+            hook(self, name, args, kwargs)
+        self._trace_depth += 1
+        try:
+            return fn(self, *args, **kwargs)
+        finally:
+            self._trace_depth -= 1
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -80,6 +123,7 @@ class FleetBitSerialUnit:
         self.fleet = fleet if fleet is not None else ArrayFleet()
         self.periphery = self.fleet.make_periphery()
         self.cycles = 0
+        self._trace_depth = 0
 
     @property
     def n_arrays(self) -> int:
@@ -168,11 +212,8 @@ class FleetBitSerialUnit:
     def _write_plane(self, dst_row: int, plane: np.ndarray,
                      predicated: bool) -> None:
         """Write-back phase of one compute cycle (tag-gated drivers)."""
-        dst = self.fleet.row_plane(dst_row)
-        if predicated:
-            dst[...] = mux(self.periphery.tag, plane, dst)
-        else:
-            dst[...] = plane
+        self.fleet.store_plane(
+            dst_row, plane, self.periphery.tag if predicated else None)
 
     def _cycle_copy_row(self, src_row: int, dst_row: int,
                         predicated: bool = False, invert: bool = False,
@@ -184,7 +225,7 @@ class FleetBitSerialUnit:
         fleet._check_row(src_row)
         fleet._check_row(dst_row)
         fleet.compute_cycles += 1
-        src = fleet.row_plane(src_row)
+        src = fleet.read_plane(src_row)
         plane = fleet.plane_not(src) if invert else src
         if shift:
             plane = fleet.shift_plane(plane, shift)
@@ -202,8 +243,8 @@ class FleetBitSerialUnit:
         fleet._check_row(row_b)
         fleet._check_row(dst_row)
         fleet.compute_cycles += 1
-        a = fleet.row_plane(row_a)
-        b = fleet.row_plane(row_b)
+        a = fleet.read_plane(row_a)
+        b = fleet.read_plane(row_b)
         total = self.periphery.add_step(a & b, a ^ b)
         self._write_plane(dst_row, total, predicated)
         self.cycles += 1
@@ -216,7 +257,7 @@ class FleetBitSerialUnit:
         fleet._check_row(row_a)
         fleet._check_row(dst_row)
         fleet.compute_cycles += 1
-        a = fleet.row_plane(row_a)
+        a = fleet.read_plane(row_a)
         if const_bit:
             # B=1: A&B=A, A^B=~A
             total = self.periphery.add_step(a, fleet.plane_not(a))
@@ -245,7 +286,7 @@ class FleetBitSerialUnit:
         """One cycle writing the tag latches to a wordline."""
         self.fleet._check_row(dst_row)
         self.fleet.compute_cycles += 1
-        self.fleet.row_plane(dst_row)[...] = self.periphery.tag
+        self.fleet.store_plane(dst_row, self.periphery.tag)
         self.cycles += 1
 
     def load_tag(self, row: int, invert: bool = False) -> None:
@@ -253,7 +294,7 @@ class FleetBitSerialUnit:
         fleet = self.fleet
         fleet._check_row(row)
         fleet.compute_cycles += 1
-        a = fleet.row_plane(row)
+        a = fleet.read_plane(row)
         self.periphery.tag[...] = fleet.plane_not(a) if invert else a
         self.cycles += 1
 
@@ -608,3 +649,24 @@ class FleetBitSerialUnit:
         if src.nbits != dst.nbits:
             raise LayoutError(
                 f"operand widths must match: {src.nbits} vs {dst.nbits} bits")
+
+
+#: The public surface recorded by the trace hook: every composite/host op
+#: plus the two standalone tag primitives. Applied after the class body so
+#: the methods above stay readable (no decorator on every def) and the
+#: list doubles as the authoritative "what is a program step" registry for
+#: repro.verify.
+_TRACED_METHODS = (
+    "write_values", "write_value_block", "read_values",
+    "load_tag", "set_tag_all",
+    "zero", "write_scalar", "copy", "complement_copy", "shift_copy",
+    "add", "add_into", "sub", "sub_into", "multiply", "mac", "divide",
+    "compare_ge", "max_update", "min_update", "relu", "selective_copy",
+    "logical_and", "logical_nor", "logical_or", "logical_xor",
+    "equality_compare", "search", "reduce_tree",
+)
+
+for _name in _TRACED_METHODS:
+    setattr(FleetBitSerialUnit, _name,
+            _traced(getattr(FleetBitSerialUnit, _name)))
+del _name

@@ -103,6 +103,33 @@ class PlaneStore:
         """
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Read/write seam over row_plane. ``row_plane`` alone cannot tell a
+    # sensed wordline from a driven one, so sequencers that touch native
+    # planes directly (the hot per-cycle path of FleetBitSerialUnit) go
+    # through these two wrappers instead — which is what lets the
+    # shadow-state sanitizer (repro.verify.sanitizer) observe every
+    # compute-phase access without being in the default path.
+    # ------------------------------------------------------------------
+    def read_plane(self, row: int) -> np.ndarray:
+        """Native view of one wordline being *sensed* (compute read)."""
+        return self.row_plane(row)
+
+    def store_plane(self, row: int, plane: np.ndarray,
+                    mask: np.ndarray | None = None) -> None:
+        """Raw write-back of a native plane (compute write, hot path).
+
+        Unlike :meth:`write_back` this performs no plane coercion — the
+        caller is the sequencer whose planes came from this store's own
+        ops. ``mask`` models the tag-gated write drivers; masked columns
+        keep their value (an implicit read of the destination row).
+        """
+        dst = self.row_plane(row)
+        if mask is None:
+            dst[...] = plane
+        else:
+            dst[...] = mux(mask, plane, dst)
+
     def new_plane(self) -> np.ndarray:
         """A fresh writable all-zero native plane, ``(n_arrays, ...)``."""
         raise NotImplementedError

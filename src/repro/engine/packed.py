@@ -30,6 +30,8 @@ that violate it.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.common.bits import (
@@ -209,7 +211,8 @@ class PackedFleetPeriphery(FleetPeriphery):
 
 def make_fleet(n_arrays: int = 1, rows: int = DEFAULT_ROWS,
                cols: int = DEFAULT_COLS,
-               packed: bool | str = False) -> PlaneStore:
+               packed: bool | str = False,
+               sanitize: bool | None = None) -> PlaneStore:
     """Construct a plane store behind the :class:`PlaneStore` seam.
 
     ``packed`` selects the storage: ``False`` is the unpacked
@@ -218,13 +221,27 @@ def make_fleet(n_arrays: int = 1, rows: int = DEFAULT_ROWS,
     (:class:`~repro.engine.shared.SharedPlaneStore`) — what the
     persistent pool workers run on, so a fleet's planes are mappable
     from other processes instead of picklable only.
+
+    ``sanitize`` wraps the chosen store in the shadow-state sanitizer
+    (:class:`repro.verify.sanitizer.ShadowPlaneStore`), which tracks
+    per-row init state and raises :class:`~repro.common.errors.VerifyError`
+    at the exact primitive that reads an uninitialized wordline. ``None``
+    (the default) defers to the ``NEURALCACHE_SANITIZE`` environment
+    variable, so a whole test run can be sanitized without code changes.
     """
+    if sanitize is None:
+        sanitize = os.environ.get("NEURALCACHE_SANITIZE", "") not in ("", "0")
     if isinstance(packed, str):
         if packed != "shared":
             raise ArrayStateError(
                 f"unknown plane store {packed!r}; use False (unpacked), "
                 f"True (packed) or 'shared' (packed, shared-memory)")
         from repro.engine.shared import SharedPlaneStore
-        return SharedPlaneStore(n_arrays, rows, cols)
-    cls = PackedArrayFleet if packed else ArrayFleet
-    return cls(n_arrays, rows, cols)
+        store: PlaneStore = SharedPlaneStore(n_arrays, rows, cols)
+    else:
+        cls = PackedArrayFleet if packed else ArrayFleet
+        store = cls(n_arrays, rows, cols)
+    if sanitize:
+        from repro.verify.sanitizer import ShadowPlaneStore
+        return ShadowPlaneStore(store)
+    return store

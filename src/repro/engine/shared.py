@@ -51,6 +51,7 @@ from repro.common.errors import ArrayStateError
 from repro.engine.packed import PackedArrayFleet
 
 __all__ = [
+    "SegmentStats",
     "SharedPlaneStore",
     "SharedSegment",
     "release_pooled_segments",
@@ -286,10 +287,73 @@ def reset_shared_state() -> None:
     _active.clear()
 
 
-def shared_segment_stats() -> dict:
-    """Accounting for the lifecycle tests: open vs recycled segments."""
-    return {"active": len(_active),
-            "pooled": sum(len(v) for v in _recycler.values())}
+class SegmentStats(dict):
+    """Segment accounting with a leak check.
+
+    A plain dict (``stats["active"]``, ``stats["pooled"]`` keep working)
+    plus :meth:`check`, which turns the snapshot into an actionable leak
+    report — the shared-memory analogue of the verify package's shadow
+    trackers.
+    """
+
+    def check(self) -> list[str]:
+        """Leak report; empty when every segment is accounted for.
+
+        A clean teardown (every store closed, every pool drained,
+        :func:`release_pooled_segments` run) must leave no open
+        mappings, no pooled spares and no on-disk segment files bearing
+        this process tree's token. Anything else is reported as a
+        human-readable problem string — tests assert ``check() == []``
+        after every close path.
+        """
+        problems = []
+        if self["active"]:
+            names = ", ".join(sorted(self.get("active_names", ())))
+            problems.append(
+                f"{self['active']} segment mapping(s) still open: {names}")
+        if self["pooled"]:
+            problems.append(
+                f"{self['pooled']} recycled segment(s) not released "
+                f"(call release_pooled_segments())")
+        for name in self.get("unswept", ()):
+            problems.append(
+                f"segment file {name!r} is linked in {SHM_DIR} but "
+                f"neither open nor pooled (leaked by a crashed or "
+                f"unswept owner)")
+        return problems
+
+
+def _unswept_segments(accounted: set[str]) -> list[str]:
+    """On-disk segment files of this process tree minus ``accounted``.
+
+    Every segment this process — or a forked pool worker, which inherits
+    the token — creates carries ``-{pid}-{_TOKEN}-`` in its name, so a
+    token scan of :data:`SHM_DIR` finds exactly our leftovers, whatever
+    scope prefixes were in use, without touching other processes'
+    segments.
+    """
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux hosts
+        return []
+    marker = f"-{_TOKEN}-"
+    return sorted(entry for entry in os.listdir(SHM_DIR)
+                  if marker in entry and entry not in accounted)
+
+
+def shared_segment_stats() -> SegmentStats:
+    """Accounting for the lifecycle tests: open vs recycled segments.
+
+    The returned :class:`SegmentStats` snapshot also carries the open
+    mapping names and any unswept on-disk segment files, and can audit
+    itself via :meth:`SegmentStats.check`.
+    """
+    pooled_names = {shm.name for spares in _recycler.values()
+                    for shm in spares}
+    accounted = set(_active) | pooled_names
+    return SegmentStats(
+        active=len(_active),
+        pooled=sum(len(v) for v in _recycler.values()),
+        active_names=sorted(_active),
+        unswept=_unswept_segments(accounted))
 
 
 def unlink_scope(scope: str) -> int:

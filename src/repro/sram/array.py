@@ -37,7 +37,6 @@ from repro.engine.fleet import (
     DEFAULT_ROWS,
     ArrayFleet,
     PlaneStore,
-    mux,
 )
 
 __all__ = ["DEFAULT_COLS", "DEFAULT_ROWS", "SRAMArray"]
@@ -162,16 +161,13 @@ class SRAMArray:
     def _store(self, row: int, bits: np.ndarray,
                mask: np.ndarray | None) -> None:
         """Write already-validated bits into the backing fleet plane
-        (single validation pass; the fleet's own coercion is skipped)."""
+        through the store seam (single validation pass; the fleet's own
+        coercion is skipped)."""
         fleet = self.fleet
         plane = fleet.pack_plane(bits[None, :])
-        target = fleet.row_plane(row)
-        if mask is None:
-            target[...] = plane
-        else:
-            target[...] = mux(
-                fleet.pack_plane(self._coerce_bits(mask)[None, :]),
-                plane, target)
+        packed_mask = (None if mask is None else
+                       fleet.pack_plane(self._coerce_bits(mask)[None, :]))
+        fleet.store_plane(row, plane, packed_mask)
 
     # ------------------------------------------------------------------
     # Test/host-side helpers (no cycle accounting; data arrives via TMU)

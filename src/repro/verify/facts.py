@@ -1,0 +1,140 @@
+"""The ProgramFacts dataflow IR.
+
+One linear fact record per program step — a broadcast ISA instruction or a
+top-level :class:`~repro.engine.bitserial.FleetBitSerialUnit` composite
+call. Each record declares *what the step does to architectural state*
+(wordline regions read/written, tag and carry latch effects) plus the
+*legality constraints* the step's implementation imposes on its operands
+(which region pairs must be disjoint, or aligned-or-disjoint). The passes
+in :mod:`repro.verify.passes` are generic interpreters over these records;
+all per-op knowledge lives in the lifters (:mod:`repro.verify.lift`).
+
+Regions are wordline spans: the column axis is fully parallel in the
+paper's execution model (every bitline runs the same bit-serial program),
+so row-granular facts are exact for dataflow purposes. The one place
+columns matter — cross-bitline shifts — is carried as ``col_shift``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Region:
+    """A span of ``nbits`` wordlines starting at ``row`` (LSB-first)."""
+
+    row: int
+    nbits: int
+
+    @property
+    def end(self) -> int:
+        """One past the last wordline."""
+        return self.row + self.nbits
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the two spans share any wordline."""
+        return self.row < other.end and other.row < self.end
+
+    def aligned(self, other: "Region") -> bool:
+        """True when both spans start on the same wordline.
+
+        Aligned operands advance in lockstep through an LSB-first
+        elementwise sequence (bit ``k`` of both is the same cycle), which
+        is what makes in-place forms like ``add(a, b, dst=b)`` legal.
+        """
+        return self.row == other.row
+
+    def __str__(self) -> str:
+        return f"r{self.row}:{self.nbits}"
+
+
+#: Constraint kinds understood by the overlap pass.
+DISJOINT = "disjoint"
+ALIGNED_OR_DISJOINT = "aligned-or-disjoint"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A legality requirement between two operand regions of one op."""
+
+    a: Region
+    b: Region
+    kind: str
+    reason: str
+
+    def violated(self) -> bool:
+        """True when the pair breaks the constraint."""
+        if not self.a.overlaps(self.b):
+            return False
+        if self.kind == ALIGNED_OR_DISJOINT:
+            return not self.a.aligned(self.b)
+        return True  # DISJOINT
+
+
+#: Tag latch effects (the ``tag`` field of :class:`OpFacts`).
+TAG_SET = "set"          # leaves the tag latch live (load_tag, search, ...)
+TAG_CLEAR = "clear"      # re-enables all write drivers (set_tag_all)
+TAG_REQUIRE = "require"  # a predicated op: needs a live tag to mean anything
+TAG_SELF = "self"        # loads and clears the tag internally (multiply, ...)
+
+#: Carry protocol steps (elements of ``OpFacts.carry``).
+CARRY_INIT = "init"      # clear_carry / set_carry before a ripple
+CARRY_CYCLE = "cycle"    # full-adder cycles consuming/producing the latch
+CARRY_STORE = "store"    # the carry-out write-back that consumes the latch
+
+
+@dataclass(frozen=True)
+class OpFacts:
+    """Dataflow facts of one program step.
+
+    ``reads``/``writes`` are unconditional; ``pred_writes`` are tag-gated
+    writes, which the write drivers implement as a read-modify-write of
+    the destination (unselected columns keep their value), so the passes
+    treat them as a read *and* a write. ``scratch_writes`` are regions the
+    op writes and then consumes internally (a ``sub``'s complemented
+    subtrahend, a ``mac``'s product scratchpad): they define rows like any
+    write, but their value is dead on exit, so reusing the same scratch in
+    the next op is not a dead write. ``inits`` are host/TMU-path loads
+    (``write_values`` and friends): definitions that cost no compute
+    cycles. ``tag_source`` rows are read into the tag latch and must be
+    initialized like any other read.
+    """
+
+    name: str
+    index: int
+    reads: tuple[Region, ...] = ()
+    writes: tuple[Region, ...] = ()
+    pred_writes: tuple[Region, ...] = ()
+    scratch_writes: tuple[Region, ...] = ()
+    inits: tuple[Region, ...] = ()
+    tag: str | None = None
+    tag_source: tuple[Region, ...] = ()
+    carry: tuple[str, ...] = ()
+    constraints: tuple[Constraint, ...] = ()
+    col_shift: int | None = None
+
+    def all_regions(self) -> tuple[Region, ...]:
+        """Every region the op touches (for bounds checking)."""
+        return (self.reads + self.writes + self.pred_writes
+                + self.scratch_writes + self.inits + self.tag_source)
+
+
+@dataclass(frozen=True)
+class ProgramFacts:
+    """A lifted linear program plus the geometry it must run within.
+
+    ``preloaded`` declares wordline regions the caller guarantees are
+    initialized before the program starts (externally staged data) —
+    recorded engine sequences need none because their host loads appear
+    as ``inits`` ops in the stream.
+    """
+
+    label: str
+    rows: int
+    cols: int
+    ops: tuple[OpFacts, ...] = ()
+    preloaded: tuple[Region, ...] = field(default=())
+
+    def __len__(self) -> int:
+        return len(self.ops)

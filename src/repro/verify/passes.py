@@ -1,0 +1,241 @@
+"""Verification passes over :class:`~repro.verify.facts.ProgramFacts`.
+
+Each pass is a generic linear interpreter over the facts records — no
+per-op knowledge here (that lives in :mod:`repro.verify.lift`):
+
+- ``check_bounds``: every region inside ``[0, rows)``, shifts inside the
+  column count.
+- ``check_def_before_use``: no wordline is sensed (or tag-loaded, or
+  read-modify-written by a predicated write) before something defined it.
+- ``check_overlap``: the per-op operand constraints (disjoint /
+  aligned-or-disjoint) hold.
+- ``check_tag_carry``: predicated ops see a live tag, composite ops do
+  not clobber a live tag, the tag is not left live at program end, and
+  carry ripples follow init -> cycles -> store.
+- ``check_dead_writes``: no wordline is written twice with no read in
+  between (wasted modeled cycles); live-out writes are not flagged.
+
+Findings are data, not exceptions: a transformation pipeline wants the
+full list. :func:`assert_clean` converts the first finding into a
+structured :class:`~repro.common.errors.VerifyError` for callers that
+just want a gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import VerifyError
+from repro.verify.facts import (
+    CARRY_CYCLE,
+    CARRY_INIT,
+    CARRY_STORE,
+    OpFacts,
+    ProgramFacts,
+    Region,
+    TAG_CLEAR,
+    TAG_REQUIRE,
+    TAG_SELF,
+    TAG_SET,
+)
+
+__all__ = [
+    "Finding",
+    "assert_clean",
+    "check_bounds",
+    "check_dead_writes",
+    "check_def_before_use",
+    "check_overlap",
+    "check_tag_carry",
+    "verify_program",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification failure, anchored to a program step."""
+
+    check: str
+    index: int
+    op: str
+    detail: str
+    row: int | None = None
+
+    def __str__(self) -> str:
+        where = f" (row {self.row})" if self.row is not None else ""
+        return f"[{self.check}] op {self.index} `{self.op}`: " \
+               f"{self.detail}{where}"
+
+
+def check_bounds(facts: ProgramFacts) -> list[Finding]:
+    """Regions within the wordline count, shifts within the bitlines."""
+    findings = []
+    for op in facts.ops:
+        for region in op.all_regions():
+            if region.nbits < 1:
+                findings.append(Finding(
+                    "bounds", op.index, op.name,
+                    f"empty region {region}", row=region.row))
+            elif region.row < 0 or region.end > facts.rows:
+                findings.append(Finding(
+                    "bounds", op.index, op.name,
+                    f"region {region} outside the array's "
+                    f"{facts.rows} wordlines", row=region.row))
+        if op.col_shift is not None and not 0 < op.col_shift < facts.cols:
+            findings.append(Finding(
+                "bounds", op.index, op.name,
+                f"column shift {op.col_shift} outside the array's "
+                f"{facts.cols} bitlines"))
+    return findings
+
+
+def _clip(region: Region, rows: int) -> range:
+    return range(max(region.row, 0), min(region.end, rows))
+
+
+def check_def_before_use(facts: ProgramFacts) -> list[Finding]:
+    """No wordline is read before it was initialized."""
+    defined = [False] * facts.rows
+    for region in facts.preloaded:
+        for row in _clip(region, facts.rows):
+            defined[row] = True
+    findings = []
+    for op in facts.ops:
+        # Predicated writes are read-modify-writes: unselected columns
+        # keep the destination's value, so the destination must already
+        # hold one.
+        for region in op.reads + op.tag_source + op.pred_writes:
+            for row in _clip(region, facts.rows):
+                if not defined[row]:
+                    findings.append(Finding(
+                        "uninit-read", op.index, op.name,
+                        f"reads wordline {row} before anything wrote it",
+                        row=row))
+                    break  # one finding per region keeps reports readable
+        for region in (op.writes + op.pred_writes + op.scratch_writes
+                       + op.inits):
+            for row in _clip(region, facts.rows):
+                defined[row] = True
+    return findings
+
+
+def check_overlap(facts: ProgramFacts) -> list[Finding]:
+    """The per-op operand aliasing constraints hold."""
+    findings = []
+    for op in facts.ops:
+        for con in op.constraints:
+            if con.violated():
+                findings.append(Finding(
+                    "overlap", op.index, op.name,
+                    f"{con.a} vs {con.b} must be {con.kind}: {con.reason}",
+                    row=max(con.a.row, con.b.row)))
+    return findings
+
+
+def check_tag_carry(facts: ProgramFacts) -> list[Finding]:
+    """Tag and carry latch discipline across the program."""
+    findings = []
+    tag_live = False
+    tag_set_at: OpFacts | None = None
+    carry_active = False
+    for op in facts.ops:
+        if op.tag == TAG_REQUIRE and not tag_live:
+            findings.append(Finding(
+                "tag", op.index, op.name,
+                "predicated op with all write drivers enabled (no "
+                "load_tag in effect): the predication is a no-op"))
+        elif op.tag == TAG_SELF and tag_live:
+            findings.append(Finding(
+                "tag", op.index, op.name,
+                f"clobbers the live tag loaded by op "
+                f"{tag_set_at.index if tag_set_at else '?'} "
+                f"before any predicated op consumed it"))
+        if op.tag == TAG_SET:
+            tag_live = True
+            tag_set_at = op
+        elif op.tag in (TAG_CLEAR, TAG_SELF):
+            tag_live = False
+            tag_set_at = None
+        for step in op.carry:
+            if step == CARRY_INIT:
+                carry_active = True
+            elif step == CARRY_CYCLE and not carry_active:
+                findings.append(Finding(
+                    "carry", op.index, op.name,
+                    "adder cycles ripple a carry latch that was never "
+                    "initialised"))
+            elif step == CARRY_STORE:
+                if not carry_active:
+                    findings.append(Finding(
+                        "carry", op.index, op.name,
+                        "stores a carry-out, but the latch was already "
+                        "consumed (or never generated)"))
+                carry_active = False
+    if tag_live:
+        findings.append(Finding(
+            "tag", tag_set_at.index if tag_set_at else len(facts.ops) - 1,
+            tag_set_at.name if tag_set_at else "<end>",
+            "program ends with the tag latch live: a later program on "
+            "this fleet would start half-predicated"))
+    return findings
+
+
+def check_dead_writes(facts: ProgramFacts) -> list[Finding]:
+    """No wordline is overwritten before anything read it."""
+    pending: list[OpFacts | None] = [None] * facts.rows
+    findings = []
+    reported: set[tuple[int, int]] = set()
+    for op in facts.ops:
+        for region in op.reads + op.tag_source + op.pred_writes:
+            for row in _clip(region, facts.rows):
+                pending[row] = None
+        for region in op.writes + op.pred_writes + op.inits:
+            for row in _clip(region, facts.rows):
+                earlier = pending[row]
+                if earlier is not None:
+                    key = (earlier.index, op.index)
+                    if key not in reported:
+                        reported.add(key)
+                        findings.append(Finding(
+                            "dead-write", earlier.index, earlier.name,
+                            f"write to wordline {row} is overwritten by "
+                            f"op {op.index} `{op.name}` with no read in "
+                            f"between (wasted cycles)", row=row))
+                pending[row] = op
+        # Scratch is written and consumed inside the op: it kills earlier
+        # unread writes like any write, but its own value is dead on exit
+        # by design, so reusing the scratch next op is not a finding.
+        for region in op.scratch_writes:
+            for row in _clip(region, facts.rows):
+                earlier = pending[row]
+                if earlier is not None:
+                    key = (earlier.index, op.index)
+                    if key not in reported:
+                        reported.add(key)
+                        findings.append(Finding(
+                            "dead-write", earlier.index, earlier.name,
+                            f"write to wordline {row} is overwritten by "
+                            f"op {op.index} `{op.name}` (scratch) with no "
+                            f"read in between (wasted cycles)", row=row))
+                pending[row] = None
+    return findings
+
+
+def verify_program(facts: ProgramFacts) -> list[Finding]:
+    """All passes, in severity order."""
+    findings = check_bounds(facts)
+    findings += check_def_before_use(facts)
+    findings += check_overlap(facts)
+    findings += check_tag_carry(facts)
+    findings += check_dead_writes(facts)
+    return findings
+
+
+def assert_clean(facts: ProgramFacts) -> None:
+    """Raise a structured ``VerifyError`` on the first finding."""
+    findings = verify_program(facts)
+    if findings:
+        first = findings[0]
+        raise VerifyError(
+            f"{facts.label}: {len(findings)} finding(s); first: {first}",
+            check=first.check, op=first.op, row=first.row)

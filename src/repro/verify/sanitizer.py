@@ -1,0 +1,154 @@
+"""Shadow-state sanitizer: the dynamic oracle behind the static passes.
+
+:class:`ShadowPlaneStore` wraps any
+:class:`~repro.engine.fleet.PlaneStore` and tracks one bit of shadow
+state per wordline: *has anything ever written this row?* Every read path
+of the store seam — compute sensing (``sense``/``sense_single``/
+``read_plane``), tag-masked writes (which read the destination through
+the write drivers' mux), and host reads (``read_row``/``dump_bits``) —
+checks the shadow first and raises a structured
+:class:`~repro.common.errors.VerifyError` at the exact offending
+primitive. That makes it the runtime ground truth the static
+``uninit-read`` pass is tested against: a program the static pass calls
+clean must execute under the sanitizer without raising, and a seeded
+uninitialized read must trip both.
+
+Shadow granularity is per-row (not per-column): the lockstep execution
+model runs the same bit-serial program on every bitline, so partial-row
+host loads are treated as initialising the row. Physically the arrays
+power up to well-defined zeros — the sanitizer is checking *program*
+discipline (the paper's "validate once, broadcast everywhere" contract),
+not electrical state.
+
+Composition, not inheritance: the wrapper holds the real store and
+forwards everything, so it works identically over the unpacked
+reference store, the packed word store and the shared-memory store. The
+cycle counters are property proxies onto the inner store — sequencer
+code does ``fleet.compute_cycles += 1`` and both halves of that
+read-modify-write must land on the same counter.
+
+Opt in via ``make_fleet(..., sanitize=True)`` or ``NEURALCACHE_SANITIZE=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import VerifyError
+from repro.engine.fleet import PlaneStore
+
+__all__ = ["ShadowPlaneStore"]
+
+
+class ShadowPlaneStore:
+    """A :class:`PlaneStore` wrapper that traps uninitialized reads."""
+
+    def __init__(self, store: PlaneStore):
+        self._store = store
+        self._shadow = np.zeros(store.rows, dtype=bool)
+        self.n_arrays = store.n_arrays
+        self.rows = store.rows
+        self.cols = store.cols
+
+    # -- shadow state --------------------------------------------------
+    def _require(self, row: int, what: str) -> None:
+        if 0 <= row < self.rows and not self._shadow[row]:
+            raise VerifyError(
+                f"{what} reads wordline {row} before anything wrote it",
+                check="uninit-read", op=what, row=row)
+
+    def _mark(self, row: int, n_rows: int = 1) -> None:
+        self._shadow[max(row, 0):row + n_rows] = True
+
+    @property
+    def shadow_written(self) -> np.ndarray:
+        """Copy of the per-row init state (True = initialized)."""
+        return self._shadow.copy()
+
+    def mark_initialized(self, row: int, n_rows: int = 1) -> None:
+        """Declare externally staged rows initialized (test preloads)."""
+        self._mark(row, n_rows)
+
+    def reset_shadow(self) -> None:
+        """Forget all init state (e.g. between program runs)."""
+        self._shadow[:] = False
+
+    # -- counters (shared read-modify-write with the inner store) ------
+    @property
+    def access_cycles(self) -> int:
+        return self._store.access_cycles
+
+    @access_cycles.setter
+    def access_cycles(self, value: int) -> None:
+        self._store.access_cycles = value
+
+    @property
+    def compute_cycles(self) -> int:
+        return self._store.compute_cycles
+
+    @compute_cycles.setter
+    def compute_cycles(self, value: int) -> None:
+        self._store.compute_cycles = value
+
+    # -- checked read paths --------------------------------------------
+    def read_plane(self, row: int) -> np.ndarray:
+        self._require(row, "compute sensing")
+        return self._store.read_plane(row)
+
+    def sense(self, row_a: int, row_b: int) -> tuple[np.ndarray, np.ndarray]:
+        self._require(row_a, "compute sensing")
+        self._require(row_b, "compute sensing")
+        return self._store.sense(row_a, row_b)
+
+    def sense_single(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        self._require(row, "compute sensing")
+        return self._store.sense_single(row)
+
+    def read_row(self, row: int) -> np.ndarray:
+        self._require(row, "host read")
+        return self._store.read_row(row)
+
+    def dump_bits(self, top_row: int, n_rows: int, col_offset: int = 0,
+                  n_cols: int | None = None) -> np.ndarray:
+        for row in range(top_row, top_row + n_rows):
+            self._require(row, "host dump")
+        return self._store.dump_bits(top_row, n_rows, col_offset, n_cols)
+
+    # -- checked write paths (masked writes read the destination) ------
+    def store_plane(self, row: int, plane: np.ndarray,
+                    mask: np.ndarray | None = None) -> None:
+        if mask is not None:
+            self._require(row, "tag-masked write-back")
+        self._store.store_plane(row, plane, mask)
+        self._mark(row)
+
+    def write_back(self, row: int, plane: np.ndarray,
+                   mask: np.ndarray | None = None) -> None:
+        if mask is not None:
+            self._require(row, "tag-masked write-back")
+        self._store.write_back(row, plane, mask)
+        self._mark(row)
+
+    def write_row(self, row: int, bits: np.ndarray,
+                  mask: np.ndarray | None = None) -> None:
+        if mask is not None:
+            self._require(row, "masked host write")
+        self._store.write_row(row, bits, mask)
+        self._mark(row)
+
+    def load_bits(self, top_row: int, bits: np.ndarray,
+                  col_offset: int = 0) -> None:
+        self._store.load_bits(top_row, bits, col_offset)
+        n_rows = np.asarray(bits).shape[-2]
+        self._mark(top_row, n_rows)
+
+    # -- everything else is the inner store's business -----------------
+    def __getattr__(self, name: str) -> Any:
+        # Only reached for names not defined above: plane ops, checks,
+        # make_periphery, nbytes, reset_counters, ...
+        return getattr(self._store, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShadowPlaneStore({self._store!r})"

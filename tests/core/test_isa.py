@@ -40,6 +40,64 @@ class TestInstructionValidation:
         assert str(instr) == "cimm r4:8, #42"
 
 
+class TestProgramValidation:
+    """Out-of-range operands are rejected at validate time, before the
+    first cycle touches any array (regression: they used to surface as
+    an ArrayStateError halfway through execution, with state mutated)."""
+
+    def test_out_of_range_row_operand_rejected(self):
+        fsm = ControlFSM([unit()])  # 128 rows
+        program = [Instruction(Opcode.CZERO, (Operand(124, 8),))]
+        with pytest.raises(IsaError, match="beyond the array's 128 rows"):
+            fsm.execute(program)
+        assert fsm.instructions_executed == 0
+        assert fsm.cycles == 0
+
+    def test_rejected_before_any_state_moves(self):
+        # The bad operand is in the *last* instruction: with execute-time
+        # checking the first two would already have run.
+        fsm = ControlFSM([unit()])
+        program = [
+            Instruction(Opcode.CIMM, (Operand(0, 8),), immediate=7),
+            Instruction(Opcode.CIMM, (Operand(8, 8),), immediate=3),
+            Instruction(Opcode.CCOPY, (Operand(0, 8), Operand(126, 8))),
+        ]
+        with pytest.raises(IsaError, match="instruction 2"):
+            fsm.execute(program)
+        assert fsm.instructions_executed == 0
+        assert fsm.cycles == 0
+
+    def test_smallest_attached_geometry_governs(self):
+        mixed = ControlFSM([BitSerialUnit(SRAMArray(rows=128, cols=32)),
+                            BitSerialUnit(SRAMArray(rows=64, cols=32))])
+        program = [Instruction(Opcode.CZERO, (Operand(60, 8),))]
+        with pytest.raises(IsaError, match="64 rows"):
+            mixed.execute(program)
+
+    def test_row_immediates_validated(self):
+        fsm = ControlFSM([unit()])
+        with pytest.raises(IsaError, match="sign row"):
+            fsm.execute([Instruction(Opcode.CRELU, (Operand(0, 8),),
+                                     immediate=128)])
+        with pytest.raises(IsaError, match="tag row"):
+            fsm.execute([Instruction(
+                Opcode.CSELCOPY, (Operand(0, 8), Operand(8, 8)),
+                immediate=-1)])
+
+    def test_column_shift_validated(self):
+        fsm = ControlFSM([unit(cols=32)])
+        with pytest.raises(IsaError, match="column shift"):
+            fsm.execute([Instruction(
+                Opcode.CMOVE, (Operand(0, 8), Operand(8, 8)),
+                immediate=32)])
+
+    def test_in_bounds_program_passes(self):
+        fsm = ControlFSM([unit()])
+        fsm.validate([Instruction(Opcode.CZERO, (Operand(120, 8),)),
+                      Instruction(Opcode.CRELU, (Operand(0, 8),),
+                                  immediate=127)])
+
+
 class TestExecution:
     def test_program_matches_direct_calls(self):
         a, b, dst = Operand(0, 8), Operand(8, 8), Operand(16, 9)

@@ -31,7 +31,12 @@ from repro.engine.backend import (
     tiny_verification_network,
 )
 from repro.engine.pool import PoolShardWork
-from repro.engine.shared import SHM_DIR, SharedSegment
+from repro.engine.shared import (
+    SHM_DIR,
+    SharedSegment,
+    release_pooled_segments,
+    shared_segment_stats,
+)
 from repro.engine.sharding import ShardedBackend
 
 
@@ -44,6 +49,14 @@ def scope_segments(scope: str) -> list[str]:
     """Segments under a pool's scope still linked in /dev/shm."""
     return [entry for entry in os.listdir(SHM_DIR)
             if entry.startswith(scope)]
+
+
+def assert_no_segment_leaks():
+    """Every close path must leave the global segment ledger clean: no
+    open mappings, nothing pooled once the recycler is drained, and no
+    orphaned files under this process's token in /dev/shm."""
+    release_pooled_segments()
+    assert shared_segment_stats().check() == []
 
 
 def staged_works(backend, network, batch: int) -> list[PoolShardWork]:
@@ -174,6 +187,7 @@ class TestLifecycle:
         assert scope_segments(scope)        # arenas exist while open
         backend.close()
         assert scope_segments(scope) == []
+        assert_no_segment_leaks()
         with pytest.raises(Exception, match="does not exist"):
             SharedSegment.attach(arena)
 
@@ -183,6 +197,7 @@ class TestLifecycle:
         backend.close()
         backend.close()
         assert scope_segments(scope) == []
+        assert_no_segment_leaks()
         with pytest.raises(SimulationError, match="closed"):
             backend.run(tiny_net, batch_size=2)
         with pytest.raises(SimulationError, match="closed"):
@@ -197,6 +212,7 @@ class TestLifecycle:
             backend.run(tiny_net, batch_size=4)
         assert scope_segments(scope) == []
         backend.close()     # idempotent after the crash teardown
+        assert_no_segment_leaks()
 
     def test_stage_rejects_mismatched_images(self, tiny_net):
         with ShardedBackend(shards=2, driver="pool") as backend:
@@ -325,6 +341,7 @@ class TestLifecycle:
             assert np.array_equal(got.data, want.data)
         assert backend._pool._closed
         assert scope_segments(scope) == []
+        assert_no_segment_leaks()
 
     def test_server_leaves_backends_open_by_default(self, tiny_net):
         from repro.serving.server import Server

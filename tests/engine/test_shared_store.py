@@ -184,6 +184,39 @@ class TestSharedStoreLifecycle:
         with pytest.raises(ArrayStateError, match="does not exist"):
             SharedSegment.attach(segment.name)
 
+    def test_stats_check_reports_open_mappings_by_name(self):
+        release_pooled_segments()
+        assert shared_segment_stats().check() == []
+        store = SharedPlaneStore(1, rows=4, cols=64)
+        name = store.segment_name
+        problems = shared_segment_stats().check()
+        assert any("still open" in p and name in p for p in problems)
+        store.close(unlink=True)
+        assert shared_segment_stats().check() == []
+
+    def test_stats_check_reports_unreleased_pooled_segments(self):
+        release_pooled_segments()
+        store = SharedPlaneStore(1, rows=4, cols=64)
+        store.close()                  # recycled, not unlinked
+        problems = shared_segment_stats().check()
+        assert any("release_pooled_segments" in p for p in problems)
+        release_pooled_segments()
+        assert shared_segment_stats().check() == []
+
+    def test_stats_check_reports_unswept_files(self):
+        release_pooled_segments()
+        set_segment_scope("repro-test-leak")
+        try:
+            segment = SharedSegment.create(64)
+            name = segment.name
+            segment.close(unlink=False)    # leak: linked but unaccounted
+            problems = shared_segment_stats().check()
+            assert any("leaked" in p and name in p for p in problems)
+        finally:
+            set_segment_scope("repro")
+            unlink_scope("repro-test-leak")
+        assert shared_segment_stats().check() == []
+
     def test_invalid_scope_and_size_rejected(self):
         with pytest.raises(ArrayStateError, match="invalid segment scope"):
             set_segment_scope("has/slash")

@@ -1,0 +1,179 @@
+"""Static passes vs the shadow-state sanitizer on random programs.
+
+Random ISA programs are generated over slot-disjoint operands (so the
+only possible violation class is init discipline), then checked two
+ways: lifted and run through the static passes, and executed on a
+sanitized single-array unit under the ControlFSM. The static
+``uninit-read`` verdict and the sanitizer's runtime raise must always
+agree — that is the contract that makes the sanitizer the ground truth
+the static pass is tested against.
+
+A second family mutates known-good-by-construction programs (drop an
+init, swap copy operands, shrink the geometry) and asserts the matching
+pass catches every mutation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import IsaError, VerifyError
+from repro.core.isa import ControlFSM, Instruction, Opcode
+from repro.engine.packed import make_fleet
+from repro.sram import BitSerialUnit, Operand, SRAMArray
+from repro.verify import lift_isa_program, verify_program
+
+ROWS, COLS = 48, 8
+N_SLOTS = 6  # 8-row slots at 0, 8, ..., 40
+
+SLOT_IDX = st.integers(min_value=0, max_value=N_SLOTS - 1)
+
+
+def slot(i, nbits=4):
+    return Operand(8 * i, nbits)
+
+
+@st.composite
+def random_instruction(draw):
+    """One in-bounds instruction over slot-disjoint operands."""
+    kind = draw(st.sampled_from(
+        ["czero", "cimm", "ccopy", "cadd", "cmult", "csub", "crelu"]))
+    if kind == "czero":
+        return Instruction(Opcode.CZERO, (slot(draw(SLOT_IDX)),))
+    if kind == "cimm":
+        return Instruction(Opcode.CIMM, (slot(draw(SLOT_IDX)),),
+                           immediate=draw(st.integers(0, 15)))
+    if kind == "crelu":
+        s = draw(SLOT_IDX)
+        return Instruction(Opcode.CRELU, (slot(s),), immediate=8 * s + 3)
+    n_ops = {"ccopy": 2, "cadd": 3, "cmult": 3, "csub": 4}[kind]
+    slots = draw(st.permutations(range(N_SLOTS)).map(lambda p: p[:n_ops]))
+    if kind == "ccopy":
+        return Instruction(Opcode.CCOPY, (slot(slots[0]), slot(slots[1])))
+    if kind == "cadd":
+        return Instruction(Opcode.CADD, (slot(slots[0]), slot(slots[1]),
+                                         slot(slots[2], 5)))
+    if kind == "cmult":
+        return Instruction(Opcode.CMULT, (slot(slots[0]), slot(slots[1]),
+                                          slot(slots[2], 8)))
+    return Instruction(Opcode.CSUB, (slot(slots[0]), slot(slots[1]),
+                                     slot(slots[2], 5), slot(slots[3])))
+
+
+def sanitized_fsm():
+    fleet = make_fleet(1, ROWS, COLS, sanitize=True)
+    return ControlFSM([BitSerialUnit(SRAMArray(ROWS, COLS, fleet=fleet))])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(random_instruction(), min_size=1, max_size=8))
+def test_static_uninit_verdict_matches_the_sanitizer(program):
+    facts = lift_isa_program(program, ROWS, COLS)
+    all_findings = verify_program(facts)
+    # Slot-disjoint operands leave only two reachable classes: init
+    # discipline (which the sanitizer mirrors) and dead writes (a pure
+    # efficiency lint with no runtime signal to compare against).
+    assert {f.check for f in all_findings} <= {"uninit-read", "dead-write"}
+    findings = [f for f in all_findings if f.check == "uninit-read"]
+
+    raised = False
+    try:
+        sanitized_fsm().execute(program)
+    except VerifyError as err:
+        assert err.check == "uninit-read"
+        raised = True
+    assert raised == bool(findings), (
+        "static verdict and sanitizer disagree on:\n"
+        + "\n".join(str(i) for i in program))
+
+
+@st.composite
+def known_good_program(draw):
+    """A program that is clean by construction: every slot is initialised
+    before anything reads it, destinations never alias sources."""
+    program = [Instruction(Opcode.CIMM, (slot(0),),
+                           immediate=draw(st.integers(0, 15)))]
+    initialized = [0]
+    free = list(range(1, N_SLOTS))
+    for _ in range(draw(st.integers(1, 4))):
+        if not free or (len(initialized) >= 2 and draw(st.booleans())):
+            a = draw(st.sampled_from(initialized))
+            b = draw(st.sampled_from([s for s in initialized if s != a]))
+            dst = draw(st.sampled_from(free)) if free else None
+            if dst is None:
+                continue
+            free.remove(dst)
+            initialized.append(dst)
+            program.append(Instruction(
+                Opcode.CADD, (slot(a), slot(b), slot(dst, 5))))
+        else:
+            new = draw(st.sampled_from(free))
+            free.remove(new)
+            initialized.append(new)
+            program.append(Instruction(Opcode.CIMM, (slot(new),),
+                                       immediate=draw(st.integers(0, 15))))
+    return program
+
+
+@settings(max_examples=40, deadline=None)
+@given(known_good_program(), st.data())
+def test_dropping_a_needed_init_is_always_caught(program, data):
+    assert verify_program(lift_isa_program(program, ROWS, COLS)) == []
+
+    read_rows = set()
+    for facts in lift_isa_program(program, ROWS, COLS).ops:
+        for region in facts.reads:
+            read_rows.update(range(region.row, region.end))
+    needed = [i for i, instr in enumerate(program)
+              if instr.opcode is Opcode.CIMM
+              and instr.operands[0].row in read_rows]
+    if not needed:
+        return  # nothing in this example feeds a later read
+    mutant = list(program)
+    del mutant[data.draw(st.sampled_from(needed), label="dropped init")]
+
+    findings = verify_program(lift_isa_program(mutant, ROWS, COLS))
+    assert any(f.check == "uninit-read" for f in findings)
+    with pytest.raises(VerifyError) as excinfo:
+        sanitized_fsm().execute(mutant)
+    assert excinfo.value.check == "uninit-read"
+
+
+@settings(max_examples=40, deadline=None)
+@given(known_good_program(), st.data())
+def test_shrunken_geometry_is_always_caught(program, data):
+    top = max(r.end for facts in lift_isa_program(program, ROWS, COLS).ops
+              for r in facts.all_regions())
+    rows = data.draw(st.integers(max(top - 8, 1), top - 1),
+                     label="shrunken rows")
+
+    findings = verify_program(lift_isa_program(program, rows, COLS))
+    assert any(f.check == "bounds" for f in findings)
+    fleet = make_fleet(1, rows, COLS)
+    fsm = ControlFSM([BitSerialUnit(SRAMArray(rows, COLS, fleet=fleet))])
+    with pytest.raises(IsaError):
+        fsm.execute(program)
+    assert fsm.instructions_executed == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(known_good_program(), st.data())
+def test_swapping_copy_operands_reads_the_uninit_side(program, data):
+    free = sorted({8 * i for i in range(N_SLOTS)}
+                  - {instr.operands[-1].row for instr in program}
+                  - {program[0].operands[0].row})
+    if not free:
+        return
+    dst_row = data.draw(st.sampled_from(free), label="copy dst slot")
+    src = program[0].operands[0]
+    good = program + [Instruction(
+        Opcode.CCOPY, (src, Operand(dst_row, src.nbits)))]
+    assert verify_program(lift_isa_program(good, ROWS, COLS)) == []
+
+    swapped = good[:-1] + [Instruction(
+        Opcode.CCOPY, (Operand(dst_row, src.nbits), src))]
+    findings = verify_program(lift_isa_program(swapped, ROWS, COLS))
+    assert any(f.check == "uninit-read" for f in findings)
+    with pytest.raises(VerifyError) as excinfo:
+        sanitized_fsm().execute(swapped)
+    assert excinfo.value.check == "uninit-read"

@@ -1,0 +1,135 @@
+"""Recorder granularity, model program extraction, and the verify CLI."""
+
+import pytest
+
+from repro.common.errors import VerifyError
+from repro.engine.bitserial import FleetBitSerialUnit, Operand
+from repro.engine.packed import make_fleet
+from repro.verify import (
+    extract_model_programs,
+    lift_calls,
+    record_programs,
+    registered_models,
+    verify_program,
+)
+from repro.verify.cli import main as verify_main
+
+ROWS, COLS = 64, 16
+
+
+class TestRecorder:
+    def test_top_level_calls_only(self):
+        # mac runs multiply + add_into + dozens of cycle primitives
+        # internally; the recording must show exactly the calls the
+        # engine made, at the granularity the lifter models.
+        unit = FleetBitSerialUnit(make_fleet(1, ROWS, COLS))
+        with record_programs() as recorder:
+            unit.write_values(Operand(0, 4), 5)
+            unit.write_values(Operand(4, 4), 9)
+            unit.write_values(Operand(16, 9), 0)
+            unit.mac(Operand(0, 4), Operand(4, 4), Operand(8, 8),
+                     Operand(16, 9))
+        (trace,) = recorder.traces.values()
+        assert [call.method for call in trace.calls] == \
+            ["write_values", "write_values", "write_values", "mac"]
+
+    def test_calls_group_per_unit_with_labels(self):
+        store = make_fleet(1, ROWS, COLS)
+        unit_a, unit_b = FleetBitSerialUnit(store), FleetBitSerialUnit(store)
+        with record_programs() as recorder:
+            recorder.annotate("layer-a")
+            unit_a.write_values(Operand(0, 4), 1)
+            recorder.annotate("layer-b")
+            unit_b.write_values(Operand(0, 4), 2)
+            unit_a.zero(Operand(8, 4))  # back on the first unit
+        programs = recorder.programs()
+        assert [p.label for p in programs] == ["layer-a", "layer-b"]
+        assert len(programs[0]) == 2
+        assert len(programs[1]) == 1
+
+    def test_recording_lifts_and_verifies_clean(self):
+        unit = FleetBitSerialUnit(make_fleet(1, ROWS, COLS))
+        with record_programs() as recorder:
+            unit.write_values(Operand(0, 4), 5)
+            unit.write_values(Operand(4, 4), 9)
+            unit.add(Operand(0, 4), Operand(4, 4), Operand(8, 5))
+            unit.read_values(Operand(8, 5))
+        (program,) = recorder.programs()
+        assert program.rows == ROWS and program.cols == COLS
+        assert verify_program(program) == []
+
+    def test_hook_restored_on_exit(self):
+        unit = FleetBitSerialUnit(make_fleet(1, ROWS, COLS))
+        with record_programs() as recorder:
+            unit.write_values(Operand(0, 4), 5)
+        unit.write_values(Operand(4, 4), 9)  # after the block: not recorded
+        (trace,) = recorder.traces.values()
+        assert len(trace.calls) == 1
+
+    def test_nested_recordings(self):
+        unit = FleetBitSerialUnit(make_fleet(1, ROWS, COLS))
+        with record_programs() as outer:
+            unit.write_values(Operand(0, 4), 1)
+            with record_programs() as inner:
+                unit.write_values(Operand(4, 4), 2)
+            unit.write_values(Operand(8, 4), 3)
+        (outer_trace,) = outer.traces.values()
+        (inner_trace,) = inner.traces.values()
+        assert len(outer_trace.calls) == 2  # inner call went to `inner`
+        assert len(inner_trace.calls) == 1
+
+
+class TestLiftErrors:
+    def test_unknown_method_is_a_lift_error(self):
+        with pytest.raises(VerifyError) as excinfo:
+            lift_calls([("frobnicate", (), {})], ROWS, COLS)
+        assert excinfo.value.check == "lift"
+
+    def test_too_many_positionals_is_a_lift_error(self):
+        with pytest.raises(VerifyError, match="positional"):
+            lift_calls([("set_tag_all", (1, 2, 3), {})], ROWS, COLS)
+
+
+class TestExtraction:
+    def test_tiny_verification_model_extracts_clean(self):
+        extracted = extract_model_programs("tiny-verification")
+        assert extracted.skipped is None
+        assert extracted.programs, "no programs recorded"
+        labels = {p.label for p in extracted.programs}
+        assert any("pool" in label or "conv" in label for label in labels)
+        for program in extracted.programs:
+            assert verify_program(program) == [], program.label
+
+    def test_registered_models_cover_the_zoo(self):
+        models = registered_models()
+        assert "tiny-verification" in models
+        assert "mlp" in models
+        assert "lenet5" in models
+
+    def test_out_of_scope_model_reports_skip_reason(self):
+        extracted = extract_model_programs("inception-v3")
+        assert extracted.skipped is not None
+        assert extracted.programs == ()
+
+
+class TestCli:
+    def test_clean_model_exits_zero(self, capsys):
+        assert verify_main(["--model", "tiny-verification"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny-verification: ok" in out
+        assert ": 0 finding(s)" in out
+
+    def test_verbose_lists_programs(self, capsys):
+        assert verify_main(["--model", "tiny-verification", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny-verification/" in out
+
+    def test_unknown_model_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            verify_main(["--model", "no-such-model"])
+        assert excinfo.value.code == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_skipped_model_reports_and_exits_zero(self, capsys):
+        assert verify_main(["--model", "inception-v3"]) == 0
+        assert "SKIP" in capsys.readouterr().out

@@ -1,0 +1,340 @@
+"""Each static pass catches a seeded violation the runtime also exposes.
+
+Every test here follows the same shape: start from a known-good program,
+seed one violation class, and show (a) the matching static pass reports
+it and (b) the runtime agrees — the shadow-state sanitizer raises for
+init-discipline violations, ``ControlFSM.validate`` / the composites'
+own guards raise for bounds and aliasing, and the remaining classes
+(tag, carry, dead writes) are demonstrated as wrong results or wasted
+cycles on a live unit. The sanitizer is the ground truth the static
+passes are tested against.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import IsaError, LayoutError, VerifyError
+from repro.core.isa import ControlFSM, parse_program
+from repro.engine.bitserial import FleetBitSerialUnit, Operand
+from repro.engine.packed import make_fleet
+from repro.sram import BitSerialUnit, SRAMArray
+from repro.verify import (
+    OpFacts,
+    ProgramFacts,
+    Region,
+    check_bounds,
+    check_dead_writes,
+    check_def_before_use,
+    check_overlap,
+    check_tag_carry,
+    lift_calls,
+    lift_isa_program,
+    op_facts,
+    verify_program,
+)
+from repro.verify.facts import CARRY_CYCLE, CARRY_INIT, CARRY_STORE
+
+ROWS, COLS = 64, 16
+
+#: A clean little ISA program exercising mult, add, sub and a
+#: tag-predicated copy. Inputs a=5, b=9, c=3.
+GOOD = """
+cimm r0:4, #5
+cimm r4:4, #9
+cmult r0:4, r4:4, r8:8
+cimm r16:4, #3
+cadd r0:4, r16:4, r24:5
+csub r0:4, r16:4, r32:5, r40:4
+czero r48:8
+cselcopy r8:8, r48:8, #28
+"""
+
+
+def sanitized_fsm(rows=ROWS, cols=COLS):
+    fleet = make_fleet(1, rows, cols, sanitize=True)
+    return ControlFSM([BitSerialUnit(SRAMArray(rows, cols, fleet=fleet))])
+
+
+def checks(findings):
+    return {f.check for f in findings}
+
+
+class TestGoodProgram:
+    def test_statically_clean(self):
+        facts = lift_isa_program(parse_program(GOOD), ROWS, COLS)
+        assert verify_program(facts) == []
+
+    def test_runs_clean_under_sanitizer(self):
+        fsm = sanitized_fsm()
+        fsm.execute(parse_program(GOOD))
+        unit = fsm.units[0]
+        assert int(unit.read_values(Operand(8, 8))[0]) == 45  # 5 * 9
+        assert int(unit.read_values(Operand(24, 5))[0]) == 8  # 5 + 3
+
+
+class TestUninitRead:
+    """Drop an init -> def-before-use finding AND a sanitizer raise."""
+
+    def mutant(self):
+        program = parse_program(GOOD)
+        del program[0]  # drop `cimm r0:4, #5`; cmult now reads junk
+        return program
+
+    def test_static_pass_catches_it(self):
+        facts = lift_isa_program(self.mutant(), ROWS, COLS)
+        findings = check_def_before_use(facts)
+        assert findings, "dropped init not caught"
+        assert findings[0].check == "uninit-read"
+        assert findings[0].row == 0
+
+    def test_sanitizer_catches_it_at_runtime(self):
+        with pytest.raises(VerifyError) as excinfo:
+            sanitized_fsm().execute(self.mutant())
+        assert excinfo.value.check == "uninit-read"
+        assert excinfo.value.row == 0
+
+    def test_swapped_copy_operands(self):
+        """Swapping ccopy's src/dst reads the uninitialized side."""
+        good = parse_program("cimm r0:4, #5\nccopy r0:4, r8:4")
+        swapped = parse_program("cimm r0:4, #5\nccopy r8:4, r0:4")
+        assert verify_program(lift_isa_program(good, ROWS, COLS)) == []
+        findings = check_def_before_use(lift_isa_program(swapped, ROWS, COLS))
+        assert findings and findings[0].check == "uninit-read"
+        with pytest.raises(VerifyError) as excinfo:
+            sanitized_fsm().execute(swapped)
+        assert excinfo.value.check == "uninit-read"
+
+
+class TestBounds:
+    """Shrink the geometry -> bounds findings AND validate-time IsaError."""
+
+    def test_static_pass_catches_it(self):
+        facts = lift_isa_program(parse_program(GOOD), rows=48, cols=COLS)
+        findings = check_bounds(facts)
+        assert findings, "out-of-range regions not caught"
+        assert all(f.check == "bounds" for f in findings)
+        # czero r48:8 and cselcopy's dst both end at wordline 56 > 48.
+        assert {f.row for f in findings} == {48}
+
+    def test_fsm_rejects_it_before_the_first_cycle(self):
+        fsm = sanitized_fsm(rows=48)
+        with pytest.raises(IsaError):
+            fsm.execute(parse_program(GOOD))
+        # Rejected at validate time: no instruction ran, no state moved.
+        assert fsm.instructions_executed == 0
+        assert fsm.cycles == 0
+
+    def test_column_shift_bounds(self):
+        program = parse_program("cimm r0:4, #5\ncmove r0:4, r8:4, #16")
+        findings = check_bounds(lift_isa_program(program, ROWS, cols=16))
+        assert findings and "column shift" in findings[0].detail
+        with pytest.raises(IsaError):
+            sanitized_fsm().execute(program)
+
+
+class TestOverlap:
+    """Alias the product with an input -> overlap finding AND LayoutError."""
+
+    def mutant(self):
+        program = parse_program(GOOD)
+        # cmult r0:4, r4:4, r8:8  ->  product r2:8 straddles input a.
+        bad = parse_program("cmult r0:4, r4:4, r2:8")[0]
+        program[2] = bad
+        return program
+
+    def test_static_pass_catches_it(self):
+        findings = check_overlap(lift_isa_program(self.mutant(), ROWS, COLS))
+        assert findings, "aliased product not caught"
+        assert findings[0].check == "overlap"
+        assert "must not alias" in findings[0].detail
+
+    def test_runtime_guard_agrees(self):
+        with pytest.raises(LayoutError):
+            sanitized_fsm().execute(self.mutant())
+
+    def test_misaligned_inplace_copy(self):
+        """A one-row-off in-place copy is caught; aligned in-place is not."""
+        aligned = [("copy", (Operand(0, 4), Operand(0, 4)), {})]
+        skewed = [("copy", (Operand(0, 4), Operand(1, 4)), {})]
+        pre = [Region(0, 5)]
+        ok = lift_calls(aligned, ROWS, COLS, preloaded=pre)
+        assert check_overlap(ok) == []
+        findings = check_overlap(lift_calls(skewed, ROWS, COLS, preloaded=pre))
+        assert findings and findings[0].check == "overlap"
+
+    def test_sub_scratch_clobbers_minuend(self):
+        program = parse_program(
+            "cimm r0:4, #5\ncimm r4:4, #3\ncsub r0:4, r4:4, r8:5, r2:4")
+        findings = check_overlap(lift_isa_program(program, ROWS, COLS))
+        assert findings and "scratch" in findings[0].detail
+        # Runtime consequence: the complemented subtrahend lands on top
+        # of live minuend rows and the difference comes out wrong.
+        fsm = ControlFSM([BitSerialUnit(SRAMArray(ROWS, COLS))])
+        fsm.execute(program)
+        assert int(fsm.units[0].read_values(Operand(8, 4))[0]) != 2  # 5 - 3
+
+
+class TestTagDiscipline:
+    """Predication without a tag load is a no-op the tag pass flags."""
+
+    GOOD_CALLS = [
+        ("write_scalar", (Operand(0, 4), 5), {}),
+        ("zero", (Operand(8, 1),), {}),           # tag row: select nothing
+        ("zero", (Operand(16, 4),), {}),          # init the destination
+        ("load_tag", (8,), {}),
+        ("copy", (Operand(0, 4), Operand(16, 4)), {"predicated": True}),
+        ("set_tag_all", (), {}),
+    ]
+
+    def run_calls(self, calls):
+        unit = FleetBitSerialUnit(make_fleet(1, ROWS, COLS))
+        for method, args, kwargs in calls:
+            getattr(unit, method)(*args, **kwargs)
+        return int(unit.read_values(Operand(16, 4))[0, 0])
+
+    def test_good_sequence_is_clean(self):
+        facts = lift_calls(self.GOOD_CALLS, ROWS, COLS)
+        assert verify_program(facts) == []
+
+    def test_dropped_load_tag_is_caught(self):
+        mutant = [c for c in self.GOOD_CALLS if c[0] != "load_tag"]
+        findings = check_tag_carry(lift_calls(mutant, ROWS, COLS))
+        assert findings, "predication without load_tag not caught"
+        assert findings[0].check == "tag"
+        assert "no-op" in findings[0].detail
+
+    def test_dropped_load_tag_changes_the_result(self):
+        # The tag row selects no columns, so the good program copies
+        # nothing; without the load the drivers stay wide open and the
+        # "predicated" copy lands everywhere.
+        assert self.run_calls(self.GOOD_CALLS) == 0
+        mutant = [c for c in self.GOOD_CALLS if c[0] != "load_tag"]
+        assert self.run_calls(mutant) == 5
+
+    def test_tag_left_live_at_end(self):
+        mutant = [c for c in self.GOOD_CALLS if c[0] != "set_tag_all"]
+        findings = check_tag_carry(lift_calls(mutant, ROWS, COLS))
+        assert findings and "ends with the tag latch live" in \
+            findings[0].detail
+
+    def test_composite_clobbering_a_live_tag(self):
+        calls = [
+            ("write_scalar", (Operand(0, 4), 5), {}),
+            ("write_scalar", (Operand(4, 4), 3), {}),
+            ("zero", (Operand(8, 1),), {}),
+            ("load_tag", (8,), {}),
+            # multiply loads its own tags: the pending predicate is lost.
+            ("multiply", (Operand(0, 4), Operand(4, 4), Operand(16, 8)), {}),
+        ]
+        findings = check_tag_carry(lift_calls(calls, ROWS, COLS))
+        assert findings and "clobbers the live tag" in findings[0].detail
+
+
+class TestCarryProtocol:
+    """Carry ripples must run init -> cycles -> store.
+
+    The shipped composites always follow the protocol, so violations can
+    only be seeded at the facts level (a transformation pass reordering
+    ops would produce exactly these shapes). The runtime consequence is
+    demonstrated by replaying an add ripple over a stale carry latch.
+    """
+
+    def add_facts(self, **overrides):
+        facts = op_facts("add", 0, "add", {
+            "a": Operand(0, 4), "b": Operand(4, 4), "dst": Operand(8, 5)})
+        return dataclasses.replace(facts, **overrides)
+
+    def program(self, op):
+        return ProgramFacts("carry-mutant", ROWS, COLS, (op,),
+                            preloaded=(Region(0, 4), Region(4, 4)))
+
+    def test_dropped_init_is_caught(self):
+        mutant = self.add_facts(carry=(CARRY_CYCLE, CARRY_STORE))
+        findings = check_tag_carry(self.program(mutant))
+        assert any("never initialised" in f.detail for f in findings)
+        assert all(f.check == "carry" for f in findings)
+
+    def test_double_store_is_caught(self):
+        mutant = self.add_facts(
+            carry=(CARRY_INIT, CARRY_CYCLE, CARRY_STORE, CARRY_STORE))
+        findings = check_tag_carry(self.program(mutant))
+        assert any("already consumed" in f.detail for f in findings)
+
+    def test_intact_protocol_is_clean(self):
+        assert check_tag_carry(self.program(self.add_facts())) == []
+
+    def test_stale_carry_corrupts_the_sum_at_runtime(self):
+        a, b, dst = Operand(0, 4), Operand(4, 4), Operand(8, 5)
+        unit = FleetBitSerialUnit(make_fleet(1, ROWS, COLS))
+        unit.write_values(a, 5)
+        unit.write_values(b, 9)
+        # The protocol violation the static pass models: ripple without
+        # the init, over whatever the latch held before.
+        unit.periphery.set_carry()
+        for k in range(a.nbits):
+            unit._cycle_add_bit(a.bit(k), b.bit(k), dst.bit(k))
+        unit._cycle_store_carry(dst.bit(a.nbits))
+        assert int(unit.read_values(dst)[0, 0]) == 15  # 5 + 9 + stale carry
+
+
+class TestDeadWrites:
+    """A pre-zeroed multiply target is wasted cycles the pass flags."""
+
+    def test_static_pass_catches_it(self):
+        program = parse_program(
+            "cimm r0:4, #5\ncimm r4:4, #9\nczero r8:8\n"
+            "cmult r0:4, r4:4, r8:8")
+        findings = check_dead_writes(lift_isa_program(program, ROWS, COLS))
+        assert findings, "dead pre-zero not caught"
+        assert findings[0].check == "dead-write"
+        assert findings[0].index == 2  # the czero is the dead op
+
+    def test_runtime_shows_the_waste(self):
+        # Same result either way (multiply zeroes its target itself);
+        # the dead write only burns cycles.
+        with_zero = parse_program(
+            "cimm r0:4, #5\ncimm r4:4, #9\nczero r8:8\n"
+            "cmult r0:4, r4:4, r8:8")
+        without = parse_program(
+            "cimm r0:4, #5\ncimm r4:4, #9\ncmult r0:4, r4:4, r8:8")
+        fsm_a, fsm_b = sanitized_fsm(), sanitized_fsm()
+        cycles_a = fsm_a.execute(with_zero)
+        cycles_b = fsm_b.execute(without)
+        assert int(fsm_a.units[0].read_values(Operand(8, 8))[0]) == \
+            int(fsm_b.units[0].read_values(Operand(8, 8))[0]) == 45
+        assert cycles_a > cycles_b
+
+    def test_live_out_writes_are_not_flagged(self):
+        program = parse_program("cimm r0:4, #5\ncimm r4:4, #9")
+        assert check_dead_writes(lift_isa_program(program, ROWS, COLS)) == []
+
+    def test_scratch_reuse_across_ops_is_not_flagged(self):
+        # Two subs sharing a scratch region: the scratch value is dead on
+        # exit by design, so the reuse must not look like a dead write.
+        program = parse_program(
+            "cimm r0:4, #5\ncimm r4:4, #3\n"
+            "csub r0:4, r4:4, r8:5, r40:4\n"
+            "csub r4:4, r0:4, r16:5, r40:4")
+        assert check_dead_writes(lift_isa_program(program, ROWS, COLS)) == []
+
+
+class TestFactsPrimitives:
+    def test_region_overlap_and_alignment(self):
+        assert Region(0, 4).overlaps(Region(3, 4))
+        assert not Region(0, 4).overlaps(Region(4, 4))
+        assert Region(2, 4).aligned(Region(2, 8))
+        assert str(Region(8, 4)) == "r8:4"
+
+    def test_all_regions_covers_every_field(self):
+        op = OpFacts("x", 0, reads=(Region(0, 1),), writes=(Region(1, 1),),
+                     pred_writes=(Region(2, 1),),
+                     scratch_writes=(Region(3, 1),), inits=(Region(4, 1),),
+                     tag_source=(Region(5, 1),))
+        assert len(op.all_regions()) == 6
+
+    def test_empty_region_is_a_bounds_finding(self):
+        facts = ProgramFacts("x", ROWS, COLS,
+                             (OpFacts("op", 0, writes=(Region(0, 0),)),))
+        findings = check_bounds(facts)
+        assert findings and "empty region" in findings[0].detail
