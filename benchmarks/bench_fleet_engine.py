@@ -1,7 +1,7 @@
 """Array-fleet engine benchmarks: fleet vs legacy, packed vs unpacked,
 sharded vs single-socket, batched vs per-image, shard drivers, serving.
 
-Seven comparisons, all bit-identical by construction:
+Eight comparisons, all bit-identical by construction:
 
 * the vectorized fleet path vs the legacy one-array-at-a-time path (the
   PR-1 refactor; acceptance target >= 10x on the functional conv);
@@ -32,6 +32,11 @@ Seven comparisons, all bit-identical by construction:
   pool forks once and ships O(1) work units over shared-memory arenas.
   The steady-state pool-vs-process speedup is recorded, and gated
   >= 1.2x at batch 8 in full mode on hosts with >= 2 CPUs;
+* the spanning-layer cross-array reduction path — the
+  ``inception-span`` zoo model (four arrays per output) end-to-end on
+  the packed fleet with golden verification on, gated on the functional
+  engine's reduction cycles equalling exactly ``2 x`` the analytic
+  ``reduction_cycles_per_pass`` under the derived cost preset;
 * the async batched serving stack (``repro.serving``) — a request
   stream coalesced into batched fleet passes over a pool of sharded
   backends. Gated on the serving invariants: no lost responses, no
@@ -605,6 +610,78 @@ def test_block_tap_plane_load(record):
     assert stats["speedup"] >= 1.0
 
 
+def compare_spanning_conv(batch_size: int = 2) -> dict:
+    """Spanning-layer fleet vs analytic: the cross-array reduction path.
+
+    Runs the zoo's ``inception-span`` model (each Mixed_5c/Branch_0
+    output spans four arrays under the 16-column geometry) end-to-end on
+    the packed fleet with golden verification on, then checks the
+    functional engine's reduction cycles against the analytic
+    ``reduction_cycles_per_pass`` under the derived cost preset. The
+    functional engine runs two reduction trees per pass (MAC partials
+    plus the input-sum correction), so the exact relation is
+    ``functional == 2 x analytic``.
+    """
+    import dataclasses
+
+    from repro.core.functional import FunctionalExecutor
+    from repro.core.mapping import map_conv
+    from repro.core.schedule import reduction_cycles_per_pass
+    from repro.engine.backend import deterministic_images
+    from repro.nn.models import build_inception_span, spanning_config
+    from repro.sram.cost import CycleCosts
+
+    net = build_inception_span()
+    config = spanning_config()
+    start = time.perf_counter()
+    result = FleetExecutor(config=config, packed=True, verify=True).run(
+        net, batch_size=batch_size)
+    wall = time.perf_counter() - start
+
+    derived = dataclasses.replace(config, costs=CycleCosts.derived())
+    backend = FleetExecutor(config=derived, packed=True, verify=False)
+    weights = backend.weights_for(net)
+    image = deterministic_images(net, weights, backend.seed, 1)[0]
+    executor = FunctionalExecutor(net, weights, config=derived, packed=True)
+    executor.run(image)
+    span_layer = "Mixed_5c/Branch_0/Conv2d_0a_1x1"
+    report = executor.reports[span_layer]
+    node = net.node(span_layer)
+    mapping = map_conv(derived, node.name, net.conv_of(node),
+                       net.input_shape_of(node.name))
+    analytic = reduction_cycles_per_pass(derived, mapping)
+    functional = report.reduction / report.passes
+    return {
+        "batch_size": batch_size,
+        "span": mapping.arrays_per_conv,
+        "hops": [h.kind for h in mapping.reduction_plan.hops],
+        "bit_exact": result.verified_images == batch_size,
+        "analytic_reduction_per_pass": analytic,
+        "functional_reduction_per_pass": functional,
+        "cycle_consistent": functional == 2 * analytic,
+        "seconds": wall,
+    }
+
+
+def render_spanning_report(stats: dict) -> str:
+    hops = " -> ".join(stats["hops"])
+    verdict = "verified" if stats["bit_exact"] else "DIVERGED"
+    agree = "consistent" if stats["cycle_consistent"] else "MISMATCH"
+    return (f"Spanning conv benchmark (inception-span, {stats['span']} "
+            f"arrays/output, hops {hops}): fleet-packed batch "
+            f"{stats['batch_size']} {verdict} in {stats['seconds']:.2f} s; "
+            f"reduction cycles/pass functional "
+            f"{stats['functional_reduction_per_pass']:.0f} vs analytic "
+            f"2 x {stats['analytic_reduction_per_pass']} ({agree})")
+
+
+def test_spanning_conv_fleet_vs_analytic(record):
+    stats = compare_spanning_conv()
+    record(render_spanning_report(stats))
+    assert stats["bit_exact"]
+    assert stats["cycle_consistent"]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fleet engine smoke benchmarks: packed vs unpacked "
@@ -757,6 +834,20 @@ def main(argv=None) -> int:
               "loop", file=sys.stderr)
         return finish(1)
 
+    # Spanning-layer gate: cross-array reduction on a real Inception
+    # layer must stay bit-exact on the fleet and cycle-consistent with
+    # the analytic schedule (functional == 2 x analytic per pass).
+    spanning_stats = compare_spanning_conv(batch_size=2)
+    results["spanning"] = spanning_stats
+    print(render_spanning_report(spanning_stats))
+    if not (spanning_stats["bit_exact"]
+            and spanning_stats["cycle_consistent"]):
+        print("FAIL: spanning-layer cross-array reduction regressed "
+              "(need bit-exact fleet outputs and functional reduction "
+              "cycles == 2 x analytic reduction_cycles_per_pass)",
+              file=sys.stderr)
+        return finish(1)
+
     print(f"OK (gates: bit/cycle exact, 8x memory, "
           f">= {min_speedup:.1f}x packed speedup; sharded aggregation "
           f"lossless at shard counts 2 and 3; shard drivers identical to "
@@ -764,7 +855,8 @@ def main(argv=None) -> int:
           f"lost, duplicated or "
           f"bit-inexact; batch-in-fleet bit-exact, report-identical and "
           f">= {batched_min:.1f}x at batch {batched_batch}; block load "
-          f"bit-exact)")
+          f"bit-exact; spanning layer bit-exact and cycle-consistent "
+          f"with the analytic schedule)")
     return finish(0)
 
 
@@ -799,6 +891,15 @@ def _trajectory_entry(results: dict) -> dict:
     batched = results.get("batched")
     if batched:
         entry["batched_speedup"] = batched["speedup"]
+    spanning = results.get("spanning")
+    if spanning:
+        entry["spanning"] = {
+            "bit_exact": spanning["bit_exact"],
+            "cycle_consistent": spanning["cycle_consistent"],
+            "reduction_cycles_per_pass":
+                spanning["analytic_reduction_per_pass"],
+            "wall_s": spanning["seconds"],
+        }
     return entry
 
 

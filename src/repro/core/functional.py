@@ -50,10 +50,20 @@ arrays the per-image loop would and reports identical per-image cycles
 modeled cycles). Fleets are chunked at ``config.max_fleet_arrays``
 (default :data:`MAX_FLEET_ARRAYS`) arrays so memory stays bounded.
 
+Layers whose padded channel count exceeds the array width span
+``arrays_per_conv`` consecutive fleet members per output: each spanning
+array reduces its own columns in-array, then
+``FleetBitSerialUnit.reduce_across_arrays`` folds the per-array sums
+over the mapper's :class:`~repro.core.mapping.ReductionPlan` (sense-amp
+pair, quadrant bus, then ring hops) into the group's first array. Chunk
+boundaries are reduction-group-aligned, so a lockstep chunk never
+splits a spanning output.
+
 Scale limits: the compute stage's input-sum must fit 16 bits for the
 in-cache correction multiply, which bounds a layer's reduction size
-(R.S.C) to 257 taps. That comfortably covers verification-scale layers;
-Inception-scale layers are the analytic simulator's job.
+(R.S.C) to 257 taps — enough for every verification-scale layer and for
+real 1x1 Inception layers (packed channels); the analytic simulator has
+no such bound.
 """
 
 from __future__ import annotations
@@ -205,14 +215,22 @@ class FunctionalConv:
         if r * s * c > MAX_FUNCTIONAL_TAPS:
             raise SimulationError(
                 f"layer {name!r} reduces {r * s * c} taps per output; the "
-                f"functional path supports at most {MAX_FUNCTIONAL_TAPS} "
-                f"(use the analytic simulator for full-scale layers)")
+                f"functional path supports at most {MAX_FUNCTIONAL_TAPS} so "
+                f"the input-sum correction fits the 16-bit in-cache "
+                f"multiply")
         if self.mapping.arrays_per_conv > 1:
-            raise SimulationError(
-                f"layer {name!r} spans {self.mapping.arrays_per_conv} "
-                f"arrays per output ({self.mapping.channels_padded} lanes); "
-                f"the functional path executes single-array convolutions — "
-                f"cross-array reduction is covered by the analytic model")
+            cols = self.config.geometry.array_cols
+            if not vectorized:
+                raise SimulationError(
+                    f"layer {name!r} spans "
+                    f"{self.mapping.arrays_per_conv} arrays per output; "
+                    f"the legacy per-array path is single-array — use the "
+                    f"vectorized fleet path for spanning layers")
+            if cols & (cols - 1):
+                raise SimulationError(
+                    f"layer {name!r} spans arrays, which reduces the full "
+                    f"{cols}-column array width in-array first; that tree "
+                    f"needs a power-of-two array_cols")
         self.plan = _plan_lanes(self.mapping, conv.kernel, c)
         self.report = CycleReport()
 
@@ -345,7 +363,14 @@ class FunctionalConv:
         fgather = filters[rr, ss, cc]        # (lanes, taps, M)
         tables = (valid, rr, ss, cc, fgather)
 
-        arrays_per_image = -(-n_out // groups)
+        span = self.mapping.arrays_per_conv
+        if span == 1:
+            arrays_per_image = -(-n_out // groups)
+        else:
+            # Spanning layers: ``span`` consecutive arrays per output, so
+            # groups is 1 and every image occupies a whole number of
+            # reduction groups.
+            arrays_per_image = n_out * span
         total_arrays = n_images * arrays_per_image
         raw = np.zeros((n_images, n_out), dtype=np.int64)
         xsum = np.zeros((n_images, n_out), dtype=np.int64)
@@ -354,6 +379,12 @@ class FunctionalConv:
         arrays_by_gather = max(
             GATHER_BUDGET_ELEMENTS // (groups * lanes * taps), 1)
         per_chunk = min(_max_fleet_arrays(self.config), arrays_by_gather)
+        if span > 1:
+            # Chunks must hold whole reduction groups: round the cap down
+            # to a group multiple (never below one group). Groups start at
+            # multiples of ``span`` on the global axis, so aligned chunk
+            # boundaries can never split one.
+            per_chunk = max(per_chunk // span * span, span)
         for a0, a1 in _array_chunks(total_arrays, per_chunk):
             self._run_fleet_chunk(padded, tables, a0, a1, arrays_per_image,
                                   cols, lanes, groups, raw, xsum)
@@ -376,13 +407,23 @@ class FunctionalConv:
         packed = mapping.pack_factor > 1
         n_arrays = a1 - a0
 
+        span = mapping.arrays_per_conv
+
         # Which image and which of its outputs each (array, group) serves.
         arr = np.arange(a0, a1)
         img = arr // arrays_per_image
         local = arr % arrays_per_image
-        out_local = local[:, None] * groups + np.arange(groups)[None, :]
-        live = out_local < n_out              # (n_arrays, groups)
-        ol = np.minimum(out_local, n_out - 1)
+        if span == 1:
+            out_local = local[:, None] * groups + np.arange(groups)[None, :]
+            live = out_local < n_out          # (n_arrays, groups)
+            ol = np.minimum(out_local, n_out - 1)
+        else:
+            # Array ``local`` holds slot ``local % span`` (channel columns
+            # [slot*cols, slot*cols + cols)) of output ``local // span``.
+            # Every array computes real data; only slot 0 emits a result.
+            slot = local % span
+            ol = (local // span)[:, None]     # (n_arrays, 1), groups == 1
+            live = np.broadcast_to(slot[:, None] == 0, ol.shape)
         out_i = ol // (f * m)
         out_j = (ol // m) % f
         out_m = ol % m
@@ -390,24 +431,40 @@ class FunctionalConv:
         # Filter bytes and window bytes per (array, group, lane, tap),
         # gathered and staged in uint8 end-to-end — the batched fleet's
         # temporaries are the batch's actual bytes, not int64 copies.
-        fvals = np.where(valid[:, :, None, None], fgather[:, :, out_m],
-                         np.uint8(0))
-        fvals = fvals.transpose(2, 3, 0, 1)   # (n_arrays, groups, lanes, taps)
-        fvals[~live] = 0
-        row_idx = out_i[:, :, None, None] * stride + rr[None, None, :, :]
-        col_idx = out_j[:, :, None, None] * stride + ss[None, None, :, :]
-        ivals = padded[img[:, None, None, None], row_idx, col_idx,
-                       cc[None, None, :, :]]
-        ivals = np.where(valid[None, None, :, :], ivals, np.uint8(0))
-        ivals[~live] = 0
+        if span == 1:
+            fvals = np.where(valid[:, :, None, None], fgather[:, :, out_m],
+                             np.uint8(0))
+            fvals = fvals.transpose(2, 3, 0, 1)  # (arrays, groups, lanes, taps)
+            fvals[~live] = 0
+            row_idx = out_i[:, :, None, None] * stride + rr[None, None, :, :]
+            col_idx = out_j[:, :, None, None] * stride + ss[None, None, :, :]
+            ivals = padded[img[:, None, None, None], row_idx, col_idx,
+                           cc[None, None, :, :]]
+            ivals = np.where(valid[None, None, :, :], ivals, np.uint8(0))
+            ivals[~live] = 0
+            array_lanes = groups * lanes
+        else:
+            # Per-array lane window of the spanning group: slot k of the
+            # group maps the gather tables' rows [k*cols, (k+1)*cols).
+            lane_idx = slot[:, None] * cols + np.arange(cols)[None, :]
+            fvals = np.where(valid[lane_idx],
+                             fgather[lane_idx, :, out_m], np.uint8(0))
+            row_idx = out_i[:, :, None] * stride + rr[lane_idx]
+            col_idx = out_j[:, :, None] * stride + ss[lane_idx]
+            ivals = padded[img[:, None, None], row_idx, col_idx,
+                           cc[lane_idx]]
+            ivals = np.where(valid[lane_idx], ivals, np.uint8(0))
+            fvals = fvals[:, None]            # (n_arrays, 1, cols, taps)
+            ivals = ivals[:, None]
+            array_lanes = cols
 
         def planes(vals: np.ndarray) -> np.ndarray:
             """(n_arrays, groups, lanes, taps) -> (n_arrays, taps, cols)."""
             full = vals.transpose(0, 3, 1, 2).reshape(n_arrays, taps,
-                                                      groups * lanes)
-            if groups * lanes < cols:
+                                                      array_lanes)
+            if array_lanes < cols:
                 widened = np.zeros((n_arrays, taps, cols), dtype=vals.dtype)
-                widened[:, :, :groups * lanes] = full
+                widened[:, :, :array_lanes] = full
                 full = widened
             return full
 
@@ -415,12 +472,15 @@ class FunctionalConv:
         input_plane = planes(ivals)
 
         # -- row regions (Fig. 10a), identical to the legacy layout --
+        # Spanning groups widen the accumulators by one row: the final
+        # cross-array add carries into bit 32 of the reduction width.
+        acc_rows = 33 if span > 1 else 32
         filter_rows = Operand(0, taps * 8)
         input_rows = Operand(filter_rows.end, 8 if packed else taps * 8)
         scratch = Operand(input_rows.end, 16)
-        partial = Operand(scratch.end, 32)      # 24 live + growth
+        partial = Operand(scratch.end, acc_rows)  # 24 live + growth
         segment = Operand(partial.end, 32)
-        xsum_rows = Operand(segment.end, 32)    # 24 live + growth
+        xsum_rows = Operand(segment.end, acc_rows)  # 24 live + growth
         if xsum_rows.end > 256:
             raise SimulationError(
                 f"functional layout needs {xsum_rows.end} rows")
@@ -434,6 +494,15 @@ class FunctionalConv:
             unit.write_value_block(input_rows, input_plane, 8)
         unit.zero(Operand(partial.row, 24))
         unit.zero(Operand(xsum_rows.row, 24))
+        if span > 1:
+            # The cross-array adds read the full 32-bit reduction width;
+            # the in-array tree only writes growth bits up to
+            # ``24 + log2(cols)``, so the rows above that need explicit
+            # zeros (zeroing lower growth bits would be dead writes).
+            in_final = 24 + (cols.bit_length() - 1)
+            if in_final < 32:
+                unit.zero(Operand(partial.row + in_final, 32 - in_final))
+                unit.zero(Operand(xsum_rows.row + in_final, 32 - in_final))
 
         # -- MACs: one fused multiply-accumulate per tap, whole fleet --
         before = unit.cycles
@@ -451,21 +520,35 @@ class FunctionalConv:
 
         # -- reductions: raw sums, then input sums (Fig. 5 / Fig. 10b) --
         before = unit.cycles
-        if lanes > 1:
-            unit.reduce_tree(partial, segment, lanes, 24)
-            unit.reduce_tree(xsum_rows, segment, lanes, 24)
+        in_lanes = lanes if span == 1 else cols
+        if in_lanes > 1:
+            unit.reduce_tree(partial, segment, in_lanes, 24)
+            unit.reduce_tree(xsum_rows, segment, in_lanes, 24)
+        if span > 1:
+            # Fold the spanning arrays' per-array sums into each group's
+            # first array, over the mapper's hop schedule (sense-amp
+            # pair, then bus/ring), at the full reduction width.
+            width = self.config.reduction_bits
+            unit.reduce_across_arrays(partial, Operand(segment.row, width),
+                                      span, width)
+            unit.reduce_across_arrays(xsum_rows, Operand(segment.row, width),
+                                      span, width)
         self.report.reduction += (unit.cycles - before) * n_arrays
         self.report.passes += n_arrays
 
         # -- read back each group's head column (output move path) --
         # Only the rows the sequence wrote are live: 24 accumulator bits
-        # plus one growth bit per reduction step. The rest of the 32-row
-        # regions hold power-on zeros — reading them would work, but the
-        # dataflow verifier rightly flags reads of never-written rows.
-        live_bits = 24 + (lanes.bit_length() - 1 if lanes > 1 else 0)
+        # plus one growth bit per reduction step (spanning groups: the
+        # full widened accumulator). The rest of the 32-row regions hold
+        # power-on zeros — reading them would work, but the dataflow
+        # verifier rightly flags reads of never-written rows.
+        if span == 1:
+            live_bits = 24 + (lanes.bit_length() - 1 if lanes > 1 else 0)
+        else:
+            live_bits = acc_rows
         raw_bits = unit.read_values(Operand(partial.row, live_bits))
         sum_bits = unit.read_values(Operand(xsum_rows.row, live_bits))
-        head = np.arange(groups) * lanes
+        head = np.arange(groups) * (lanes if span == 1 else 0)
         img_of = np.broadcast_to(img[:, None], ol.shape)
         raw[img_of[live], ol[live]] = raw_bits[:, head][live]
         xsum[img_of[live], ol[live]] = sum_bits[:, head][live]

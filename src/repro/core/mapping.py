@@ -23,7 +23,6 @@ word-line budget split across bitlines like filters do.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.common.bits import ceil_div, next_power_of_two
@@ -38,12 +37,107 @@ from repro.nn.layers import (
     MaxPool,
     QuantizedBatchNorm,
 )
+from repro.sram.cost import CycleCosts
 from repro.sram.layout import (
     OUTPUT_BITS,
     PARTIAL_SUM_BITS,
     SCRATCHPAD_BITS,
     max_conv_filter_bytes,
 )
+
+
+@dataclass(frozen=True)
+class ReductionHop:
+    """One cross-array tree level and the interconnect link it rides.
+
+    ``kind`` names the physical hop by its reach (Sec. IV-C): arrays of a
+    sub-array exchange through the shared sense amps (``"pair"``), arrays
+    within a slice over a 64-bit quadrant bus (``"bus"``), and anything
+    wider over the inter-slice ring (``"ring"``). ``bits_per_cycle`` is
+    that link's width from :class:`~repro.cache.interconnect
+    .InterconnectModel` — provenance for the hop, not a separate cycle
+    charge: in compute mode every level moves one wordline per cycle
+    through the TMU gateway, so the level costs ``move(width) +
+    add(width)`` regardless of link width.
+    """
+
+    level: int
+    kind: str                      # "pair" | "bus" | "ring"
+    span: int                      # arrays the hop reaches across
+    bits_per_cycle: int            # link width (InterconnectModel)
+
+
+@dataclass(frozen=True)
+class ReductionPlan:
+    """The cross-array half of a layer's reduction schedule.
+
+    ``group_size`` arrays hold one output's partial sums; ``hops`` lists
+    the ``log2(group_size)`` tree levels in execution order. The plan is
+    built once by the mapper and consumed by both the analytic schedule
+    (:func:`repro.core.schedule.reduction_cycles_per_pass`) and the
+    functional executor's ``reduce_across_arrays``, so the two cannot
+    drift apart.
+    """
+
+    group_size: int
+    hops: tuple[ReductionHop, ...]
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1 or self.group_size & (self.group_size - 1):
+            raise MappingError(
+                f"reduction group size must be a power of two, got "
+                f"{self.group_size}")
+        if len(self.hops) != self.group_size.bit_length() - 1:
+            raise MappingError(
+                f"a group of {self.group_size} arrays needs "
+                f"{self.group_size.bit_length() - 1} hops, got "
+                f"{len(self.hops)}")
+
+    @property
+    def levels(self) -> int:
+        """Tree levels crossing array boundaries (= ``len(hops)``)."""
+        return len(self.hops)
+
+    def cross_array_cycles(self, costs: CycleCosts, width: int) -> int:
+        """Compute cycles of the cross-array tree at ``width`` bits.
+
+        Every level is one full-width inter-array move plus one add, the
+        exact accounting ``core/schedule.py`` used before plans existed —
+        and the exact cycles ``FleetBitSerialUnit.reduce_across_arrays``
+        executes under the derived cost preset.
+        """
+        return sum(costs.move(width) + costs.add(width) for _ in self.hops)
+
+
+def _reduction_plan(config: NeuralCacheConfig, name: str,
+                    arrays_per_conv: int) -> ReductionPlan:
+    """Classify each cross-array tree level by the link it must cross."""
+    if arrays_per_conv < 1:
+        raise MappingError(
+            f"layer {name!r}: arrays per output must be >= 1, got "
+            f"{arrays_per_conv}")
+    if arrays_per_conv & (arrays_per_conv - 1):
+        raise MappingError(
+            f"layer {name!r} spans {arrays_per_conv} arrays per output; "
+            f"cross-array reduction needs a power-of-two span (pad the "
+            f"channel count or change the geometry's array_cols)")
+    geometry = config.geometry
+    interconnect = config.interconnect
+    hops = []
+    for level in range(arrays_per_conv.bit_length() - 1):
+        reach = 2 << level
+        if reach <= geometry.arrays_per_subarray:
+            kind = "pair"
+            bits = interconnect.bank_bits_per_cycle
+        elif reach <= geometry.arrays_per_slice:
+            kind = "bus"
+            bits = interconnect.quadrant_bus_bytes_per_cycle * 8
+        else:
+            kind = "ring"
+            bits = interconnect.ring_bytes_per_cycle * 8
+        hops.append(ReductionHop(level=level, kind=kind, span=reach,
+                                 bits_per_cycle=bits))
+    return ReductionPlan(group_size=arrays_per_conv, hops=tuple(hops))
 
 
 @dataclass(frozen=True)
@@ -74,6 +168,8 @@ class LayerMapping:
     filter_load_bytes: int         # unique weights fetched from DRAM
     input_bytes_per_output: int    # window footprint of one output
     output_bytes: int              # layer output volume
+    # cross-array reduction schedule (single-array layers: empty plan)
+    reduction_plan: ReductionPlan = ReductionPlan(1, ())
 
     @property
     def utilization(self) -> float:
@@ -100,8 +196,8 @@ class LayerMapping:
     @property
     def cross_array_steps(self) -> int:
         """Reduction steps that cross array boundaries (sense-amp pairs
-        first, then bus moves)."""
-        return int(math.log2(self.arrays_per_conv))
+        first, then bus/ring moves)."""
+        return self.reduction_plan.levels
 
 
 def _pack_budget(config: NeuralCacheConfig, rows: int) -> int:
@@ -177,6 +273,7 @@ def _mapping_for_window(config: NeuralCacheConfig, *, name: str, kind: str,
             f"only {geometry.compute_arrays} compute arrays exist")
     parallel_outputs = min(parallel_outputs, total_outputs)
     serial_passes = ceil_div(total_outputs, parallel_outputs)
+    reduction_plan = _reduction_plan(config, name, arrays_per_conv)
 
     return LayerMapping(
         layer_name=name, kind=kind, window_bytes=window_bytes,
@@ -190,7 +287,8 @@ def _mapping_for_window(config: NeuralCacheConfig, *, name: str, kind: str,
         parallel_outputs=parallel_outputs, serial_passes=serial_passes,
         filter_load_bytes=filter_load_bytes,
         input_bytes_per_output=input_bytes_per_output,
-        output_bytes=output_bytes)
+        output_bytes=output_bytes,
+        reduction_plan=reduction_plan)
 
 
 def map_conv(config: NeuralCacheConfig, name: str, conv: Conv2D,

@@ -134,11 +134,12 @@ def reduction_cycles_per_pass(config: NeuralCacheConfig,
     cycles = 0
     if in_array > 1:
         cycles += costs.reduction(in_array, config.partial_sum_bits)
-    # Cross-array steps ride the shared sense amps (paired arrays) and
-    # count as full-width moves plus adds.
-    width = config.reduction_bits
-    cycles += mapping.cross_array_steps * (costs.move(width)
-                                           + costs.add(width))
+    # Cross-array levels ride the links the mapper's ReductionPlan names
+    # (sense-amp pair, quadrant bus, ring); each costs one full-width
+    # move plus an add, exactly what the fleet's reduce_across_arrays
+    # executes.
+    cycles += mapping.reduction_plan.cross_array_cycles(
+        costs, config.reduction_bits)
     return cycles
 
 

@@ -644,6 +644,61 @@ class FleetBitSerialUnit:
             self.add(Operand(base.row, bits), Operand(segment.row, bits),
                      Operand(base.row, bits + 1))
 
+    def _cycle_move_plane(self, src_row: int, dst_row: int, stride: int,
+                          group: int) -> None:
+        """One cross-array hop cycle: every array's ``dst_row`` receives
+        ``src_row`` from the array ``stride`` ahead in its reduction group
+        (wrapping), fleet-wide. One wordline per cycle, matching
+        ``CycleCosts.move`` at 1 cycle/bit."""
+        fleet = self.fleet
+        fleet.compute_cycles += 1
+        fleet.move_plane(src_row, dst_row, stride, group)
+        self.cycles += 1
+
+    def move_across(self, src: Operand, dst: Operand, stride: int,
+                    group: int) -> None:
+        """Copy ``src`` from the array ``stride`` positions ahead in each
+        ``group``-array reduction group into this array's ``dst``:
+        ``src.nbits`` cycles (one hop per wordline)."""
+        self._check_width(src, dst)
+        for b in range(src.nbits):
+            self._cycle_move_plane(src.bit(b), dst.bit(b), stride, group)
+
+    def reduce_across_arrays(self, base: Operand, segment: Operand,
+                             group: int, width: int) -> None:
+        """Tree-reduce ``width``-bit partials held by ``group`` consecutive
+        arrays into the group's first array (Sec. III-D cross-array step).
+
+        Level ``s`` moves ``base`` from the array ``2**s`` ahead into
+        ``segment`` (sense-amp pair at stride 1, bus/ring hops beyond) and
+        adds it back into ``base``. Every level works at the fixed
+        reduction width, so each costs ``move(width) + add(width)`` — the
+        exact terms the analytic schedule charges per
+        ``ReductionPlan`` hop. After the call the group total sits in the
+        group's first array at ``base``; other arrays hold garbage.
+        """
+        if group < 2 or group & (group - 1):
+            raise LayoutError(
+                f"cross-array group must be a power of two >= 2, got "
+                f"{group}")
+        if self.fleet.n_arrays % group:
+            raise LayoutError(
+                f"fleet of {self.fleet.n_arrays} arrays does not divide "
+                f"into reduction groups of {group}")
+        if base.nbits < width + 1:
+            raise LayoutError(
+                f"cross-array base needs {width + 1} rows, got {base.nbits}")
+        if segment.nbits < width:
+            raise LayoutError(
+                f"cross-array segment needs {width} rows, got "
+                f"{segment.nbits}")
+        for step in range(group.bit_length() - 1):
+            stride = 1 << step
+            self.move_across(Operand(base.row, width),
+                             Operand(segment.row, width), stride, group)
+            self.add(Operand(base.row, width), Operand(segment.row, width),
+                     Operand(base.row, width + 1))
+
     # ------------------------------------------------------------------
     def _check_width(self, src: Operand, dst: Operand) -> None:
         if src.nbits != dst.nbits:
@@ -664,6 +719,7 @@ _TRACED_METHODS = (
     "compare_ge", "max_update", "min_update", "relu", "selective_copy",
     "logical_and", "logical_nor", "logical_or", "logical_xor",
     "equality_compare", "search", "reduce_tree",
+    "move_across", "reduce_across_arrays",
 )
 
 for _name in _TRACED_METHODS:

@@ -248,6 +248,44 @@ class PlaneStore:
         else:
             dst[...] = mux(self.coerce_plane(mask), plane, dst)
 
+    def move_plane(self, src_row: int, dst_row: int, stride: int,
+                   group: int) -> None:
+        """Rotate one wordline's planes between arrays of a reduction group.
+
+        Arrays are partitioned into consecutive groups of ``group`` along
+        the fleet axis; every array's ``dst_row`` receives ``src_row`` from
+        the array ``stride`` positions ahead *within its group*, wrapping
+        at the group boundary. The wrap keeps every destination plane
+        defined — donor arrays at the top of a group receive rotated data
+        they never read, instead of garbage.
+
+        This is the inter-array hop of cross-array reduction (Sec. III-D /
+        IV-C): sense-amp-paired arrays at stride 1, quadrant-bus and ring
+        hops at larger strides. Because every store keeps the fleet axis
+        first in its native planes (``row_plane`` returns ``(n_arrays,
+        ...)``), one permutation along axis 0 implements the hop for the
+        unpacked, packed and shared stores alike. Raw plane op: no cycle
+        accounting here — sequencers charge hop cycles themselves.
+        """
+        self._check_row(src_row)
+        self._check_row(dst_row)
+        if group < 2 or group > self.n_arrays:
+            raise ArrayStateError(
+                f"cross-array group must have 2..{self.n_arrays} arrays, "
+                f"got {group}")
+        if self.n_arrays % group:
+            raise ArrayStateError(
+                f"fleet of {self.n_arrays} arrays does not divide into "
+                f"groups of {group}")
+        if not 1 <= stride < group:
+            raise ArrayStateError(
+                f"cross-array stride must be in 1..{group - 1}, got {stride}")
+        idx = np.arange(self.n_arrays)
+        perm = idx - idx % group + (idx % group + stride) % group
+        src = self.row_plane(src_row)
+        dst = self.row_plane(dst_row)
+        dst[...] = src[perm]
+
     # ------------------------------------------------------------------
     # Test/host-side helpers (no cycle accounting; data arrives via TMU)
     # ------------------------------------------------------------------

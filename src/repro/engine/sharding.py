@@ -153,6 +153,12 @@ class ShardedBackend:
     outcomes in shard order, so results and cycle reports are identical
     by construction; only wall-clock differs.
 
+    Sharding slices the batch into whole images — never arrays — so a
+    spanning layer's cross-array reduction groups (its
+    ``arrays_per_conv`` consecutive arrays per output) always land
+    intact inside one shard's fleet; no shard boundary can split a
+    reduction tree.
+
     ``shards`` is deliberately independent of ``config.sockets``: the
     default models the paper's node, but ``shards=8`` on a 2-socket
     config emulates a multi-node cluster tier behind the same Backend

@@ -113,6 +113,28 @@ def build_mlp(features: int = 64, hidden: tuple[int, ...] = (32, 16),
     return net
 
 
+def build_inception_span(input_size: int = 4, classes: int = 10) -> Network:
+    """The real Inception v3 layer ``Mixed_5c/Branch_0/Conv2d_0a_1x1``
+    (a 1x1, 256-in/64-out convolution) at a verification-friendly spatial
+    size, with a small head.
+
+    Run under :func:`spanning_config` — 16-column arrays, pack factor 4 —
+    its 64 packed channel lanes span ``arrays_per_conv = 4`` arrays per
+    output, so the layer exercises the cross-array reduction path
+    (sense-amp pair hop, then a quadrant-bus hop) end-to-end on the
+    fleet. Under the default geometry the same network maps
+    single-array and runs like any other zoo model.
+    """
+    net = Network(name="inception-span")
+    x = net.add_input("image", (input_size, input_size, 256))
+    x = net.add("Mixed_5c/Branch_0/Conv2d_0a_1x1", Conv2D(64, (1, 1)), x,
+                group="Mixed_5c")
+    x = net.add("gap", AvgPool((input_size, input_size), padding="valid"),
+                x, group="head")
+    net.add("fc", FullyConnected(classes), x, group="head")
+    return net
+
+
 def model_zoo() -> dict[str, Network]:
     """All bundled models by name (Inception v3 included)."""
     from repro.nn.inception import build_inception_v3
@@ -122,4 +144,33 @@ def model_zoo() -> dict[str, Network]:
         "resnet-tiny": build_resnet_tiny(),
         "mlp": build_mlp(),
         "inception-v3": build_inception_v3(),
+        "inception-span": build_inception_span(),
     }
+
+
+def spanning_config():
+    """The cache configuration that makes ``inception-span`` span arrays.
+
+    One slice of 16-column arrays with 1x1 packing capped at 4 channels
+    per bitline: Mixed_5c/Branch_0/Conv2d_0a_1x1's 256 channels become 64
+    packed lanes, spanning 4 arrays per output — one sense-amp-pair hop
+    and one quadrant-bus hop in the mapper's ``ReductionPlan``. Built
+    here (lazily) so the verify CLI, tests and benches all pin the same
+    geometry.
+    """
+    from repro.cache.geometry import CacheGeometry
+    from repro.config import NeuralCacheConfig
+    return NeuralCacheConfig(
+        geometry=CacheGeometry(name="span-verify-16col", slices=1,
+                               array_cols=16),
+        pack_limit=4)
+
+
+def model_zoo_configs() -> dict[str, object]:
+    """Per-model cache configurations for zoo runs (None = default).
+
+    ``inception-span`` only exercises cross-array reduction under
+    :func:`spanning_config`; every other model uses the caller's default
+    configuration.
+    """
+    return {"inception-span": spanning_config()}

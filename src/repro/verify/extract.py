@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ReproError
-from repro.nn.models import model_zoo
+from repro.nn.models import model_zoo, model_zoo_configs
 from repro.verify.facts import ProgramFacts
 from repro.verify.recorder import record_programs
 
@@ -65,11 +65,16 @@ def extract_model_programs(name: str, packed: bool = True) -> ModelPrograms:
     from repro.engine.backend import FleetExecutor, deterministic_images
 
     network = _networks()[name]
-    backend = FleetExecutor(packed=packed, verify=False)
+    # Models with a companion configuration (e.g. inception-span's
+    # spanning geometry) record under it, so the lifted programs cover
+    # the mapping the model exists to exercise.
+    config = model_zoo_configs().get(name)
+    backend = FleetExecutor(config=config, packed=packed, verify=False)
     weights = backend.weights_for(network)
     image = deterministic_images(network, weights, backend.seed, 1)[0]
 
-    executor = FunctionalExecutor(network, weights, packed=packed)
+    executor = FunctionalExecutor(network, weights, config=config,
+                                  packed=packed)
     original_run_node = executor._run_node
 
     with record_programs() as recorder:

@@ -113,6 +113,12 @@ class OpFacts:
     carry: tuple[str, ...] = ()
     constraints: tuple[Constraint, ...] = ()
     col_shift: int | None = None
+    #: Cross-array data movement: the stride (in arrays, within a
+    #: reduction group) this op's reads arrive over — ``move_across``'s
+    #: hop distance, or the widest hop of a ``reduce_across_arrays``
+    #: tree. ``None`` for array-local ops. Reads stay per-wordline either
+    #: way; the field records interconnect provenance for the program.
+    array_shift: int | None = None
 
     def all_regions(self) -> tuple[Region, ...]:
         """Every region the op touches (for bounds checking)."""

@@ -266,6 +266,33 @@ def op_facts(method: str, index: int, name: str,
                                     "reduce_tree ping-pongs between base "
                                     "and segment; they must not alias"),))
 
+    if method == "move_across":
+        src = _region(p["src"])
+        dst = _region(p["dst"])
+        return OpFacts(
+            name, index, reads=(src,), writes=(dst,),
+            array_shift=int(p["stride"]),
+            constraints=(Constraint(src, dst, ALIGNED_OR_DISJOINT,
+                                    "a cross-array move copies wordline by "
+                                    "wordline; an unaligned overlap would "
+                                    "mix hopped and local planes"),))
+
+    if method == "reduce_across_arrays":
+        group = int(p["group"])
+        width = int(p["width"])
+        steps = max(group.bit_length() - 1, 0)
+        base = Region(p["base"].row, width + 1)
+        seg = Region(p["segment"].row, width)
+        return OpFacts(
+            name, index, reads=(Region(base.row, width),),
+            writes=(base,), scratch_writes=(seg,),
+            carry=_ripple() if steps else (),
+            array_shift=group // 2 if steps else None,
+            constraints=(Constraint(base, seg, DISJOINT,
+                                    "cross-array reduction ping-pongs "
+                                    "between base and segment; they must "
+                                    "not alias"),))
+
     if method == "load_tag":
         return OpFacts(name, index, tag=TAG_SET,
                        tag_source=(Region(int(p["row"]), 1),))
@@ -320,6 +347,8 @@ _PARAMS: dict[str, tuple[str, ...]] = {
     "equality_compare": ("a", "b", "dst_row"),
     "search": ("haystack", "key", "dst_row"),
     "reduce_tree": ("base", "segment", "elements", "width"),
+    "move_across": ("src", "dst", "stride", "group"),
+    "reduce_across_arrays": ("base", "segment", "group", "width"),
 }
 
 

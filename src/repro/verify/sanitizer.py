@@ -131,6 +131,15 @@ class ShadowPlaneStore:
         self._store.write_back(row, plane, mask)
         self._mark(row)
 
+    def move_plane(self, src_row: int, dst_row: int, stride: int,
+                   group: int) -> None:
+        # Explicit proxy: the inner store's move_plane reads the source
+        # wordline through its own row_plane, which would bypass the
+        # shadow if this fell through __getattr__.
+        self._require(src_row, "cross-array move")
+        self._store.move_plane(src_row, dst_row, stride, group)
+        self._mark(dst_row)
+
     def write_row(self, row: int, bits: np.ndarray,
                   mask: np.ndarray | None = None) -> None:
         if mask is not None:

@@ -1,0 +1,140 @@
+"""Spanning layers end-to-end: outputs whose channels exceed one array.
+
+``inception-span`` registers a real Inception layer
+(Mixed_5c/Branch_0/Conv2d_0a_1x1) under a geometry that makes each output
+span four arrays, so these tests exercise the full cross-array reduction
+path — mapping plan, fleet execution, chunking, sharding — gated
+bit-exact against the golden NumPy reference and cycle-consistent with
+the analytic schedule.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import NeuralCacheConfig
+from repro.core.functional import FunctionalConv, FunctionalExecutor
+from repro.core.schedule import reduction_cycles_per_pass
+from repro.engine.backend import FleetExecutor, deterministic_images
+from repro.engine.sharding import ShardedBackend
+from repro.nn import Conv2D, QuantizedTensor, ReferenceExecutor
+from repro.nn.models import build_inception_span, spanning_config
+from repro.sram.cost import CycleCosts
+
+RNG = np.random.default_rng(55)
+
+SPAN_LAYER = "Mixed_5c/Branch_0/Conv2d_0a_1x1"
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_inception_span()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return spanning_config()
+
+
+class TestSpanningMapping:
+    def test_the_registered_layer_really_spans(self, net, config):
+        from repro.core.mapping import map_conv
+        node = net.node(SPAN_LAYER)
+        mapping = map_conv(config, node.name, net.conv_of(node),
+                           net.input_shape_of(node.name))
+        assert mapping.arrays_per_conv == 4
+        assert mapping.channels_padded == 64
+        plan = mapping.reduction_plan
+        assert plan.group_size == 4
+        assert [h.kind for h in plan.hops] == ["pair", "bus"]
+
+
+class TestBitExactOnTheFleet:
+    def test_fleet_packed_verifies(self, net, config):
+        result = FleetExecutor(config=config, packed=True,
+                               verify=True).run(net, batch_size=2)
+        assert result.verified_images == 2
+
+    def test_fleet_unpacked_verifies(self, net, config):
+        result = FleetExecutor(config=config, packed=False,
+                               verify=True).run(net, batch_size=1)
+        assert result.verified_images == 1
+
+    @pytest.mark.parametrize("driver", ["serial", "thread", "pool"])
+    def test_shard_drivers_never_split_a_group(self, net, config, driver):
+        # Shards slice whole images, never arrays, so reduction groups
+        # stay intact on every driver; results must match the unsharded
+        # fleet bit for bit.
+        reference = FleetExecutor(config=config, packed=True,
+                                  verify=False).run(net, batch_size=3)
+        sharded = ShardedBackend(config=config, shards=2,
+                                 driver=driver).run(net, batch_size=3)
+        got = sharded.outputs[net.output_name]
+        want = reference.outputs[net.output_name]
+        assert np.array_equal(got.data, want.data)
+
+
+class TestGroupAlignedChunking:
+    @pytest.mark.parametrize("max_arrays", [2, 4, 6, 7])
+    def test_chunk_limits_keep_groups_whole(self, net, config, max_arrays):
+        # max_fleet_arrays values below or not a multiple of the span
+        # must round to whole reduction groups (and at least one): any
+        # split group would mix garbage into the tree and fail the
+        # bit-exactness gate.
+        chunked = dataclasses.replace(config, max_fleet_arrays=max_arrays)
+        result = FleetExecutor(config=chunked, packed=True,
+                               verify=True).run(net, batch_size=2)
+        assert result.verified_images == 2
+
+    def test_chunked_outputs_match_unchunked(self, net, config):
+        full = FleetExecutor(config=config, packed=True,
+                             verify=False).run(net, batch_size=2)
+        chunked_config = dataclasses.replace(config, max_fleet_arrays=4)
+        chunked = FleetExecutor(config=chunked_config, packed=True,
+                                verify=False).run(net, batch_size=2)
+        got = chunked.outputs[net.output_name]
+        want = full.outputs[net.output_name]
+        assert np.array_equal(got.data, want.data)
+
+
+class TestCycleConsistency:
+    def test_functional_reduction_matches_analytic_schedule(self, config):
+        # The functional engine executes two reduction trees per pass
+        # (the MAC partials and the input-sum correction), each costed
+        # exactly like the analytic reduction_cycles_per_pass under the
+        # derived preset.
+        derived = dataclasses.replace(config, costs=CycleCosts.derived())
+        conv = Conv2D(64, (1, 1))
+        shape = (4, 4, 256)
+        from repro.nn import Network, initialise_weights
+        net = Network(name="span-cycles")
+        x = net.add_input("in", shape)
+        net.add("c", conv, x)
+        weights = initialise_weights(net, seed=3)
+        image = QuantizedTensor.from_real(
+            RNG.uniform(0, 6, shape), weights.input_params)
+        engine = FunctionalConv(conv, shape, weights.for_node("c"),
+                                config=derived,
+                                output_params=weights.activation_params,
+                                packed=True)
+        assert engine.mapping.arrays_per_conv == 4
+        got = engine.run(image)
+        reference = ReferenceExecutor(net, weights).run_output(image)
+        assert np.array_equal(got.data, reference.data)
+        per_pass = reduction_cycles_per_pass(derived, engine.mapping)
+        assert engine.report.reduction == engine.report.passes * 2 * per_pass
+
+
+class TestExecutorIntegration:
+    def test_functional_executor_runs_the_whole_model(self, net, config):
+        backend = FleetExecutor(config=config, packed=True, verify=False)
+        weights = backend.weights_for(net)
+        image = deterministic_images(net, weights, backend.seed, 1)[0]
+        executor = FunctionalExecutor(net, weights, config=config,
+                                      packed=True)
+        out = executor.run(image)[net.output_name]
+        want = ReferenceExecutor(net, weights).run_output(image)
+        assert np.array_equal(out.data, want.data)
+        span_report = executor.reports[SPAN_LAYER]
+        assert span_report.reduction > 0

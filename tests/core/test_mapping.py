@@ -7,7 +7,14 @@ from hypothesis import strategies as st
 from repro.common.bits import is_power_of_two
 from repro.common.errors import MappingError
 from repro.config import NeuralCacheConfig
-from repro.core.mapping import map_conv, map_network, map_node, map_pool
+from repro.core.mapping import (
+    ReductionPlan,
+    _reduction_plan,
+    map_conv,
+    map_network,
+    map_node,
+    map_pool,
+)
 from repro.nn import AvgPool, Conv2D, MaxPool, build_inception_v3
 from repro.sram.layout import max_conv_filter_bytes
 
@@ -185,3 +192,66 @@ def test_mapping_invariants_property(r, s, channels, out_channels):
         < mapping.total_outputs
     assert (mapping.serial_passes * mapping.parallel_outputs
             >= mapping.total_outputs)
+
+
+class TestReductionPlan:
+    """Cross-array reduction plans: group structure and hop classes."""
+
+    def test_single_array_layers_have_an_empty_plan(self):
+        mapping = conv_mapping((3, 3), channels=32)
+        assert mapping.arrays_per_conv == 1
+        assert mapping.reduction_plan.group_size == 1
+        assert mapping.reduction_plan.hops == ()
+        assert mapping.cross_array_steps == 0
+
+    def test_two_array_span_is_one_sense_amp_hop(self):
+        mapping = conv_mapping((3, 3), channels=448)
+        plan = mapping.reduction_plan
+        assert plan.group_size == 2
+        assert [h.kind for h in plan.hops] == ["pair"]
+        assert plan.hops[0].span == 2
+        assert (plan.hops[0].bits_per_cycle
+                == CFG.interconnect.bank_bits_per_cycle)
+
+    def test_hop_kinds_follow_the_interconnect_reach(self):
+        # pair while the hop stays inside a sub-array (2 arrays), bus up
+        # to a slice (320 arrays), ring beyond — widths straight from
+        # InterconnectModel.
+        plan = _reduction_plan(CFG, "wide", 1024)
+        kinds = [h.kind for h in plan.hops]
+        spans = [h.span for h in plan.hops]
+        assert spans == [2 << level for level in range(10)]
+        assert kinds == (["pair"] + ["bus"] * 7 + ["ring"] * 2)
+        widths = {h.kind: h.bits_per_cycle for h in plan.hops}
+        assert widths["pair"] == CFG.interconnect.bank_bits_per_cycle
+        assert widths["bus"] == CFG.interconnect.quadrant_bus_bytes_per_cycle * 8
+        assert widths["ring"] == CFG.interconnect.ring_bytes_per_cycle * 8
+
+    def test_non_power_of_two_span_rejected_at_map_time(self):
+        # 24-column arrays make a padded channel count of 64 span three
+        # arrays — unreachable by the reduction tree.
+        from repro.cache.geometry import CacheGeometry
+        config = NeuralCacheConfig(pack_limit=1).with_geometry(
+            CacheGeometry(name="cols24", array_cols=24))
+        with pytest.raises(MappingError, match="power-of-two"):
+            map_conv(config, "bad", Conv2D(8, (1, 1)), (8, 8, 64))
+
+    def test_plan_validates_its_own_shape(self):
+        from repro.core.mapping import ReductionHop
+        with pytest.raises(MappingError):
+            ReductionPlan(group_size=3, hops=())
+        with pytest.raises(MappingError):
+            ReductionPlan(group_size=4, hops=(
+                ReductionHop(level=0, kind="pair", span=2,
+                             bits_per_cycle=32),))
+
+    def test_cross_array_cycles_match_the_legacy_formula(self):
+        # The plan-based charge must be cycle-identical to the old
+        # ``steps * (move(w) + add(w))`` accounting under both presets.
+        from repro.sram.cost import CycleCosts
+        width = CFG.reduction_bits
+        for span in (2, 4, 16):
+            plan = _reduction_plan(CFG, "span", span)
+            for costs in (CycleCosts.derived(), CycleCosts.paper()):
+                legacy = plan.levels * (costs.move(width) + costs.add(width))
+                assert plan.cross_array_cycles(costs, width) == legacy

@@ -99,6 +99,22 @@ class TestCycleHelpers:
         assert (reduction_cycles_per_pass(CFG, large)
                 > reduction_cycles_per_pass(CFG, small))
 
+    def test_spanning_layers_charge_exactly_the_plan(self):
+        # The cross-array surcharge is the ReductionPlan's cycle charge,
+        # nothing more: strip the plan and the difference must be
+        # cross_array_cycles at the configured reduction width.
+        import dataclasses
+
+        from repro.core.mapping import ReductionPlan
+        large = map_conv(CFG, "l", Conv2D(8, (3, 3)), (16, 16, 448))
+        assert large.reduction_plan.levels == 1
+        local = dataclasses.replace(large,
+                                    reduction_plan=ReductionPlan(1, ()))
+        surcharge = (reduction_cycles_per_pass(CFG, large)
+                     - reduction_cycles_per_pass(CFG, local))
+        assert surcharge == large.reduction_plan.cross_array_cycles(
+            CFG.costs, CFG.reduction_bits)
+
     def test_quantization_grows_with_outputs(self):
         small = map_conv(CFG, "s", Conv2D(8, (3, 3)), (16, 16, 32))
         large = map_conv(CFG, "l", Conv2D(64, (3, 3)), (149, 149, 32))

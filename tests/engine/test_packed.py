@@ -159,7 +159,10 @@ class TestPackedFleetPrimitives:
         packed = PackedArrayFleet(16, 256, 256)
         assert packed.nbytes * 8 == ref.nbytes
 
-    def test_make_fleet_selects_store(self):
+    def test_make_fleet_selects_store(self, monkeypatch):
+        # Pin the sanitizer env gate off: under NEURALCACHE_SANITIZE=1
+        # the store arrives wrapped, which TestOptIn covers elsewhere.
+        monkeypatch.delenv("NEURALCACHE_SANITIZE", raising=False)
         assert isinstance(make_fleet(2, 8, 64), ArrayFleet)
         assert isinstance(make_fleet(2, 8, 64, packed=True), PackedArrayFleet)
 

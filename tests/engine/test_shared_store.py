@@ -64,7 +64,12 @@ class TestSharedStoreEquivalence:
         assert shared.fleet.access_cycles == packed.fleet.access_cycles
         shared.fleet.close()
 
-    def test_make_fleet_routes_shared(self):
+    def test_make_fleet_routes_shared(self, monkeypatch):
+        # Pin the sanitizer env gate off: under NEURALCACHE_SANITIZE=1
+        # the store arrives wrapped (TestOptIn in test_sanitizer.py
+        # covers that), and a failed isinstance here would leak the
+        # segment into the stats tests below.
+        monkeypatch.delenv("NEURALCACHE_SANITIZE", raising=False)
         fleet = make_fleet(2, rows=8, cols=64, packed="shared")
         assert isinstance(fleet, SharedPlaneStore)
         assert isinstance(fleet, PackedArrayFleet)

@@ -95,7 +95,7 @@ class TestModelShapes:
     def test_zoo_names(self):
         zoo = model_zoo()
         assert set(zoo) == {"lenet5", "vgg-tiny", "resnet-tiny", "mlp",
-                            "inception-v3"}
+                            "inception-v3", "inception-span"}
 
 
 class TestModelsRunEverywhere:

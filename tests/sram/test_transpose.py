@@ -69,3 +69,50 @@ def test_round_trip_property(values):
     tmu = TransposeMemoryUnit(word_bits=8)
     array = np.array(values, dtype=np.int64)
     assert np.array_equal(tmu.untranspose(tmu.transpose(array)), array)
+
+
+class TestRoundTripRagged:
+    """Round trips on ragged widths that straddle batch boundaries."""
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_width_round_trips(self, word_bits, data):
+        n = data.draw(st.integers(min_value=1, max_value=150))
+        values = data.draw(st.lists(
+            st.integers(min_value=0, max_value=(1 << word_bits) - 1),
+            min_size=n, max_size=n))
+        tmu = TransposeMemoryUnit(word_bits=word_bits, capacity_words=64)
+        array = np.array(values, dtype=np.int64)
+        bits = tmu.transpose(array)
+        assert bits.shape == (word_bits, n)
+        assert np.array_equal(tmu.untranspose(bits), array)
+
+    @pytest.mark.parametrize("word_bits", [1, 8, 16])
+    @given(st.lists(st.booleans(), min_size=1, max_size=130))
+    @settings(max_examples=40, deadline=None)
+    def test_bit_rows_are_faithful(self, word_bits, flags):
+        # Values chosen per-bit: row k of the transpose must equal bit k
+        # of every word, for the narrowest, paper (8), and widest widths.
+        tmu = TransposeMemoryUnit(word_bits=word_bits, capacity_words=32)
+        values = np.array([int(f) * ((1 << word_bits) - 1) for f in flags],
+                          dtype=np.int64)
+        bits = tmu.transpose(values)
+        for k in range(word_bits):
+            assert np.array_equal(bits[k], (values >> k) & 1)
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_cycle_model_matches_batching(self, word_bits, n):
+        # Each batch of up to capacity_words costs batch_size word writes
+        # plus word_bits bit-row reads, ragged tail included.
+        capacity = 64
+        tmu = TransposeMemoryUnit(word_bits=word_bits,
+                                  capacity_words=capacity)
+        tmu.transpose(np.zeros(n, dtype=np.int64))
+        full, tail = divmod(n, capacity)
+        expected = full * (capacity + word_bits)
+        if tail:
+            expected += tail + word_bits
+        assert tmu.cycles == expected

@@ -1,0 +1,119 @@
+"""Lifting and checking the cross-array primitives.
+
+``move_across`` and ``reduce_across_arrays`` are composite calls like any
+other: the recorder sees them, the lifter produces :class:`OpFacts` with
+interconnect provenance (``array_shift``), and the static passes check
+the same dataflow discipline the sanitizer enforces at runtime.
+"""
+
+import numpy as np
+
+from repro.engine.bitserial import FleetBitSerialUnit, Operand
+from repro.engine.packed import make_fleet
+from repro.verify import ProgramFacts, Region, op_facts, verify_program
+from repro.verify.facts import ALIGNED_OR_DISJOINT, DISJOINT
+from repro.verify.recorder import record_programs
+
+ROWS, COLS = 64, 16
+
+
+class TestOpFacts:
+    def test_move_across_facts(self):
+        facts = op_facts("move_across", 3, "move_across", {
+            "src": Operand(0, 8), "dst": Operand(16, 8),
+            "stride": 2, "group": 4})
+        assert facts.reads == (Region(0, 8),)
+        assert facts.writes == (Region(16, 8),)
+        assert facts.array_shift == 2
+        (constraint,) = facts.constraints
+        assert constraint.kind == ALIGNED_OR_DISJOINT
+
+    def test_reduce_across_facts(self):
+        facts = op_facts("reduce_across_arrays", 7, "reduce_across_arrays",
+                         {"base": Operand(0, 9), "segment": Operand(16, 8),
+                          "group": 8, "width": 8})
+        # Reads the width-bit partials, writes the width+1-bit total;
+        # the segment is internal ping-pong scratch.
+        assert facts.reads == (Region(0, 8),)
+        assert facts.writes == (Region(0, 9),)
+        assert facts.scratch_writes == (Region(16, 8),)
+        assert facts.array_shift == 4  # the widest hop of the tree
+        assert facts.carry  # the adds ripple a carry protocol
+        (constraint,) = facts.constraints
+        assert constraint.kind == DISJOINT
+
+    def test_array_local_ops_have_no_array_shift(self):
+        facts = op_facts("add", 0, "add", {
+            "a": Operand(0, 4), "b": Operand(4, 4), "dst": Operand(8, 5)})
+        assert facts.array_shift is None
+
+
+class TestLiftedPrograms:
+    def lifted(self, body):
+        # sanitize=False even under NEURALCACHE_SANITIZE=1: these tests
+        # check the *static* passes, so the runtime must not pre-empt
+        # the seeded violations (agreement is covered elsewhere).
+        fleet = make_fleet(4, ROWS, COLS, packed=True, sanitize=False)
+        unit = FleetBitSerialUnit(fleet)
+        with record_programs() as recorder:
+            recorder.annotate("cross-array")
+            body(unit)
+        (program,) = recorder.programs()
+        return program
+
+    def test_clean_reduction_program_verifies(self):
+        # No zeroing of the carry-out row: the tree's adds write it, so a
+        # prior zero would (correctly) be flagged as a dead write.
+        def body(unit):
+            unit.write_values(Operand(0, 8),
+                              np.full((4, COLS), 3, dtype=np.int64))
+            unit.reduce_across_arrays(Operand(0, 9), Operand(16, 8),
+                                      group=4, width=8)
+        program = self.lifted(body)
+        names = [op.name.split("(")[0] for op in program.ops]
+        assert "reduce_across_arrays" in names
+        assert verify_program(program) == []
+
+    def test_nested_internals_are_suppressed(self):
+        # reduce_across_arrays is one step in the lifted program — its
+        # internal move_across/add calls must not leak into the stream.
+        def body(unit):
+            unit.write_values(Operand(0, 8), 1)
+            unit.reduce_across_arrays(Operand(0, 9), Operand(16, 8),
+                                      group=4, width=8)
+        program = self.lifted(body)
+        names = [op.name.split("(")[0] for op in program.ops]
+        assert names.count("reduce_across_arrays") == 1
+        assert "move_across" not in names
+        assert "add" not in names
+
+    def test_reduction_over_uninitialized_base_is_caught(self):
+        def body(unit):
+            unit.reduce_across_arrays(Operand(0, 9), Operand(16, 8),
+                                      group=4, width=8)
+        program = self.lifted(body)
+        findings = verify_program(program)
+        assert "uninit-read" in {f.check for f in findings}
+
+    def test_aliasing_segment_is_caught(self):
+        # A segment overlapping the base would corrupt the ping-pong; the
+        # DISJOINT constraint trips and the overlap pass reports it.
+        facts = op_facts("reduce_across_arrays", 0, "reduce_across_arrays",
+                         {"base": Operand(0, 9), "segment": Operand(4, 8),
+                          "group": 4, "width": 8})
+        assert any(c.violated() for c in facts.constraints)
+        program = ProgramFacts("alias", ROWS, COLS, (facts,),
+                               preloaded=(Region(0, 8),))
+        assert "overlap" in {f.check for f in verify_program(program)}
+
+    def test_recorded_move_across_verifies(self):
+        def body(unit):
+            unit.write_values(Operand(0, 8), 5)
+            unit.move_across(Operand(0, 8), Operand(16, 8), stride=1,
+                             group=4)
+            unit.read_values(Operand(16, 8))
+        program = self.lifted(body)
+        assert verify_program(program) == []
+        move = next(op for op in program.ops
+                    if op.name.startswith("move_across"))
+        assert move.array_shift == 1
