@@ -1,0 +1,44 @@
+"""Fault-injection benchmarks: the sweep's cost and chaos-survival cost.
+
+Two timings with hard gates attached:
+
+* the hardware fault sweep (``repro fault-sweep`` at CI sizing) must
+  produce a monotone top-1 degradation curve from a clean zero-rate
+  baseline — the reproducibility claim of the experiment;
+* a served request stream with a seeded fault plan killing a pool
+  worker every other batch must stay no-lost / no-duplicate / bit-exact
+  — chaos survival priced as wall-clock next to the healthy runs in
+  ``bench_serving_stack``.
+"""
+
+from repro.faults import FaultPlan, PoolFault, render_fault_sweep, run_fault_sweep
+from repro.serving import render_serving_report, run_serving_benchmark
+
+
+def run_sweep():
+    return run_fault_sweep(rates=(0.0, 1e-6, 1e-5, 1e-4), n_images=8)
+
+
+def test_fault_sweep_curve(benchmark, record):
+    stats = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    assert stats["ok"], stats
+    assert stats["top1"][0] == 1.0
+    assert stats["top1"][-1] <= stats["top1"][0]
+    record(render_fault_sweep(stats))
+
+
+def run_chaos_serving():
+    plan = FaultPlan(seed=7, pool=(PoolFault(kind="kill", shard=0, every=2),))
+    return run_serving_benchmark(
+        n_requests=12, sockets=2, pool_size=1, max_batch=4,
+        driver="pool", fault_plan=plan, reply_timeout_s=30.0,
+        max_retries=2)
+
+
+def test_chaos_serving_survives(benchmark, record):
+    stats = benchmark.pedantic(run_chaos_serving, rounds=1, iterations=1)
+    assert stats["ok"], stats
+    assert stats["lost"] == 0 and stats["duplicates"] == 0
+    assert stats["bit_exact"]
+    assert stats["recoveries"] > 0      # the plan really fired
+    record(render_serving_report(stats))

@@ -54,6 +54,12 @@ from repro.engine.backend import (
     get_backend,
 )
 from repro.engine.sharding import ShardedBackend
+from repro.faults import (
+    FaultPlan,
+    HardwareFaultModel,
+    PoolFault,
+    hardware_faults,
+)
 from repro.serving import Server, ServingReport
 from repro.nn import (
     Conv2D,
@@ -81,10 +87,14 @@ __all__ = [
     "CpuBaseline",
     "CycleCosts",
     "DramModel",
+    "FaultPlan",
     "FunctionalConv",
     "FunctionalExecutor",
     "GpuBaseline",
+    "HardwareFaultModel",
     "Instruction",
+    "PoolFault",
+    "hardware_faults",
     "PackedArrayFleet",
     "make_fleet",
     "InterconnectModel",

@@ -12,6 +12,7 @@ Usage::
     python -m repro --backend sharded --shards 2 --shard-driver process
     python -m repro --backend fleet --batch 8 --no-batched   # per-image loop
     python -m repro serve-bench --requests 32 --sockets 2    # serving smoke
+    python -m repro fault-sweep --images 16          # accuracy vs defects
     python -m repro verify                  # static dataflow verification
     python -m repro verify --model lenet5 -v
 
@@ -41,6 +42,13 @@ passes over a pool of sharded backends, reporting p50/p95/p99 tail
 latency and throughput, and exiting non-zero when any response is lost,
 duplicated or not bit-exact against the direct ``run_requests`` path —
 the CI serving smoke gate.
+
+The ``fault-sweep`` subcommand runs the hardware fault-injection
+experiment (:mod:`repro.faults`): the deterministic image stream on a
+population of chips with seeded stuck-at bit-cell defects at increasing
+rates, reporting top-1 agreement with the fault-free run and exiting
+non-zero unless the degradation curve is monotone from a clean
+zero-rate baseline.
 
 The ``verify`` subcommand statically checks the dataflow of every
 registered model's recorded bit-serial layer programs (def-before-use,
@@ -134,10 +142,59 @@ def serve_bench_main(argv: list[str]) -> int:
     return 0
 
 
+def fault_sweep_main(argv: list[str]) -> int:
+    """The ``fault-sweep`` subcommand: accuracy vs stuck-at defect rate."""
+    from repro.faults import DEFAULT_RATES, render_fault_sweep, run_fault_sweep
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fault-sweep",
+        description="Hardware fault-injection experiment: run the "
+                    "deterministic image stream on chips with seeded "
+                    "stuck-at bit-cell defects at increasing rates and "
+                    "report top-1 agreement with the fault-free run. "
+                    "Fails unless the curve is monotone non-increasing "
+                    "and the zero-rate point is clean.")
+    parser.add_argument("--rates", type=float, nargs="+",
+                        default=list(DEFAULT_RATES), metavar="R",
+                        help="stuck-at cell probabilities to sweep "
+                             "(default: %(default)s)")
+    parser.add_argument("--images", type=int, default=16, metavar="N",
+                        help="images per rate point (default 16)")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="image/weight stream seed (default 0)")
+    parser.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                        help="chip-population seed: chip i draws its "
+                             "defect field from fault-seed + i "
+                             "(default 0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizing (fewer images, fewer "
+                             "rates); gates are never relaxed")
+    args = parser.parse_args(argv)
+    if args.images <= 0:
+        parser.error(f"--images must be positive, got {args.images}")
+    if any(not 0.0 <= rate <= 1.0 for rate in args.rates):
+        parser.error("--rates must be probabilities in [0, 1]")
+    rates = tuple(args.rates)
+    if args.quick:
+        args.images = min(args.images, 8)
+        rates = tuple(rates[:4])
+    stats = run_fault_sweep(rates=rates, n_images=args.images,
+                            seed=args.seed, fault_seed=args.fault_seed)
+    print(render_fault_sweep(stats))
+    if not stats["ok"]:
+        print("fault-sweep: FAIL — degradation curve is not monotone "
+              "non-increasing from a clean zero-rate baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "fault-sweep":
+        return fault_sweep_main(argv[1:])
     if argv and argv[0] == "verify":
         from repro.verify.cli import main as verify_main
 

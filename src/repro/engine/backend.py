@@ -42,6 +42,10 @@ class ShardReport:
     images: int
     #: The shard's aggregate functional compute-cycle report.
     report: CycleReport
+    #: Self-healing actions the pool driver took for this shard during
+    #: the batch (stringified RecoveryEvents: respawns, re-dispatches,
+    #: degrades). Empty on healthy runs and on every other driver.
+    recoveries: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -119,6 +123,8 @@ class BackendResult:
                 lines.append(f"  shard {s.shard}: {s.images} image(s), "
                              f"{s.report.total} compute cycles over "
                              f"{s.report.passes} array passes")
+                for event in s.recoveries:
+                    lines.append(f"    recovery: {event}")
         if self.verify:
             # Explicit even at 0/N, so a verification-skipped run never
             # reads the same as a verify-off run.

@@ -63,6 +63,14 @@ class PlaneStore:
     primitive (and all its bounds/value validation) lives here exactly
     once, so the packed and unpacked stores cannot drift apart.
 
+    This interface is also the composition seam for cross-cutting
+    wrappers — the shadow-state sanitizer
+    (:class:`repro.verify.sanitizer.ShadowPlaneStore`) and the hardware
+    fault injector (:class:`repro.faults.hardware.FaultyPlaneStore`)
+    both wrap any store behind it, and
+    :func:`~repro.engine.packed.make_fleet` stacks them (sanitizer
+    outside, faults inside) without the sequencer knowing.
+
     Parameters
     ----------
     n_arrays:

@@ -212,7 +212,8 @@ class PackedFleetPeriphery(FleetPeriphery):
 def make_fleet(n_arrays: int = 1, rows: int = DEFAULT_ROWS,
                cols: int = DEFAULT_COLS,
                packed: bool | str = False,
-               sanitize: bool | None = None) -> PlaneStore:
+               sanitize: bool | None = None,
+               faults=None) -> PlaneStore:
     """Construct a plane store behind the :class:`PlaneStore` seam.
 
     ``packed`` selects the storage: ``False`` is the unpacked
@@ -222,12 +223,22 @@ def make_fleet(n_arrays: int = 1, rows: int = DEFAULT_ROWS,
     persistent pool workers run on, so a fleet's planes are mappable
     from other processes instead of picklable only.
 
-    ``sanitize`` wraps the chosen store in the shadow-state sanitizer
+    ``faults`` wraps the store in a hardware fault injector
+    (:class:`repro.faults.hardware.FaultyPlaneStore`) for the given
+    :class:`~repro.faults.hardware.HardwareFaultModel`; with the default
+    ``None`` the ambient model installed via
+    :func:`repro.faults.context.hardware_faults` (if any) applies, which
+    is how a model reaches the fleets an executor builds internally.
+
+    ``sanitize`` wraps the result in the shadow-state sanitizer
     (:class:`repro.verify.sanitizer.ShadowPlaneStore`), which tracks
     per-row init state and raises :class:`~repro.common.errors.VerifyError`
     at the exact primitive that reads an uninitialized wordline. ``None``
     (the default) defers to the ``NEURALCACHE_SANITIZE`` environment
     variable, so a whole test run can be sanitized without code changes.
+    The sanitizer composes *outside* the fault injector: program
+    discipline is checked on the access stream, defects corrupt the
+    storage underneath.
     """
     if sanitize is None:
         sanitize = os.environ.get("NEURALCACHE_SANITIZE", "") not in ("", "0")
@@ -241,6 +252,8 @@ def make_fleet(n_arrays: int = 1, rows: int = DEFAULT_ROWS,
     else:
         cls = PackedArrayFleet if packed else ArrayFleet
         store = cls(n_arrays, rows, cols)
+    from repro.faults.context import wrap_fleet
+    store = wrap_fleet(store, faults)
     if sanitize:
         from repro.verify.sanitizer import ShadowPlaneStore
         return ShadowPlaneStore(store)

@@ -29,15 +29,52 @@ in both arenas, so shard ``k`` touches exactly the slots
 driver uses, which is what keeps the pool bit-exact and
 shard-report-identical to the serial reference.
 
+Supervision (``supervise=True``, the default): every reply wait is
+bounded by ``reply_timeout_s`` — there is no unbounded blocking
+``recv`` anywhere — and every send health-checks its worker first. A
+worker that dies or hangs mid-batch is reaped (terminated, its pipe
+closed, its incarnation's plane segments swept) and **respawned**; the
+works its death orphaned are re-dispatched, under ``max_retries``
+bounded rounds with exponential backoff. If a respawn fails, the pool
+**degrades**: the dead slot's lanes route to the surviving workers (a
+lane names its slots by ``shard``/``stride`` arithmetic, so any warm
+worker can run any lane) until no live worker remains, which — like
+exhausting the retry budget — tears the pool down loudly. Recovery is
+observable: :meth:`pop_recovery_events` returns the
+:class:`RecoveryEvent` log, which the sharded backend republishes on
+its ``ShardReport``. Re-execution of an orphaned lane is safe by
+construction: a lane writes only its own output slots and every driver
+is bit-exact, so a re-run overwrites identical bytes.
+
+With ``supervise=False`` the pool keeps the original fail-fast
+contract: a dead *or hung* worker tears the whole pool down
+(:class:`~repro.common.errors.SimulationError` naming the shard and its
+PID), every segment under the pool's scope is swept, and the pool is
+unusable afterwards. A worker-*reported* error is gentler in both
+modes: the replies of every other shard in the round are drained first
+(keeping the pipes level), the error raises, and the pool keeps
+serving.
+
+Chaos hooks: a seeded :class:`~repro.faults.plan.FaultPlan` makes the
+workers inject the faults supervision exists to survive — ``kill``
+(``os._exit`` mid-batch), ``delay`` (late reply) and ``drop`` (finish
+the lane, never reply — indistinguishable from a hang upstream) — on a
+deterministic schedule driven by the parent's per-slot send counters.
+
 Lifecycle is explicit and owned by the pool: the parent owns both
 arenas (created under the pool's segment scope, grown by powers of two,
-unlinked on close); each worker scopes its plane segments under the
-pool's scope too, so after a **crash** the parent can terminate the
-remaining workers and sweep every segment the pool ever created by
-prefix (:func:`~repro.engine.shared.unlink_scope`) without asking the
-dead worker what it had allocated. Normal shutdown drains the workers
-(they release their recycled plane segments themselves) and then sweeps
-anyway; ``close()`` is idempotent.
+unlinked on close); each worker incarnation scopes its plane segments
+under the pool's scope too, so after a crash the parent can sweep
+everything the dead worker had allocated by prefix
+(:func:`~repro.engine.shared.unlink_scope`) without asking it. Normal
+shutdown drains the workers (they release their recycled plane segments
+themselves) and then sweeps anyway; ``close()`` is idempotent.
+
+Platform: workers are forked (they inherit the program objects and the
+arena handles by address), so the pool driver needs the ``fork`` start
+method — POSIX only, and unsafe to construct after the owner process
+has started threads. Construction raises on platforms without fork and
+warns if extra threads are already running.
 """
 
 from __future__ import annotations
@@ -45,6 +82,7 @@ from __future__ import annotations
 import os
 import secrets
 import threading
+import time
 import warnings
 from dataclasses import dataclass
 from multiprocessing import get_context
@@ -61,10 +99,11 @@ from repro.engine.shared import (
     set_segment_scope,
     unlink_scope,
 )
+from repro.faults.plan import FaultPlan
 from repro.nn.graph import Network
 from repro.nn.tensor import QuantParams, QuantizedTensor
 
-__all__ = ["PoolShardWork", "ShardWorkerPool"]
+__all__ = ["PoolShardWork", "RecoveryEvent", "ShardWorkerPool"]
 
 #: Per-image arena header: the image's quantization parameters. 16 bytes,
 #: so slots stay 16-byte aligned without padding games.
@@ -138,6 +177,33 @@ class PoolShardWork:
     def count(self) -> int:
         """Images on this shard's lane."""
         return len(range(self.shard, self.batch, self.stride))
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One self-healing action the supervised pool took."""
+
+    #: Worker slot the event concerns.
+    shard: int
+    #: ``respawned``, ``redispatched`` or ``degraded``.
+    kind: str
+    #: Human-readable account (old/new PIDs, images re-dispatched, ...).
+    detail: str
+
+    def __str__(self) -> str:
+        return f"worker {self.shard} {self.kind}: {self.detail}"
+
+
+class _WorkerFailure(Exception):
+    """Internal: a worker slot died or hung; carries who and how."""
+
+    def __init__(self, slot: int, kind: str, pid: int | None):
+        super().__init__(f"worker {slot} (pid {pid}) {kind}")
+        self.slot = slot
+        #: ``died`` (process gone / pipe broken) or ``hung`` (alive but
+        #: silent past the reply timeout).
+        self.kind = kind
+        self.pid = pid
 
 
 class _WorkerState:
@@ -216,12 +282,24 @@ class _WorkerState:
         self.arenas.clear()
 
 
-def _worker_main(conn, scope: str) -> None:
-    """A pool worker's whole life: scope, serve messages, clean up."""
+def _worker_main(conn, scope: str, shard: int = 0,
+                 fault_plan: FaultPlan | None = None) -> None:
+    """A pool worker's whole life: scope, serve messages, clean up.
+
+    ``fault_plan`` arms the chaos hooks: the plan's hardware model is
+    installed process-globally (every fleet this worker builds runs on
+    faulty arrays), and each ``run`` message's sequence number is
+    checked against the plan's software faults — ``kill`` exits
+    mid-batch, ``delay`` answers late, ``drop`` finishes the lane but
+    never answers (upstream can only see that as a hang).
+    """
     set_segment_scope(scope)
     # The fork copied the parent's recycler/ledger; forget it, or this
     # worker's exit-time release would unlink names the parent owns.
     reset_shared_state()
+    if fault_plan is not None and fault_plan.hardware is not None:
+        from repro.faults.context import set_hardware_faults
+        set_hardware_faults(fault_plan.hardware)
     state = _WorkerState()
     try:
         while True:
@@ -237,7 +315,17 @@ def _worker_main(conn, scope: str) -> None:
                     state.load_program(*message[1:])
                     conn.send(("ok",))
                 elif kind == "run":
-                    conn.send(("done", *state.run(message[1])))
+                    work, seq = message[1], message[2]
+                    action = (fault_plan.pool_action(shard, seq)
+                              if fault_plan is not None else None)
+                    if action is not None and action.kind == "kill":
+                        os._exit(17)
+                    result = state.run(work)
+                    if action is not None and action.kind == "drop":
+                        continue
+                    if action is not None and action.kind == "delay":
+                        time.sleep(action.delay_s)
+                    conn.send(("done", *result))
                 else:
                     conn.send(("error", f"unknown message {kind!r}"))
             except Exception as exc:
@@ -254,7 +342,7 @@ def _worker_main(conn, scope: str) -> None:
 
 
 class ShardWorkerPool:
-    """A long-lived pool of warm shard workers over shared arenas.
+    """A long-lived, self-healing pool of warm shard workers.
 
     Spawned eagerly at construction (one fork per shard, before any
     caller can have started threads), reused across every
@@ -263,34 +351,47 @@ class ShardWorkerPool:
     (and the serving layer's ``Server.close(close_backends=True)``)
     calls.
 
-    Crash containment: if a worker dies mid-batch, the parent
-    terminates the remaining workers, unlinks both arenas, sweeps every
-    segment under the pool's scope, and raises
-    :class:`~repro.common.errors.SimulationError`. The pool is dead
-    afterwards — a half-crashed pool must fail loudly, not limp. A
-    worker-*reported* error is gentler: the replies of every other
-    shard in the round are drained first (keeping the pipes level), the
-    error raises, and the pool keeps serving.
-
-    Platform: workers are forked (they inherit the program objects and
-    the arena handles by address), so the pool driver needs the ``fork``
-    start method — POSIX only, and unsafe to construct after the owner
-    process has started threads. Construction raises on platforms
-    without fork and warns if extra threads are already running.
+    See the module docstring for the supervision contract (timeouts,
+    health checks, respawn with re-dispatch, graceful degradation) and
+    the unsupervised fail-fast contract behind ``supervise=False``.
     """
 
     def __init__(self, shards: int, config: NeuralCacheConfig,
                  packed: bool = True, batched: bool = True,
-                 verify: bool = True, seed: int = 0):
+                 verify: bool = True, seed: int = 0,
+                 reply_timeout_s: float = 60.0,
+                 max_retries: int = 2,
+                 retry_backoff_s: float = 0.05,
+                 supervise: bool = True,
+                 fault_plan: FaultPlan | None = None):
         if shards <= 0:
             raise SimulationError(
                 f"shard count must be positive, got {shards}")
+        if reply_timeout_s <= 0:
+            raise SimulationError(
+                f"reply timeout must be positive, got {reply_timeout_s}")
+        if max_retries < 0:
+            raise SimulationError(
+                f"retry budget must be non-negative, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise SimulationError(
+                f"retry backoff must be non-negative, got "
+                f"{retry_backoff_s}")
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise SimulationError(
+                f"fault_plan must be a FaultPlan, got "
+                f"{type(fault_plan).__name__}")
         self.shards = shards
         self.config = config
         self.packed = packed
         self.batched = batched
         self.verify = verify
         self.seed = seed
+        self.reply_timeout_s = reply_timeout_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.supervise = supervise
+        self.fault_plan = fault_plan
         #: Every segment this pool's parent or workers create carries
         #: this prefix — the crash-sweep handle.
         self.scope = f"repro-pool-{os.getpid()}-{secrets.token_hex(4)}"
@@ -304,7 +405,7 @@ class ShardWorkerPool:
         # — workers inherit the program objects and arena handles — so
         # the pool driver is POSIX-only (Linux/macOS).
         try:
-            context = get_context("fork")
+            self._context = get_context("fork")
         except ValueError:
             raise SimulationError(
                 "the pool shard driver needs the fork start method, "
@@ -317,52 +418,182 @@ class ShardWorkerPool:
                 "construct pool-driver backends before starting any "
                 "threads (forking a multithreaded process is unsafe)",
                 RuntimeWarning, stacklevel=3)
-        self._conns = []
-        self._workers = []
-        for k in range(shards):
-            parent_conn, child_conn = context.Pipe()
-            worker = context.Process(
-                target=_worker_main,
-                args=(child_conn, f"{self.scope}-w{k}"),
-                name=f"repro-shard-worker-{k}", daemon=True)
-            worker.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._workers.append(worker)
+        # Start the shared-memory resource tracker *before* forking:
+        # otherwise each worker lazily spawns its own tracker, and a
+        # killed worker's private tracker dies with it — eagerly
+        # unlinking segments out from under the supervisor and warning
+        # about "leaks" the parent's scope sweep owns. One parent-owned
+        # tracker outlives every worker incarnation.
+        try:  # pragma: no cover - private API may move
+            from multiprocessing import resource_tracker
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        self._conns: list = [None] * shards
+        self._workers: list = [None] * shards
+        #: Incarnation number per slot (bumped on every respawn; names
+        #: the incarnation's segment scope so a reap can sweep it).
+        self._gen = [0] * shards
+        #: Run messages sent per slot, ever — the fault plans' clock.
+        self._sent = [0] * shards
+        self._events: list[RecoveryEvent] = []
+        for slot in range(shards):
+            self._spawn(slot)
+
+    # -- worker lifecycle --------------------------------------------------
+    def _spawn(self, slot: int) -> None:
+        """Fork one worker incarnation into ``slot``."""
+        parent_conn, child_conn = self._context.Pipe()
+        worker = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, f"{self.scope}-w{slot}g{self._gen[slot]}",
+                  slot, self.fault_plan),
+            name=f"repro-shard-worker-{slot}", daemon=True)
+        worker.start()
+        child_conn.close()
+        self._conns[slot] = parent_conn
+        self._workers[slot] = worker
+
+    def _reap(self, slot: int) -> None:
+        """Retire ``slot``'s incarnation: kill, close, sweep its scope."""
+        worker = self._workers[slot]
+        conn = self._conns[slot]
+        self._workers[slot] = None
+        self._conns[slot] = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if worker is not None:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5)
+                if worker.is_alive():  # pragma: no cover - ignores TERM
+                    worker.kill()
+                    worker.join(timeout=5)
+            else:
+                worker.join(timeout=1)
+        # Sweep the dead incarnation's plane segments now — respawns
+        # must not accumulate leaked segments across generations.
+        unlink_scope(f"{self.scope}-w{slot}g{self._gen[slot]}")
+
+    def _respawn(self, slot: int) -> bool:
+        """Replace ``slot``'s incarnation; re-ship the current program.
+
+        Returns ``False`` (slot left empty = degraded) if the fork or
+        the program hand-off fails.
+        """
+        self._reap(slot)
+        self._gen[slot] += 1
+        try:
+            self._spawn(slot)
+        except Exception:  # pragma: no cover - fork exhaustion
+            self._workers[slot] = None
+            self._conns[slot] = None
+            return False
+        if self._program is not None:
+            _, network, weights = self._program
+            message = ("program", network, weights, self.config,
+                       self.packed, self.batched, self.verify, self.seed)
+            try:
+                self._send_raw(slot, message)
+                reply = self._recv_raw(slot)
+                if reply[0] != "ok":
+                    raise _WorkerFailure(slot, "died",
+                                         self._workers[slot].pid)
+            except _WorkerFailure:
+                self._reap(slot)
+                return False
+        return True
+
+    def _repair(self, failure: _WorkerFailure) -> None:
+        """Respawn-or-degrade one failed slot; log what happened."""
+        slot = failure.slot
+        if self._respawn(slot):
+            self._events.append(RecoveryEvent(
+                shard=slot, kind="respawned",
+                detail=f"pid {failure.pid} {failure.kind}; replaced by "
+                       f"pid {self._workers[slot].pid}"))
+        else:
+            self._events.append(RecoveryEvent(
+                shard=slot, kind="degraded",
+                detail=f"pid {failure.pid} {failure.kind}; respawn "
+                       f"failed, {len(self.live_shards())} live "
+                       f"worker(s) remain"))
 
     # -- plumbing ----------------------------------------------------------
     def _check_alive(self) -> None:
         if self._closed:
             raise SimulationError("shard worker pool is closed")
 
-    def _send(self, shard: int, message: tuple) -> None:
+    def _send_raw(self, slot: int, message: tuple) -> None:
+        """Send one message; health-check first, never write dead pipes."""
+        conn = self._conns[slot]
+        worker = self._workers[slot]
+        if conn is None or worker is None:
+            raise _WorkerFailure(slot, "died", None)
+        if not worker.is_alive():
+            raise _WorkerFailure(slot, "died", worker.pid)
         try:
-            self._conns[shard].send(message)
+            conn.send(message)
         except (BrokenPipeError, OSError):
-            self._fail(shard)
+            raise _WorkerFailure(slot, "died", worker.pid) from None
 
-    def _recv(self, shard: int) -> tuple:
-        """One raw reply from a shard; a dead pipe tears the pool down."""
-        try:
-            return self._conns[shard].recv()
-        except (EOFError, OSError):
-            self._fail(shard)
+    def _recv_raw(self, slot: int) -> tuple:
+        """One reply from a slot, bounded by the reply timeout.
+
+        Polls in short slices so a worker that dies without closing its
+        pipe end is noticed well before the timeout; a worker that is
+        alive but silent past ``reply_timeout_s`` is a ``hung``
+        failure — the unbounded blocking ``recv`` this replaces could
+        wait on it forever.
+        """
+        conn = self._conns[slot]
+        worker = self._workers[slot]
+        if conn is None or worker is None:
+            raise _WorkerFailure(slot, "died", None)
+        deadline = time.monotonic() + self.reply_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _WorkerFailure(slot, "hung", worker.pid)
+            try:
+                if conn.poll(min(remaining, 0.2)):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise _WorkerFailure(slot, "died", worker.pid) from None
+            if not worker.is_alive():
+                # One last look: the reply may have been written before
+                # the worker exited.
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):  # pragma: no cover
+                    pass
+                raise _WorkerFailure(slot, "died", worker.pid) from None
 
     def _drain(self, shards) -> dict[int, tuple]:
         """One reply per shard, drained fully even when some are errors.
 
-        Every shard that was sent a message in this round answers
-        exactly once, so its reply must be consumed *before* any error
-        raises — otherwise the surviving workers' queued "done" replies
-        would pair with the next round's messages, desyncing the
-        protocol and silently corrupting every later batch. Raises
-        after the drain if any shard reported an error; the workers
-        (and the pool) stay serviceable.
+        The unsupervised receive path. Every shard that was sent a
+        message in this round answers exactly once, so its reply must
+        be consumed *before* any error raises — otherwise the surviving
+        workers' queued "done" replies would pair with the next round's
+        messages, desyncing the protocol and silently corrupting every
+        later batch. Raises after the drain if any shard reported an
+        error; the workers (and the pool) stay serviceable. A shard
+        that died or hung instead of answering tears the pool down via
+        :meth:`_fail` — reply waits are bounded by ``reply_timeout_s``,
+        so a hung worker can no longer block this forever.
         """
         replies: dict[int, tuple] = {}
         errors = []
         for shard in shards:
-            reply = self._recv(shard)
+            try:
+                reply = self._recv_raw(shard)
+            except _WorkerFailure as failure:
+                self._fail(failure)
             if reply[0] == "error":
                 errors.append((shard, reply[1]))
             else:
@@ -372,12 +603,23 @@ class ShardWorkerPool:
                 f"shard {shard} failed: {msg}" for shard, msg in errors))
         return replies
 
-    def _fail(self, shard: int) -> None:
-        """A worker died: tear the whole pool down, then raise."""
+    def _fail(self, failure: _WorkerFailure) -> None:
+        """Unsupervised verdict: tear the whole pool down, then raise."""
+        self.close(drain=False)
+        if failure.kind == "hung":
+            detail = (f"sent no reply within {self.reply_timeout_s:g}s "
+                      f"(hung)")
+        else:
+            detail = "died"
+        raise SimulationError(
+            f"pool shard worker {failure.slot} (pid {failure.pid}) "
+            f"{detail}; pool shut down and its segments were swept")
+
+    def _unrecoverable(self, why: str) -> None:
+        """Supervision gave up: tear down and raise."""
         self.close(drain=False)
         raise SimulationError(
-            f"pool shard worker {shard} died; pool shut down and its "
-            f"segments were swept")
+            f"pool {why}; pool shut down and its segments were swept")
 
     def _broadcast_program(self, network: Network, weights) -> None:
         """Ship the program once per (network, weights) identity.
@@ -385,18 +627,55 @@ class ShardWorkerPool:
         Strong references to the broadcast pair are kept, so the
         ``id()``-keyed cache can never alias a collected object (the
         same guard the analytic backend's simulator cache uses).
+        Supervised pools repair workers that fail mid-broadcast (a
+        respawn re-ships the program itself); a worker-*reported*
+        program error unsets the cache so the next stage() converges
+        every worker again.
         """
         key = (id(network), id(weights))
         if self._program is not None and self._program[0] == key:
             return
+        self._program = None
         message = ("program", network, weights, self.config, self.packed,
                    self.batched, self.verify, self.seed)
-        for shard in range(self.shards):
-            self._send(shard, message)
-        # A partial failure leaves _program unset, so the next stage()
-        # re-broadcasts to every worker and they converge again.
-        self._drain(range(self.shards))
+        if not self.supervise:
+            for slot in range(self.shards):
+                try:
+                    self._send_raw(slot, message)
+                except _WorkerFailure as failure:
+                    self._fail(failure)
+            # A partial failure leaves _program unset, so the next
+            # stage() re-broadcasts and the workers converge again.
+            self._drain(range(self.shards))
+            self._program = (key, network, weights)
+            return
+        sent = []
+        failures = []
+        errors = []
+        for slot in self.live_shards():
+            try:
+                self._send_raw(slot, message)
+                sent.append(slot)
+            except _WorkerFailure as failure:
+                failures.append(failure)
+        for slot in sent:
+            try:
+                reply = self._recv_raw(slot)
+            except _WorkerFailure as failure:
+                failures.append(failure)
+                continue
+            if reply[0] == "error":
+                errors.append((slot, reply[1]))
+        # Set before repairing: _respawn re-ships the cached program.
         self._program = (key, network, weights)
+        for failure in failures:
+            self._repair(failure)
+        if not self.live_shards():
+            self._unrecoverable("lost every shard worker")
+        if errors:
+            self._program = None
+            raise SimulationError("pool " + "; ".join(
+                f"shard {slot} failed: {msg}" for slot, msg in errors))
 
     def _ensure_arena(self, current: SharedSegment | None,
                       nbytes: int) -> SharedSegment:
@@ -447,6 +726,100 @@ class ShardWorkerPool:
                               want_outputs=(batch > 0 and k == last_shard))
                 for k in range(self.shards)]
 
+    def _run_works(self, busy: list[PoolShardWork]) -> dict[int, tuple]:
+        """Execute the busy lanes; one ``done`` reply per lane.
+
+        Unsupervised: the original send-all / drain-all flow, now with
+        bounded reply waits. Supervised: lanes route to live slots
+        (a dead slot's lane goes to ``live[shard % len(live)]``), sends
+        pair with FIFO receives per slot, and any slot that dies or
+        hangs is repaired while its orphaned lanes re-dispatch on the
+        next round — bounded by ``max_retries`` rounds with exponential
+        backoff. Worker-*reported* errors never trigger recovery: the
+        round is drained level, then the error raises with the pool
+        still serviceable.
+        """
+        if not busy:
+            return {}
+        if not self.supervise:
+            for work in busy:
+                self._sent[work.shard] += 1
+                try:
+                    self._send_raw(work.shard,
+                                   ("run", work, self._sent[work.shard]))
+                except _WorkerFailure as failure:
+                    self._fail(failure)
+            return self._drain([work.shard for work in busy])
+        replies: dict[int, tuple] = {}
+        pending = list(busy)
+        attempt = 0
+        while pending:
+            live = self.live_shards()
+            if not live:
+                self._unrecoverable("lost every shard worker")
+            live_set = set(live)
+            routed: dict[int, list[PoolShardWork]] = {}
+            for work in pending:
+                target = (work.shard if work.shard in live_set
+                          else live[work.shard % len(live)])
+                routed.setdefault(target, []).append(work)
+            failed: dict[int, _WorkerFailure] = {}
+            for target, queue in routed.items():
+                for work in queue:
+                    self._sent[target] += 1
+                    try:
+                        self._send_raw(target,
+                                       ("run", work, self._sent[target]))
+                    except _WorkerFailure as failure:
+                        failed[target] = failure
+                        break
+            errors = []
+            answered: set[int] = set()
+            for target, queue in routed.items():
+                if target in failed:
+                    continue
+                for work in queue:
+                    try:
+                        reply = self._recv_raw(target)
+                    except _WorkerFailure as failure:
+                        failed[target] = failure
+                        break
+                    answered.add(id(work))
+                    if reply[0] == "error":
+                        errors.append((work.shard, reply[1]))
+                    else:
+                        replies[work.shard] = reply
+            pending = []
+            if failed:
+                lost = [work
+                        for target in failed
+                        for work in routed[target]
+                        if id(work) not in answered]
+                for target, failure in failed.items():
+                    orphaned = sum(work.count for work in routed[target]
+                                   if id(work) not in answered)
+                    self._events.append(RecoveryEvent(
+                        shard=target, kind="redispatched",
+                        detail=f"{orphaned} image(s) re-dispatched "
+                               f"after worker {target} (pid "
+                               f"{failure.pid}) {failure.kind}"))
+                    self._repair(failure)
+                if lost and not errors:
+                    attempt += 1
+                    if attempt > self.max_retries:
+                        self._unrecoverable(
+                            f"worker recovery exhausted after "
+                            f"{self.max_retries} re-dispatch round(s)")
+                    time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+                    pending = lost
+            if errors:
+                # Pipes are level (every sent message was answered or
+                # its slot reaped), so the pool survives this raise.
+                raise SimulationError("pool " + "; ".join(
+                    f"shard {shard} failed: {msg}"
+                    for shard, msg in errors))
+        return replies
+
     def dispatch(self, works: list[PoolShardWork]) -> list:
         """Run staged works on the warm workers; outcomes in shard order.
 
@@ -457,16 +830,10 @@ class ShardWorkerPool:
         from repro.engine.sharding import ShardOutcome
 
         self._check_alive()
-        for work in works:
-            if work.count:
-                self._send(work.shard, ("run", work))
-        # Drain every dispatched shard before touching the output arena:
-        # errors raise only after the pipes are level again, and slots
-        # are read only once their writer has answered "done". All
-        # replies are in hand, so no _recv (and thus no crash teardown)
-        # can fire while an arena view below is live.
-        replies = self._drain(
-            [work.shard for work in works if work.count])
+        # All replies are collected before the output arena is read, so
+        # no receive (and thus no failure teardown) can fire while an
+        # arena view below is live.
+        replies = self._run_works([work for work in works if work.count])
         outcomes = []
         for work in works:
             if not work.count:
@@ -494,12 +861,27 @@ class ShardWorkerPool:
         """Stage + dispatch one batch."""
         return self.dispatch(self.stage(network, images, weights))
 
-    # -- lifecycle ---------------------------------------------------------
-    def worker_pids(self) -> tuple[int, ...]:
-        """The live workers' PIDs — how tests pin "no re-fork"."""
-        self._check_alive()
-        return tuple(worker.pid for worker in self._workers)
+    # -- observability -----------------------------------------------------
+    def live_shards(self) -> tuple[int, ...]:
+        """Slots currently holding a live worker."""
+        return tuple(slot for slot in range(self.shards)
+                     if self._conns[slot] is not None
+                     and self._workers[slot] is not None)
 
+    def worker_pids(self) -> tuple[int, ...]:
+        """The live workers' PIDs — how tests pin "no re-fork" (and,
+        under chaos, observe a respawn's fresh incarnation)."""
+        self._check_alive()
+        return tuple(self._workers[slot].pid
+                     for slot in self.live_shards())
+
+    def pop_recovery_events(self) -> tuple[RecoveryEvent, ...]:
+        """Drain the recovery log (respawns, re-dispatches, degrades)."""
+        events = tuple(self._events)
+        self._events.clear()
+        return events
+
+    # -- lifecycle ---------------------------------------------------------
     def close(self, drain: bool = True) -> None:
         """Shut the pool down; idempotent.
 
@@ -513,6 +895,8 @@ class ShardWorkerPool:
             return
         self._closed = True
         for conn, worker in zip(self._conns, self._workers):
+            if conn is None or worker is None:
+                continue
             if drain:
                 try:
                     conn.send(("close",))

@@ -170,6 +170,14 @@ class ShardedBackend:
     manager for scoped use. The other drivers hold nothing, so
     ``close`` is a no-op for them.
 
+    The pool driver is also supervised by default: ``reply_timeout_s``,
+    ``max_retries`` and ``supervise`` pass straight through to
+    :class:`~repro.engine.pool.ShardWorkerPool`, whose self-healing
+    (respawn + re-dispatch, degradation) this backend surfaces via
+    :meth:`recovery_events` and ``ShardReport.recoveries``.
+    ``fault_plan`` arms the chaos hooks in the pool workers; it is
+    rejected on the other drivers, which have no injection points.
+
     ``run`` returns the same :class:`~repro.engine.backend.BackendResult`
     surface as the unsharded fleet backends, plus a ``shard_reports``
     breakdown so ``summary()`` shows per-socket cycle totals — the
@@ -181,7 +189,9 @@ class ShardedBackend:
     def __init__(self, config: NeuralCacheConfig | None = None,
                  shards: int | None = None, packed: bool = True,
                  weights=None, seed: int = 0, verify: bool = True,
-                 batched: bool = True, driver: str = "serial"):
+                 batched: bool = True, driver: str = "serial",
+                 reply_timeout_s: float = 60.0, max_retries: int = 2,
+                 supervise: bool = True, fault_plan=None):
         self.config = config if config is not None else NeuralCacheConfig()
         if shards is None:
             shards = self.config.sockets
@@ -192,6 +202,11 @@ class ShardedBackend:
             raise SimulationError(
                 f"unknown shard driver {driver!r}; available: "
                 f"{', '.join(SHARD_DRIVERS)}")
+        if fault_plan is not None and driver != "pool":
+            raise SimulationError(
+                "fault_plan software faults hook the pool driver's "
+                f"workers; driver {driver!r} has no injection points "
+                "(use hardware_faults() for array-level faults)")
         self.shards = shards
         self.packed = packed
         self.weights = weights
@@ -215,6 +230,9 @@ class ShardedBackend:
         #: pool broadcast a program once and reuse it every batch.
         self._weights_cache: dict[int, tuple[Network, object]] = {}
         self._pool = None
+        #: Recovery events the pool driver reported, in order. The
+        #: latest batch's slice also lands on its ShardReports.
+        self._recoveries: list = []
         if driver == "pool":
             # Eager fork, before any caller can have started threads
             # (the serving executor does): the pool lives as long as
@@ -222,7 +240,11 @@ class ShardedBackend:
             from repro.engine.pool import ShardWorkerPool
             self._pool = ShardWorkerPool(shards, self.config,
                                          packed=packed, batched=batched,
-                                         verify=verify, seed=seed)
+                                         verify=verify, seed=seed,
+                                         reply_timeout_s=reply_timeout_s,
+                                         max_retries=max_retries,
+                                         supervise=supervise,
+                                         fault_plan=fault_plan)
 
     WEIGHTS_CACHE_SIZE = 4
 
@@ -282,17 +304,22 @@ class ShardedBackend:
                 for work in works]
 
     def _run_shards(self, network: Network, images, weights
-                    ) -> tuple[list[ShardOutcome], CycleReport, int, dict | None]:
+                    ) -> tuple[list[ShardOutcome], CycleReport, int,
+                               dict | None, tuple]:
         """Execute the stream; merge outcomes in shard order.
 
         The one aggregation loop both surfaces share: merged cycle
-        report, summed verification count, and the globally-last image's
+        report, summed verification count, the globally-last image's
         outputs — which round-robin places at the tail of shard
         ``(len(images) - 1) % shards``, so they match the unsharded
-        run's.
+        run's — and the recovery events the pool driver took while
+        executing this batch (empty elsewhere).
         """
+        events: tuple = ()
         if self._pool is not None:
             outcomes = self._pool.run(network, images, weights)
+            events = self._pool.pop_recovery_events()
+            self._recoveries.extend(events)
         else:
             outcomes = self._execute(self.shard_works(network, images,
                                                       weights))
@@ -305,7 +332,7 @@ class ShardedBackend:
             verified += result.outcome.verified
             if result.images and result.shard == last_shard:
                 outputs = result.outcome.outputs
-        return outcomes, total, verified, outputs
+        return outcomes, total, verified, outputs, events
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
@@ -328,6 +355,17 @@ class ShardedBackend:
             return ()
         return self._pool.worker_pids()
 
+    def recovery_events(self) -> tuple:
+        """Every self-healing action the pool driver has taken so far.
+
+        :class:`~repro.engine.pool.RecoveryEvent` records, in order,
+        across all batches of this backend's lifetime — the chaos tests'
+        proof that a kill was actually survived (the per-batch slice
+        also lands on :meth:`run`'s ``ShardReport.recoveries``). Empty
+        on healthy runs and on every non-pool driver.
+        """
+        return tuple(self._recoveries)
+
     def __enter__(self) -> "ShardedBackend":
         return self
 
@@ -346,11 +384,13 @@ class ShardedBackend:
         weights = self._weights_for(network)
         images = deterministic_images(network, weights, self.seed,
                                       batch_size)
-        outcomes, total, verified, outputs = self._run_shards(
+        outcomes, total, verified, outputs, events = self._run_shards(
             network, images, weights)
         shard_reports = tuple(
             ShardReport(shard=result.shard, images=result.images,
-                        report=result.outcome.report)
+                        report=result.outcome.report,
+                        recoveries=tuple(str(event) for event in events
+                                         if event.shard == result.shard))
             for result in outcomes)
         return BackendResult(
             backend=self.name, network=network.name, batch_size=batch_size,
@@ -372,7 +412,7 @@ class ShardedBackend:
             return BatchOutcome(report=CycleReport(), responses=(),
                                 outputs=None, verified=0)
         weights = self._weights_for(network)
-        outcomes, total, verified, outputs = self._run_shards(
+        outcomes, total, verified, outputs, _ = self._run_shards(
             network, images, weights)
         responses: list = [None] * len(images)
         for result in outcomes:

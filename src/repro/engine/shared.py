@@ -362,6 +362,12 @@ def unlink_scope(scope: str) -> int:
     The crash path: a terminated worker cannot release its own plane
     segments, but every segment it created carries its scope prefix, so
     the parent sweeps them here. Returns how many names were released.
+
+    Each swept name is also dropped from the resource tracker: the dead
+    worker registered its created segments there but never lived to
+    unregister them, and a supervised pool respawning workers would
+    otherwise accumulate stale registrations (and shutdown warnings)
+    across incarnations.
     """
     if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux hosts
         return 0
@@ -372,6 +378,11 @@ def unlink_scope(scope: str) -> int:
                 os.unlink(os.path.join(SHM_DIR, entry))
                 swept += 1
             except OSError:  # pragma: no cover - raced another closer
+                pass
+            try:  # pragma: no cover - private API may move
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(f"/{entry}", "shared_memory")
+            except Exception:
                 pass
     return swept
 

@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the serving stack and the arrays.
+
+Two fault families behind one seeded :class:`~repro.faults.plan.FaultPlan`:
+
+* **software** — pool workers kill themselves mid-batch, delay their
+  reply or drop it entirely, on a schedule driven by the parent's
+  per-worker message counters (:class:`~repro.faults.plan.PoolFault`).
+  The supervised :class:`~repro.engine.pool.ShardWorkerPool` is
+  expected to survive all of them;
+* **hardware** — stuck-at bit-cells, dead wordlines and flaky sense
+  amps (:class:`~repro.faults.hardware.HardwareFaultModel`), injected
+  by wrapping plane stores in a
+  :class:`~repro.faults.hardware.FaultyPlaneStore` behind the same
+  seam the shadow sanitizer composes on.
+
+:func:`~repro.faults.sweep.run_fault_sweep` (the ``repro fault-sweep``
+CLI) measures what the hardware faults cost in top-1 agreement.
+
+The sweep half imports the executor stack, so it loads lazily — the
+plan/context half must stay cheap enough for ``make_fleet`` to consult
+on every fleet construction.
+"""
+
+from repro.faults.context import (
+    active_hardware_faults,
+    hardware_faults,
+    set_hardware_faults,
+    wrap_fleet,
+)
+from repro.faults.hardware import FaultyPlaneStore, HardwareFaultModel
+from repro.faults.plan import FaultPlan, PoolFault
+
+_SWEEP_NAMES = (
+    "DEFAULT_RATES",
+    "render_fault_sweep",
+    "run_fault_sweep",
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyPlaneStore",
+    "HardwareFaultModel",
+    "PoolFault",
+    "active_hardware_faults",
+    "hardware_faults",
+    "set_hardware_faults",
+    "wrap_fleet",
+    *_SWEEP_NAMES,
+]
+
+
+def __getattr__(name: str):
+    if name in _SWEEP_NAMES:
+        from repro.faults import sweep
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,92 @@
+"""Process-global fault context: how a model reaches every fleet.
+
+An executor builds its fleets deep inside the layer engines — callers
+never see the :func:`~repro.engine.packed.make_fleet` calls, so an
+explicit ``faults=`` argument cannot reach them. This module is the
+ambient channel instead: :func:`hardware_faults` (or
+:func:`set_hardware_faults`) installs an active
+:class:`~repro.faults.hardware.HardwareFaultModel`, and ``make_fleet``
+asks :func:`wrap_fleet` to wrap each new store while one is active.
+
+Each wrapped fleet gets a ``fault_index`` counted per geometry in
+creation order. Executor fleet creation is deterministic for a fixed
+(network, config), so index ``k`` names the same logical fleet on every
+run — which is what keeps the seeded defect field reproducible, and the
+per-geometry counter keeps an index meaning "the k-th fleet of *this
+shape*" even when layers of different shapes interleave. Installing a
+model (or clearing it) resets the counters, so every run under
+:func:`hardware_faults` starts the count at zero.
+
+This module stays import-light on purpose: ``make_fleet`` imports it on
+every call, and the heavy half of the package
+(:mod:`repro.faults.hardware`) is only pulled in once a model is
+actually active.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.hardware import HardwareFaultModel
+
+__all__ = ["active_hardware_faults", "hardware_faults",
+           "set_hardware_faults", "wrap_fleet"]
+
+_model = None
+#: (n_arrays, rows, cols) -> fleets of that geometry wrapped so far.
+_counts: dict[tuple, int] = {}
+
+
+def set_hardware_faults(model) -> "HardwareFaultModel | None":
+    """Install ``model`` as the ambient fault model; returns the old one.
+
+    ``None`` clears. Fleet-creation counters restart either way.
+    """
+    global _model
+    previous = _model
+    _model = model
+    _counts.clear()
+    return previous
+
+
+def active_hardware_faults() -> "HardwareFaultModel | None":
+    """The currently installed ambient model, if any."""
+    return _model
+
+
+@contextmanager
+def hardware_faults(model):
+    """Scope an ambient fault model::
+
+        with hardware_faults(HardwareFaultModel(stuck_rate=1e-3)):
+            outcome = FleetExecutor(verify=False).run_requests(net, imgs)
+    """
+    previous = set_hardware_faults(model)
+    try:
+        yield model
+    finally:
+        set_hardware_faults(previous)
+
+
+def wrap_fleet(store, model=None):
+    """Wrap a fresh plane store if a fault model is given or active.
+
+    ``make_fleet`` calls this on every store it builds. An explicit
+    ``model`` always wraps (with ``fault_index=0``); otherwise the
+    ambient model wraps with the next per-geometry index, and no active
+    model means the store passes through untouched.
+    """
+    explicit = model is not None
+    if not explicit:
+        model = _model
+    if model is None:
+        return store
+    index = 0
+    if not explicit:
+        key = (store.n_arrays, store.rows, store.cols)
+        index = _counts.get(key, 0)
+        _counts[key] = index + 1
+    from repro.faults.hardware import FaultyPlaneStore
+    return FaultyPlaneStore(store, model, fault_index=index)

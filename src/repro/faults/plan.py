@@ -1,0 +1,112 @@
+"""Seeded fault plans: what breaks, where, and on which message.
+
+A :class:`FaultPlan` is the single deterministic description of a chaos
+run. It carries two independent halves:
+
+* **software faults** (:class:`PoolFault`) — injected by the pool
+  worker itself when it receives its ``seq``-th ``run`` message: die
+  mid-batch (``kill``), answer late (``delay``), or finish the work but
+  never answer (``drop``, which the parent can only observe as a hang).
+  The parent's per-worker send counters drive ``seq``, so the schedule
+  is a pure function of the dispatch history — re-running the same
+  batch stream replays the same faults;
+* **hardware faults** (:class:`~repro.faults.hardware.HardwareFaultModel`)
+  — stuck-at bit-cells, dead wordlines and flaky sense amps, applied by
+  wrapping every fleet's plane store in a
+  :class:`~repro.faults.hardware.FaultyPlaneStore`.
+
+Plans are frozen dataclasses of primitives, so they pickle across the
+fork boundary into pool workers unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.hardware import HardwareFaultModel
+
+__all__ = ["FaultPlan", "PoolFault"]
+
+#: Software fault kinds a pool worker can inject on a run message.
+POOL_FAULT_KINDS: tuple[str, ...] = ("kill", "delay", "drop")
+
+
+@dataclass(frozen=True)
+class PoolFault:
+    """One recurring software fault on the pool's run-message stream.
+
+    The fault fires on every ``run`` message whose per-worker sequence
+    number is a multiple of ``every`` (the first message is ``seq=1``,
+    so ``every=3`` fires on the 3rd, 6th, ... message a worker slot
+    receives). ``kill`` and ``drop`` destroy the worker's reply, so they
+    require ``every >= 2`` — the supervised re-dispatch arrives with a
+    fresh sequence number and must be able to land between two firings,
+    otherwise the plan would kill its own recovery forever.
+    """
+
+    #: ``kill`` (``os._exit`` mid-batch), ``delay`` or ``drop``.
+    kind: str
+    #: Worker slot the fault targets; ``None`` targets every slot.
+    shard: int | None = None
+    #: Fire on every ``every``-th run message of the targeted slot.
+    every: int = 2
+    #: Reply delay in seconds (``delay`` faults only).
+    delay_s: float = 0.05
+
+    def __post_init__(self):
+        if self.kind not in POOL_FAULT_KINDS:
+            raise SimulationError(
+                f"unknown pool fault kind {self.kind!r}; available: "
+                f"{', '.join(POOL_FAULT_KINDS)}")
+        if self.every < 1:
+            raise SimulationError(
+                f"pool fault cadence must be >= 1, got {self.every}")
+        if self.kind in ("kill", "drop") and self.every < 2:
+            raise SimulationError(
+                f"a {self.kind!r} fault with every={self.every} would "
+                f"also destroy every re-dispatched retry; use every >= 2")
+        if self.delay_s < 0:
+            raise SimulationError(
+                f"fault delay must be non-negative, got {self.delay_s}")
+        if self.shard is not None and self.shard < 0:
+            raise SimulationError(
+                f"fault shard must be non-negative, got {self.shard}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic chaos schedule: software + hardware faults."""
+
+    #: Seed namespace for anything stochastic downstream (the hardware
+    #: model carries its own seed; this one names the plan).
+    seed: int = 0
+    #: Software faults on the pool's message stream.
+    pool: tuple[PoolFault, ...] = ()
+    #: Bit-cell/sense-amp fault model applied inside every worker's
+    #: fleets (``None`` = electrically perfect arrays).
+    hardware: "HardwareFaultModel | None" = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "pool", tuple(self.pool))
+        for fault in self.pool:
+            if not isinstance(fault, PoolFault):
+                raise SimulationError(
+                    f"pool faults must be PoolFault instances, got "
+                    f"{type(fault).__name__}")
+
+    def pool_action(self, shard: int, seq: int) -> PoolFault | None:
+        """The fault (if any) a worker applies to run message ``seq``.
+
+        First matching fault wins, so a plan can layer a targeted fault
+        over a broadcast one.
+        """
+        for fault in self.pool:
+            if fault.shard is not None and fault.shard != shard:
+                continue
+            if seq % fault.every == 0:
+                return fault
+        return None

@@ -1,0 +1,148 @@
+"""The fault-sweep experiment: top-1 degradation vs stuck-at rate.
+
+The question the sweep answers is a *population* one: if every chip in
+a deployment has a given stuck-at defect rate, what fraction of
+requests still get the clean top-1 answer? So each image runs on its
+own seeded chip instance — image ``i`` on the chip whose defect field
+is seeded by ``fault_seed + i`` — and the curve is the fraction of
+(image, chip) pairs whose argmax agrees with the fault-free run.
+Quantized outputs share one scale, so argmax over the raw codes is
+argmax over the dequantized values.
+
+Two properties make the curve reproducible and monotone from one seed:
+
+* each chip's defect field is sampled rate-independently (one uniform
+  draw per cell; faulty iff it falls below the rate), so the fault set
+  at a lower rate is a strict subset of the set at any higher rate —
+  raising the rate only ever adds defects to every chip;
+* a faulty run that *crashes* the engine (a stuck bit in a high
+  accumulator plane can push sums past the 16-bit correction-multiply
+  guard) scores zero for its image: the chip produced garbage the
+  pipeline cannot even quantize, which is the worst possible
+  degradation, not an error of the sweep.
+
+Per-image execution is bit-exact with the batched path (a pinned repo
+invariant), so the fault-free baseline comes from one batched pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ArrayStateError, SimulationError
+from repro.config import NeuralCacheConfig
+from repro.engine.backend import (
+    FleetExecutor,
+    deterministic_images,
+    tiny_verification_network,
+)
+from repro.faults.context import hardware_faults
+from repro.faults.hardware import HardwareFaultModel
+from repro.nn.graph import Network
+
+__all__ = ["DEFAULT_RATES", "render_fault_sweep", "run_fault_sweep"]
+
+#: Stuck-at rates the CLI sweeps by default: clean arrays up to the
+#: rate where nearly every chip's accumulators are corrupted.
+DEFAULT_RATES: tuple[float, ...] = (0.0, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4)
+
+
+def _top1(response) -> int:
+    """The argmax class of one quantized response tensor."""
+    return int(np.argmax(response.data.reshape(-1)))
+
+
+def run_fault_sweep(
+    rates=DEFAULT_RATES,
+    n_images: int = 16,
+    seed: int = 0,
+    fault_seed: int = 0,
+    flaky_columns: tuple = (),
+    flaky_rate: float = 0.5,
+    network: Network | None = None,
+    config: NeuralCacheConfig | None = None,
+) -> dict:
+    """Sweep stuck-at rates; return the accuracy curve as a dict.
+
+    ``seed`` fixes the image stream and the weights, ``fault_seed``
+    names the chip population (chip ``i`` is seeded ``fault_seed + i``)
+    — the same pair reproduces the same curve bit for bit.
+    ``flaky_columns``/``flaky_rate`` optionally add the same transient
+    sense-amp faults to every chip at every rate point. Verification
+    against the golden executor is off in the faulty runs (divergence
+    is the *measurement*, not an error).
+    """
+    rates = tuple(float(rate) for rate in rates)
+    if not rates:
+        raise SimulationError("fault sweep needs at least one rate")
+    if any(not 0.0 <= rate <= 1.0 for rate in rates):
+        raise SimulationError(
+            f"stuck-at rates must be probabilities in [0, 1], got {rates}")
+    if n_images <= 0:
+        raise SimulationError(
+            f"fault sweep needs a positive image count, got {n_images}")
+    if network is None:
+        network = tiny_verification_network()
+    template = FleetExecutor(config, packed=True, verify=False, seed=seed)
+    weights = template.weights_for(network)
+    images = deterministic_images(network, weights, seed, n_images)
+    baseline = template.run_requests(network, images, weights).responses
+    reference = [_top1(response) for response in baseline]
+
+    top1 = []
+    exact = []
+    crashed = []
+    for rate in rates:
+        agree = matched = died = 0
+        for i, image in enumerate(images):
+            model = HardwareFaultModel(
+                seed=fault_seed + i, stuck_rate=rate,
+                flaky_columns=flaky_columns, flaky_rate=flaky_rate)
+            try:
+                with hardware_faults(model):
+                    executor = FleetExecutor(config, packed=True,
+                                             verify=False, seed=seed)
+                    response = executor.run_requests(
+                        network, [image], weights).responses[0]
+            except (SimulationError, ArrayStateError):
+                died += 1
+                continue
+            agree += _top1(response) == reference[i]
+            matched += np.array_equal(response.data, baseline[i].data)
+        top1.append(agree / n_images)
+        exact.append(matched / n_images)
+        crashed.append(died)
+    monotone = all(later <= earlier + 1e-12 for earlier, later
+                   in zip(top1, top1[1:]))
+    clean = rates[0] != 0.0 or (top1[0] == 1.0 and exact[0] == 1.0)
+    return {
+        "network": network.name,
+        "n_images": n_images,
+        "seed": seed,
+        "fault_seed": fault_seed,
+        "rates": rates,
+        "top1": tuple(top1),
+        "exact": tuple(exact),
+        "crashed": tuple(crashed),
+        "monotone": monotone,
+        "clean_baseline": clean,
+        "ok": monotone and clean,
+    }
+
+
+def render_fault_sweep(stats: dict) -> str:
+    """The small table the CLI prints for one sweep."""
+    lines = [
+        f"Fault sweep: {stats['n_images']} image(s) of "
+        f"{stats['network']} (seed {stats['seed']}, fault seed "
+        f"{stats['fault_seed']})",
+        "  stuck-at rate    top-1 vs clean    bit-exact    crashed chips",
+    ]
+    for rate, top1, exact, crashed in zip(stats["rates"], stats["top1"],
+                                          stats["exact"],
+                                          stats["crashed"]):
+        lines.append(f"  {rate:>12.2e}    {top1:>14.3f}    {exact:>9.3f}"
+                     f"    {crashed:>13d}")
+    lines.append(
+        f"  curve monotone non-increasing: {stats['monotone']}")
+    return "\n".join(lines)

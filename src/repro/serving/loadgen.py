@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.common.errors import SimulationError
 from repro.config import NeuralCacheConfig
 from repro.engine.backend import (
     FleetExecutor,
@@ -85,18 +86,28 @@ def run_load(
     max_batch: int = 8,
     max_wait_ms: float = 2.0,
     arrival_gap_ms: float = 0.0,
+    max_retries: int = 0,
+    request_timeout_s: float | None = None,
 ) -> LoadResult:
     """Serve ``images`` through a fresh :class:`Server`; check exactness.
 
     ``expected`` is the per-image response stream of the direct
     ``run_requests`` path (computed here via ``backends[0]`` when not
-    supplied). Synchronous wrapper — runs its own event loop.
+    supplied). ``max_retries``/``request_timeout_s`` pass through to the
+    server — the chaos tests serve a stream while a fault plan kills
+    pool workers and still demand ``ok``. Synchronous wrapper — runs
+    its own event loop.
     """
     images = list(images)
     if expected is None:
         expected = backends[0].run_requests(network, images).responses
     server = Server(
-        backends, network, max_batch=max_batch, max_wait_ms=max_wait_ms
+        backends,
+        network,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        max_retries=max_retries,
+        request_timeout_s=request_timeout_s,
     )
     responses = asyncio.run(_drive(server, images, arrival_gap_ms))
     report = server.report()
@@ -125,6 +136,9 @@ def run_serving_benchmark(
     seed: int = 0,
     network: Network | None = None,
     config: NeuralCacheConfig | None = None,
+    fault_plan=None,
+    max_retries: int = 0,
+    reply_timeout_s: float = 60.0,
 ) -> dict:
     """One serving run with everything the smoke gate needs, as a dict.
 
@@ -137,6 +151,14 @@ def run_serving_benchmark(
     checked against the reference path. Verification against the golden
     executor is off in both paths — serving-rate correctness is the
     bit-exactness check itself.
+
+    ``fault_plan`` (pool driver only) arms the chaos hooks in every
+    serving node's workers — the expected responses still come from the
+    clean serial reference, so the smoke gate demands bit-exact serving
+    *through* the injected faults. ``max_retries`` adds server-level
+    batch retries on top of the pool's own self-healing, and
+    ``reply_timeout_s`` bounds every pool reply wait. The recovery
+    events the nodes took are counted in the stats.
     """
     if network is None:
         network = tiny_verification_network()
@@ -147,8 +169,21 @@ def run_serving_benchmark(
         config, shards=sockets, verify=False, driver="serial"
     )
     expected = reference.run_requests(network, images).responses
+    pool_options = {}
+    if driver == "pool":
+        pool_options = {
+            "fault_plan": fault_plan,
+            "reply_timeout_s": reply_timeout_s,
+        }
+    elif fault_plan is not None:
+        raise SimulationError(
+            "fault_plan software faults need the pool driver's workers; "
+            f"driver {driver!r} has no injection points"
+        )
     pool = [
-        ShardedBackend(config, shards=sockets, verify=False, driver=driver)
+        ShardedBackend(
+            config, shards=sockets, verify=False, driver=driver, **pool_options
+        )
         for _ in range(pool_size)
     ]
     try:
@@ -160,6 +195,10 @@ def run_serving_benchmark(
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
             arrival_gap_ms=arrival_gap_ms,
+            max_retries=max_retries,
+        )
+        recoveries = sum(
+            len(backend.recovery_events()) for backend in pool
         )
     finally:
         for backend in pool:
@@ -183,13 +222,16 @@ def run_serving_benchmark(
         "p99_ms": report.p99_ms,
         "throughput_rps": report.throughput_rps,
         "wall_s": report.wall_s,
+        "retries": report.retries,
+        "expired": report.expired,
+        "recoveries": recoveries,
         "ok": result.ok,
     }
 
 
 def render_serving_report(stats: dict) -> str:
     """The one-line account the bench and the CLI print."""
-    return (
+    text = (
         f"Serving benchmark: {stats['n_requests']} requests over "
         f"{stats['pool_size']} node(s) x {stats['sockets']} socket "
         f"shard(s) ({stats['driver']} driver, max_batch "
@@ -200,3 +242,9 @@ def render_serving_report(stats: dict) -> str:
         f"{stats['p99_ms']:.1f} ms, lost={stats['lost']} "
         f"duplicates={stats['duplicates']} bit-exact={stats['bit_exact']}"
     )
+    if stats.get("recoveries") or stats.get("retries"):
+        text += (
+            f" (survived {stats['recoveries']} worker recovery/ies, "
+            f"{stats['retries']} batch retry/ies)"
+        )
+    return text

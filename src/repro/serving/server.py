@@ -72,16 +72,26 @@ class ServingReport:
     throughput_rps: float
     #: Wall-clock seconds from first submit to last response.
     wall_s: float
+    #: Batch dispatches retried after a backend failure (appended with
+    #: a default so pinned call sites predating the field keep working).
+    retries: int = 0
+    #: Requests that hit their per-request deadline before a response.
+    expired: int = 0
 
     def summary(self) -> str:
         """A short human-readable account of the run."""
-        return (
+        text = (
             f"served {self.responded}/{self.requests} request(s) in "
             f"{self.batches} batch(es) (mean batch {self.mean_batch:.1f}) "
             f"-> {self.throughput_rps:.1f} req/s, latency p50 "
             f"{self.p50_ms:.1f} ms / p95 {self.p95_ms:.1f} ms / p99 "
             f"{self.p99_ms:.1f} ms"
         )
+        if self.retries or self.expired:
+            text += (
+                f" [{self.retries} batch retry/ies, {self.expired} expired]"
+            )
+        return text
 
 
 class _Request:
@@ -119,6 +129,16 @@ class Server:
     which hold one persistent worker pool across *all* ``submit``
     calls, instead of paying driver startup per coalesced batch —
     releases those workers and their shared segments exactly once.
+
+    Fault tolerance: ``max_retries`` re-dispatches a batch whose
+    backend raised, after a short exponential backoff, on the next idle
+    backend (the failed one goes to the back of the rotation) — with
+    self-healing pool-driver backends underneath, a worker crash taken
+    past the pool's own recovery budget still only costs a server-level
+    retry, not the stream's responses. ``request_timeout_s`` is the
+    per-request deadline: a ``submit`` whose response takes longer
+    fails with a structured :class:`~repro.common.errors.SimulationError`
+    (counted as ``expired``, never as a duplicate).
     """
 
     def __init__(
@@ -128,6 +148,9 @@ class Server:
         max_batch: int = 8,
         max_wait_ms: float = 2.0,
         close_backends: bool = False,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        request_timeout_s: float | None = None,
     ):
         if not backends:
             raise SimulationError("serving needs at least one backend")
@@ -145,10 +168,25 @@ class Server:
             raise SimulationError(
                 f"max_wait_ms must be non-negative, got {max_wait_ms}"
             )
+        if max_retries < 0:
+            raise SimulationError(
+                f"max_retries must be non-negative, got {max_retries}"
+            )
+        if retry_backoff_s < 0:
+            raise SimulationError(
+                f"retry_backoff_s must be non-negative, got {retry_backoff_s}"
+            )
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise SimulationError(
+                f"request_timeout_s must be positive, got {request_timeout_s}"
+            )
         self.network = network
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.close_backends = close_backends
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.request_timeout_s = request_timeout_s
         self._backends = tuple(backends)
         # Lifecycle state (created by start(), torn down by close()).
         self._queue: deque[_Request] = deque()
@@ -164,6 +202,8 @@ class Server:
         self._requests = 0
         self._responded = 0
         self._duplicates = 0
+        self._retries = 0
+        self._expired = 0
         self._first_submit: float | None = None
         self._last_response: float | None = None
 
@@ -189,20 +229,49 @@ class Server:
         dropping them. With ``close_backends`` the drained pool's
         backends are closed too (their own ``close`` is idempotent, so
         a caller that also closes them directly loses nothing).
+
+        The shutdown sequence is exception-safe: even if the batcher
+        task (or an in-flight batch await) raises, any request still
+        queued is failed with a structured error instead of hanging its
+        awaiter forever, and ``close_backends`` still releases the
+        backends — a crashed batcher must not leak worker pools.
         """
         if not self._started:
             return
         self._closing = True
         self._wake.set()
-        await self._batcher
-        if self._inflight:
-            await asyncio.gather(*tuple(self._inflight))
-        self._started = False
-        if self.close_backends:
-            for backend in self._backends:
-                closer = getattr(backend, "close", None)
-                if closer is not None:
-                    closer()
+        try:
+            try:
+                await self._batcher
+            finally:
+                if self._inflight:
+                    await asyncio.gather(
+                        *tuple(self._inflight), return_exceptions=True
+                    )
+                self._fail_pending()
+        finally:
+            self._started = False
+            if self.close_backends:
+                for backend in self._backends:
+                    closer = getattr(backend, "close", None)
+                    if closer is not None:
+                        closer()
+
+    def _fail_pending(self) -> None:
+        """Fail every still-queued request with a structured error.
+
+        On a clean close the batcher drains the queue first, so this is
+        a no-op; it only bites when the batcher died early — the
+        requests it stranded must reject loudly, not await forever.
+        """
+        while self._queue:
+            request = self._queue.popleft()
+            if not request.future.done():
+                request.future.set_exception(
+                    SimulationError(
+                        "server closed before the request was dispatched"
+                    )
+                )
 
     async def __aenter__(self) -> "Server":
         return await self.start()
@@ -216,6 +285,11 @@ class Server:
 
         Submissions coalesce: whatever is queued when a backend becomes
         available executes as one fleet pass (up to ``max_batch``).
+
+        With ``request_timeout_s`` set, a response that misses the
+        deadline raises :class:`~repro.common.errors.SimulationError`
+        naming the deadline; the request counts as ``expired`` and its
+        (cancelled) future can never surface as a duplicate.
         """
         if not self._started or self._closing:
             raise SimulationError("server is not accepting requests")
@@ -226,7 +300,16 @@ class Server:
         future = asyncio.get_running_loop().create_future()
         self._queue.append(_Request(image, future, now))
         self._wake.set()
-        return await future
+        if self.request_timeout_s is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, self.request_timeout_s)
+        except (TimeoutError, asyncio.TimeoutError):
+            self._expired += 1
+            raise SimulationError(
+                f"request missed its {self.request_timeout_s:g}s deadline "
+                f"(queued or executing too long)"
+            ) from None
 
     # -- batching ---------------------------------------------------------
     async def _run_batches(self) -> None:
@@ -266,24 +349,44 @@ class Server:
         return batch
 
     async def _execute(self, backend: ServingBackend, batch) -> None:
-        """Run one batch on a worker thread; resolve its futures."""
+        """Run one batch on a worker thread; resolve its futures.
+
+        A backend exception is retried up to ``max_retries`` times with
+        exponential backoff, each attempt on the next idle backend —
+        the failed one returns to the back of the rotation first, so a
+        multi-backend pool routes the retry around it. Re-running a
+        batch is safe: every backend is bit-exact on the same images,
+        and a request resolves its future exactly once.
+        """
         images = [request.image for request in batch]
         loop = asyncio.get_running_loop()
-        try:
-            outcome = await loop.run_in_executor(
-                None, backend.run_requests, self.network, images
-            )
-        except Exception as exc:
-            for request in batch:
-                if not request.future.done():
-                    request.future.set_exception(exc)
-            return
-        finally:
-            self._idle.put_nowait(backend)
+        attempt = 0
+        while True:
+            try:
+                outcome = await loop.run_in_executor(
+                    None, backend.run_requests, self.network, images
+                )
+                break
+            except Exception as exc:
+                self._idle.put_nowait(backend)
+                attempt += 1
+                if attempt > self.max_retries:
+                    for request in batch:
+                        if not request.future.done():
+                            request.future.set_exception(exc)
+                    return
+                self._retries += 1
+                await asyncio.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+                backend = await self._idle.get()
+        self._idle.put_nowait(backend)
         now = time.perf_counter()
         self._batch_sizes.append(len(batch))
         self._last_response = now
         for request, response in zip(batch, outcome.responses):
+            if request.future.cancelled():
+                # The requester's deadline expired while we computed;
+                # already counted there, and not a duplicate.
+                continue
             if request.future.done():
                 # A future resolved twice would be a duplicated
                 # response; count it so the smoke gate can fail.
@@ -317,4 +420,6 @@ class Server:
             p99_ms=float(p99),
             throughput_rps=self._responded / wall if wall > 0 else 0.0,
             wall_s=wall,
+            retries=self._retries,
+            expired=self._expired,
         )

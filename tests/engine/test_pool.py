@@ -204,7 +204,9 @@ class TestLifecycle:
             backend.worker_pids()
 
     def test_worker_crash_fails_loudly_and_sweeps(self, tiny_net):
-        backend = ShardedBackend(shards=2, driver="pool")
+        # supervise=False pins the original fail-fast contract; the
+        # supervised default recovers instead (test_pool_supervision.py).
+        backend = ShardedBackend(shards=2, driver="pool", supervise=False)
         backend.run(tiny_net, batch_size=4)     # warm, arenas staged
         scope = backend._pool.scope
         os.kill(backend.worker_pids()[1], signal.SIGKILL)

@@ -1,0 +1,67 @@
+"""FaultPlan / PoolFault: validation and the deterministic schedule."""
+
+import pickle
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.faults import FaultPlan, HardwareFaultModel, PoolFault
+
+
+class TestPoolFaultValidation:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(SimulationError, match="unknown pool fault"):
+            PoolFault(kind="explode")
+
+    @pytest.mark.parametrize("kind", ["kill", "drop"])
+    def test_reply_destroying_faults_need_room_for_the_retry(self, kind):
+        # every=1 would also destroy the re-dispatched retry, forever.
+        with pytest.raises(SimulationError, match="every >= 2"):
+            PoolFault(kind=kind, every=1)
+        PoolFault(kind=kind, every=2)       # the minimum that can heal
+
+    def test_delay_may_fire_on_every_message(self):
+        # A delayed reply still arrives; every=1 is survivable.
+        assert PoolFault(kind="delay", every=1).every == 1
+
+    def test_cadence_delay_and_shard_bounds(self):
+        with pytest.raises(SimulationError, match=">= 1"):
+            PoolFault(kind="delay", every=0)
+        with pytest.raises(SimulationError, match="non-negative"):
+            PoolFault(kind="delay", delay_s=-0.1)
+        with pytest.raises(SimulationError, match="non-negative"):
+            PoolFault(kind="delay", shard=-1)
+
+
+class TestFaultPlan:
+    def test_pool_entries_must_be_pool_faults(self):
+        with pytest.raises(SimulationError, match="PoolFault"):
+            FaultPlan(pool=("kill",))
+
+    def test_schedule_is_a_pure_function_of_shard_and_seq(self):
+        plan = FaultPlan(pool=(PoolFault(kind="kill", shard=1, every=3),))
+        fired = [(shard, seq)
+                 for shard in (0, 1) for seq in range(1, 8)
+                 if plan.pool_action(shard, seq) is not None]
+        # Only shard 1, on its 3rd and 6th run message (seq starts at 1).
+        assert fired == [(1, 3), (1, 6)]
+
+    def test_broadcast_fault_targets_every_shard(self):
+        plan = FaultPlan(pool=(PoolFault(kind="delay", every=2),))
+        assert plan.pool_action(0, 2) is not None
+        assert plan.pool_action(5, 4) is not None
+        assert plan.pool_action(5, 3) is None
+
+    def test_first_matching_fault_wins(self):
+        targeted = PoolFault(kind="drop", shard=0, every=2)
+        broadcast = PoolFault(kind="delay", every=2)
+        plan = FaultPlan(pool=(targeted, broadcast))
+        assert plan.pool_action(0, 2) is targeted
+        assert plan.pool_action(1, 2) is broadcast
+
+    def test_plans_pickle_across_the_fork_boundary(self):
+        plan = FaultPlan(
+            seed=3,
+            pool=(PoolFault(kind="kill", shard=0, every=2),),
+            hardware=HardwareFaultModel(seed=1, stuck_rate=1e-5))
+        assert pickle.loads(pickle.dumps(plan)) == plan

@@ -1,0 +1,67 @@
+"""The fault-sweep experiment: reproducible, monotone, honest about crashes."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.faults import render_fault_sweep, run_fault_sweep
+
+RATES = (0.0, 1e-5, 1e-4)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_fault_sweep(rates=RATES, n_images=4)
+
+
+class TestSweepValidation:
+    def test_needs_rates(self):
+        with pytest.raises(SimulationError, match="at least one rate"):
+            run_fault_sweep(rates=())
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(SimulationError, match="probabilities"):
+            run_fault_sweep(rates=(0.0, 2.0))
+
+    def test_needs_images(self):
+        with pytest.raises(SimulationError, match="positive image"):
+            run_fault_sweep(rates=RATES, n_images=0)
+
+
+class TestSweepCurve:
+    def test_clean_baseline_and_monotone_degradation(self, sweep):
+        assert sweep["ok"]
+        assert sweep["top1"][0] == 1.0 and sweep["exact"][0] == 1.0
+        assert sweep["crashed"][0] == 0
+        for earlier, later in zip(sweep["top1"], sweep["top1"][1:]):
+            assert later <= earlier
+        # At the harshest rate the arrays are visibly corrupted.
+        assert sweep["exact"][-1] < 1.0
+
+    def test_same_seeds_reproduce_the_curve(self, sweep):
+        again = run_fault_sweep(rates=RATES, n_images=4)
+        assert again == sweep
+
+    def test_fault_seed_names_a_different_chip_population(self, sweep):
+        other = run_fault_sweep(rates=RATES, n_images=4, fault_seed=1000)
+        assert other["ok"]      # any population degrades monotonically
+        assert (other["top1"], other["exact"]) != (
+            sweep["top1"], sweep["exact"])
+
+    def test_render_lists_every_rate_and_the_verdict(self, sweep):
+        text = render_fault_sweep(sweep)
+        for rate in RATES:
+            assert f"{rate:.2e}" in text
+        assert "curve monotone non-increasing: True" in text
+
+
+class TestFlakyAmps:
+    def test_flaky_columns_cost_accuracy_even_at_rate_zero(self):
+        stats = run_fault_sweep(
+            rates=(0.0,), n_images=4,
+            flaky_columns=tuple((a, c) for a in range(8)
+                                for c in range(0, 64, 8)),
+            flaky_rate=0.5)
+        assert stats["exact"][0] < 1.0
+        # clean_baseline only demands perfection at rate 0 with no other
+        # faults armed; flaky amps legitimately break it.
+        assert not stats["ok"]
