@@ -1,7 +1,8 @@
 """Array-fleet engine benchmarks: fleet vs legacy, packed vs unpacked,
-sharded vs single-socket, batched vs per-image, shard drivers, serving.
+sharded vs single-socket, batched vs per-image, shard drivers, serving,
+bit-plane sparsity.
 
-Eight comparisons, all bit-identical by construction:
+Nine comparisons, all bit-identical by construction:
 
 * the vectorized fleet path vs the legacy one-array-at-a-time path (the
   PR-1 refactor; acceptance target >= 10x on the functional conv);
@@ -37,6 +38,10 @@ Eight comparisons, all bit-identical by construction:
   the packed fleet with golden verification on, gated on the functional
   engine's reduction cycles equalling exactly ``2 x`` the analytic
   ``reduction_cycles_per_pass`` under the derived cost preset;
+* the bit-plane sparsity engine — dense vs sparse fleet runs over a
+  sweep of input magnitudes, gated on bit-exact sparse outputs, the
+  dense (data-independent) cycle model staying pinned, and a best
+  modeled-cycle reduction >= 1.2x in full mode;
 * the async batched serving stack (``repro.serving``) — a request
   stream coalesced into batched fleet passes over a pool of sharded
   backends. Gated on the serving invariants: no lost responses, no
@@ -682,6 +687,78 @@ def test_spanning_conv_fleet_vs_analytic(record):
     assert stats["cycle_consistent"]
 
 
+def compare_sparsity(caps=(255, 63, 15, 0)) -> dict:
+    """Bit-plane sparsity on the tiny verification network: dense vs
+    sparse fleet runs over inputs of decreasing magnitude.
+
+    Capping the activation magnitude leaves the high bit planes all-zero
+    fleet-wide, which is exactly what the skip detector elides, so the
+    modeled-cycle reduction (``dense_cycles / cycles``) should grow as
+    the cap shrinks while outputs stay bit-exact and ``dense_cycles``
+    stays pinned to the data-independent dense model.
+    """
+    net = tiny_verification_network()
+    weights = FleetExecutor(packed=True).weights_for(net)
+    rng = np.random.default_rng(97)
+    points = []
+    bit_exact = True
+    dense_pinned = True
+    start = time.perf_counter()
+    for cap in caps:
+        data = rng.integers(0, cap + 1, size=net.input_shape,
+                            dtype=np.uint8)
+        image = QuantizedTensor(data, weights.input_params)
+        dense = FleetExecutor(packed=True).run_requests(net, [image],
+                                                        weights)
+        sparse = FleetExecutor(packed=True, sparsity=True).run_requests(
+            net, [image], weights)
+        exact = all(np.array_equal(g.data, w.data)
+                    for g, w in zip(sparse.responses, dense.responses))
+        bit_exact = bit_exact and exact
+        dense_pinned = dense_pinned and (
+            sparse.report.dense_cycles == dense.report.total
+            and dense.report.skipped == 0)
+        points.append({
+            "cap": cap,
+            "zero_fraction": float(np.mean(data == 0)),
+            "cycles": sparse.report.total,
+            "skipped": sparse.report.skipped,
+            "dense_cycles": sparse.report.dense_cycles,
+            "cycle_reduction": sparse.report.dense_cycles
+            / sparse.report.total,
+        })
+    return {
+        "points": points,
+        "bit_exact": bit_exact,
+        "dense_pinned": dense_pinned,
+        "best_reduction": max(p["cycle_reduction"] for p in points),
+        "seconds": time.perf_counter() - start,
+    }
+
+
+def render_sparsity_report(stats: dict) -> str:
+    verdict = "bit-exact" if stats["bit_exact"] else "DIVERGED"
+    pinned = ("dense model pinned" if stats["dense_pinned"]
+              else "DENSE CYCLES DRIFTED")
+    rows = "; ".join(
+        f"cap {p['cap']}: {p['cycle_reduction']:.2f}x "
+        f"({p['skipped']} of {p['dense_cycles']} cycles skipped)"
+        for p in stats["points"])
+    return (f"Sparsity benchmark (tiny net, {verdict}, {pinned}, "
+            f"{stats['seconds']:.2f} s): {rows}")
+
+
+def _sparsity_gates_pass(stats: dict, min_reduction: float) -> bool:
+    return (stats["bit_exact"] and stats["dense_pinned"]
+            and stats["best_reduction"] >= min_reduction)
+
+
+def test_sparsity_skip_reduction(record):
+    stats = compare_sparsity()
+    record(render_sparsity_report(stats))
+    assert _sparsity_gates_pass(stats, 1.2)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fleet engine smoke benchmarks: packed vs unpacked "
@@ -848,6 +925,22 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return finish(1)
 
+    # Bit-plane sparsity gate: sparse runs must stay bit-exact with the
+    # dense accounting pinned, and the best modeled-cycle reduction over
+    # the magnitude sweep must clear 1.2x in full mode (quick mode only
+    # requires some skipping — correctness gates never relax).
+    sparsity_min = 1.01 if args.quick else 1.2
+    sparsity_stats = compare_sparsity(
+        caps=(255, 15) if args.quick else (255, 63, 15, 0))
+    results["sparsity"] = sparsity_stats
+    print(render_sparsity_report(sparsity_stats))
+    if not _sparsity_gates_pass(sparsity_stats, sparsity_min):
+        print(f"FAIL: bit-plane sparsity regressed (need bit-exact "
+              f"sparse outputs, dense_cycles pinned to the dense model "
+              f"and >= {sparsity_min:.2f}x best modeled-cycle "
+              f"reduction)", file=sys.stderr)
+        return finish(1)
+
     print(f"OK (gates: bit/cycle exact, 8x memory, "
           f">= {min_speedup:.1f}x packed speedup; sharded aggregation "
           f"lossless at shard counts 2 and 3; shard drivers identical to "
@@ -856,7 +949,8 @@ def main(argv=None) -> int:
           f"bit-inexact; batch-in-fleet bit-exact, report-identical and "
           f">= {batched_min:.1f}x at batch {batched_batch}; block load "
           f"bit-exact; spanning layer bit-exact and cycle-consistent "
-          f"with the analytic schedule)")
+          f"with the analytic schedule; sparsity bit-exact, dense model "
+          f"pinned, best reduction >= {sparsity_min:.2f}x)")
     return finish(0)
 
 
@@ -899,6 +993,14 @@ def _trajectory_entry(results: dict) -> dict:
             "reduction_cycles_per_pass":
                 spanning["analytic_reduction_per_pass"],
             "wall_s": spanning["seconds"],
+        }
+    sparsity = results.get("sparsity")
+    if sparsity:
+        entry["sparsity"] = {
+            "bit_exact": sparsity["bit_exact"],
+            "dense_pinned": sparsity["dense_pinned"],
+            "best_cycle_reduction": sparsity["best_reduction"],
+            "wall_s": sparsity["seconds"],
         }
     return entry
 

@@ -46,10 +46,13 @@ from repro.engine import (
     PackedArrayFleet,
     make_fleet,
 )
+from repro.core.precision import LayerPrecision
 from repro.engine.backend import (
     AnalyticBackend,
     Backend,
+    BackendOptions,
     BackendResult,
+    BatchOutcome,
     FleetExecutor,
     get_backend,
 )
@@ -77,7 +80,9 @@ __all__ = [
     "AnalyticBackend",
     "ArrayFleet",
     "Backend",
+    "BackendOptions",
     "BackendResult",
+    "BatchOutcome",
     "BitSerialUnit",
     "FleetBitSerialUnit",
     "FleetExecutor",
@@ -93,6 +98,7 @@ __all__ = [
     "GpuBaseline",
     "HardwareFaultModel",
     "Instruction",
+    "LayerPrecision",
     "PoolFault",
     "hardware_faults",
     "PackedArrayFleet",

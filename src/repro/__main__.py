@@ -62,7 +62,11 @@ import argparse
 import sys
 
 from repro.analysis import experiments
-from repro.engine.backend import available_backends, get_backend
+from repro.engine.backend import (
+    BackendOptions,
+    available_backends,
+    get_backend,
+)
 from repro.engine.sharding import SHARD_DRIVERS
 
 #: name -> zero-argument callable returning an ExperimentResult.
@@ -80,6 +84,7 @@ EXPERIMENTS = {
     "peak": experiments.peak_throughput,
     "area": experiments.area_report,
     "fleet": experiments.fleet_verification,
+    "sparsity": experiments.sparsity,
     "sharding": experiments.sharding,
     "serving": experiments.serving,
 }
@@ -229,6 +234,18 @@ def main(argv: list[str] | None = None) -> int:
                              "for functional --backend runs (default: "
                              "batched; --no-batched keeps the per-image "
                              "reference loop)")
+    parser.add_argument("--sparsity", action="store_true",
+                        help="skip all-zero operand bit planes in "
+                             "functional --backend runs: outputs stay "
+                             "bit-exact, the cycle report becomes "
+                             "data-dependent (the summary shows actual "
+                             "and dense-equivalent cycles)")
+    parser.add_argument("--precision", type=int, default=None,
+                        metavar="BITS",
+                        help="narrow every conv layer of functional "
+                             "--backend runs to BITS-bit elements "
+                             "(1..8; storage stays byte-aligned, only "
+                             "bit-serial compute gets cheaper)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -245,35 +262,31 @@ def main(argv: list[str] | None = None) -> int:
                 f"names (got: {', '.join(args.names)})")
         if args.batch <= 0:
             parser.error(f"--batch must be positive, got {args.batch}")
+        if args.shards is not None and args.shards <= 0:
+            parser.error(f"--shards must be positive, got {args.shards}")
+        precision = None
+        if args.precision is not None:
+            from repro.core.precision import LayerPrecision
+
+            try:
+                precision = LayerPrecision(default_bits=args.precision)
+            except SimulationError as exc:
+                parser.error(str(exc))
+        # One options value carries every knob; the factory for the
+        # chosen backend rejects any it cannot honour (no rebuild hack:
+        # --shards reaches the sharded constructor directly).
+        options = BackendOptions(
+            batched=args.batched if args.batched is not None else True,
+            driver=args.shard_driver, shards=args.shards,
+            sparsity=args.sparsity, precision=precision)
         try:
-            backend = get_backend(args.backend, batched=args.batched,
-                                  driver=args.shard_driver)
+            backend = get_backend(args.backend, options=options)
         except SimulationError as exc:
             # e.g. --shard-driver on a backend without a shard pool.
             parser.error(str(exc))
         if args.batched is not None and not hasattr(backend, "batched"):
             parser.error("--batched/--no-batched only applies to the "
                          "functional fleet backends")
-        if args.shards is not None:
-            from repro.engine.sharding import ShardedBackend
-
-            if not isinstance(backend, ShardedBackend):
-                parser.error("--shards only applies to the sharded "
-                             "backends")
-            if args.shards <= 0:
-                parser.error(f"--shards must be positive, got "
-                             f"{args.shards}")
-            # Rebuild the registry's backend with the explicit shard
-            # count; store, batching and driver stay whatever the name
-            # (and --batched / --shard-driver) resolved to. The
-            # registry's instance is closed first — a pool-driver
-            # backend already holds live workers at this point.
-            discarded = backend
-            backend = ShardedBackend(backend.config, shards=args.shards,
-                                     packed=backend.packed,
-                                     batched=backend.batched,
-                                     driver=backend.driver)
-            discarded.close()
         network = backend.default_network()
         try:
             print(backend.run(network, args.batch).summary())
@@ -298,6 +311,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.batched is not None:
         parser.error("--batched/--no-batched only applies to --backend "
                      "runs")
+    if args.sparsity:
+        parser.error("--sparsity only applies to --backend runs")
+    if args.precision is not None:
+        parser.error("--precision only applies to --backend runs")
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

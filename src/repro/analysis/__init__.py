@@ -15,6 +15,7 @@ from repro.analysis.experiments import (
     section6a_example,
     sharding,
     serving,
+    sparsity,
     table1,
     table2,
     table3,
@@ -51,6 +52,7 @@ __all__ = [
     "section6a_example",
     "sharding",
     "serving",
+    "sparsity",
     "table1",
     "table2",
     "table3",

@@ -16,7 +16,11 @@ from repro.core.functional import (
     FunctionalExecutor,
     FunctionalMaxPool,
 )
-from repro.core.precision import config_for_precision, precision_sweep
+from repro.core.precision import (
+    LayerPrecision,
+    config_for_precision,
+    precision_sweep,
+)
 from repro.core.isa import ControlFSM, Instruction, Opcode, fsm_total_area_mm2
 from repro.core.mapping import (
     LayerMapping,
@@ -44,6 +48,7 @@ __all__ = [
     "InferenceResult",
     "Instruction",
     "LayerMapping",
+    "LayerPrecision",
     "LayerResult",
     "LayerSchedule",
     "NeuralCacheSimulator",

@@ -102,18 +102,37 @@ GATHER_BUDGET_ELEMENTS = 1 << 21
 
 @dataclass
 class CycleReport:
-    """Compute cycles the functional run spent, by phase."""
+    """Compute cycles the functional run spent, by phase.
+
+    ``skipped`` counts the cycles the sparsity engine elided (all-zero
+    operand bit planes skipped fleet-wide); with skipping enabled the
+    phase counters hold the cycles that actually ran, so
+    :attr:`dense_cycles` — the data-independent accounting the paper
+    uses — is ``total + skipped``. Dense runs have ``skipped == 0`` and
+    ``dense_cycles == total``.
+    """
 
     mac: int = 0
     reduction: int = 0
     quantization: int = 0
     pooling: int = 0
     passes: int = 0
+    skipped: int = 0
 
     @property
     def total(self) -> int:
         """All compute cycles across phases (excludes the pass count)."""
         return self.mac + self.reduction + self.quantization + self.pooling
+
+    @property
+    def dense_cycles(self) -> int:
+        """Cycles a dense (no-skip) execution of the same run would take.
+
+        This is the paper's data-independent accounting: cycle-identity
+        gates pin ``dense_cycles``, which stays stable whatever the
+        activation sparsity of the inputs.
+        """
+        return self.total + self.skipped
 
     def merged(self, other: "CycleReport") -> "CycleReport":
         return CycleReport(
@@ -121,7 +140,8 @@ class CycleReport:
             reduction=self.reduction + other.reduction,
             quantization=self.quantization + other.quantization,
             pooling=self.pooling + other.pooling,
-            passes=self.passes + other.passes)
+            passes=self.passes + other.passes,
+            skipped=self.skipped + other.skipped)
 
     def scaled(self, n_images: int) -> "CycleReport":
         """The report of ``n_images`` identical per-image passes.
@@ -140,7 +160,8 @@ class CycleReport:
             reduction=self.reduction * n_images,
             quantization=self.quantization * n_images,
             pooling=self.pooling * n_images,
-            passes=self.passes * n_images)
+            passes=self.passes * n_images,
+            skipped=self.skipped * n_images)
 
 
 @dataclass(frozen=True)
@@ -193,7 +214,10 @@ class FunctionalConv:
                  name: str = "conv",
                  output_params=None,
                  vectorized: bool = True,
-                 packed: bool = False):
+                 packed: bool = False,
+                 sparsity: bool = False,
+                 sanitize: bool | None = None,
+                 element_bits: int | None = None):
         self.conv = conv
         self.input_shape = input_shape
         self.weights = weights
@@ -207,10 +231,23 @@ class FunctionalConv:
         #: Back the fleet with the packed uint64 plane store instead of
         #: the unpacked byte-per-bit reference (vectorized path only).
         self.packed = packed
+        #: Skip all-zero operand bit planes fleet-wide (data-dependent
+        #: ``CycleReport``; outputs stay bit-exact vs the dense path).
+        self.sparsity = sparsity
+        self.sanitize = sanitize
         if packed and not vectorized:
             raise SimulationError(
                 "the packed plane store requires the vectorized path")
-        self.mapping = map_conv(self.config, name, conv, input_shape)
+        if sparsity and not vectorized:
+            raise SimulationError(
+                "sparse-skip execution requires the vectorized fleet path")
+        self.mapping = map_conv(self.config, name, conv, input_shape,
+                                element_bits=element_bits)
+        if self.mapping.element_bits > 8:
+            raise SimulationError(
+                f"layer {name!r}: the functional path stores byte-aligned "
+                f"8-bit elements; {self.mapping.element_bits}-bit elements "
+                f"are analytic-only")
         r, s, c, _ = conv.filter_shape(input_shape)
         if r * s * c > MAX_FUNCTIONAL_TAPS:
             raise SimulationError(
@@ -470,6 +507,8 @@ class FunctionalConv:
 
         filter_plane = planes(fvals)
         input_plane = planes(ivals)
+        nb = self.mapping.element_bits
+        _check_narrowed(self.name, nb, filter_plane, input_plane)
 
         # -- row regions (Fig. 10a), identical to the legacy layout --
         # Spanning groups widen the accumulators by one row: the final
@@ -486,7 +525,9 @@ class FunctionalConv:
                 f"functional layout needs {xsum_rows.end} rows")
 
         unit = FleetBitSerialUnit(
-            make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed))
+            make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed,
+                       sanitize=self.sanitize),
+            sparsity=self.sparsity)
         # One vectorized host pack loads all taps' planes at once (the
         # per-tap write_values loop was the pack boundary hot spot).
         unit.write_value_block(filter_rows, filter_plane, 8)
@@ -505,15 +546,17 @@ class FunctionalConv:
                 unit.zero(Operand(xsum_rows.row + in_final, 32 - in_final))
 
         # -- MACs: one fused multiply-accumulate per tap, whole fleet --
+        # Narrowed layers (``element_bits < 8``) run the serial sequence
+        # over the low ``nb`` planes only; storage stays byte-aligned.
         before = unit.cycles
         for t in range(taps):
-            f_op = Operand(filter_rows.row + 8 * t, 8)
+            f_op = Operand(filter_rows.row + 8 * t, nb)
             if packed:
-                x_op = Operand(input_rows.row, 8)
+                x_op = Operand(input_rows.row, nb)
                 unit.write_values(x_op, input_plane[:, t])  # streamed byte
             else:
-                x_op = Operand(input_rows.row + 8 * t, 8)
-            unit.mac(f_op, x_op, Operand(scratch.row, 16),
+                x_op = Operand(input_rows.row + 8 * t, nb)
+            unit.mac(f_op, x_op, Operand(scratch.row, 2 * nb),
                      Operand(partial.row, 24))
             unit.add_into(x_op, Operand(xsum_rows.row, 24))
         self.report.mac += (unit.cycles - before) * n_arrays
@@ -534,6 +577,7 @@ class FunctionalConv:
             unit.reduce_across_arrays(xsum_rows, Operand(segment.row, width),
                                       span, width)
         self.report.reduction += (unit.cycles - before) * n_arrays
+        self.report.skipped += unit.skipped_cycles * n_arrays
         self.report.passes += n_arrays
 
         # -- read back each group's head column (output move path) --
@@ -610,6 +654,9 @@ class FunctionalConv:
                     input_plane[t, col] = padded[i * stride + r,
                                                  j * stride + s, c]
 
+        nb = self.mapping.element_bits
+        _check_narrowed(self.name, nb, filter_plane, input_plane)
+
         # -- load filters (and, unpacked, the whole window); zero work --
         for t in range(taps):
             unit.write_values(Operand(filter_rows.row + 8 * t, 8),
@@ -623,13 +670,13 @@ class FunctionalConv:
         # -- MACs: one fused multiply-accumulate per tap, all columns --
         before = unit.cycles
         for t in range(taps):
-            f_op = Operand(filter_rows.row + 8 * t, 8)
+            f_op = Operand(filter_rows.row + 8 * t, nb)
             if packed:
-                x_op = Operand(input_rows.row, 8)
+                x_op = Operand(input_rows.row, nb)
                 unit.write_values(x_op, input_plane[t])  # streamed byte
             else:
-                x_op = Operand(input_rows.row + 8 * t, 8)
-            unit.mac(f_op, x_op, Operand(scratch.row, 16),
+                x_op = Operand(input_rows.row + 8 * t, nb)
+            unit.mac(f_op, x_op, Operand(scratch.row, 2 * nb),
                      Operand(partial.row, 24))
             unit.add_into(x_op, Operand(xsum_rows.row, 24))
         self.report.mac += unit.cycles - before
@@ -741,7 +788,9 @@ class FunctionalConv:
         requant = self.weights.requant
         n_arrays = raw_planes.shape[0]
         unit = FleetBitSerialUnit(
-            make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed))
+            make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed,
+                       sanitize=self.sanitize),
+            sparsity=self.sparsity)
         w = CORRECTION_BITS
 
         acc = Operand(0, w)          # 0..33
@@ -768,6 +817,7 @@ class FunctionalConv:
             # No-ReLU layers (the final FC) requantize on the host, as the
             # paper ships final outputs to the CPU anyway.
             self.report.quantization += (unit.cycles - before) * n_arrays
+            self.report.skipped += unit.skipped_cycles * n_arrays
             signed = from_twos_complement(unit.read_values(acc), w)
             if self.conv.relu:
                 signed = np.maximum(signed, 0)
@@ -800,6 +850,7 @@ class FunctionalConv:
         for high in (8, 9):
             unit.selective_copy(sat8, Operand(out10.row, 8), out10.bit(high))
         self.report.quantization += (unit.cycles - before) * n_arrays
+        self.report.skipped += unit.skipped_cycles * n_arrays
         return unit.read_values(Operand(out10.row, 8))
 
     def _quantize_batch(self, raw: np.ndarray, xsum: np.ndarray,
@@ -881,12 +932,16 @@ class FunctionalMaxPool:
 
     def __init__(self, pool: MaxPool, input_shape: tuple[int, int, int],
                  config: NeuralCacheConfig | None = None,
-                 name: str = "maxpool", packed: bool = False):
+                 name: str = "maxpool", packed: bool = False,
+                 sparsity: bool = False,
+                 sanitize: bool | None = None):
         self.pool = pool
         self.input_shape = input_shape
         self.config = config if config is not None else NeuralCacheConfig()
         self.mapping = map_pool(self.config, name, pool, input_shape)
         self.packed = packed
+        self.sparsity = sparsity
+        self.sanitize = sanitize
         self.report = CycleReport()
 
     def run(self, x: QuantizedTensor) -> QuantizedTensor:
@@ -925,7 +980,9 @@ class FunctionalMaxPool:
         maximum, all ``(n_arrays, cols)`` slots at once."""
         n_arrays = taps[0].shape[0]
         unit = FleetBitSerialUnit(
-            make_fleet(n_arrays, rows=64, cols=cols, packed=self.packed))
+            make_fleet(n_arrays, rows=64, cols=cols, packed=self.packed,
+                       sanitize=self.sanitize),
+            sparsity=self.sparsity)
         current = Operand(0, 8)
         candidate = Operand(8, 8)
         scratch = Operand(16, 17)
@@ -936,6 +993,7 @@ class FunctionalMaxPool:
             unit.write_values(candidate, tap)
             unit.max_update(current, candidate, scratch)
         self.report.pooling += (unit.cycles - before) * n_arrays
+        self.report.skipped += unit.skipped_cycles * n_arrays
         self.report.passes += n_arrays
         return unit.read_values(current)
 
@@ -945,12 +1003,16 @@ class FunctionalAvgPool:
 
     def __init__(self, pool: AvgPool, input_shape: tuple[int, int, int],
                  config: NeuralCacheConfig | None = None,
-                 name: str = "avgpool", packed: bool = False):
+                 name: str = "avgpool", packed: bool = False,
+                 sparsity: bool = False,
+                 sanitize: bool | None = None):
         self.pool = pool
         self.input_shape = input_shape
         self.config = config if config is not None else NeuralCacheConfig()
         self.mapping = map_pool(self.config, name, pool, input_shape)
         self.packed = packed
+        self.sparsity = sparsity
+        self.sanitize = sanitize
         self.report = CycleReport()
 
     def run(self, x: QuantizedTensor) -> QuantizedTensor:
@@ -998,7 +1060,9 @@ class FunctionalAvgPool:
         acc_bits = 16
 
         unit = FleetBitSerialUnit(
-            make_fleet(n_arrays, rows=128, cols=cols, packed=self.packed))
+            make_fleet(n_arrays, rows=128, cols=cols, packed=self.packed,
+                       sanitize=self.sanitize),
+            sparsity=self.sparsity)
         element = Operand(0, 8)
         acc = Operand(8, acc_bits)
         divisor = Operand(24, acc_bits)
@@ -1013,6 +1077,7 @@ class FunctionalAvgPool:
         unit.write_values(divisor, divisors)
         unit.divide(acc, divisor, quotient, work)
         self.report.pooling += (unit.cycles - before) * n_arrays
+        self.report.skipped += unit.skipped_cycles * n_arrays
         self.report.passes += n_arrays
         return unit.read_values(quotient)
 
@@ -1029,12 +1094,15 @@ class FunctionalAdd:
     def __init__(self, input_shape: tuple[int, int, int],
                  config: NeuralCacheConfig | None = None,
                  relu: bool = False, name: str = "add",
-                 packed: bool = False):
+                 packed: bool = False, sparsity: bool = False,
+                 sanitize: bool | None = None):
         self.input_shape = input_shape
         self.config = config if config is not None else NeuralCacheConfig()
         self.relu = relu
         self.name = name
         self.packed = packed
+        self.sparsity = sparsity
+        self.sanitize = sanitize
         self.report = CycleReport()
 
     def run(self, a: QuantizedTensor, b: QuantizedTensor) -> QuantizedTensor:
@@ -1081,7 +1149,9 @@ class FunctionalAdd:
         """One bounded fleet over staged ``(n_arrays, cols)`` operands."""
         n_arrays = av.shape[0]
         unit = FleetBitSerialUnit(
-            make_fleet(n_arrays, rows=96, cols=cols, packed=self.packed))
+            make_fleet(n_arrays, rows=96, cols=cols, packed=self.packed,
+                       sanitize=self.sanitize),
+            sparsity=self.sparsity)
         a8, b8 = Operand(0, 8), Operand(8, 8)
         total9 = Operand(16, 9)
         zp9 = Operand(25, 9)
@@ -1112,6 +1182,7 @@ class FunctionalAdd:
             unit.selective_copy(low9, Operand(diff10.row, 9),
                                 relu_cmp.bit(9), invert=True)
         self.report.pooling += (unit.cycles - before) * n_arrays
+        self.report.skipped += unit.skipped_cycles * n_arrays
         self.report.passes += n_arrays
         return unit.read_values(Operand(diff10.row, 8))
 
@@ -1130,7 +1201,8 @@ class FunctionalBatchNorm:
     def __init__(self, input_shape: tuple[int, int, int], bn_weights,
                  config: NeuralCacheConfig | None = None,
                  relu: bool = True, zp_out: int = 0, name: str = "bn",
-                 packed: bool = False):
+                 packed: bool = False, sparsity: bool = False,
+                 sanitize: bool | None = None):
         self.input_shape = input_shape
         self.bn = bn_weights
         self.config = config if config is not None else NeuralCacheConfig()
@@ -1138,6 +1210,8 @@ class FunctionalBatchNorm:
         self.zp_out = zp_out
         self.name = name
         self.packed = packed
+        self.sparsity = sparsity
+        self.sanitize = sanitize
         self.report = CycleReport()
         if input_shape[2] != bn_weights.channels:
             raise SimulationError(
@@ -1203,7 +1277,9 @@ class FunctionalBatchNorm:
         two's complement accumulators (no-ReLU layers, host epilogue)."""
         n_arrays = q_planes.shape[0]
         unit = FleetBitSerialUnit(
-            make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed))
+            make_fleet(n_arrays, rows=256, cols=cols, packed=self.packed,
+                       sanitize=self.sanitize),
+            sparsity=self.sparsity)
         w = CORRECTION_BITS
         q16 = Operand(0, 16)
         mult16 = Operand(16, 16)
@@ -1226,6 +1302,7 @@ class FunctionalBatchNorm:
 
         if not self.relu:
             self.report.quantization += (unit.cycles - before) * n_arrays
+            self.report.skipped += unit.skipped_cycles * n_arrays
             self.report.passes += n_arrays
             return unit.read_values(acc)
 
@@ -1243,6 +1320,7 @@ class FunctionalBatchNorm:
         for high in (8, 9):
             unit.selective_copy(sat8, Operand(out10.row, 8), out10.bit(high))
         self.report.quantization += (unit.cycles - before) * n_arrays
+        self.report.skipped += unit.skipped_cycles * n_arrays
         self.report.passes += n_arrays
         return unit.read_values(Operand(out10.row, 8))
 
@@ -1267,7 +1345,10 @@ class FunctionalExecutor:
 
     def __init__(self, network, weights,
                  config: NeuralCacheConfig | None = None,
-                 packed: bool = False):
+                 packed: bool = False,
+                 sparsity: bool = False,
+                 sanitize: bool | None = None,
+                 precision=None):
         from repro.nn.layers import (
             Add,
             BatchNorm,
@@ -1280,6 +1361,17 @@ class FunctionalExecutor:
         self.config = config if config is not None else NeuralCacheConfig()
         #: Plane store for every layer's fleet (packed words vs reference).
         self.packed = packed
+        #: Skip all-zero operand bit planes (data-dependent cycles;
+        #: outputs bit-exact vs dense, ``dense_cycles`` stays stable).
+        self.sparsity = sparsity
+        self.sanitize = sanitize
+        #: Per-layer element precision (:class:`~repro.core.precision
+        #: .LayerPrecision`); falls back to the network's attached table.
+        if precision is None:
+            precision = getattr(network, "precision", None)
+        if precision is not None:
+            precision.validate(network)
+        self.precision = precision
         self.reports: dict[str, CycleReport] = {}
         #: Node name -> layer engine, planned once and reused per image.
         self._engines: dict[str, object] = {}
@@ -1340,28 +1432,38 @@ class FunctionalExecutor:
         if isinstance(layer, self._add_type):
             return FunctionalAdd(inputs[0].shape, self.config,
                                  relu=layer.relu, name=node.name,
-                                 packed=self.packed)
+                                 packed=self.packed, sparsity=self.sparsity,
+                                 sanitize=self.sanitize)
         if isinstance(layer, self._qbn_type):
             return FunctionalBatchNorm(
                 inputs[0].shape, self.weights.bn_for_node(node.name),
                 self.config, relu=layer.relu,
                 zp_out=activation.zero_point, name=node.name,
-                packed=self.packed)
+                packed=self.packed, sparsity=self.sparsity,
+                sanitize=self.sanitize)
         if isinstance(layer, MaxPool):
             return FunctionalMaxPool(layer, inputs[0].shape, self.config,
-                                     name=node.name, packed=self.packed)
+                                     name=node.name, packed=self.packed,
+                                     sparsity=self.sparsity,
+                                     sanitize=self.sanitize)
         if isinstance(layer, AvgPool):
             return FunctionalAvgPool(layer, inputs[0].shape, self.config,
-                                     name=node.name, packed=self.packed)
+                                     name=node.name, packed=self.packed,
+                                     sparsity=self.sparsity,
+                                     sanitize=self.sanitize)
         conv = self.network.conv_of(node)
         shape = inputs[0].shape
         if isinstance(layer, self._fc_type):
             shape = (1, 1, int(np.prod(shape)))
+        element_bits = (self.precision.bits_for(node.name)
+                        if self.precision is not None else None)
         return FunctionalConv(conv, shape,
                               self.weights.for_node(node.name),
                               self.config, name=node.name,
                               output_params=activation,
-                              packed=self.packed)
+                              packed=self.packed, sparsity=self.sparsity,
+                              sanitize=self.sanitize,
+                              element_bits=element_bits)
 
     def _run_node(self, node, inputs):
         """Run one node for the whole batch; ``inputs`` are per-branch
@@ -1394,6 +1496,27 @@ class FunctionalExecutor:
         for report in self.reports.values():
             total = total.merged(report)
         return total
+
+
+def _check_narrowed(name: str, nb: int, filter_plane: np.ndarray,
+                    input_plane: np.ndarray) -> None:
+    """Narrowed layers must actually fit their elements in ``nb`` bits.
+
+    Precision narrowing only drops the serial passes over the high
+    planes; it is exact *only* when those planes are zero for every
+    staged value, so an operand outside ``[0, 2**nb)`` is a hard error,
+    not silent truncation.
+    """
+    if nb >= 8:
+        return
+    limit = 1 << nb
+    f_max = int(filter_plane.max(initial=0))
+    x_max = int(input_plane.max(initial=0))
+    if f_max >= limit or x_max >= limit:
+        raise SimulationError(
+            f"layer {name!r} narrows elements to {nb} bits but staged "
+            f"operands reach {max(f_max, x_max)} (>= {limit}); narrowed "
+            f"execution would truncate them")
 
 
 def _max_fleet_arrays(config: NeuralCacheConfig) -> int:

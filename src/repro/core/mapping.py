@@ -170,6 +170,11 @@ class LayerMapping:
     output_bytes: int              # layer output volume
     # cross-array reduction schedule (single-array layers: empty plan)
     reduction_plan: ReductionPlan = ReductionPlan(1, ())
+    #: Serial element width this layer computes at. Storage stays
+    #: byte-aligned (Sec. III-A); narrowing only shortens the bit-serial
+    #: sequences, which is what the schedule and the functional executor
+    #: charge. Defaults to the config's global ``element_bits``.
+    element_bits: int = 8
 
     @property
     def utilization(self) -> float:
@@ -217,8 +222,11 @@ def _mapping_for_window(config: NeuralCacheConfig, *, name: str, kind: str,
                         total_outputs: int, stride: int,
                         kernel: tuple[int, int], filter_load_bytes: int,
                         input_bytes_per_output: int,
-                        output_bytes: int) -> LayerMapping:
+                        output_bytes: int,
+                        element_bits: int | None = None) -> LayerMapping:
     """Shared packing/splitting/rounding/partitioning logic."""
+    if element_bits is None:
+        element_bits = config.element_bits
     if window_bytes <= 0 or channels <= 0 or total_outputs <= 0:
         raise MappingError(
             f"layer {name!r} has empty work: window={window_bytes}, "
@@ -288,12 +296,26 @@ def _mapping_for_window(config: NeuralCacheConfig, *, name: str, kind: str,
         filter_load_bytes=filter_load_bytes,
         input_bytes_per_output=input_bytes_per_output,
         output_bytes=output_bytes,
-        reduction_plan=reduction_plan)
+        reduction_plan=reduction_plan,
+        element_bits=element_bits)
 
 
 def map_conv(config: NeuralCacheConfig, name: str, conv: Conv2D,
-             input_shape: tuple[int, int, int]) -> LayerMapping:
-    """Map a convolution (or FC-as-conv) layer."""
+             input_shape: tuple[int, int, int],
+             element_bits: int | None = None) -> LayerMapping:
+    """Map a convolution (or FC-as-conv) layer.
+
+    ``element_bits`` narrows this layer's serial element width (a
+    :class:`~repro.core.precision.LayerPrecision` entry); ``None`` keeps
+    the config's global width. Validated here — map time is where every
+    consumer (schedule, functional executor) picks the width up.
+    """
+    if element_bits is None:
+        element_bits = config.element_bits
+    if not 1 <= element_bits <= 16:
+        raise MappingError(
+            f"layer {name!r}: element precision must be 1..16 bits, got "
+            f"{element_bits}")
     r, s, c, m = conv.filter_shape(input_shape)
     e, f, _ = conv.output_shape(input_shape)
     return _mapping_for_window(
@@ -302,7 +324,8 @@ def map_conv(config: NeuralCacheConfig, name: str, conv: Conv2D,
         kernel=conv.kernel,
         filter_load_bytes=conv.weight_bytes(input_shape),
         input_bytes_per_output=r * s * c,
-        output_bytes=e * f * m)
+        output_bytes=e * f * m,
+        element_bits=element_bits)
 
 
 def map_pool(config: NeuralCacheConfig, name: str, pool: MaxPool | AvgPool,
@@ -344,15 +367,29 @@ def map_batchnorm(config: NeuralCacheConfig, name: str,
 
 
 def map_node(config: NeuralCacheConfig, network: Network,
-             node: Node) -> LayerMapping | None:
-    """Map any network node; concat and folded BN map to nothing (None)."""
+             node: Node, precision=None) -> LayerMapping | None:
+    """Map any network node; concat and folded BN map to nothing (None).
+
+    ``precision`` is a :class:`~repro.core.precision.LayerPrecision`
+    table narrowing conv layers; ``None`` falls back to the network's
+    attached table (``network.precision``) and then the config width.
+    """
+    if precision is None:
+        precision = getattr(network, "precision", None)
+        if precision is not None:
+            # Resolved implicitly (per-node entry point, e.g. the
+            # analytic simulator): validate here; explicit callers
+            # (map_network) validate the table once up front.
+            precision.validate(network)
     input_shape = network.input_shape_of(node.name)
     layer = node.layer
     if isinstance(layer, (MaxPool, AvgPool)):
         return map_pool(config, node.name, layer, input_shape)
     if isinstance(layer, (Conv2D, FullyConnected)):
+        bits = precision.bits_for(node.name) if precision is not None \
+            else None
         return map_conv(config, node.name, network.conv_of(node),
-                        input_shape)
+                        input_shape, element_bits=bits)
     if isinstance(layer, Add):
         return map_add(config, node.name, input_shape)
     if isinstance(layer, QuantizedBatchNorm):
@@ -360,12 +397,21 @@ def map_node(config: NeuralCacheConfig, network: Network,
     return None
 
 
-def map_network(config: NeuralCacheConfig,
-                network: Network) -> list[LayerMapping]:
-    """Mappings for every compute layer of the network, in order."""
+def map_network(config: NeuralCacheConfig, network: Network,
+                precision=None) -> list[LayerMapping]:
+    """Mappings for every compute layer of the network, in order.
+
+    The per-layer precision table (argument, else ``network.precision``)
+    is validated here — map time — so stale layer names fail before any
+    schedule or functional run consumes the mappings.
+    """
+    if precision is None:
+        precision = getattr(network, "precision", None)
+    if precision is not None:
+        precision.validate(network)
     mappings = []
     for node in network.layer_nodes():
-        mapping = map_node(config, network, node)
+        mapping = map_node(config, network, node, precision=precision)
         if mapping is not None:
             mappings.append(mapping)
     return mappings

@@ -12,15 +12,21 @@ movement).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import SimulationError
 from repro.config import NeuralCacheConfig
 from repro.core.executor import NeuralCacheSimulator
 from repro.nn.graph import Network
 
-#: The byte-aligned layout caps flexible precision at 8 bits.
-MAX_PRECISION_BITS = 8
+#: Widest supported element precision. Up to 8 bits matches the paper's
+#: byte-aligned storage; 9..16 models double-byte elements (two storage
+#: bytes per element, accumulators widened to keep 49 taps overflow-free).
+MAX_PRECISION_BITS = 16
+
+#: The byte-aligned uint8 value plane caps *functional* (bit-exact)
+#: execution — and per-layer narrowing tables — at 8 bits.
+MAX_FUNCTIONAL_BITS = 8
 
 
 def config_for_precision(bits: int,
@@ -30,12 +36,18 @@ def config_for_precision(bits: int,
 
     Storage regions (Fig. 10) keep their byte-aligned sizes; only the
     bit-serial op widths shrink, exactly as the paper's layout rules
-    imply.
+    imply. Above 8 bits the accumulator widths grow proportionally
+    (3x/4x the element width, matching the 24/32-bit ratios the paper
+    uses at 8 bits) so wide elements do not overflow the partial sums.
     """
+    if not isinstance(bits, int) or isinstance(bits, bool):
+        raise SimulationError(
+            f"flexible precision wants an integer bit width, got "
+            f"{bits!r}")
     if not 1 <= bits <= MAX_PRECISION_BITS:
         raise SimulationError(
-            f"flexible precision supports 1..{MAX_PRECISION_BITS} bits "
-            f"(byte-aligned storage), got {bits}")
+            f"flexible precision supports 1..{MAX_PRECISION_BITS} bits, "
+            f"got {bits}")
     if base is None:
         base = NeuralCacheConfig()
     return NeuralCacheConfig(
@@ -49,8 +61,53 @@ def config_for_precision(bits: int,
         input_gather_calibration=base.input_gather_calibration,
         output_gather_calibration=base.output_gather_calibration,
         input_reuse_floor=base.input_reuse_floor,
-        partial_sum_bits=base.partial_sum_bits,
-        reduction_bits=base.reduction_bits)
+        partial_sum_bits=max(base.partial_sum_bits, 3 * bits),
+        reduction_bits=max(base.reduction_bits, 4 * bits))
+
+
+@dataclass(frozen=True)
+class LayerPrecision:
+    """Per-layer element bit widths for dynamic precision narrowing.
+
+    ``default_bits`` applies to every conv/FC layer not named in
+    ``overrides``. The table is validated at map time
+    (:func:`~repro.core.mapping.map_network`) against the network's
+    actual layer names, so a stale override fails loudly before any
+    cycles are charged. Widths are capped at
+    :data:`MAX_FUNCTIONAL_BITS` because the functional executor stages
+    values in byte-aligned uint8 planes; the analytic-only 9..16 range
+    goes through :func:`config_for_precision` instead.
+    """
+
+    default_bits: int = 8
+    overrides: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overrides", dict(self.overrides))
+        for name, bits in [("default", self.default_bits),
+                           *self.overrides.items()]:
+            if not isinstance(bits, int) or isinstance(bits, bool):
+                raise SimulationError(
+                    f"layer precision for {name!r} wants an integer bit "
+                    f"width, got {bits!r}")
+            if not 1 <= bits <= MAX_FUNCTIONAL_BITS:
+                raise SimulationError(
+                    f"layer precision for {name!r} must be "
+                    f"1..{MAX_FUNCTIONAL_BITS} bits (byte-aligned uint8 "
+                    f"storage), got {bits}")
+
+    def bits_for(self, layer_name: str) -> int:
+        """Element width for one layer (override, else the default)."""
+        return self.overrides.get(layer_name, self.default_bits)
+
+    def validate(self, network: Network) -> None:
+        """Check every override names a real layer of ``network``."""
+        known = {node.name for node in network.layer_nodes()}
+        for name in self.overrides:
+            if name not in known:
+                raise SimulationError(
+                    f"precision table overrides unknown layer {name!r} "
+                    f"(network {network.name!r} has no such layer)")
 
 
 @dataclass(frozen=True)

@@ -116,8 +116,11 @@ def mac_cycles_per_pass(config: NeuralCacheConfig,
                 + 2 * costs.selective_copy(n))
     if mapping.kind != "conv":
         return 0
+    # Conv MACs run at the mapping's (possibly narrowed) element width —
+    # the dynamic-precision knob; storage and partial sums stay at the
+    # config's byte-aligned widths.
     taps = mapping.filter_bytes_per_bitline
-    return taps * costs.mac(n, config.partial_sum_bits)
+    return taps * costs.mac(mapping.element_bits, config.partial_sum_bits)
 
 
 def reduction_cycles_per_pass(config: NeuralCacheConfig,

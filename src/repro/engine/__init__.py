@@ -33,7 +33,9 @@ from repro.engine.packed import (
 _BACKEND_NAMES = (
     "AnalyticBackend",
     "Backend",
+    "BackendOptions",
     "BackendResult",
+    "BatchOutcome",
     "FleetExecutor",
     "ShardReport",
     "available_backends",

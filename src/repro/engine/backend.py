@@ -20,7 +20,8 @@ resolves engines by name.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -30,6 +31,56 @@ from repro.config import NeuralCacheConfig
 from repro.core.executor import InferenceResult, NeuralCacheSimulator
 from repro.core.functional import CycleReport, FunctionalExecutor
 from repro.nn.graph import Network
+
+
+@dataclass(frozen=True)
+class BackendOptions:
+    """Every construction-time backend knob, in one value.
+
+    This is the single construction surface for
+    :func:`get_backend`: instead of a growing tail of keyword arguments
+    (``batched``, ``driver``, ...), callers build one frozen options
+    object and hand it to any backend factory. Knobs that do not apply
+    to a backend are rejected at construction with a clear error (the
+    analytic model has no shard pool to drive), so a typo'd or misplaced
+    option never silently does nothing.
+
+    ``sparsity`` turns on bit-plane sparsity skipping in the functional
+    engines: all-zero operand bit planes are detected at the plane store
+    and their multiply/add steps elided fleet-wide, making the cycle
+    report data-dependent (``CycleReport.skipped`` /
+    ``CycleReport.dense_cycles``) while outputs stay bit-exact.
+
+    ``precision`` attaches a
+    :class:`~repro.core.precision.LayerPrecision` table so conv layers
+    run narrowed bit-serial sequences (validated against the network's
+    layer names at map time).
+    """
+
+    #: Fold the whole batch into each layer's fleet pass (functional
+    #: engines; the analytic model ignores it for registry uniformity).
+    batched: bool = True
+    #: Shard driver for the sharded backends: ``serial``, ``thread``,
+    #: ``process`` or ``pool``. ``None`` keeps the engine default.
+    driver: str | None = None
+    #: Shard (socket) count for the sharded backends.
+    shards: int | None = None
+    #: Shadow-state sanitizer for the functional fleets; ``None`` defers
+    #: to the ``NEURALCACHE_SANITIZE`` environment variable.
+    sanitize: bool | None = None
+    #: Software fault plan (:class:`repro.faults.plan.FaultPlan`) armed
+    #: in the sharded pool driver's workers.
+    faults: object | None = None
+    #: Skip all-zero operand bit planes (functional engines).
+    sparsity: bool = False
+    #: Per-layer element precision table
+    #: (:class:`~repro.core.precision.LayerPrecision`).
+    precision: object | None = field(default=None, hash=False)
+
+    def for_functional(self) -> dict:
+        """The options every functional (fleet) engine consumes."""
+        return {"batched": self.batched, "sanitize": self.sanitize,
+                "sparsity": self.sparsity, "precision": self.precision}
 
 
 @dataclass(frozen=True)
@@ -118,6 +169,10 @@ class BackendResult:
             lines.append(f"  compute cycles: {r.total} (mac {r.mac}, "
                          f"reduce {r.reduction}, quant {r.quantization}, "
                          f"pool {r.pooling}) over {r.passes} array passes")
+            if r.skipped:
+                lines.append(f"  sparsity: {r.skipped} cycles skipped "
+                             f"(dense-equivalent {r.dense_cycles}, "
+                             f"{r.dense_cycles / r.total:.2f}x)")
         if self.shard_reports is not None:
             for s in self.shard_reports:
                 lines.append(f"  shard {s.shard}: {s.images} image(s), "
@@ -263,13 +318,22 @@ class FleetExecutor:
 
     def __init__(self, config: NeuralCacheConfig | None = None,
                  weights=None, seed: int = 0, verify: bool = True,
-                 packed: bool = False, batched: bool = True):
+                 packed: bool = False, batched: bool = True,
+                 sparsity: bool = False, sanitize: bool | None = None,
+                 precision=None):
         self.config = config if config is not None else NeuralCacheConfig()
         self.weights = weights
         self.seed = seed
         self.verify = verify
         self.packed = packed
         self.batched = batched
+        #: Bit-plane sparsity skipping (data-dependent ``CycleReport``;
+        #: outputs stay bit-exact, verified against the golden executor).
+        self.sparsity = sparsity
+        #: Shadow-state sanitizer override (None = env default).
+        self.sanitize = sanitize
+        #: Per-layer precision table, overriding ``network.precision``.
+        self.precision = precision
         self.name = "fleet-packed" if packed else "fleet"
 
     def weights_for(self, network: Network):
@@ -292,24 +356,25 @@ class FleetExecutor:
         golden = self.golden_for(network, weights)
         images = deterministic_images(network, weights, self.seed,
                                       batch_size)
-        total, outputs, verified = self.run_images(network, images,
-                                                   weights, golden)
+        outcome = self.run_images(network, images, weights, golden)
         return BackendResult(
             backend=self.name, network=network.name, batch_size=batch_size,
-            report=total, outputs=outputs, verified_images=verified,
-            verify=self.verify)
+            report=outcome.report, outputs=outcome.outputs,
+            verified_images=outcome.verified, verify=self.verify)
 
     def run_images(self, network: Network, images, weights=None,
-                   golden=None) -> tuple[CycleReport, dict | None, int]:
+                   golden=None) -> BatchOutcome:
         """Drive explicit images through one persistent executor.
 
-        Aggregate-only convenience over :meth:`run_requests`: returns
-        ``(aggregate report, last image's outputs, verified)``, the
-        shard-level unit of work
-        :class:`~repro.engine.sharding.ShardedBackend` aggregates.
+        Thin, documented wrapper over :meth:`run_requests` kept as the
+        shard-level entry point
+        (:class:`~repro.engine.sharding.ShardedBackend` drives it per
+        shard). It returns the same :class:`BatchOutcome` as
+        ``run_requests`` — the three functional entry points (``run``,
+        ``run_images``, ``run_requests``) all speak
+        :class:`BatchOutcome`/:class:`BackendResult`, never bare tuples.
         """
-        outcome = self.run_requests(network, images, weights, golden)
-        return outcome.report, outcome.outputs, outcome.verified
+        return self.run_requests(network, images, weights, golden)
 
     def run_requests(self, network: Network, images, weights=None,
                      golden=None) -> BatchOutcome:
@@ -337,7 +402,10 @@ class FleetExecutor:
             return BatchOutcome(report=CycleReport(), responses=(),
                                 outputs=None, verified=0)
         executor = FunctionalExecutor(network, weights, self.config,
-                                      packed=self.packed)
+                                      packed=self.packed,
+                                      sparsity=self.sparsity,
+                                      sanitize=self.sanitize,
+                                      precision=self.precision)
         if self.batched:
             results = executor.run_batch(images)
             responses = tuple(results[network.output_name])
@@ -396,59 +464,91 @@ def tiny_verification_network(size: int = 8, channels: int = 8,
     return net
 
 
-def _check_no_driver(name: str, driver: str | None) -> None:
-    """Unsharded engines have no shard pool to drive."""
-    if driver is not None:
+def _check_unsharded(name: str, options: BackendOptions) -> None:
+    """Reject shard-pool knobs on engines that have no shard pool."""
+    if options.driver is not None:
         raise SimulationError(
             f"backend {name!r} does not take a shard driver; only the "
             f"sharded backends run a shard pool")
+    if options.shards is not None:
+        raise SimulationError(
+            f"backend {name!r} does not take a shard count; only the "
+            f"sharded backends split work over shards")
+    if options.faults is not None:
+        raise SimulationError(
+            f"backend {name!r} does not take a software fault plan; "
+            f"only the sharded pool driver arms chaos hooks")
+
+
+def _check_analytic(options: BackendOptions) -> None:
+    """The analytic model has no functional fleets to configure."""
+    _check_unsharded("analytic", options)
+    for knob, pointer in (("sparsity", "the functional fleet engines"),
+                          ("sanitize", "the functional fleet engines")):
+        if getattr(options, knob) not in (None, False):
+            raise SimulationError(
+                f"backend 'analytic' does not take {knob!r}; only "
+                f"{pointer} execute bit planes")
+    if options.precision is not None:
+        raise SimulationError(
+            "backend 'analytic' takes per-layer precision from the "
+            "network itself; attach the table as `network.precision` "
+            "instead of a backend option")
 
 
 def _analytic(config: NeuralCacheConfig | None = None,
-              batched: bool = True,
-              driver: str | None = None) -> AnalyticBackend:
+              options: BackendOptions | None = None) -> AnalyticBackend:
     """The analytic model. It has no functional per-image loop to fold,
     so ``batched`` is accepted for registry uniformity and ignored."""
-    _check_no_driver("analytic", driver)
+    options = options if options is not None else BackendOptions()
+    _check_analytic(options)
     return AnalyticBackend(config)
 
 
 def _fleet(config: NeuralCacheConfig | None = None,
-           batched: bool = True,
-           driver: str | None = None) -> FleetExecutor:
+           options: BackendOptions | None = None) -> FleetExecutor:
     """The fleet executor on the unpacked reference store."""
-    _check_no_driver("fleet", driver)
-    return FleetExecutor(config, batched=batched)
+    options = options if options is not None else BackendOptions()
+    _check_unsharded("fleet", options)
+    return FleetExecutor(config, **options.for_functional())
 
 
 def _packed_fleet(config: NeuralCacheConfig | None = None,
-                  batched: bool = True,
-                  driver: str | None = None) -> FleetExecutor:
+                  options: BackendOptions | None = None) -> FleetExecutor:
     """The fleet executor on the packed uint64 plane store."""
-    _check_no_driver("fleet-packed", driver)
-    return FleetExecutor(config, packed=True, batched=batched)
+    options = options if options is not None else BackendOptions()
+    _check_unsharded("fleet-packed", options)
+    return FleetExecutor(config, packed=True, **options.for_functional())
 
 
 def _sharded(config: NeuralCacheConfig | None = None,
-             batched: bool = True,
-             driver: str | None = None) -> Backend:
+             options: BackendOptions | None = None) -> Backend:
     """Multi-socket sharded execution on packed per-shard fleets."""
     from repro.engine.sharding import ShardedBackend
-    return ShardedBackend(config, batched=batched,
-                          driver=driver if driver is not None else "serial")
+    options = options if options is not None else BackendOptions()
+    return ShardedBackend(
+        config, shards=options.shards, batched=options.batched,
+        driver=options.driver if options.driver is not None else "serial",
+        fault_plan=options.faults, sparsity=options.sparsity,
+        sanitize=options.sanitize, precision=options.precision)
 
 
 def _sharded_unpacked(config: NeuralCacheConfig | None = None,
-                      batched: bool = True,
-                      driver: str | None = None) -> Backend:
+                      options: BackendOptions | None = None) -> Backend:
     """The sharded backend on the unpacked reference store."""
     from repro.engine.sharding import ShardedBackend
-    return ShardedBackend(config, packed=False, batched=batched,
-                          driver=driver if driver is not None else "serial")
+    options = options if options is not None else BackendOptions()
+    return ShardedBackend(
+        config, shards=options.shards, packed=False,
+        batched=options.batched,
+        driver=options.driver if options.driver is not None else "serial",
+        fault_plan=options.faults, sparsity=options.sparsity,
+        sanitize=options.sanitize, precision=options.precision)
 
 
-#: Registered engine factories ((config, batched, driver) -> Backend),
-#: by CLI/experiment name.
+#: Registered engine factories ((config, options) -> Backend), by
+#: CLI/experiment name. Every factory takes the same
+#: :class:`BackendOptions` value and rejects knobs it cannot honour.
 BACKENDS: dict = {
     AnalyticBackend.name: _analytic,
     FleetExecutor.name: _fleet,
@@ -464,19 +564,26 @@ def available_backends() -> tuple[str, ...]:
 
 
 def get_backend(name: str, config: NeuralCacheConfig | None = None,
+                options: BackendOptions | None = None,
                 batched: bool | None = None,
                 driver: str | None = None) -> Backend:
     """Resolve a backend by name; raises on unknown names.
 
-    ``batched`` selects batch-in-fleet execution for the functional
-    backends (the CLI's ``--batched/--no-batched``); ``None`` keeps each
-    engine's default (batched on). ``driver`` selects the shard driver of
-    the sharded backends — ``serial``, ``thread``, ``process`` or
-    ``pool`` (the CLI's ``--shard-driver``); any non-``None`` value is
-    rejected for engines that have no shard pool to drive. The ``pool``
-    driver forks persistent workers at construction, so it is POSIX-only
-    (requires the ``fork`` start method) and should be resolved before
-    the process starts any threads.
+    ``options`` is the construction surface: one
+    :class:`BackendOptions` value carrying every backend knob (batch
+    folding, shard driver and count, sanitizer, fault plan, bit-plane
+    sparsity, per-layer precision). Factories reject options they cannot
+    honour — the analytic model has no fleets to sparsify, the unsharded
+    engines no pool to drive. The ``pool`` driver forks persistent
+    workers at construction, so it is POSIX-only (requires the ``fork``
+    start method) and should be resolved before the process starts any
+    threads.
+
+    ``batched``/``driver`` are the pre-``BackendOptions`` keyword
+    arguments, kept for one release as a deprecated shim: passing either
+    emits a :class:`DeprecationWarning` and folds the value into
+    ``options``. They cannot override a knob an explicit ``options``
+    already set.
     """
     try:
         factory = BACKENDS[name]
@@ -484,9 +591,25 @@ def get_backend(name: str, config: NeuralCacheConfig | None = None,
         raise SimulationError(
             f"unknown backend {name!r}; available: "
             f"{', '.join(available_backends())}") from None
-    kwargs: dict = {}
-    if batched is not None:
-        kwargs["batched"] = batched
-    if driver is not None:
-        kwargs["driver"] = driver
-    return factory(config, **kwargs)
+    if batched is not None or driver is not None:
+        warnings.warn(
+            "get_backend(batched=..., driver=...) is deprecated; pass "
+            "get_backend(name, config, options=BackendOptions(...)) "
+            "instead", DeprecationWarning, stacklevel=2)
+        base = options if options is not None else BackendOptions()
+        legacy: dict = {}
+        if batched is not None:
+            if options is not None and options.batched != batched:
+                raise SimulationError(
+                    "conflicting 'batched': set it on BackendOptions, "
+                    "not the deprecated keyword")
+            legacy["batched"] = batched
+        if driver is not None:
+            if options is not None and options.driver is not None \
+                    and options.driver != driver:
+                raise SimulationError(
+                    "conflicting 'driver': set it on BackendOptions, "
+                    "not the deprecated keyword")
+            legacy["driver"] = driver
+        options = replace(base, **legacy)
+    return factory(config, options)

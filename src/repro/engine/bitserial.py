@@ -119,10 +119,18 @@ class FleetBitSerialUnit:
     identical results and cycle counts, on either representation.
     """
 
-    def __init__(self, fleet: PlaneStore | None = None):
+    def __init__(self, fleet: PlaneStore | None = None,
+                 sparsity: bool = False):
         self.fleet = fleet if fleet is not None else ArrayFleet()
         self.periphery = self.fleet.make_periphery()
         self.cycles = 0
+        #: Cycles the dense sequence would have spent on steps the
+        #: sparsity engine skipped. ``cycles + skipped_cycles`` is the
+        #: paper's data-independent accounting (``dense_cycles``).
+        self.skipped_cycles = 0
+        #: Skip all-zero-plane multiply/add steps fleet-wide (BitWave-style
+        #: bit-plane sparsity). Off by default: the dense reference path.
+        self.sparsity = bool(sparsity)
         self._trace_depth = 0
 
     @property
@@ -302,6 +310,24 @@ class FleetBitSerialUnit:
         """Re-enable all write drivers (free: happens at instruction issue)."""
         self.periphery.set_tag_all()
 
+    def _report_skip(self, kind: str, source: Operand, dest: Operand,
+                     cycles: int) -> None:
+        """Account one sparsity skip and surface it to the trace hook.
+
+        ``source`` is the operand region whose planes were probed all-zero,
+        ``dest`` the region the skipped step would have written (and
+        provably leaves unchanged), ``cycles`` the dense cost not spent.
+        The ``skip_step`` pseudo-op is reported through the trace hook
+        *directly* — not via ``_traced`` — because skips fire inside
+        composites (``mac`` -> ``multiply``) where the depth counter
+        suppresses nested records; the verifier checks every skip's
+        soundness regardless of nesting.
+        """
+        self.skipped_cycles += cycles
+        hook = _TRACE_HOOK
+        if hook is not None:
+            hook(self, "skip_step", (kind, source, dest, cycles), {})
+
     # ==================================================================
     # Composite operations (costs mirror CycleCosts.derived)
     # ==================================================================
@@ -359,11 +385,21 @@ class FleetBitSerialUnit:
     def add_into(self, src: Operand, acc: Operand,
                  predicated: bool = False) -> None:
         """``acc += src`` where ``acc`` is wider than ``src``: ``acc.nbits``
-        cycles (full adds over ``src``, then carry ripple through the rest)."""
+        cycles (full adds over ``src``, then carry ripple through the rest).
+
+        Under ``sparsity``, an all-zero ``src`` (every plane zero in every
+        array) skips the whole sequence: adding zero with a cleared carry
+        leaves ``acc`` bit-identical, so the ``acc.nbits`` cycles are
+        charged to ``skipped_cycles`` instead of ``cycles``.
+        """
         if src.nbits > acc.nbits:
             raise LayoutError(
                 f"accumulator ({acc.nbits} bits) narrower than source "
                 f"({src.nbits} bits)")
+        if self.sparsity and not any(self.fleet.plane_any(src.bit(k))
+                                     for k in range(src.nbits)):
+            self._report_skip("add-into", src, acc, acc.nbits)
+            return
         self.periphery.clear_carry()
         for k in range(src.nbits):
             self._cycle_add_bit(src.bit(k), acc.bit(k), acc.bit(k), predicated)
@@ -412,6 +448,14 @@ class FleetBitSerialUnit:
         """``product = a * b`` via predicated shift-adds (Fig. 6).
 
         Derived cost ``n^2 + 4n - 1``, identical to the single-array unit.
+
+        Under ``sparsity``, a multiplier bit plane ``b.bit(j)`` that is
+        all-zero fleet-wide skips iteration ``j``: the tag latch would be
+        all-zero, so every predicated write of the iteration is a no-op
+        (``product`` was just zeroed for ``j == 0``; each ``j > 0`` block
+        starts with ``clear_carry``, so no carry state crosses
+        iterations). The iteration's dense cost (``n + 1`` for ``j == 0``,
+        ``n + 2`` beyond) lands in ``skipped_cycles``.
         """
         n = a.nbits
         if b.nbits != n:
@@ -425,6 +469,14 @@ class FleetBitSerialUnit:
                 raise LayoutError("product region overlaps an input operand")
         self.zero(product)
         for j in range(n):
+            if self.sparsity and not self.fleet.plane_any(b.bit(j)):
+                if j == 0:
+                    self._report_skip("multiply-plane", Operand(b.bit(j), 1),
+                                      Operand(product.bit(0), n), n + 1)
+                else:
+                    self._report_skip("multiply-plane", Operand(b.bit(j), 1),
+                                      Operand(product.bit(j), n + 1), n + 2)
+                continue
             self.load_tag(b.bit(j))
             if j == 0:
                 for k in range(n):

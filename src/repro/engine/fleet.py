@@ -240,6 +240,20 @@ class PlaneStore:
         a = self.row_plane(row)
         return a.copy(), self.plane_not(a)
 
+    def plane_any(self, row: int) -> bool:
+        """True when any bit of ``row`` is set in *any* array of the fleet.
+
+        This is the zero-plane probe of the sparsity engine: a bit-serial
+        sequencer may skip a multiply/add step fleet-wide only when the
+        driving operand plane is all-zero across every array. Modeled as
+        free (0 cycles) — the hardware analogue is a per-wordline zero
+        flag the periphery maintains as planes are written, and on the
+        packed store the probe is one ``np.any`` over native uint64 words
+        (exact, because bits past the last column are invariantly zero).
+        """
+        self._check_row(row)
+        return bool(np.any(self.row_plane(row)))
+
     def write_back(self, row: int, plane: np.ndarray,
                    mask: np.ndarray | None = None) -> None:
         """Phase-2 write of a compute cycle (WWL activation), all arrays.

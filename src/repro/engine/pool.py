@@ -219,7 +219,8 @@ class _WorkerState:
         self.arenas: dict[str, SharedSegment] = {}
 
     def load_program(self, network, weights, config, packed, batched,
-                     verify, seed) -> None:
+                     verify, seed, sparsity=False, sanitize=None,
+                     precision=None) -> None:
         """(Re)build the warm executor for a broadcast program.
 
         ``packed=True`` becomes ``packed="shared"`` here: the worker's
@@ -233,7 +234,8 @@ class _WorkerState:
         self.weights = weights
         self.executor = FleetExecutor(
             config, weights=weights, seed=seed, verify=verify,
-            packed="shared" if packed else False, batched=batched)
+            packed="shared" if packed else False, batched=batched,
+            sparsity=sparsity, sanitize=sanitize, precision=precision)
         self.golden = self.executor.golden_for(network, weights)
 
     def _arena(self, role: str, name: str) -> SharedSegment:
@@ -363,7 +365,9 @@ class ShardWorkerPool:
                  max_retries: int = 2,
                  retry_backoff_s: float = 0.05,
                  supervise: bool = True,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None,
+                 sparsity: bool = False, sanitize: bool | None = None,
+                 precision=None):
         if shards <= 0:
             raise SimulationError(
                 f"shard count must be positive, got {shards}")
@@ -392,6 +396,12 @@ class ShardWorkerPool:
         self.retry_backoff_s = retry_backoff_s
         self.supervise = supervise
         self.fault_plan = fault_plan
+        #: Executor knobs broadcast to every worker with the program:
+        #: bit-plane sparsity skipping, the sanitizer override and the
+        #: per-layer precision table (all scalar/small, O(1) pickle).
+        self.sparsity = sparsity
+        self.sanitize = sanitize
+        self.precision = precision
         #: Every segment this pool's parent or workers create carries
         #: this prefix — the crash-sweep handle.
         self.scope = f"repro-pool-{os.getpid()}-{secrets.token_hex(4)}"
@@ -495,7 +505,8 @@ class ShardWorkerPool:
         if self._program is not None:
             _, network, weights = self._program
             message = ("program", network, weights, self.config,
-                       self.packed, self.batched, self.verify, self.seed)
+                       self.packed, self.batched, self.verify, self.seed,
+                       self.sparsity, self.sanitize, self.precision)
             try:
                 self._send_raw(slot, message)
                 reply = self._recv_raw(slot)
@@ -637,7 +648,8 @@ class ShardWorkerPool:
             return
         self._program = None
         message = ("program", network, weights, self.config, self.packed,
-                   self.batched, self.verify, self.seed)
+                   self.batched, self.verify, self.seed, self.sparsity,
+                   self.sanitize, self.precision)
         if not self.supervise:
             for slot in range(self.shards):
                 try:

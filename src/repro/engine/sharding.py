@@ -97,6 +97,13 @@ class ShardWork:
     batched: bool
     verify: bool
     seed: int
+    #: Bit-plane sparsity skipping inside the shard's fleet (a scalar,
+    #: so the unit stays O(1) to pickle beyond its images).
+    sparsity: bool = False
+    #: Shadow-state sanitizer override (None = env default).
+    sanitize: bool | None = None
+    #: Per-layer precision table (small frozen value; picklable).
+    precision: object | None = None
 
 
 @dataclass(frozen=True)
@@ -128,7 +135,10 @@ def execute_shard(work: ShardWork) -> ShardOutcome:
                                                  outputs=None, verified=0))
     executor = FleetExecutor(work.config, weights=work.weights,
                              seed=work.seed, verify=work.verify,
-                             packed=work.packed, batched=work.batched)
+                             packed=work.packed, batched=work.batched,
+                             sparsity=work.sparsity,
+                             sanitize=work.sanitize,
+                             precision=work.precision)
     outcome = executor.run_requests(work.network, list(work.images),
                                     work.weights)
     return ShardOutcome(shard=work.shard, images=len(work.images),
@@ -191,7 +201,9 @@ class ShardedBackend:
                  weights=None, seed: int = 0, verify: bool = True,
                  batched: bool = True, driver: str = "serial",
                  reply_timeout_s: float = 60.0, max_retries: int = 2,
-                 supervise: bool = True, fault_plan=None):
+                 supervise: bool = True, fault_plan=None,
+                 sparsity: bool = False, sanitize: bool | None = None,
+                 precision=None):
         self.config = config if config is not None else NeuralCacheConfig()
         if shards is None:
             shards = self.config.sockets
@@ -218,12 +230,21 @@ class ShardedBackend:
         self.batched = batched
         #: How the shard pool executes: serial / thread / process / pool.
         self.driver = driver
+        #: Bit-plane sparsity skipping in every shard's fleet.
+        self.sparsity = sparsity
+        #: Shadow-state sanitizer override shipped to every shard.
+        self.sanitize = sanitize
+        #: Per-layer precision table shipped to every shard.
+        self.precision = precision
         self.name = "sharded" if packed else "sharded-unpacked"
         #: Template executor: resolves weights/golden/default network
         #: exactly like each shard's worker will.
         self._template = FleetExecutor(self.config, weights=weights,
                                        seed=seed, verify=verify,
-                                       packed=packed, batched=batched)
+                                       packed=packed, batched=batched,
+                                       sparsity=sparsity,
+                                       sanitize=sanitize,
+                                       precision=precision)
         #: Most-recently-used resolved weights per network (same bounded
         #: id()-keyed pattern as the analytic simulator cache). Stable
         #: weight identity across batches is what lets the persistent
@@ -244,7 +265,10 @@ class ShardedBackend:
                                          reply_timeout_s=reply_timeout_s,
                                          max_retries=max_retries,
                                          supervise=supervise,
-                                         fault_plan=fault_plan)
+                                         fault_plan=fault_plan,
+                                         sparsity=sparsity,
+                                         sanitize=sanitize,
+                                         precision=precision)
 
     WEIGHTS_CACHE_SIZE = 4
 
@@ -277,7 +301,9 @@ class ShardedBackend:
                           images=tuple(images[k::self.shards]),
                           weights=weights, config=self.config,
                           packed=self.packed, batched=self.batched,
-                          verify=self.verify, seed=self.seed)
+                          verify=self.verify, seed=self.seed,
+                          sparsity=self.sparsity, sanitize=self.sanitize,
+                          precision=self.precision)
                 for k in range(self.shards)]
 
     def _execute(self, works: list[ShardWork]) -> list[ShardOutcome]:

@@ -44,6 +44,10 @@ class Network:
     name: str
     _nodes: dict[str, Node] = field(default_factory=dict)
     _input_name: str | None = None
+    #: Optional :class:`~repro.core.precision.LayerPrecision` table for
+    #: dynamic per-layer narrowing (untyped to keep nn free of core
+    #: imports); validated at map time against the layer names.
+    precision: object | None = None
 
     # -- construction -----------------------------------------------------------
     def add_input(self, name: str, shape: Shape) -> str:

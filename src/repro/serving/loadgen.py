@@ -139,6 +139,7 @@ def run_serving_benchmark(
     fault_plan=None,
     max_retries: int = 0,
     reply_timeout_s: float = 60.0,
+    options=None,
 ) -> dict:
     """One serving run with everything the smoke gate needs, as a dict.
 
@@ -159,14 +160,38 @@ def run_serving_benchmark(
     batch retries on top of the pool's own self-healing, and
     ``reply_timeout_s`` bounds every pool reply wait. The recovery
     events the nodes took are counted in the stats.
+
+    ``options`` is a :class:`~repro.engine.backend.BackendOptions`
+    carrying the functional-engine knobs (``sparsity``, ``sanitize``,
+    ``precision``) for every serving node *and* the serial reference —
+    both knobs are value-preserving, so the bit-exactness gate holds
+    unchanged while the nodes' cycle reports become data-dependent.
+    Topology knobs (``driver``, ``shards``, ``batched``, ``faults``)
+    belong to this function's own arguments and are rejected on
+    ``options`` to keep one source of truth.
     """
     if network is None:
         network = tiny_verification_network()
+    engine_knobs: dict = {}
+    if options is not None:
+        for knob in ("driver", "shards", "faults"):
+            if getattr(options, knob) is not None:
+                raise SimulationError(
+                    f"run_serving_benchmark sets {knob!r} through its own "
+                    f"arguments; leave it unset on BackendOptions")
+        if not options.batched:
+            raise SimulationError(
+                "run_serving_benchmark always batches coalesced requests; "
+                "leave 'batched' unset on BackendOptions")
+        engine_knobs = {"sparsity": options.sparsity,
+                        "sanitize": options.sanitize,
+                        "precision": options.precision}
     template = FleetExecutor(config, packed=True, verify=False)
     weights = template.weights_for(network)
     images = deterministic_images(network, weights, seed, n_requests)
     reference = ShardedBackend(
-        config, shards=sockets, verify=False, driver="serial"
+        config, shards=sockets, verify=False, driver="serial",
+        **engine_knobs
     )
     expected = reference.run_requests(network, images).responses
     pool_options = {}
@@ -182,7 +207,8 @@ def run_serving_benchmark(
         )
     pool = [
         ShardedBackend(
-            config, shards=sockets, verify=False, driver=driver, **pool_options
+            config, shards=sockets, verify=False, driver=driver,
+            **engine_knobs, **pool_options
         )
         for _ in range(pool_size)
     ]

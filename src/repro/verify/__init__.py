@@ -53,7 +53,14 @@ from repro.verify.extract import (
     extract_model_programs,
     registered_models,
 )
-from repro.verify.facts import Constraint, OpFacts, ProgramFacts, Region
+from repro.verify.facts import (
+    EXECUTED,
+    SKIPPED,
+    Constraint,
+    OpFacts,
+    ProgramFacts,
+    Region,
+)
 from repro.verify.lift import lift_calls, lift_isa_program, op_facts
 from repro.verify.passes import (
     Finding,
@@ -62,6 +69,7 @@ from repro.verify.passes import (
     check_dead_writes,
     check_def_before_use,
     check_overlap,
+    check_skips,
     check_tag_carry,
     verify_program,
 )
@@ -73,6 +81,8 @@ from repro.verify.recorder import (
 from repro.verify.sanitizer import ShadowPlaneStore
 
 __all__ = [
+    "EXECUTED",
+    "SKIPPED",
     "Constraint",
     "Finding",
     "ModelPrograms",
@@ -88,6 +98,7 @@ __all__ = [
     "check_dead_writes",
     "check_def_before_use",
     "check_overlap",
+    "check_skips",
     "check_tag_carry",
     "extract_model_programs",
     "lift_calls",

@@ -83,6 +83,10 @@ CARRY_INIT = "init"      # clear_carry / set_carry before a ripple
 CARRY_CYCLE = "cycle"    # full-adder cycles consuming/producing the latch
 CARRY_STORE = "store"    # the carry-out write-back that consumes the latch
 
+#: Op dispositions (the ``disposition`` field of :class:`OpFacts`).
+EXECUTED = "executed"    # the step ran and its effects are architectural
+SKIPPED = "skipped"      # a sparsity skip: the step was elided fleet-wide
+
 
 @dataclass(frozen=True)
 class OpFacts:
@@ -99,6 +103,13 @@ class OpFacts:
     (``write_values`` and friends): definitions that cost no compute
     cycles. ``tag_source`` rows are read into the tag latch and must be
     initialized like any other read.
+
+    ``disposition`` distinguishes executed steps from sparsity skips
+    (:data:`SKIPPED`): a skip elides a sub-sequence of an enclosing
+    composite after probing a zero operand plane, so it *reads* the probed
+    plane but writes nothing. ``skip_dest`` records the destination region
+    the elided sub-sequence would have touched; the skip pass checks it is
+    provably zero-preserving (covered by an enclosing op's writes).
     """
 
     name: str
@@ -119,11 +130,18 @@ class OpFacts:
     #: tree. ``None`` for array-local ops. Reads stay per-wordline either
     #: way; the field records interconnect provenance for the program.
     array_shift: int | None = None
+    disposition: str = EXECUTED
+    #: Destination region an elided (:data:`SKIPPED`) sub-sequence would
+    #: have written. ``None`` for executed ops.
+    skip_dest: Region | None = None
 
     def all_regions(self) -> tuple[Region, ...]:
         """Every region the op touches (for bounds checking)."""
-        return (self.reads + self.writes + self.pred_writes
-                + self.scratch_writes + self.inits + self.tag_source)
+        regions = (self.reads + self.writes + self.pred_writes
+                   + self.scratch_writes + self.inits + self.tag_source)
+        if self.skip_dest is not None:
+            regions += (self.skip_dest,)
+        return regions
 
 
 @dataclass(frozen=True)

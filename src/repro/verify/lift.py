@@ -31,6 +31,7 @@ from repro.verify.facts import (
     CARRY_INIT,
     CARRY_STORE,
     DISJOINT,
+    SKIPPED,
     Constraint,
     OpFacts,
     ProgramFacts,
@@ -41,7 +42,14 @@ from repro.verify.facts import (
     TAG_SET,
 )
 
-__all__ = ["lift_calls", "lift_isa_program", "op_facts"]
+#: Skip kinds the sparsity engine is allowed to report. Each names the
+#: elided sub-sequence: a per-plane shift-add block of ``multiply`` (the
+#: tag plane was all zero, so every predicated write was a no-op), or a
+#: whole ``add_into`` (every source plane was zero; adding zero to the
+#: accumulator after a carry clear changes nothing).
+SKIP_KINDS = ("multiply-plane", "add-into")
+
+__all__ = ["SKIP_KINDS", "lift_calls", "lift_isa_program", "op_facts"]
 
 
 def _region(op: Operand) -> Region:
@@ -304,6 +312,19 @@ def op_facts(method: str, index: int, name: str,
         dst = _region(p["op"] if method == "write_values" else p["base"])
         return OpFacts(name, index, inits=(dst,))
 
+    if method == "skip_step":
+        kind = p["kind"]
+        if kind not in SKIP_KINDS:
+            raise VerifyError(
+                f"unknown sparsity skip kind {kind!r} (expected one of "
+                f"{', '.join(SKIP_KINDS)})", check="lift", op=name)
+        # A skip probes the operand plane(s) (a read: the zero check
+        # senses real state) and elides the sub-sequence that would have
+        # written ``dest``. It writes nothing — check_skips verifies the
+        # destination is zero-preserving under the enclosing op.
+        return OpFacts(name, index, reads=(_region(p["source"]),),
+                       disposition=SKIPPED, skip_dest=_region(p["dest"]))
+
     if method == "read_values":
         return OpFacts(name, index, reads=(_region(p["op"]),))
 
@@ -349,6 +370,7 @@ _PARAMS: dict[str, tuple[str, ...]] = {
     "reduce_tree": ("base", "segment", "elements", "width"),
     "move_across": ("src", "dst", "stride", "group"),
     "reduce_across_arrays": ("base", "segment", "group", "width"),
+    "skip_step": ("kind", "source", "dest", "cycles"),
 }
 
 
@@ -357,7 +379,7 @@ def _call_name(method: str, params: dict[str, Any]) -> str:
     for key, value in params.items():
         if isinstance(value, Operand):
             shown.append(f"{key}=r{value.row}:{value.nbits}")
-        elif isinstance(value, (int, bool)):
+        elif isinstance(value, (int, bool, str)):
             shown.append(f"{key}={value}")
     return f"{method}({', '.join(shown)})"
 

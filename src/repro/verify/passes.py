@@ -14,6 +14,10 @@ per-op knowledge here (that lives in :mod:`repro.verify.lift`):
   carry ripples follow init -> cycles -> store.
 - ``check_dead_writes``: no wordline is written twice with no read in
   between (wasted modeled cycles); live-out writes are not flagged.
+- ``check_skips``: sparsity skips are sound — a SKIPPED step declares no
+  architectural writes, and the destination it elided is covered by the
+  write set of the enclosing executed composite (so skipping it is
+  zero-preserving).
 
 Findings are data, not exceptions: a transformation pipeline wants the
 full list. :func:`assert_clean` converts the first finding into a
@@ -30,6 +34,7 @@ from repro.verify.facts import (
     CARRY_CYCLE,
     CARRY_INIT,
     CARRY_STORE,
+    SKIPPED,
     OpFacts,
     ProgramFacts,
     Region,
@@ -46,6 +51,7 @@ __all__ = [
     "check_dead_writes",
     "check_def_before_use",
     "check_overlap",
+    "check_skips",
     "check_tag_carry",
     "verify_program",
 ]
@@ -221,6 +227,57 @@ def check_dead_writes(facts: ProgramFacts) -> list[Finding]:
     return findings
 
 
+def check_skips(facts: ProgramFacts) -> list[Finding]:
+    """Sparsity skips elide only provably zero-preserving work.
+
+    A SKIPPED record is emitted *inside* an executed composite (the trace
+    hook fires on the composite before its body runs, so the enclosing
+    op's record precedes its skip records). Soundness means two things:
+    the skip itself writes nothing, and the destination region it elided
+    is inside the write set the enclosing composite already declares —
+    i.e. the skipped sub-sequence could only have rewritten state the
+    composite owns, and eliding it (the operand plane being all zero)
+    leaves that state's value unchanged.
+    """
+    findings = []
+    last_executed: OpFacts | None = None
+    for op in facts.ops:
+        if op.disposition != SKIPPED:
+            last_executed = op
+            if op.skip_dest is not None:
+                findings.append(Finding(
+                    "skip", op.index, op.name,
+                    "executed op carries a skip destination",
+                    row=op.skip_dest.row))
+            continue
+        if op.writes or op.pred_writes or op.scratch_writes or op.inits:
+            findings.append(Finding(
+                "skip", op.index, op.name,
+                "skipped step declares architectural writes; a skip must "
+                "elide work, not perform it"))
+        if op.skip_dest is None:
+            findings.append(Finding(
+                "skip", op.index, op.name,
+                "skipped step declares no destination region"))
+            continue
+        dest = op.skip_dest
+        owned: tuple[Region, ...] = ()
+        if last_executed is not None:
+            owned = (last_executed.writes + last_executed.pred_writes
+                     + last_executed.scratch_writes + last_executed.inits)
+        if not any(r.row <= dest.row and dest.end <= r.end for r in owned):
+            encloser = (f"op {last_executed.index} "
+                        f"`{last_executed.name}`"
+                        if last_executed is not None
+                        else "<none precedes it>")
+            findings.append(Finding(
+                "skip", op.index, op.name,
+                f"skip destination {dest} is not covered by the write set "
+                f"of the enclosing {encloser}: eliding it is not provably "
+                f"zero-preserving", row=dest.row))
+    return findings
+
+
 def verify_program(facts: ProgramFacts) -> list[Finding]:
     """All passes, in severity order."""
     findings = check_bounds(facts)
@@ -228,6 +285,7 @@ def verify_program(facts: ProgramFacts) -> list[Finding]:
     findings += check_overlap(facts)
     findings += check_tag_carry(facts)
     findings += check_dead_writes(facts)
+    findings += check_skips(facts)
     return findings
 
 

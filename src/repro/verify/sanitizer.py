@@ -106,6 +106,23 @@ class ShadowPlaneStore:
         self._require(row, "compute sensing")
         return self._store.sense_single(row)
 
+    def plane_any(self, row: int) -> bool:
+        # Explicit proxy: the sparsity engine's zero-plane probe senses
+        # real state, so the row must be initialized like any other read
+        # — and when the probe says "all zero" (the only answer that
+        # elides work), re-check against the raw plane so a store whose
+        # zero flag drifts from its contents (e.g. a packed tail-mask
+        # bug) trips here, at the skip decision, not as silent corruption.
+        self._require(row, "sparsity zero-plane probe")
+        result = bool(self._store.plane_any(row))
+        if not result and bool(np.any(self._store.row_plane(row))):
+            raise VerifyError(
+                f"sparsity probe reported wordline {row} all-zero but the "
+                f"plane holds set bits: the skipped step would have "
+                f"changed state", check="sparse-skip", op="plane_any",
+                row=row)
+        return result
+
     def read_row(self, row: int) -> np.ndarray:
         self._require(row, "host read")
         return self._store.read_row(row)

@@ -16,6 +16,7 @@ from repro.analysis import (
     section6a_example,
     serving,
     sharding,
+    sparsity,
     table1,
     table2,
     table3,
@@ -224,10 +225,29 @@ class TestServing:
                          "serving gate"}
 
 
+class TestSparsity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sparsity(caps=(255, 15, 0))
+
+    def test_speedup_grows_as_activations_narrow(self, result):
+        speedups = [p["speedup"] for p in result.data["points"]]
+        assert speedups == sorted(speedups)
+        assert speedups[0] > 1.0
+
+    def test_dense_accounting_is_input_independent(self, result):
+        dense = result.data["dense_cycles"]
+        for point in result.data["points"]:
+            assert point["cycles"] + point["skipped"] == dense
+
+    def test_every_point_is_golden_verified(self, result):
+        assert all(p["verified"] == 1 for p in result.data["points"])
+
+
 class TestAllExperiments:
     def test_everything_renders(self):
         results = all_experiments()
-        assert len(results) == 16
+        assert len(results) == 17
         for result in results:
             text = result.render()
             assert result.name in text

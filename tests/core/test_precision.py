@@ -5,7 +5,9 @@ import pytest
 from repro.common.errors import SimulationError
 from repro.config import NeuralCacheConfig
 from repro.core.precision import (
+    MAX_FUNCTIONAL_BITS,
     MAX_PRECISION_BITS,
+    LayerPrecision,
     config_for_precision,
     precision_sweep,
 )
@@ -43,6 +45,109 @@ class TestConfigForPrecision:
             config_for_precision(0)
         with pytest.raises(SimulationError):
             config_for_precision(MAX_PRECISION_BITS + 1)
+
+    def test_bounds_error_names_the_supported_range(self):
+        """Regression: out-of-range widths used to fall through to an
+        opaque downstream failure; now the error states the 1..16
+        contract up front."""
+        with pytest.raises(SimulationError,
+                           match=rf"1\.\.{MAX_PRECISION_BITS}"):
+            config_for_precision(17)
+        with pytest.raises(SimulationError,
+                           match=rf"1\.\.{MAX_PRECISION_BITS}"):
+            config_for_precision(-3)
+
+    def test_non_integer_widths_rejected(self):
+        for bad in (4.0, "8", None, True):
+            with pytest.raises(SimulationError, match="integer bit width"):
+                config_for_precision(bad)
+
+    def test_sixteen_bit_elements_widen_the_accumulators(self):
+        """9..16 bits is analytic-only double-byte mode: the partial-sum
+        and reduction regions grow 3x/4x the element width so 49 taps
+        cannot overflow."""
+        config = config_for_precision(MAX_PRECISION_BITS)
+        assert config.element_bits == 16
+        assert config.partial_sum_bits == 48
+        assert config.reduction_bits == 64
+
+    def test_eight_bit_elements_keep_paper_accumulators(self):
+        config = config_for_precision(8)
+        base = NeuralCacheConfig()
+        assert config.partial_sum_bits == base.partial_sum_bits
+        assert config.reduction_bits == base.reduction_bits
+
+
+class TestAnalyticIdentity:
+    def test_inception_latency_bit_identical_without_a_table(self, net):
+        """Networks with no precision table must charge exactly the
+        pre-narrowing cycle model — pinned to the seed's float."""
+        from repro.core.executor import NeuralCacheSimulator
+        assert NeuralCacheSimulator(net).run().total_time \
+            == 0.0040568930110328
+
+
+class TestLayerPrecision:
+    def test_default_and_overrides(self):
+        table = LayerPrecision(default_bits=6, overrides={"conv": 4})
+        assert table.bits_for("conv") == 4
+        assert table.bits_for("anything-else") == 6
+
+    def test_overrides_are_copied(self):
+        src = {"conv": 4}
+        table = LayerPrecision(overrides=src)
+        src["conv"] = 2
+        assert table.bits_for("conv") == 4
+
+    def test_widths_capped_at_functional_range(self):
+        """Functional tables stop at 8 bits — uint8 staging planes;
+        wider elements go through config_for_precision instead."""
+        with pytest.raises(SimulationError,
+                           match=rf"1\.\.{MAX_FUNCTIONAL_BITS}"):
+            LayerPrecision(default_bits=MAX_FUNCTIONAL_BITS + 1)
+        with pytest.raises(SimulationError,
+                           match=rf"1\.\.{MAX_FUNCTIONAL_BITS}"):
+            LayerPrecision(overrides={"conv": 0})
+
+    def test_non_integer_widths_rejected(self):
+        with pytest.raises(SimulationError, match="integer bit width"):
+            LayerPrecision(default_bits=4.0)
+        with pytest.raises(SimulationError, match="integer bit width"):
+            LayerPrecision(overrides={"conv": True})
+
+    def test_validate_rejects_stale_override(self):
+        from repro.engine.backend import tiny_verification_network
+        net = tiny_verification_network()
+        LayerPrecision(overrides={"conv": 4}).validate(net)
+        with pytest.raises(SimulationError, match="unknown layer"):
+            LayerPrecision(overrides={"conv_old": 4}).validate(net)
+
+    def test_stale_override_fails_at_analytic_map_time(self):
+        """The per-node analytic path validates an attached table too —
+        a network carrying a stale override cannot silently run."""
+        import dataclasses
+
+        from repro.core.executor import NeuralCacheSimulator
+        from repro.engine.backend import tiny_verification_network
+        net = dataclasses.replace(
+            tiny_verification_network(),
+            precision=LayerPrecision(overrides={"nope": 4}))
+        with pytest.raises(SimulationError, match="unknown layer"):
+            NeuralCacheSimulator(net).run()
+
+    def test_narrowing_speeds_up_the_analytic_model(self):
+        """A 4-bit table cuts conv MAC serial cycles on the analytic
+        simulator — the Stripes-style payoff."""
+        import dataclasses
+
+        from repro.core.executor import NeuralCacheSimulator
+        from repro.engine.backend import tiny_verification_network
+        net = tiny_verification_network()
+        narrow = dataclasses.replace(
+            net, precision=LayerPrecision(default_bits=4))
+        wide = NeuralCacheSimulator(net).run()
+        fast = NeuralCacheSimulator(narrow).run()
+        assert fast.total_time < wide.total_time
 
 
 class TestSweep:

@@ -8,6 +8,7 @@ from repro.common.errors import SimulationError
 from repro.engine.backend import (
     AnalyticBackend,
     Backend,
+    BackendOptions,
     BackendResult,
     FleetExecutor,
     available_backends,
@@ -54,11 +55,12 @@ class TestRegistry:
         assert backend.config is config
 
     @pytest.mark.parametrize("name", available_backends())
-    def test_batched_flag_propagates(self, name):
-        """Every registered factory must accept ``batched`` and hand it
-        to the engine it builds (the analytic model, which has no
-        functional loop to fold, accepts and ignores it)."""
-        backend = get_backend(name, batched=False)
+    def test_options_batched_propagates(self, name):
+        """Every registered factory takes one ``BackendOptions`` value
+        and hands its knobs to the engine it builds (the analytic model,
+        which has no functional loop to fold, accepts and ignores
+        ``batched`` for registry uniformity)."""
+        backend = get_backend(name, options=BackendOptions(batched=False))
         if hasattr(backend, "batched"):
             assert backend.batched is False
         default = get_backend(name)
@@ -69,6 +71,90 @@ class TestRegistry:
             for work in backend.shard_works(tiny_verification_network(),
                                             []):
                 assert work.batched is False
+
+    @pytest.mark.parametrize("name", ["fleet", "fleet-packed", "sharded",
+                                      "sharded-unpacked"])
+    def test_options_sparsity_propagates(self, name):
+        backend = get_backend(name, options=BackendOptions(sparsity=True))
+        assert backend.sparsity is True
+        assert get_backend(name).sparsity is False
+        if hasattr(backend, "shard_works"):
+            for work in backend.shard_works(tiny_verification_network(),
+                                            []):
+                assert work.sparsity is True
+
+    @pytest.mark.parametrize("name", ["fleet", "fleet-packed", "sharded",
+                                      "sharded-unpacked"])
+    def test_options_precision_propagates(self, name):
+        from repro.core.precision import LayerPrecision
+
+        table = LayerPrecision(default_bits=6)
+        backend = get_backend(name,
+                              options=BackendOptions(precision=table))
+        assert backend.precision is table
+        if hasattr(backend, "shard_works"):
+            for work in backend.shard_works(tiny_verification_network(),
+                                            []):
+                assert work.precision is table
+
+    def test_options_shards_propagates(self):
+        backend = get_backend("sharded", options=BackendOptions(shards=3))
+        assert backend.shards == 3
+
+    @pytest.mark.parametrize("name,options", [
+        ("analytic", BackendOptions(sparsity=True)),
+        ("analytic", BackendOptions(sanitize=True)),
+        ("fleet", BackendOptions(driver="pool")),
+        ("fleet", BackendOptions(shards=2)),
+        ("fleet-packed", BackendOptions(shards=2)),
+        ("analytic", BackendOptions(shards=2)),
+    ])
+    def test_inapplicable_options_rejected(self, name, options):
+        """A misplaced knob fails loudly instead of silently no-opping."""
+        with pytest.raises(SimulationError, match="does not take"):
+            get_backend(name, options=options)
+
+    def test_analytic_precision_points_at_network(self):
+        from repro.core.precision import LayerPrecision
+
+        with pytest.raises(SimulationError, match="network.precision"):
+            get_backend("analytic", options=BackendOptions(
+                precision=LayerPrecision(default_bits=4)))
+
+    def test_legacy_kwargs_deprecated_but_work(self):
+        """The pre-BackendOptions keywords still work for one release,
+        warning on every use."""
+        with pytest.warns(DeprecationWarning, match="BackendOptions"):
+            backend = get_backend("fleet", batched=False)
+        assert backend.batched is False
+        with pytest.warns(DeprecationWarning, match="BackendOptions"):
+            sharded = get_backend("sharded", driver="thread")
+        assert sharded.driver == "thread"
+
+    def test_legacy_kwargs_cannot_override_options(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SimulationError, match="conflicting"):
+                get_backend("fleet", options=BackendOptions(batched=True),
+                            batched=False)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SimulationError, match="conflicting"):
+                get_backend("sharded",
+                            options=BackendOptions(driver="serial"),
+                            driver="thread")
+
+    def test_legacy_kwargs_fold_into_options(self):
+        """A legacy keyword composes with an options object that left
+        that knob unset."""
+        with pytest.warns(DeprecationWarning):
+            backend = get_backend("sharded",
+                                  options=BackendOptions(shards=3),
+                                  driver="thread")
+        assert backend.shards == 3 and backend.driver == "thread"
+
+    def test_options_are_frozen(self):
+        options = BackendOptions()
+        with pytest.raises(Exception):
+            options.sparsity = True
 
 
 class TestAnalyticBackend:

@@ -15,6 +15,7 @@ import pytest
 from repro.common.errors import SimulationError
 from repro.config import NeuralCacheConfig
 from repro.engine.backend import (
+    BackendOptions,
     FleetExecutor,
     deterministic_images,
     get_backend,
@@ -170,10 +171,11 @@ class TestDriverSelection:
 
     @pytest.mark.parametrize("driver", SHARD_DRIVERS)
     def test_registry_plumbs_driver(self, driver):
-        backend = get_backend("sharded", driver=driver)
+        options = BackendOptions(driver=driver)
+        backend = get_backend("sharded", options=options)
         assert isinstance(backend, ShardedBackend)
         assert backend.driver == driver
-        unpacked = get_backend("sharded-unpacked", driver=driver)
+        unpacked = get_backend("sharded-unpacked", options=options)
         assert unpacked.driver == driver
         assert not unpacked.packed
 
@@ -183,12 +185,13 @@ class TestDriverSelection:
     @pytest.mark.parametrize("name", ["analytic", "fleet", "fleet-packed"])
     def test_registry_rejects_driver_for_unsharded(self, name):
         with pytest.raises(SimulationError, match="shard driver"):
-            get_backend(name, driver="thread")
+            get_backend(name, options=BackendOptions(driver="thread"))
 
     def test_driver_composes_with_config_and_batched(self):
         config = NeuralCacheConfig()
-        backend = get_backend("sharded", config, batched=False,
-                              driver="thread")
+        backend = get_backend("sharded", config,
+                              BackendOptions(batched=False,
+                                             driver="thread"))
         assert backend.config is config
         assert backend.batched is False
         assert backend.driver == "thread"

@@ -189,11 +189,13 @@ class TestRegistryAndCli:
         assert "shard 0" in out
 
     def test_cli_rejects_shards_without_sharded_backend(self, capsys):
+        # The CLI hands --shards to the registry via BackendOptions, so
+        # the rejection is the factory's own "does not take" message.
         from repro.__main__ import main
 
         with pytest.raises(SystemExit):
             main(["--backend", "fleet", "--shards", "2"])
-        assert "--shards only applies" in capsys.readouterr().err
+        assert "does not take a shard count" in capsys.readouterr().err
 
     def test_cli_rejects_shards_without_backend_mode(self, capsys):
         from repro.__main__ import main

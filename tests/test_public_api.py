@@ -20,6 +20,34 @@ class TestPublicApi:
         fractions = result.breakdown().fractions()
         assert max(fractions, key=fractions.get) == "filter_load"
 
+    def test_backend_options_surface(self):
+        """The consolidated construction surface is a public trio:
+        options in, unified outcome types out."""
+        for name in ("BackendOptions", "BatchOutcome", "LayerPrecision"):
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+        options = repro.BackendOptions(sparsity=True)
+        backend = repro.get_backend("fleet-packed", options=options)
+        assert backend.sparsity is True
+
+    def test_functional_entry_points_speak_batch_outcome(self):
+        """run/run_images/run_requests share one return vocabulary —
+        no bare tuples."""
+        from repro.engine.backend import tiny_verification_network
+
+        backend = repro.get_backend("fleet-packed")
+        net = tiny_verification_network()
+        weights = backend.weights_for(net)
+        images = repro.engine.backend.deterministic_images(
+            net, weights, 0, 2)
+        outcome = backend.run_images(net, images, weights)
+        assert isinstance(outcome, repro.BatchOutcome)
+        assert outcome is not None and len(outcome.responses) == 2
+        requests = backend.run_requests(net, images, weights)
+        assert isinstance(requests, repro.BatchOutcome)
+        result = backend.run(net, batch_size=1)
+        assert isinstance(result, repro.BackendResult)
+
     def test_subpackages_import(self):
         import repro.analysis
         import repro.baselines

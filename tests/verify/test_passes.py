@@ -12,6 +12,7 @@ passes are tested against.
 
 import dataclasses
 
+import numpy as np
 import pytest
 
 from repro.common.errors import IsaError, LayoutError, VerifyError
@@ -20,17 +21,21 @@ from repro.engine.bitserial import FleetBitSerialUnit, Operand
 from repro.engine.packed import make_fleet
 from repro.sram import BitSerialUnit, SRAMArray
 from repro.verify import (
+    SKIPPED,
     OpFacts,
     ProgramFacts,
     Region,
+    assert_clean,
     check_bounds,
     check_dead_writes,
     check_def_before_use,
     check_overlap,
+    check_skips,
     check_tag_carry,
     lift_calls,
     lift_isa_program,
     op_facts,
+    record_programs,
     verify_program,
 )
 from repro.verify.facts import CARRY_CYCLE, CARRY_INIT, CARRY_STORE
@@ -317,6 +322,87 @@ class TestDeadWrites:
             "csub r0:4, r4:4, r8:5, r40:4\n"
             "csub r4:4, r0:4, r16:5, r40:4")
         assert check_dead_writes(lift_isa_program(program, ROWS, COLS)) == []
+
+
+class TestSkipSoundness:
+    """Sparsity skips: a recorded sparse program lifts clean, and each
+    unsoundness class produces exactly one ``[skip]`` finding."""
+
+    def recorded_sparse_facts(self):
+        """Record a sparse unit run whose operand planes force both
+        partial skips (b=3 leaves planes 2..7 zero) and a whole-operand
+        skip (the all-zero add), then lift it."""
+        fleet = make_fleet(1, packed=True, sanitize=True)
+        unit = FleetBitSerialUnit(fleet, sparsity=True)
+        a, b = Operand(0, 8), Operand(8, 8)
+        prod, acc = Operand(16, 16), Operand(40, 24)
+        zeros = Operand(80, 8)
+        with record_programs() as rec:
+            unit.write_values(a, np.full(fleet.cols, 7, dtype=np.int64))
+            unit.write_values(b, np.full(fleet.cols, 3, dtype=np.int64))
+            unit.zero(acc)
+            unit.multiply(a, b, prod)
+            unit.add_into(prod, acc)
+            unit.write_values(zeros, np.zeros(fleet.cols, dtype=np.int64))
+            unit.add_into(zeros, acc)
+        return rec.programs()[0], unit
+
+    def test_recorded_sparse_program_is_clean(self):
+        facts, unit = self.recorded_sparse_facts()
+        skips = [o for o in facts.ops if o.disposition == SKIPPED]
+        # 6 zero planes of b under the multiply + the whole zero add.
+        assert len(skips) == 7
+        assert_clean(facts)
+        assert unit.skipped_cycles > 0
+
+    def test_uncovered_skip_dest_is_flagged(self):
+        facts = ProgramFacts("bad", ROWS, COLS, ops=(
+            OpFacts("multiply(...)", 0, reads=(Region(0, 8),),
+                    writes=(Region(16, 16),)),
+            OpFacts("skip_step(...)", 1, reads=(Region(8, 1),),
+                    disposition=SKIPPED, skip_dest=Region(40, 8)),
+        ), preloaded=(Region(0, 16),))
+        findings = check_skips(facts)
+        assert len(findings) == 1
+        assert findings[0].check == "skip"
+        assert "not covered" in findings[0].detail
+
+    def test_executed_op_with_skip_dest_is_flagged(self):
+        facts = ProgramFacts("bad", ROWS, COLS, ops=(
+            OpFacts("multiply(...)", 0, reads=(Region(0, 8),),
+                    writes=(Region(16, 16),),
+                    skip_dest=Region(16, 8)),
+        ), preloaded=(Region(0, 16),))
+        findings = check_skips(facts)
+        assert len(findings) == 1
+        assert "executed op carries a skip destination" in findings[0].detail
+
+    def test_skipped_op_declaring_writes_is_flagged(self):
+        facts = ProgramFacts("bad", ROWS, COLS, ops=(
+            OpFacts("multiply(...)", 0, reads=(Region(0, 8),),
+                    writes=(Region(16, 16),)),
+            OpFacts("skip_step(...)", 1, reads=(Region(8, 1),),
+                    writes=(Region(16, 8),), disposition=SKIPPED,
+                    skip_dest=Region(16, 8)),
+        ), preloaded=(Region(0, 16),))
+        findings = check_skips(facts)
+        assert any("must elide work" in f.detail for f in findings)
+
+    def test_skipped_op_without_dest_is_flagged(self):
+        facts = ProgramFacts("bad", ROWS, COLS, ops=(
+            OpFacts("skip_step(...)", 0, reads=(Region(8, 1),),
+                    disposition=SKIPPED),
+        ), preloaded=(Region(0, 16),))
+        findings = check_skips(facts)
+        assert len(findings) == 1
+        assert "no destination region" in findings[0].detail
+
+    def test_verify_program_includes_the_skip_pass(self):
+        facts = ProgramFacts("bad", ROWS, COLS, ops=(
+            OpFacts("skip_step(...)", 0, reads=(Region(8, 1),),
+                    disposition=SKIPPED),
+        ), preloaded=(Region(0, 16),))
+        assert "skip" in checks(verify_program(facts))
 
 
 class TestFactsPrimitives:

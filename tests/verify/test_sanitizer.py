@@ -111,6 +111,45 @@ class TestShadowState:
         assert store.unpack_plane(plane).shape == (1, COLS)
 
 
+class TestSparsityProbe:
+    """The zero-plane probe is a sensed read: init-checked, and its
+    "all zero" answer is cross-checked against the raw plane."""
+
+    @pytest.mark.parametrize("kind", STORES)
+    def test_uninitialized_probe_raises(self, kind):
+        store = fleet_for(kind)
+        with pytest.raises(VerifyError) as excinfo:
+            store.plane_any(5)
+        assert excinfo.value.check == "uninit-read"
+        assert excinfo.value.row == 5
+
+    @pytest.mark.parametrize("kind", STORES)
+    def test_honest_probe_passes_through(self, kind):
+        unit = FleetBitSerialUnit(fleet_for(kind))
+        unit.write_values(Operand(0, 2), 2)  # row 0 zero, row 1 set
+        assert unit.fleet.plane_any(0) is False
+        assert unit.fleet.plane_any(1) is True
+
+    @pytest.mark.parametrize("kind", STORES)
+    def test_lying_probe_raises_at_the_skip_decision(self, kind):
+        """A store whose zero flag drifts from its contents must trip
+        the sanitizer before the elided work could corrupt state."""
+        unit = FleetBitSerialUnit(fleet_for(kind))
+        unit.write_values(Operand(0, 1), 1)  # row 0 holds set bits
+        shadow = unit.fleet
+        inner = shadow._store
+        original = inner.plane_any
+        inner.plane_any = lambda row: False
+        try:
+            with pytest.raises(VerifyError) as excinfo:
+                shadow.plane_any(0)
+        finally:
+            inner.plane_any = original
+        assert excinfo.value.check == "sparse-skip"
+        assert excinfo.value.row == 0
+        assert "all-zero" in str(excinfo.value)
+
+
 class TestOptIn:
     def test_make_fleet_sanitize_flag(self, monkeypatch):
         monkeypatch.delenv("NEURALCACHE_SANITIZE", raising=False)
